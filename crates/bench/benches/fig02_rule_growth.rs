@@ -1,0 +1,18 @@
+//! Figure 2 — number of learned rules as training benchmarks are added
+//! one at a time (perlbench first, as in the paper's footnote 2).
+
+use pdbt_bench::Experiment;
+use pdbt_core::RuleSet;
+use pdbt_workloads::Scale;
+
+fn main() {
+    let exp = Experiment::new(Scale::full());
+    println!("\n=== Fig 2: learned-rule growth with training-set size ===");
+    println!("{:<6}{:>14}{:>12}", "n", "benchmark", "rules");
+    let mut merged = RuleSet::new();
+    for (i, (w, rules)) in exp.suite.iter().zip(&exp.per_rules).enumerate() {
+        merged.merge(rules.clone());
+        println!("{:<6}{:>14}{:>12}", i + 1, w.bench.name(), merged.len());
+    }
+    println!("\npaper shape: growth slows sharply after ~6 benchmarks");
+}

@@ -1,0 +1,38 @@
+//! Figure 11 — speedup over QEMU 4.1: learning baseline (`w/o para.`)
+//! vs the parameterized system (`para.`).
+
+use pdbt_bench::{geomean, header, row, speedup, Config, Experiment};
+use pdbt_workloads::{Benchmark, Scale};
+
+fn main() {
+    let exp = Experiment::new(Scale::full());
+    header("Fig 11: speedup over qemu4.1", &["w/o para.", "para."]);
+    let mut wo = Vec::new();
+    let mut pa = Vec::new();
+    for b in Benchmark::ALL {
+        let q = exp.run(Config::Qemu, b);
+        let w = exp.run(Config::WoPara, b);
+        let p = exp.run(Config::Para, b);
+        let (sw, sp) = (speedup(&q, &w), speedup(&q, &p));
+        println!(
+            "{}",
+            row(b.name(), &[format!("{sw:.2}"), format!("{sp:.2}")])
+        );
+        wo.push(sw);
+        pa.push(sp);
+    }
+    println!(
+        "{}",
+        row(
+            "geomean",
+            &[
+                format!("{:.2}", geomean(&wo)),
+                format!("{:.2}", geomean(&pa))
+            ]
+        )
+    );
+    println!(
+        "\npara/wo-para geomean: {:.2}  (paper: w/o 1.04x, para 1.29x, ratio 1.24x)",
+        geomean(&pa) / geomean(&wo)
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 12 — dynamic coverage with and without parameterization.
+
+use pdbt_bench::{header, row, Config, Experiment};
+use pdbt_workloads::{Benchmark, Scale};
+
+fn main() {
+    let exp = Experiment::new(Scale::full());
+    header("Fig 12: dynamic coverage", &["w/o para.", "para."]);
+    let (mut sw, mut sp) = (0.0, 0.0);
+    for b in Benchmark::ALL {
+        let w = exp.run(Config::WoPara, b).coverage() * 100.0;
+        let p = exp.run(Config::Para, b).coverage() * 100.0;
+        println!(
+            "{}",
+            row(b.name(), &[format!("{w:.1}%"), format!("{p:.1}%")])
+        );
+        sw += w;
+        sp += p;
+    }
+    let n = Benchmark::ALL.len() as f64;
+    println!(
+        "{}",
+        row(
+            "mean",
+            &[format!("{:.1}%", sw / n), format!("{:.1}%", sp / n)]
+        )
+    );
+    println!("\npaper: 69.7% → 95.5%");
+}

@@ -1,0 +1,41 @@
+//! Figure 13 — host instructions executed per guest instruction under
+//! qemu4.1, the learning baseline, and the parameterized system.
+
+use pdbt_bench::{geomean, header, row, Config, Experiment};
+use pdbt_workloads::{Benchmark, Scale};
+
+fn main() {
+    let exp = Experiment::new(Scale::full());
+    header(
+        "Fig 13: host instrs per guest instr",
+        &["qemu4.1", "w/o para.", "para."],
+    );
+    let (mut q, mut w, mut p) = (Vec::new(), Vec::new(), Vec::new());
+    for b in Benchmark::ALL {
+        let rq = exp.run(Config::Qemu, b).total_ratio();
+        let rw = exp.run(Config::WoPara, b).total_ratio();
+        let rp = exp.run(Config::Para, b).total_ratio();
+        println!(
+            "{}",
+            row(
+                b.name(),
+                &[format!("{rq:.2}"), format!("{rw:.2}"), format!("{rp:.2}")]
+            )
+        );
+        q.push(rq);
+        w.push(rw);
+        p.push(rp);
+    }
+    println!(
+        "{}",
+        row(
+            "geomean",
+            &[
+                format!("{:.2}", geomean(&q)),
+                format!("{:.2}", geomean(&w)),
+                format!("{:.2}", geomean(&p)),
+            ]
+        )
+    );
+    println!("\npaper averages: qemu 8.18, w/o para 7.51, para 5.66");
+}

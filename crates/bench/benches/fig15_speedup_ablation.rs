@@ -1,0 +1,46 @@
+//! Figure 15 — speedup contribution of each parameterization factor.
+
+use pdbt_bench::{geomean, header, row, speedup, Config, Experiment};
+use pdbt_workloads::{Benchmark, Scale};
+
+fn main() {
+    let exp = Experiment::new(Scale::full());
+    header(
+        "Fig 15: speedup over qemu4.1 by factor",
+        &["w/o para.", "opcode", "addr-mode", "condition"],
+    );
+    let configs = [
+        Config::WoPara,
+        Config::Opcode,
+        Config::OpcodeAddr,
+        Config::Para,
+    ];
+    let mut all: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for b in Benchmark::ALL {
+        let q = exp.run(Config::Qemu, b);
+        let sp: Vec<f64> = configs
+            .iter()
+            .map(|c| speedup(&q, &exp.run(*c, b)))
+            .collect();
+        println!(
+            "{}",
+            row(
+                b.name(),
+                &sp.iter().map(|s| format!("{s:.2}")).collect::<Vec<_>>()
+            )
+        );
+        for (acc, s) in all.iter_mut().zip(&sp) {
+            acc.push(*s);
+        }
+    }
+    println!(
+        "{}",
+        row(
+            "geomean",
+            &all.iter()
+                .map(|v| format!("{:.2}", geomean(v)))
+                .collect::<Vec<_>>()
+        )
+    );
+    println!("\npaper: 1.04 → 1.13 → 1.22 → 1.29");
+}

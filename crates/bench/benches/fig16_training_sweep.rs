@@ -1,0 +1,49 @@
+//! Figure 16 — dynamic coverage as the training set shrinks: randomly
+//! selected 1–8 training benchmarks, applied to the remaining ones,
+//! averaged over 5 repetitions (paper §V-C).
+
+use pdbt_bench::{Config, Experiment};
+use pdbt_core::derive::{derive, DeriveConfig};
+use pdbt_core::RuleSet;
+use pdbt_symexec::CheckOptions;
+use pdbt_workloads::{run_dbt, Benchmark, Scale};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let exp = Experiment::new(Scale::full());
+    let _ = Config::ALL; // context shared with the other harnesses
+    println!("\n=== Fig 16: coverage vs training-set size (5 reps) ===");
+    println!("{:<6}{:>14}{:>14}", "size", "w/o para.", "para.");
+    for size in 1..=8usize {
+        let (mut wo_acc, mut pa_acc, mut n) = (0.0f64, 0.0f64, 0u32);
+        for rep in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(0xf16 + rep * 97 + size as u64);
+            let mut order: Vec<usize> = (0..12).collect();
+            order.shuffle(&mut rng);
+            let (train, test) = order.split_at(size);
+            let mut learned = RuleSet::new();
+            for i in train {
+                learned.merge(exp.per_rules[*i].clone());
+            }
+            let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+            for i in test {
+                let w = &exp.suite[*i];
+                let wo = run_dbt(w, Some(learned.clone()), false).expect("runs");
+                let pa = run_dbt(w, Some(full.clone()), true).expect("runs");
+                wo_acc += wo.metrics.coverage() * 100.0;
+                pa_acc += pa.metrics.coverage() * 100.0;
+                n += 1;
+            }
+        }
+        println!(
+            "{:<6}{:>13.1}%{:>13.1}%",
+            size,
+            wo_acc / f64::from(n),
+            pa_acc / f64::from(n)
+        );
+    }
+    let _ = Benchmark::ALL;
+    println!("\npaper shape: para. always above w/o para.; both saturate around 6 programs");
+}

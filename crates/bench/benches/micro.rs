@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks: translation throughput per path, rule
+//! lookup + instantiation cost (the paper's §IV-D claim that the two
+//! extra steps "incur very little additional overhead"), and symbolic
+//! verification cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pdbt_bench::{Config, Experiment};
+use pdbt_core::emit::emit_for;
+use pdbt_core::key::parameterize;
+use pdbt_core::ruleset::verify_combo;
+use pdbt_core::HostLoc;
+use pdbt_isa_arm::builders as g;
+use pdbt_isa_arm::{Operand as O, Reg};
+use pdbt_runtime::{translate_block, TranslateConfig};
+use pdbt_symexec::CheckOptions;
+use pdbt_workloads::{Benchmark, Scale};
+use std::hint::black_box;
+
+fn bench_translation(c: &mut Criterion) {
+    let exp = Experiment::new(Scale::tiny());
+    let w = exp
+        .suite
+        .iter()
+        .find(|w| w.bench == Benchmark::Mcf)
+        .unwrap();
+    let prog = &w.pair.guest.program;
+    let (rules, _) = exp.rules_for(Config::Para, Benchmark::Mcf);
+    let rules = rules.unwrap();
+    let cfg = TranslateConfig::default();
+    c.bench_function("translate_block/qemu_path", |b| {
+        b.iter(|| black_box(translate_block(prog, prog.base(), None, &cfg).unwrap()))
+    });
+    c.bench_function("translate_block/rule_path", |b| {
+        b.iter(|| black_box(translate_block(prog, prog.base(), Some(&rules), &cfg).unwrap()))
+    });
+}
+
+fn bench_lookup_instantiate(c: &mut Criterion) {
+    let exp = Experiment::new(Scale::tiny());
+    let (rules, _) = exp.rules_for(Config::Para, Benchmark::Mcf);
+    let rules = rules.unwrap();
+    let inst = g::add(Reg::R4, Reg::R4, O::Imm(5));
+    c.bench_function("rule/parameterize_guest", |b| {
+        b.iter(|| black_box(parameterize(black_box(&inst))))
+    });
+    c.bench_function("rule/hash_lookup", |b| {
+        b.iter(|| black_box(rules.lookup(black_box(&inst))))
+    });
+    let locs = [HostLoc::Reg(pdbt_isa_x86::Reg::Ecx)];
+    c.bench_function("rule/lookup_and_instantiate", |b| {
+        b.iter_batched(
+            || rules.lookup(&inst).unwrap(),
+            |m| black_box(rules.instantiate_match(&m, &locs).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let p = parameterize(&g::add(Reg::R4, Reg::R5, O::Reg(Reg::R6))).unwrap();
+    let template = emit_for(&p.key).unwrap();
+    c.bench_function("verify/derived_combo", |b| {
+        b.iter(|| black_box(verify_combo(&p.key, &template, CheckOptions::default()).unwrap()))
+    });
+}
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    // Hash-table lookup cost vs rule-set size — the design choice behind
+    // the paper's "hash algorithm is used to retrieve the translation
+    // rules" (§V-A): lookup stays flat as the store grows from the
+    // learned corpus to the fully parameterized one.
+    let exp = Experiment::new(Scale::tiny());
+    let learned = exp.learned_excluding(Benchmark::Mcf);
+    let (full, _) = pdbt_core::derive::derive(
+        &learned,
+        pdbt_core::derive::DeriveConfig::full(),
+        CheckOptions::default(),
+    );
+    let inst = g::eor(Reg::R4, Reg::R4, O::Reg(Reg::R5));
+    let mut group = c.benchmark_group("lookup_scaling");
+    group.bench_function(format!("learned_{}_rules", learned.len()), |b| {
+        b.iter(|| black_box(learned.lookup(black_box(&inst))))
+    });
+    group.bench_function(format!("parameterized_{}_rules", full.len()), |b| {
+        b.iter(|| black_box(full.lookup(black_box(&inst))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translation,
+    bench_lookup_instantiate,
+    bench_verification,
+    bench_lookup_scaling
+);
+criterion_main!(benches);

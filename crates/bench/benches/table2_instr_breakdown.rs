@@ -1,0 +1,51 @@
+//! Table II — where executed host instructions go: rule-translated core,
+//! QEMU-translated core, guest-register data transfer, and control
+//! stubs, per guest instruction.
+
+use pdbt_bench::{class_ratios, header, row, Config, Experiment};
+use pdbt_workloads::{Benchmark, Scale};
+
+fn main() {
+    let exp = Experiment::new(Scale::full());
+    header(
+        "Table II: host instructions per guest instruction (para. config)",
+        &["rule", "qemu", "data", "control", "rule tot", "qemu tot"],
+    );
+    let mut sums = [0.0f64; 6];
+    for b in Benchmark::ALL {
+        let p = exp.run(Config::Para, b);
+        let q = exp.run(Config::Qemu, b);
+        let [rc, qc, dt, ct] = class_ratios(&p);
+        let ptotal = p.total_ratio();
+        let qtotal = q.total_ratio();
+        println!(
+            "{}",
+            row(
+                b.name(),
+                &[
+                    format!("{rc:.2}"),
+                    format!("{qc:.2}"),
+                    format!("{dt:.2}"),
+                    format!("{ct:.2}"),
+                    format!("{ptotal:.2}"),
+                    format!("{qtotal:.2}"),
+                ]
+            )
+        );
+        for (s, v) in sums.iter_mut().zip([rc, qc, dt, ct, ptotal, qtotal]) {
+            *s += v;
+        }
+    }
+    let n = Benchmark::ALL.len() as f64;
+    println!(
+        "{}",
+        row(
+            "Average",
+            &sums
+                .iter()
+                .map(|s| format!("{:.2}", s / n))
+                .collect::<Vec<_>>()
+        )
+    );
+    println!("\npaper averages: rule 0.97, qemu 3.49, data 2.02, control 2.68, totals 5.66 / 8.18");
+}

@@ -1,0 +1,197 @@
+//! The experiment harness: shared context and configuration runners for
+//! regenerating every table and figure of the paper's evaluation
+//! (§V). Each `[[bench]]` target prints one paper artifact; see
+//! DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured records.
+
+use pdbt_core::derive::{derive, DeriveConfig};
+use pdbt_core::learning::{learn_into, FunnelStats, LearnConfig};
+use pdbt_core::RuleSet;
+use pdbt_runtime::{CodeClass, Metrics};
+use pdbt_symexec::CheckOptions;
+use pdbt_workloads::{run_dbt, suite, Benchmark, Scale, Workload};
+
+/// The five system configurations of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// QEMU 4.1 baseline (pure lift/lower).
+    Qemu,
+    /// Enhanced learning-based DBT, no parameterization (`w/o para.`).
+    WoPara,
+    /// + opcode parameterization (Fig 14/15 stage 1).
+    Opcode,
+    /// + addressing-mode parameterization (stage 2).
+    OpcodeAddr,
+    /// + condition-flag delegation — the full system (`para.`).
+    Para,
+}
+
+impl Config {
+    /// All configurations in ablation order.
+    pub const ALL: [Config; 5] = [
+        Config::Qemu,
+        Config::WoPara,
+        Config::Opcode,
+        Config::OpcodeAddr,
+        Config::Para,
+    ];
+
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Qemu => "qemu4.1",
+            Config::WoPara => "w/o para.",
+            Config::Opcode => "opcode",
+            Config::OpcodeAddr => "addr-mode",
+            Config::Para => "para.",
+        }
+    }
+}
+
+/// Shared experiment state: the suite plus independently learned
+/// per-benchmark rule sets (merged per leave-one-out target).
+pub struct Experiment {
+    /// The twelve workloads.
+    pub suite: Vec<Workload>,
+    /// Rules learned from each workload independently.
+    pub per_rules: Vec<RuleSet>,
+    /// Per-benchmark funnel statistics (Table I).
+    pub funnels: Vec<(Benchmark, FunnelStats)>,
+}
+
+impl Experiment {
+    /// Builds the suite and learns every benchmark's rules once.
+    #[must_use]
+    pub fn new(scale: Scale) -> Experiment {
+        let suite = suite(scale);
+        let mut per_rules = Vec::new();
+        let mut funnels = Vec::new();
+        for w in &suite {
+            let mut rules = RuleSet::new();
+            let stats = learn_into(&mut rules, &w.pair, &w.debug, LearnConfig::default());
+            funnels.push((w.bench, stats));
+            per_rules.push(rules);
+        }
+        Experiment {
+            suite,
+            per_rules,
+            funnels,
+        }
+    }
+
+    /// The merged learned rules of every benchmark except `exclude`
+    /// (leave-one-out, §V-A).
+    #[must_use]
+    pub fn learned_excluding(&self, exclude: Benchmark) -> RuleSet {
+        let mut out = RuleSet::new();
+        for (w, r) in self.suite.iter().zip(&self.per_rules) {
+            if w.bench != exclude {
+                out.merge(r.clone());
+            }
+        }
+        out
+    }
+
+    /// The rule set and delegation flag for one configuration targeting
+    /// one benchmark.
+    #[must_use]
+    pub fn rules_for(&self, cfg: Config, target: Benchmark) -> (Option<RuleSet>, bool) {
+        let check = CheckOptions::default();
+        match cfg {
+            Config::Qemu => (None, true),
+            Config::WoPara => (Some(self.learned_excluding(target)), false),
+            Config::Opcode => {
+                let learned = self.learned_excluding(target);
+                let (r, _) = derive(&learned, DeriveConfig::opcode_only(), check);
+                (Some(r), false)
+            }
+            Config::OpcodeAddr => {
+                let learned = self.learned_excluding(target);
+                let (r, _) = derive(&learned, DeriveConfig::opcode_addrmode(), check);
+                (Some(r), false)
+            }
+            Config::Para => {
+                let learned = self.learned_excluding(target);
+                let (r, _) = derive(&learned, DeriveConfig::full(), check);
+                (Some(r), true)
+            }
+        }
+    }
+
+    /// Runs one benchmark under one configuration.
+    #[must_use]
+    pub fn run(&self, cfg: Config, target: Benchmark) -> Metrics {
+        let w = self
+            .suite
+            .iter()
+            .find(|w| w.bench == target)
+            .expect("benchmark in suite");
+        let (rules, delegation) = self.rules_for(cfg, target);
+        let report = run_dbt(w, rules, delegation).expect("workload runs");
+        report.metrics
+    }
+}
+
+/// Geometric mean.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: f64 = xs.iter().map(|x| x.ln()).sum();
+    (logs / xs.len() as f64).exp()
+}
+
+/// Formats one row of a fixed-width table.
+#[must_use]
+pub fn row(name: &str, cells: &[String]) -> String {
+    let mut out = format!("{name:<12}");
+    for c in cells {
+        out.push_str(&format!("{c:>12}"));
+    }
+    out
+}
+
+/// Prints a table header.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    let cells: Vec<String> = cols.iter().map(|c| (*c).to_string()).collect();
+    println!("{}", row("benchmark", &cells));
+}
+
+/// Speedup of `cfg` over QEMU for a set of runs (host-instruction
+/// proxy: lower executed count = proportionally faster, §V-B1).
+#[must_use]
+pub fn speedup(qemu: &Metrics, cfg: &Metrics) -> f64 {
+    qemu.host_executed() as f64 / cfg.host_executed() as f64
+}
+
+/// The four Table II class ratios for a metrics record.
+#[must_use]
+pub fn class_ratios(m: &Metrics) -> [f64; 4] {
+    [
+        m.ratio(CodeClass::RuleCore),
+        m.ratio(CodeClass::QemuCore),
+        m.ratio(CodeClass::DataTransfer),
+        m.ratio(CodeClass::Control),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn experiment_runs_smallest_benchmark() {
+        let exp = Experiment::new(Scale::tiny());
+        assert_eq!(exp.suite.len(), 12);
+        let q = exp.run(Config::Qemu, Benchmark::Mcf);
+        let p = exp.run(Config::Para, Benchmark::Mcf);
+        assert!(p.coverage() > 0.5);
+        assert!(speedup(&q, &p) > 1.0);
+    }
+}

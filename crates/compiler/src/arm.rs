@@ -1,0 +1,749 @@
+//! The guest (ARM) backend.
+//!
+//! Variables live in `r4..r11`; `r12` is the materialization scratch.
+//! A peephole pass fuses `dst = dst op …; if (dst ==/!= 0) goto L` into a
+//! flag-setting instruction plus a conditional branch (`subs` + `bne`),
+//! which is where the guest's implicit flag side effects — the target of
+//! the paper's condition-flag delegation — come from.
+
+use crate::lang::{BinOp, CmpKind, Rvalue, SourceProgram, Stmt, UnOp, Var};
+use pdbt_isa::Cond;
+use pdbt_isa::Width;
+use pdbt_isa_arm::builders as g;
+use pdbt_isa_arm::{Inst, MemAddr, Op, Operand, Program, Reg, INST_SIZE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Scratch register for materialized constants.
+const SCRATCH: Reg = Reg::R12;
+
+/// The guest register assigned to a variable.
+#[must_use]
+pub fn var_reg(v: Var) -> Reg {
+    Reg::from_index(4 + v.0 as usize).expect("variable register in range")
+}
+
+/// A compile-time error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(detail: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError {
+        detail: detail.into(),
+    })
+}
+
+/// Where each statement landed in the emitted code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtSpan {
+    /// Function index.
+    pub func: usize,
+    /// Statement index within the function.
+    pub stmt: usize,
+    /// Emitted instruction range (indices into the flat program).
+    pub range: std::ops::Range<usize>,
+}
+
+/// The compiled guest image.
+#[derive(Debug, Clone)]
+pub struct GuestImage {
+    /// The linked program.
+    pub program: Program,
+    /// Statement spans (the accurate compiler-side map; debug-info
+    /// degradation is applied separately).
+    pub spans: Vec<StmtSpan>,
+    /// Start instruction index of each function.
+    pub func_starts: Vec<usize>,
+}
+
+fn op2(v: Rvalue) -> Operand {
+    match v {
+        Rvalue::Var(v) => Operand::Reg(var_reg(v)),
+        Rvalue::Const(c) => Operand::Imm(c),
+    }
+}
+
+fn guest_binop(op: BinOp) -> Op {
+    match op {
+        BinOp::Add => Op::Add,
+        BinOp::Sub => Op::Sub,
+        BinOp::And => Op::And,
+        BinOp::Or => Op::Orr,
+        BinOp::Xor => Op::Eor,
+        BinOp::AndNot => Op::Bic,
+        BinOp::Shl => Op::Lsl,
+        BinOp::Shr => Op::Lsr,
+        BinOp::Sar => Op::Asr,
+        BinOp::Ror => Op::Ror,
+        BinOp::Mul => Op::Mul,
+    }
+}
+
+/// A pending branch fixup.
+enum Fixup {
+    /// Branch to a local label: (instruction index, label).
+    Local(usize, crate::lang::Label),
+    /// `bl` to a function: (instruction index, function index).
+    Call(usize, usize),
+}
+
+struct Emitter {
+    insts: Vec<Inst>,
+    spans: Vec<StmtSpan>,
+    fixups: Vec<Fixup>,
+    labels: HashMap<(usize, u16), usize>,
+    /// The variable whose Z-flag-relevant value the last emitted
+    /// instruction could expose by setting its `s` bit.
+    fusable: Option<(usize, Var)>,
+}
+
+impl Emitter {
+    fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+}
+
+fn compile_stmt(
+    e: &mut Emitter,
+    func_idx: usize,
+    stmt_idx: usize,
+    stmt: &Stmt,
+    is_entry: bool,
+    saved: &[Reg],
+) -> Result<(), CompileError> {
+    let start = e.insts.len();
+    let mut fusable = None;
+    match stmt {
+        Stmt::Bin { dst, op, a, b } => {
+            let rd = var_reg(*dst);
+            match (op, a) {
+                (BinOp::Mul, _) => {
+                    let ra = match a {
+                        Rvalue::Var(v) => var_reg(*v),
+                        Rvalue::Const(_) => return err("mul needs a variable left operand"),
+                    };
+                    let rb = match b {
+                        Rvalue::Var(v) => var_reg(*v),
+                        Rvalue::Const(c) => {
+                            e.emit(g::mov(SCRATCH, Operand::Imm(*c)));
+                            SCRATCH
+                        }
+                    };
+                    e.emit(g::mul(rd, ra, rb));
+                }
+                (BinOp::Sub, Rvalue::Const(c)) => {
+                    // c - v → rsb (the complex pair of sub, §IV-C1).
+                    let rb = match b {
+                        Rvalue::Var(v) => var_reg(*v),
+                        Rvalue::Const(_) => return err("constant-folded rsb"),
+                    };
+                    e.emit(g::rsb(rd, rb, Operand::Imm(*c)));
+                    fusable = Some(*dst);
+                }
+                (_, Rvalue::Const(_)) => {
+                    return err(format!("constant left operand for {op}"));
+                }
+                (_, Rvalue::Var(av)) => {
+                    let inst = Inst::new(
+                        guest_binop(*op),
+                        vec![Operand::Reg(rd), Operand::Reg(var_reg(*av)), op2(*b)],
+                    )
+                    .map_err(|e| CompileError {
+                        detail: e.to_string(),
+                    })?;
+                    e.emit(inst);
+                    // Shifts with a variable amount cannot carry the S bit
+                    // (outside the verifier's and lifter's subset).
+                    let var_shift = matches!(op, BinOp::Shl | BinOp::Shr | BinOp::Sar | BinOp::Ror)
+                        && matches!(b, Rvalue::Var(_));
+                    if !var_shift {
+                        fusable = Some(*dst);
+                    }
+                }
+            }
+        }
+        Stmt::BinShifted {
+            dst,
+            op,
+            a,
+            b,
+            shift,
+            amount,
+        } => {
+            if !matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor
+            ) {
+                return err(format!("{op} does not take a shifted operand"));
+            }
+            let inst = Inst::new(
+                guest_binop(*op),
+                vec![
+                    Operand::Reg(var_reg(*dst)),
+                    Operand::Reg(var_reg(*a)),
+                    Operand::Shifted {
+                        rm: var_reg(*b),
+                        kind: *shift,
+                        amount: *amount,
+                    },
+                ],
+            )
+            .map_err(|e| CompileError {
+                detail: e.to_string(),
+            })?;
+            e.emit(inst);
+            fusable = Some(*dst);
+        }
+        Stmt::Un { dst, op, a } => {
+            let rd = var_reg(*dst);
+            match op {
+                UnOp::Mov => {
+                    e.emit(g::mov(rd, op2(*a)));
+                }
+                UnOp::Not => {
+                    e.emit(g::mvn(rd, op2(*a)));
+                }
+                UnOp::Neg => {
+                    let Rvalue::Var(av) = a else {
+                        return err("neg of a constant");
+                    };
+                    e.emit(g::rsb(rd, var_reg(*av), Operand::Imm(0)));
+                }
+                UnOp::Clz => {
+                    let Rvalue::Var(av) = a else {
+                        return err("clz of a constant");
+                    };
+                    e.emit(g::clz(rd, var_reg(*av)));
+                }
+            }
+        }
+        Stmt::MulAdd { dst, a, b, c } => {
+            e.emit(g::mla(var_reg(*dst), var_reg(*a), var_reg(*b), var_reg(*c)));
+        }
+        Stmt::WideMulAcc { lo, hi, a, b } => {
+            if lo == hi || lo == a || lo == b || hi == a || hi == b {
+                return err("wide multiply-accumulate needs distinct variables");
+            }
+            e.emit(g::umlal(
+                var_reg(*lo),
+                var_reg(*hi),
+                var_reg(*a),
+                var_reg(*b),
+            ));
+        }
+        Stmt::Load {
+            dst,
+            base,
+            offset,
+            width,
+        } => {
+            let mem = MemAddr::BaseImm {
+                base: var_reg(*base),
+                offset: *offset,
+            };
+            let inst = match width {
+                Width::B32 => g::ldr(var_reg(*dst), mem),
+                Width::B16 => g::ldrh(var_reg(*dst), mem),
+                Width::B8 => g::ldrb(var_reg(*dst), mem),
+            };
+            e.emit(inst);
+        }
+        Stmt::LoadIndexed { dst, base, index } => {
+            e.emit(g::ldr(
+                var_reg(*dst),
+                MemAddr::BaseReg {
+                    base: var_reg(*base),
+                    index: var_reg(*index),
+                },
+            ));
+        }
+        Stmt::Store {
+            src,
+            base,
+            offset,
+            width,
+        } => {
+            let mem = MemAddr::BaseImm {
+                base: var_reg(*base),
+                offset: *offset,
+            };
+            let inst = match width {
+                Width::B32 => g::str_(var_reg(*src), mem),
+                Width::B16 => g::strh(var_reg(*src), mem),
+                Width::B8 => g::strb(var_reg(*src), mem),
+            };
+            e.emit(inst);
+        }
+        Stmt::Branch { a, cmp, b, target } => {
+            // Flag-fusion peephole: `v = …; if (v ==/!= 0)` reuses the
+            // defining instruction's S bit instead of a cmp.
+            let fuse = matches!(cmp, CmpKind::Eq | CmpKind::Ne)
+                && matches!(b, Rvalue::Const(0))
+                && e.fusable == Some((e.insts.len().wrapping_sub(1), *a))
+                && e.insts.last().is_some_and(|i| i.op.supports_s());
+            if fuse {
+                let last = e.insts.last_mut().expect("fusable instruction");
+                last.s = true;
+                // The fused instruction now belongs to both statements;
+                // keep it in the earlier span (matches how line tables
+                // attribute fused code to one line).
+            } else {
+                e.emit(g::cmp(var_reg(*a), op2(*b)));
+            }
+            let idx = e.emit(g::b(cmp.guest_cond(), 0));
+            e.fixups.push(Fixup::Local(idx, *target));
+        }
+        Stmt::Goto { target } => {
+            let idx = e.emit(g::b(Cond::Al, 0));
+            e.fixups.push(Fixup::Local(idx, *target));
+        }
+        Stmt::Define { label } => {
+            e.labels.insert((func_idx, label.0), e.insts.len());
+        }
+        Stmt::Call { func } => {
+            let idx = e.emit(g::bl(0));
+            e.fixups.push(Fixup::Call(idx, func.0 as usize));
+        }
+        Stmt::Output { a } => {
+            e.emit(g::mov(Reg::R0, Operand::Reg(var_reg(*a))));
+            e.emit(g::svc(1));
+        }
+        Stmt::Return => {
+            if is_entry {
+                e.emit(g::svc(0));
+            } else {
+                let mut list: Vec<Reg> = saved.to_vec();
+                list.push(Reg::Pc);
+                e.emit(g::pop(list));
+            }
+        }
+    }
+    let end = e.insts.len();
+    if end > start || !stmt.has_code() {
+        e.spans.push(StmtSpan {
+            func: func_idx,
+            stmt: stmt_idx,
+            range: start..end,
+        });
+    } else {
+        // Fused away entirely: attribute an empty range at the fuse point.
+        e.spans.push(StmtSpan {
+            func: func_idx,
+            stmt: stmt_idx,
+            range: start..start,
+        });
+    }
+    e.fusable = fusable.map(|v| (end.wrapping_sub(1), v));
+    Ok(())
+}
+
+/// Compiles and links a source program into a guest image at `base`.
+///
+/// # Errors
+///
+/// [`CompileError`] on malformed statements or unresolved labels.
+pub fn compile(src: &SourceProgram, base: u32) -> Result<GuestImage, CompileError> {
+    if src.functions.is_empty() {
+        return err("no functions");
+    }
+    let mut e = Emitter {
+        insts: Vec::new(),
+        spans: Vec::new(),
+        fixups: Vec::new(),
+        labels: HashMap::new(),
+        fusable: None,
+    };
+    let mut func_starts = Vec::new();
+    for (fi, func) in src.functions.iter().enumerate() {
+        if func.n_vars > Var::MAX + 1 {
+            return err(format!("{}: too many variables", func.name));
+        }
+        func_starts.push(e.insts.len());
+        e.fusable = None;
+        let is_entry = fi == 0;
+        let saved: Vec<Reg> = (0..func.n_vars)
+            .map(|i| var_reg(Var(i)))
+            .chain([Reg::Lr])
+            .collect();
+        let saved_no_lr: Vec<Reg> = (0..func.n_vars).map(|i| var_reg(Var(i))).collect();
+        if !is_entry {
+            e.emit(g::push(saved.clone()));
+        }
+        for (si, stmt) in func.stmts.iter().enumerate() {
+            compile_stmt(&mut e, fi, si, stmt, is_entry, &saved_no_lr)?;
+        }
+        // Guarantee the function terminates.
+        let needs_term = !matches!(func.stmts.last(), Some(Stmt::Return | Stmt::Goto { .. }));
+        if needs_term {
+            if is_entry {
+                e.emit(g::svc(0));
+            } else {
+                let mut list = saved_no_lr.clone();
+                list.push(Reg::Pc);
+                e.emit(g::pop(list));
+            }
+        }
+    }
+    // Resolve fixups.
+    for fixup in &e.fixups {
+        match fixup {
+            Fixup::Local(idx, label) => {
+                let func = e
+                    .spans
+                    .iter()
+                    .find(|s| s.range.contains(idx) || s.range.start == *idx)
+                    .map(|s| s.func)
+                    .unwrap_or(0);
+                let target = *e.labels.get(&(func, label.0)).ok_or_else(|| CompileError {
+                    detail: format!("unresolved label L{} in function {func}", label.0),
+                })?;
+                let disp = (target as i64 - *idx as i64) * i64::from(INST_SIZE);
+                e.insts[*idx].operands[0] = Operand::Target(disp as i32);
+            }
+            Fixup::Call(idx, func) => {
+                let target = *func_starts.get(*func).ok_or_else(|| CompileError {
+                    detail: format!("unknown function {func}"),
+                })?;
+                let disp = (target as i64 - *idx as i64) * i64::from(INST_SIZE);
+                e.insts[*idx].operands[0] = Operand::Target(disp as i32);
+            }
+        }
+    }
+    Ok(GuestImage {
+        program: Program::new(base, e.insts),
+        spans: e.spans,
+        func_starts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{FuncId, Function, Label};
+    use pdbt_isa_arm::Cpu;
+
+    fn f(stmts: Vec<Stmt>, n_vars: u8) -> Function {
+        Function {
+            name: "test".into(),
+            stmts,
+            n_vars,
+        }
+    }
+
+    fn run_entry(stmts: Vec<Stmt>, n_vars: u8) -> Cpu {
+        let src = SourceProgram {
+            functions: vec![f(stmts, n_vars)],
+        };
+        let image = compile(&src, 0x1000).expect("compiles");
+        let mut cpu = Cpu::new();
+        cpu.mem.map(0x10_0000, 0x1000);
+        cpu.mem.map(0x8_0000, 0x1000);
+        cpu.write(Reg::Sp, 0x8_1000);
+        pdbt_isa_arm::run(&mut cpu, &image.program, 100_000).expect("runs");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_statements_execute() {
+        let cpu = run_entry(
+            vec![
+                Stmt::Un {
+                    dst: Var(0),
+                    op: UnOp::Mov,
+                    a: Rvalue::Const(6),
+                },
+                Stmt::Un {
+                    dst: Var(1),
+                    op: UnOp::Mov,
+                    a: Rvalue::Const(7),
+                },
+                Stmt::Bin {
+                    dst: Var(2),
+                    op: BinOp::Mul,
+                    a: Rvalue::Var(Var(0)),
+                    b: Rvalue::Var(Var(1)),
+                },
+                Stmt::Bin {
+                    dst: Var(2),
+                    op: BinOp::Add,
+                    a: Rvalue::Var(Var(2)),
+                    b: Rvalue::Const(8),
+                },
+                Stmt::Output { a: Var(2) },
+                Stmt::Return,
+            ],
+            3,
+        );
+        assert_eq!(cpu.output, vec![50]);
+    }
+
+    #[test]
+    fn loop_with_flag_fusion() {
+        // v0 = 5; v1 = 0; L0: v1 += v0; v0 -= 1; if (v0 != 0) goto L0.
+        let cpu = run_entry(
+            vec![
+                Stmt::Un {
+                    dst: Var(0),
+                    op: UnOp::Mov,
+                    a: Rvalue::Const(5),
+                },
+                Stmt::Un {
+                    dst: Var(1),
+                    op: UnOp::Mov,
+                    a: Rvalue::Const(0),
+                },
+                Stmt::Define { label: Label(0) },
+                Stmt::Bin {
+                    dst: Var(1),
+                    op: BinOp::Add,
+                    a: Rvalue::Var(Var(1)),
+                    b: Rvalue::Var(Var(0)),
+                },
+                Stmt::Bin {
+                    dst: Var(0),
+                    op: BinOp::Sub,
+                    a: Rvalue::Var(Var(0)),
+                    b: Rvalue::Const(1),
+                },
+                Stmt::Branch {
+                    a: Var(0),
+                    cmp: CmpKind::Ne,
+                    b: Rvalue::Const(0),
+                    target: Label(0),
+                },
+                Stmt::Output { a: Var(1) },
+                Stmt::Return,
+            ],
+            2,
+        );
+        assert_eq!(cpu.output, vec![15]);
+    }
+
+    #[test]
+    fn fusion_emits_subs_not_cmp() {
+        let src = SourceProgram {
+            functions: vec![f(
+                vec![
+                    Stmt::Bin {
+                        dst: Var(0),
+                        op: BinOp::Sub,
+                        a: Rvalue::Var(Var(0)),
+                        b: Rvalue::Const(1),
+                    },
+                    Stmt::Branch {
+                        a: Var(0),
+                        cmp: CmpKind::Ne,
+                        b: Rvalue::Const(0),
+                        target: Label(0),
+                    },
+                    Stmt::Define { label: Label(0) },
+                    Stmt::Return,
+                ],
+                1,
+            )],
+        };
+        let image = compile(&src, 0).unwrap();
+        let subs = image
+            .program
+            .insts()
+            .iter()
+            .find(|i| i.op == Op::Sub)
+            .unwrap();
+        assert!(subs.s, "sub fused into subs");
+        assert!(!image.program.insts().iter().any(|i| i.op == Op::Cmp));
+    }
+
+    #[test]
+    fn unfused_branch_uses_cmp() {
+        let src = SourceProgram {
+            functions: vec![f(
+                vec![
+                    Stmt::Branch {
+                        a: Var(0),
+                        cmp: CmpKind::LtS,
+                        b: Rvalue::Const(10),
+                        target: Label(0),
+                    },
+                    Stmt::Define { label: Label(0) },
+                    Stmt::Return,
+                ],
+                1,
+            )],
+        };
+        let image = compile(&src, 0).unwrap();
+        assert!(image.program.insts().iter().any(|i| i.op == Op::Cmp));
+    }
+
+    #[test]
+    fn memory_roundtrip_executes() {
+        let cpu = run_entry(
+            vec![
+                Stmt::Un {
+                    dst: Var(0),
+                    op: UnOp::Mov,
+                    a: Rvalue::Const(0x100),
+                },
+                Stmt::Bin {
+                    dst: Var(0),
+                    op: BinOp::Shl,
+                    a: Rvalue::Var(Var(0)),
+                    b: Rvalue::Const(12),
+                }, // 0x100000
+                Stmt::Un {
+                    dst: Var(1),
+                    op: UnOp::Mov,
+                    a: Rvalue::Const(0x7b),
+                },
+                Stmt::Store {
+                    src: Var(1),
+                    base: Var(0),
+                    offset: 16,
+                    width: Width::B32,
+                },
+                Stmt::Load {
+                    dst: Var(2),
+                    base: Var(0),
+                    offset: 16,
+                    width: Width::B32,
+                },
+                Stmt::Output { a: Var(2) },
+                Stmt::Return,
+            ],
+            3,
+        );
+        assert_eq!(cpu.output, vec![0x7b]);
+    }
+
+    #[test]
+    fn function_calls_save_and_restore() {
+        // f1 clobbers v0/v1 internally but restores them.
+        let src = SourceProgram {
+            functions: vec![
+                f(
+                    vec![
+                        Stmt::Un {
+                            dst: Var(0),
+                            op: UnOp::Mov,
+                            a: Rvalue::Const(11),
+                        },
+                        Stmt::Call { func: FuncId(1) },
+                        Stmt::Output { a: Var(0) },
+                        Stmt::Return,
+                    ],
+                    1,
+                ),
+                f(
+                    vec![
+                        Stmt::Un {
+                            dst: Var(0),
+                            op: UnOp::Mov,
+                            a: Rvalue::Const(999),
+                        },
+                        Stmt::Return,
+                    ],
+                    1,
+                ),
+            ],
+        };
+        let image = compile(&src, 0x1000).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.mem.map(0x8_0000, 0x1000);
+        cpu.write(Reg::Sp, 0x8_1000);
+        pdbt_isa_arm::run(&mut cpu, &image.program, 10_000).unwrap();
+        assert_eq!(cpu.output, vec![11], "callee-saved register restored");
+    }
+
+    #[test]
+    fn spans_cover_all_statements() {
+        let src = SourceProgram {
+            functions: vec![f(
+                vec![
+                    Stmt::Un {
+                        dst: Var(0),
+                        op: UnOp::Mov,
+                        a: Rvalue::Const(1),
+                    },
+                    Stmt::Bin {
+                        dst: Var(0),
+                        op: BinOp::Add,
+                        a: Rvalue::Var(Var(0)),
+                        b: Rvalue::Const(2),
+                    },
+                    Stmt::Return,
+                ],
+                1,
+            )],
+        };
+        let image = compile(&src, 0).unwrap();
+        assert_eq!(image.spans.len(), 3);
+        assert_eq!(image.spans[0].range, 0..1);
+        assert_eq!(image.spans[1].range, 1..2);
+    }
+
+    #[test]
+    fn complex_ops_select_complex_opcodes() {
+        let src = SourceProgram {
+            functions: vec![f(
+                vec![
+                    Stmt::Bin {
+                        dst: Var(0),
+                        op: BinOp::AndNot,
+                        a: Rvalue::Var(Var(0)),
+                        b: Rvalue::Var(Var(1)),
+                    },
+                    Stmt::Bin {
+                        dst: Var(1),
+                        op: BinOp::Sub,
+                        a: Rvalue::Const(100),
+                        b: Rvalue::Var(Var(1)),
+                    },
+                    Stmt::Un {
+                        dst: Var(2),
+                        op: UnOp::Not,
+                        a: Rvalue::Var(Var(0)),
+                    },
+                    Stmt::Un {
+                        dst: Var(2),
+                        op: UnOp::Clz,
+                        a: Rvalue::Var(Var(2)),
+                    },
+                    Stmt::MulAdd {
+                        dst: Var(0),
+                        a: Var(0),
+                        b: Var(1),
+                        c: Var(2),
+                    },
+                    Stmt::Return,
+                ],
+                3,
+            )],
+        };
+        let image = compile(&src, 0).unwrap();
+        let ops: Vec<Op> = image.program.insts().iter().map(|i| i.op).collect();
+        assert!(ops.contains(&Op::Bic));
+        assert!(ops.contains(&Op::Rsb));
+        assert!(ops.contains(&Op::Mvn));
+        assert!(ops.contains(&Op::Clz));
+        assert!(ops.contains(&Op::Mla));
+    }
+
+    #[test]
+    fn unresolved_label_errors() {
+        let src = SourceProgram {
+            functions: vec![f(vec![Stmt::Goto { target: Label(9) }, Stmt::Return], 0)],
+        };
+        assert!(compile(&src, 0).is_err());
+    }
+}

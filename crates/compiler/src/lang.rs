@@ -1,0 +1,360 @@
+//! The statement-level source mini-language.
+//!
+//! Learning-based DBTs pair guest and host instruction sequences
+//! *per source statement* (paper §II-A). This language is the statement
+//! granularity: each [`Stmt`] compiles independently to a short guest
+//! sequence and a short host sequence, which become one rule candidate.
+
+use pdbt_isa::Width;
+use std::fmt;
+
+/// A local variable (function-scoped). The backends map variables to
+/// fixed registers: `v0..v7` → guest `r4..r11`; `v0..v3` → host
+/// `ecx/ebx/esi/edi`, `v4..` → host frame slots (which the strict
+/// verifier cannot map — one of the learning-funnel losses of §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u8);
+
+impl Var {
+    /// Highest variable index the backends accept.
+    pub const MAX: u8 = 7;
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A right-hand-side value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rvalue {
+    /// A variable.
+    Var(Var),
+    /// A constant (generators keep it within the guest's encodable
+    /// immediate range).
+    Const(u32),
+}
+
+impl fmt::Display for Rvalue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rvalue::Var(v) => write!(f, "{v}"),
+            Rvalue::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary source operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// `a & !b` — compiles to the guest's complex `bic` (paper Fig 7).
+    AndNot,
+    Shl,
+    Shr,
+    Sar,
+    Ror,
+    Mul,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::AndNot => "&~",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Sar => ">>>",
+            BinOp::Ror => "ror",
+            BinOp::Mul => "*",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary source operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    /// `dst = a`
+    Mov,
+    /// `dst = !a` (bitwise not → guest `mvn`)
+    Not,
+    /// `dst = -a`
+    Neg,
+    /// `dst = clz(a)` — a compiler intrinsic; the paper found `clz`
+    /// unlearnable (no single host counterpart).
+    Clz,
+}
+
+/// Source comparison kinds (signed and unsigned flavours exercise the
+/// different guest conditions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpKind {
+    Eq,
+    Ne,
+    LtS,
+    GeS,
+    GtS,
+    LeS,
+    LtU,
+    GeU,
+}
+
+impl CmpKind {
+    /// The guest condition code for `branch if a <cmp> b` after
+    /// `cmp a, b`.
+    #[must_use]
+    pub fn guest_cond(self) -> pdbt_isa::Cond {
+        use pdbt_isa::Cond;
+        match self {
+            CmpKind::Eq => Cond::Eq,
+            CmpKind::Ne => Cond::Ne,
+            CmpKind::LtS => Cond::Lt,
+            CmpKind::GeS => Cond::Ge,
+            CmpKind::GtS => Cond::Gt,
+            CmpKind::LeS => Cond::Le,
+            CmpKind::LtU => Cond::Cc,
+            CmpKind::GeU => Cond::Cs,
+        }
+    }
+
+    /// Concrete evaluation (for test oracles).
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::LtS => sa < sb,
+            CmpKind::GeS => sa >= sb,
+            CmpKind::GtS => sa > sb,
+            CmpKind::LeS => sa <= sb,
+            CmpKind::LtU => a < b,
+            CmpKind::GeU => a >= b,
+        }
+    }
+}
+
+/// A branch label, function-scoped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u16);
+
+/// A function index within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub u16);
+
+/// One source statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `dst = a <op> b`
+    Bin {
+        /// Destination variable.
+        dst: Var,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Rvalue,
+        /// Right operand.
+        b: Rvalue,
+    },
+    /// `dst = a <op> (b << amount)` etc. — exercises the guest's
+    /// shifted-register addressing mode.
+    BinShifted {
+        /// Destination variable.
+        dst: Var,
+        /// Operator (`Add`, `Sub`, `And`, `Or`, `Xor` only).
+        op: BinOp,
+        /// Left operand variable.
+        a: Var,
+        /// Shifted operand variable.
+        b: Var,
+        /// Shift kind.
+        shift: pdbt_isa_arm::ShiftKind,
+        /// Shift amount (1–31).
+        amount: u8,
+    },
+    /// `dst = <op> a`
+    Un {
+        /// Destination variable.
+        dst: Var,
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: Rvalue,
+    },
+    /// `dst = a * b + c` — compiles to the guest's `mla` (unlearnable
+    /// per the paper: no single host counterpart).
+    MulAdd {
+        /// Destination variable.
+        dst: Var,
+        /// Multiplicand.
+        a: Var,
+        /// Multiplier.
+        b: Var,
+        /// Addend.
+        c: Var,
+    },
+    /// `(lo, hi) += a * b` as a 64-bit accumulate — compiles to the
+    /// guest's `umlal` (another of the paper's unlearnables).
+    WideMulAcc {
+        /// Low accumulator variable.
+        lo: Var,
+        /// High accumulator variable.
+        hi: Var,
+        /// Multiplicand.
+        a: Var,
+        /// Multiplier.
+        b: Var,
+    },
+    /// `dst = mem[base + offset]`
+    Load {
+        /// Destination variable.
+        dst: Var,
+        /// Base-address variable.
+        base: Var,
+        /// Byte offset.
+        offset: i32,
+        /// Access width (zero-extending for narrow widths).
+        width: Width,
+    },
+    /// `dst = mem[base + index]` — register-offset addressing.
+    LoadIndexed {
+        /// Destination variable.
+        dst: Var,
+        /// Base-address variable.
+        base: Var,
+        /// Index variable.
+        index: Var,
+    },
+    /// `mem[base + offset] = src`
+    Store {
+        /// Stored value.
+        src: Var,
+        /// Base-address variable.
+        base: Var,
+        /// Byte offset.
+        offset: i32,
+        /// Access width.
+        width: Width,
+    },
+    /// `if (a <cmp> b) goto label`
+    Branch {
+        /// Left comparand.
+        a: Var,
+        /// Comparison.
+        cmp: CmpKind,
+        /// Right comparand.
+        b: Rvalue,
+        /// Branch target.
+        target: Label,
+    },
+    /// `goto label`
+    Goto {
+        /// Branch target.
+        target: Label,
+    },
+    /// A label definition (no code).
+    Define {
+        /// The label.
+        label: Label,
+    },
+    /// `f()` — call a function (no arguments; state is in memory and
+    /// caller-saved variables).
+    Call {
+        /// The callee.
+        func: FuncId,
+    },
+    /// `output(a)` — emit a value to the observable output stream.
+    Output {
+        /// The emitted variable.
+        a: Var,
+    },
+    /// Return from the function.
+    Return,
+}
+
+impl Stmt {
+    /// Whether this statement produces any machine code.
+    #[must_use]
+    pub fn has_code(&self) -> bool {
+        !matches!(self, Stmt::Define { .. })
+    }
+}
+
+/// A function: a statement list with `n_vars` local variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (diagnostics only).
+    pub name: String,
+    /// Statements.
+    pub stmts: Vec<Stmt>,
+    /// Number of local variables used (≤ [`Var::MAX`] + 1).
+    pub n_vars: u8,
+}
+
+/// A whole source program. Function 0 is the entry point; the compiler
+/// appends the `exit` system call after its last statement.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceProgram {
+    /// The functions; index = [`FuncId`].
+    pub functions: Vec<Function>,
+}
+
+impl SourceProgram {
+    /// Total number of statements across all functions.
+    #[must_use]
+    pub fn statement_count(&self) -> usize {
+        self.functions.iter().map(|f| f.stmts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_matches_cond_semantics() {
+        // Signed vs unsigned distinction.
+        assert!(CmpKind::LtU.eval(1, u32::MAX));
+        assert!(!CmpKind::LtS.eval(1, u32::MAX));
+        assert!(CmpKind::GeU.eval(u32::MAX, 1));
+    }
+
+    #[test]
+    fn statement_code_presence() {
+        assert!(!Stmt::Define { label: Label(0) }.has_code());
+        assert!(Stmt::Return.has_code());
+        assert!(Stmt::Goto { target: Label(0) }.has_code());
+    }
+
+    #[test]
+    fn statement_count_sums_functions() {
+        let p = SourceProgram {
+            functions: vec![
+                Function {
+                    name: "main".into(),
+                    stmts: vec![Stmt::Return],
+                    n_vars: 0,
+                },
+                Function {
+                    name: "f".into(),
+                    stmts: vec![Stmt::Return, Stmt::Return],
+                    n_vars: 0,
+                },
+            ],
+        };
+        assert_eq!(p.statement_count(), 3);
+    }
+}

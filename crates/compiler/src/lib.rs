@@ -1,0 +1,72 @@
+//! The synthetic dual-target compiler — the training-data generator of
+//! the learning pipeline.
+//!
+//! The learning-based approach compiles the same source with the guest
+//! and host compilers and pairs the binary sequences per source
+//! statement (paper §II-A, Fig 1). This crate provides the source
+//! mini-language ([`lang`]), an ARM backend ([`arm`]) and an x86 backend
+//! ([`x86`]) with aligned instruction selection and the flag-fusion
+//! peephole, and the statement↔instruction debug map with the paper's
+//! three imprecision modes ([`debug`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pdbt_compiler::{compile_pair, lang::*};
+//!
+//! let src = SourceProgram {
+//!     functions: vec![Function {
+//!         name: "main".into(),
+//!         stmts: vec![
+//!             Stmt::Un { dst: Var(0), op: UnOp::Mov, a: Rvalue::Const(41) },
+//!             Stmt::Bin { dst: Var(0), op: BinOp::Add, a: Rvalue::Var(Var(0)), b: Rvalue::Const(1) },
+//!             Stmt::Output { a: Var(0) },
+//!             Stmt::Return,
+//!         ],
+//!         n_vars: 1,
+//!     }],
+//! };
+//! let pair = compile_pair(&src, 0x1000).unwrap();
+//! assert_eq!(pair.debug.len(), 4);
+//!
+//! // The guest image runs on the reference interpreter.
+//! let mut cpu = pdbt_isa_arm::Cpu::new();
+//! pdbt_isa_arm::run(&mut cpu, &pair.guest.program, 1000).unwrap();
+//! assert_eq!(cpu.output, vec![42]);
+//! ```
+
+pub mod arm;
+pub mod debug;
+pub mod lang;
+pub mod x86;
+
+pub use arm::{CompileError, GuestImage, StmtSpan};
+pub use debug::{build as build_debug_map, degrade, DebugEntry, DegradeProfile};
+pub use x86::HostImage;
+
+/// A source program compiled by both backends, with the accurate debug
+/// map (apply [`degrade`] to model line-table imprecision).
+#[derive(Debug, Clone)]
+pub struct CompiledPair {
+    /// The guest image (runnable).
+    pub guest: GuestImage,
+    /// The host image (rule material; never executed).
+    pub host: HostImage,
+    /// The joined, accurate debug map.
+    pub debug: Vec<DebugEntry>,
+}
+
+/// Compiles `src` with both backends and joins the span tables.
+///
+/// # Errors
+///
+/// [`CompileError`] from either backend.
+pub fn compile_pair(
+    src: &lang::SourceProgram,
+    guest_base: u32,
+) -> Result<CompiledPair, CompileError> {
+    let guest = arm::compile(src, guest_base)?;
+    let host = x86::compile(src)?;
+    let debug = debug::build(&guest, &host);
+    Ok(CompiledPair { guest, host, debug })
+}

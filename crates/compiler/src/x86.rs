@@ -1,0 +1,683 @@
+//! The host (x86) backend.
+//!
+//! Variables `v0..v3` live in `ecx/ebx/esi/edi`; `v4..` live in frame
+//! slots `[ebp - …]` (which the strict verifier cannot map to guest
+//! registers — a deliberate model of the operand-type mismatches the
+//! paper's §II-B blames for candidate loss). `eax`/`edx` are scratch;
+//! the aux `movl` instructions they generate are exactly the auxiliary
+//! instructions of the paper's Fig 6 that parameterization must leave
+//! unparameterized.
+//!
+//! The backend mirrors the guest backend's algebra (same operand order,
+//! same compare-against-zero fusion) so that per-statement candidate
+//! pairs verify under the normalizing checker.
+
+use crate::arm::{CompileError, StmtSpan};
+use crate::lang::{BinOp, CmpKind, Rvalue, SourceProgram, Stmt, UnOp, Var};
+use pdbt_isa::Width;
+use pdbt_isa_x86::builders as h;
+use pdbt_isa_x86::{Cc, Inst, Mem, Operand, Reg};
+use std::collections::HashMap;
+
+const SCRATCH_A: Reg = Reg::Eax;
+const SCRATCH_B: Reg = Reg::Edx;
+
+/// The host location of a variable.
+#[must_use]
+pub fn var_loc(v: Var) -> Operand {
+    match v.0 {
+        0 => Operand::Reg(Reg::Ecx),
+        1 => Operand::Reg(Reg::Ebx),
+        2 => Operand::Reg(Reg::Esi),
+        3 => Operand::Reg(Reg::Edi),
+        i => Operand::Mem(Mem::base_disp(Reg::Ebp, -8 - 4 * (i as i32 - 4))),
+    }
+}
+
+fn rv(v: Rvalue) -> Operand {
+    match v {
+        Rvalue::Var(v) => var_loc(v),
+        Rvalue::Const(c) => Operand::Imm(c as i32),
+    }
+}
+
+fn is_mem(o: &Operand) -> bool {
+    matches!(o, Operand::Mem(_))
+}
+
+/// The compiled host image (flat; never executed — it exists as rule
+/// material for the learning pipeline).
+#[derive(Debug, Clone)]
+pub struct HostImage {
+    /// The instructions.
+    pub insts: Vec<Inst>,
+    /// Statement spans.
+    pub spans: Vec<StmtSpan>,
+}
+
+fn host_alu(op: BinOp) -> fn(Operand, Operand) -> Inst {
+    match op {
+        BinOp::Add => h::add,
+        BinOp::Sub => h::sub,
+        BinOp::And | BinOp::AndNot => h::and,
+        BinOp::Or => h::or,
+        BinOp::Xor => h::xor,
+        BinOp::Shl => h::shl,
+        BinOp::Shr => h::shr,
+        BinOp::Sar => h::sar,
+        BinOp::Ror => h::ror,
+        BinOp::Mul => h::imul,
+    }
+}
+
+fn host_cc(cmp: CmpKind) -> Cc {
+    match cmp {
+        CmpKind::Eq => Cc::E,
+        CmpKind::Ne => Cc::Ne,
+        CmpKind::LtS => Cc::L,
+        CmpKind::GeS => Cc::Ge,
+        CmpKind::GtS => Cc::G,
+        CmpKind::LeS => Cc::Le,
+        CmpKind::LtU => Cc::B,
+        CmpKind::GeU => Cc::Ae,
+    }
+}
+
+enum Fixup {
+    Local(usize, crate::lang::Label),
+    Call(usize, usize),
+}
+
+struct Emitter {
+    insts: Vec<Inst>,
+    spans: Vec<StmtSpan>,
+    fixups: Vec<Fixup>,
+    labels: HashMap<(usize, u16), usize>,
+    fusable: Option<(usize, Var)>,
+}
+
+impl Emitter {
+    fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// `mov dst, src` with the mem-mem fix through a scratch register.
+    fn mov_via(&mut self, dst: Operand, src: Operand, scratch: Reg) {
+        if is_mem(&dst) && is_mem(&src) {
+            self.emit(h::mov(Operand::Reg(scratch), src));
+            self.emit(h::mov(dst, Operand::Reg(scratch)));
+        } else {
+            self.emit(h::mov(dst, src));
+        }
+    }
+
+    /// `op dst, src` with the mem-mem fix.
+    fn alu_via(&mut self, op: fn(Operand, Operand) -> Inst, dst: Operand, src: Operand) {
+        if is_mem(&dst) && is_mem(&src) {
+            self.emit(h::mov(Operand::Reg(SCRATCH_A), src));
+            self.emit(op(dst, Operand::Reg(SCRATCH_A)));
+        } else {
+            self.emit(op(dst, src));
+        }
+    }
+}
+
+fn compile_stmt(
+    e: &mut Emitter,
+    func_idx: usize,
+    stmt_idx: usize,
+    stmt: &Stmt,
+    is_entry: bool,
+    saved: &[Reg],
+) -> Result<(), CompileError> {
+    let start = e.insts.len();
+    let mut fusable = None;
+    let fail = |d: String| Err(CompileError { detail: d });
+    match stmt {
+        Stmt::Bin { dst, op, a, b } => {
+            let d = var_loc(*dst);
+            match (op, a) {
+                (BinOp::AndNot, Rvalue::Var(av)) => {
+                    // dst = a & ~b → movl eax, b; notl eax; andl dst, eax
+                    // (the paper's Fig 7 auxiliary-instruction shape).
+                    e.emit(h::mov(Operand::Reg(SCRATCH_A), rv(*b)));
+                    e.emit(h::not(Operand::Reg(SCRATCH_A)));
+                    if *dst != *av {
+                        e.mov_via(d, var_loc(*av), SCRATCH_B);
+                    }
+                    e.emit(h::and(d, Operand::Reg(SCRATCH_A)));
+                    fusable = Some(*dst);
+                }
+                (BinOp::Sub, Rvalue::Const(c)) => {
+                    // dst = c - b.
+                    let Rvalue::Var(bv) = b else {
+                        return fail("constant-folded reverse subtract".into());
+                    };
+                    if dst == bv {
+                        e.emit(h::mov(Operand::Reg(SCRATCH_A), Operand::Imm(*c as i32)));
+                        e.emit(h::sub(Operand::Reg(SCRATCH_A), var_loc(*bv)));
+                        e.emit(h::mov(d, Operand::Reg(SCRATCH_A)));
+                    } else {
+                        e.emit(h::mov(d, Operand::Imm(*c as i32)));
+                        e.alu_via(h::sub, d, var_loc(*bv));
+                    }
+                    fusable = Some(*dst);
+                }
+                (BinOp::Mul, Rvalue::Var(av)) => {
+                    // imul needs a register destination.
+                    if matches!(d, Operand::Reg(_)) {
+                        if dst != av {
+                            if matches!(b, Rvalue::Var(bv) if bv == dst) {
+                                // dst = a * dst: commutative, flip.
+                                e.emit(h::imul(d, var_loc(*av)));
+                            } else {
+                                e.mov_via(d, var_loc(*av), SCRATCH_B);
+                                e.emit(h::imul(d, rv(*b)));
+                            }
+                        } else {
+                            e.emit(h::imul(d, rv(*b)));
+                        }
+                    } else {
+                        e.emit(h::mov(Operand::Reg(SCRATCH_A), var_loc(*av)));
+                        e.emit(h::imul(Operand::Reg(SCRATCH_A), rv(*b)));
+                        e.emit(h::mov(d, Operand::Reg(SCRATCH_A)));
+                    }
+                }
+                (_, Rvalue::Var(av)) => {
+                    let alu = host_alu(*op);
+                    if dst == av {
+                        e.alu_via(alu, d, rv(*b));
+                    } else if matches!(b, Rvalue::Var(bv) if bv == dst) {
+                        // dst aliases the right operand: go through eax
+                        // (the register-spill aux `movl` of Fig 6).
+                        e.emit(h::mov(Operand::Reg(SCRATCH_A), var_loc(*av)));
+                        e.emit(alu(Operand::Reg(SCRATCH_A), rv(*b)));
+                        e.emit(h::mov(d, Operand::Reg(SCRATCH_A)));
+                    } else {
+                        e.mov_via(d, var_loc(*av), SCRATCH_A);
+                        e.alu_via(alu, d, rv(*b));
+                    }
+                    let var_shift = matches!(op, BinOp::Shl | BinOp::Shr | BinOp::Sar | BinOp::Ror)
+                        && matches!(b, Rvalue::Var(_));
+                    if !var_shift {
+                        fusable = Some(*dst);
+                    }
+                }
+                (_, Rvalue::Const(_)) => {
+                    return fail(format!("constant left operand for {op}"));
+                }
+            }
+        }
+        Stmt::BinShifted {
+            dst,
+            op,
+            a,
+            b,
+            shift,
+            amount,
+        } => {
+            let d = var_loc(*dst);
+            e.emit(h::mov(Operand::Reg(SCRATCH_A), var_loc(*b)));
+            let sh = match shift {
+                pdbt_isa_arm::ShiftKind::Lsl => h::shl,
+                pdbt_isa_arm::ShiftKind::Lsr => h::shr,
+                pdbt_isa_arm::ShiftKind::Asr => h::sar,
+                pdbt_isa_arm::ShiftKind::Ror => h::ror,
+            };
+            e.emit(sh(
+                Operand::Reg(SCRATCH_A),
+                Operand::Imm(i32::from(*amount)),
+            ));
+            if dst != a {
+                e.mov_via(d, var_loc(*a), SCRATCH_B);
+            }
+            e.emit(host_alu(*op)(d, Operand::Reg(SCRATCH_A)));
+            fusable = Some(*dst);
+        }
+        Stmt::Un { dst, op, a } => {
+            let d = var_loc(*dst);
+            match op {
+                UnOp::Mov => e.mov_via(d, rv(*a), SCRATCH_A),
+                UnOp::Not => {
+                    e.mov_via(d, rv(*a), SCRATCH_A);
+                    e.emit(h::not(d));
+                }
+                UnOp::Neg => {
+                    e.mov_via(d, rv(*a), SCRATCH_A);
+                    e.emit(h::neg(d));
+                }
+                UnOp::Clz => {
+                    // Branchy bsr-based emulation; never verifies as a
+                    // rule (the paper's unlearnable `clz`).
+                    e.emit(h::mov(Operand::Reg(SCRATCH_A), rv(*a)));
+                    e.emit(h::bsr(Operand::Reg(SCRATCH_B), Operand::Reg(SCRATCH_A)));
+                    e.emit(h::jcc(Cc::E, 3));
+                    e.emit(h::mov(Operand::Reg(SCRATCH_A), Operand::Imm(31)));
+                    e.emit(h::sub(Operand::Reg(SCRATCH_A), Operand::Reg(SCRATCH_B)));
+                    e.emit(h::jmp_rel(1));
+                    e.emit(h::mov(Operand::Reg(SCRATCH_A), Operand::Imm(32)));
+                    e.emit(h::mov(d, Operand::Reg(SCRATCH_A)));
+                }
+            }
+        }
+        Stmt::MulAdd { dst, a, b, c } => {
+            e.emit(h::mov(Operand::Reg(SCRATCH_A), var_loc(*a)));
+            e.emit(h::imul(Operand::Reg(SCRATCH_A), var_loc(*b)));
+            e.emit(h::add(Operand::Reg(SCRATCH_A), var_loc(*c)));
+            e.emit(h::mov(var_loc(*dst), Operand::Reg(SCRATCH_A)));
+        }
+        Stmt::WideMulAcc { lo, hi, a, b } => {
+            // edx:eax = a * b; lo += eax; hi += edx + carry.
+            if lo == hi || lo == a || lo == b || hi == a || hi == b {
+                return fail("wide multiply-accumulate needs distinct variables".into());
+            }
+            e.emit(h::mov(Operand::Reg(SCRATCH_A), var_loc(*a)));
+            e.emit(h::mul_wide(var_loc(*b)));
+            e.emit(h::add(var_loc(*lo), Operand::Reg(SCRATCH_A)));
+            e.emit(h::adc(var_loc(*hi), Operand::Reg(SCRATCH_B)));
+        }
+        Stmt::Load {
+            dst,
+            base,
+            offset,
+            width,
+        } => {
+            let base_reg = match var_loc(*base) {
+                Operand::Reg(r) => r,
+                mem => {
+                    e.emit(h::mov(Operand::Reg(SCRATCH_B), mem));
+                    SCRATCH_B
+                }
+            };
+            let mem = Operand::Mem(Mem::base_disp(base_reg, *offset));
+            let d = var_loc(*dst);
+            match width {
+                Width::B32 => e.mov_via(d, mem, SCRATCH_A),
+                Width::B16 | Width::B8 => {
+                    let load = if *width == Width::B8 {
+                        h::movzxb
+                    } else {
+                        h::movzxw
+                    };
+                    if matches!(d, Operand::Reg(_)) {
+                        e.emit(load(d, mem));
+                    } else {
+                        e.emit(load(Operand::Reg(SCRATCH_A), mem));
+                        e.emit(h::mov(d, Operand::Reg(SCRATCH_A)));
+                    }
+                }
+            }
+        }
+        Stmt::LoadIndexed { dst, base, index } => {
+            let base_reg = match var_loc(*base) {
+                Operand::Reg(r) => r,
+                mem => {
+                    e.emit(h::mov(Operand::Reg(SCRATCH_B), mem));
+                    SCRATCH_B
+                }
+            };
+            let index_reg = match var_loc(*index) {
+                Operand::Reg(r) => r,
+                mem => {
+                    e.emit(h::mov(Operand::Reg(SCRATCH_A), mem));
+                    SCRATCH_A
+                }
+            };
+            let mem = Operand::Mem(Mem::base_index(base_reg, index_reg));
+            e.mov_via(var_loc(*dst), mem, SCRATCH_A);
+        }
+        Stmt::Store {
+            src,
+            base,
+            offset,
+            width,
+        } => {
+            let base_reg = match var_loc(*base) {
+                Operand::Reg(r) => r,
+                mem => {
+                    e.emit(h::mov(Operand::Reg(SCRATCH_B), mem));
+                    SCRATCH_B
+                }
+            };
+            let mem = Operand::Mem(Mem::base_disp(base_reg, *offset));
+            match width {
+                Width::B32 => e.mov_via(mem, var_loc(*src), SCRATCH_A),
+                narrow => {
+                    let src_reg = match var_loc(*src) {
+                        Operand::Reg(r) => r,
+                        slot => {
+                            e.emit(h::mov(Operand::Reg(SCRATCH_A), slot));
+                            SCRATCH_A
+                        }
+                    };
+                    let store = if *narrow == Width::B8 {
+                        h::movb
+                    } else {
+                        h::movw
+                    };
+                    e.emit(store(mem, Operand::Reg(src_reg)));
+                }
+            }
+        }
+        Stmt::Branch { a, cmp, b, target } => {
+            let fuse = matches!(cmp, CmpKind::Eq | CmpKind::Ne)
+                && matches!(b, Rvalue::Const(0))
+                && e.fusable == Some((e.insts.len().wrapping_sub(1), *a));
+            if !fuse {
+                e.alu_via(h::cmp, var_loc(*a), rv(*b));
+            }
+            let idx = e.emit(h::jcc(host_cc(*cmp), 0));
+            e.fixups.push(Fixup::Local(idx, *target));
+        }
+        Stmt::Goto { target } => {
+            let idx = e.emit(h::jmp_rel(0));
+            e.fixups.push(Fixup::Local(idx, *target));
+        }
+        Stmt::Define { label } => {
+            e.labels.insert((func_idx, label.0), e.insts.len());
+        }
+        Stmt::Call { func } => {
+            let idx = e.emit(h::call(Operand::Target(0)));
+            e.fixups.push(Fixup::Call(idx, func.0 as usize));
+        }
+        Stmt::Output { a } => {
+            e.emit(h::mov(Operand::Reg(SCRATCH_A), var_loc(*a)));
+            e.emit(h::out());
+        }
+        Stmt::Return => {
+            if is_entry {
+                e.emit(h::hlt());
+            } else {
+                for r in saved.iter().rev() {
+                    e.emit(h::pop(Operand::Reg(*r)));
+                }
+                e.emit(h::ret());
+            }
+        }
+    }
+    let end = e.insts.len();
+    e.spans.push(StmtSpan {
+        func: func_idx,
+        stmt: stmt_idx,
+        range: start..end,
+    });
+    e.fusable = fusable.map(|v| (end.wrapping_sub(1), v));
+    Ok(())
+}
+
+/// Compiles a source program with the host backend.
+///
+/// # Errors
+///
+/// [`CompileError`] on malformed statements or unresolved labels.
+pub fn compile(src: &SourceProgram) -> Result<HostImage, CompileError> {
+    if src.functions.is_empty() {
+        return Err(CompileError {
+            detail: "no functions".into(),
+        });
+    }
+    let mut e = Emitter {
+        insts: Vec::new(),
+        spans: Vec::new(),
+        fixups: Vec::new(),
+        labels: HashMap::new(),
+        fusable: None,
+    };
+    let mut func_starts = Vec::new();
+    for (fi, func) in src.functions.iter().enumerate() {
+        func_starts.push(e.insts.len());
+        e.fusable = None;
+        let is_entry = fi == 0;
+        let saved: Vec<Reg> = (0..func.n_vars.min(4))
+            .map(|i| match var_loc(Var(i)) {
+                Operand::Reg(r) => r,
+                _ => unreachable!("first four variables are registers"),
+            })
+            .collect();
+        if !is_entry {
+            for r in &saved {
+                e.emit(h::push(Operand::Reg(*r)));
+            }
+        }
+        for (si, stmt) in func.stmts.iter().enumerate() {
+            compile_stmt(&mut e, fi, si, stmt, is_entry, &saved)?;
+        }
+        let needs_term = !matches!(func.stmts.last(), Some(Stmt::Return | Stmt::Goto { .. }));
+        if needs_term {
+            if is_entry {
+                e.emit(h::hlt());
+            } else {
+                for r in saved.iter().rev() {
+                    e.emit(h::pop(Operand::Reg(*r)));
+                }
+                e.emit(h::ret());
+            }
+        }
+    }
+    for fixup in &e.fixups {
+        match fixup {
+            Fixup::Local(idx, label) => {
+                let func = e
+                    .spans
+                    .iter()
+                    .find(|s| s.range.contains(idx))
+                    .map(|s| s.func)
+                    .unwrap_or(0);
+                let target = *e.labels.get(&(func, label.0)).ok_or_else(|| CompileError {
+                    detail: format!("unresolved host label L{}", label.0),
+                })?;
+                let disp = target as i64 - (*idx as i64 + 1);
+                e.insts[*idx].operands[0] = Operand::Target(disp as i32);
+            }
+            Fixup::Call(idx, func) => {
+                let target = func_starts.get(*func).copied().unwrap_or(0);
+                let disp = target as i64 - (*idx as i64 + 1);
+                e.insts[*idx].operands[0] = Operand::Target(disp as i32);
+            }
+        }
+    }
+    Ok(HostImage {
+        insts: e.insts,
+        spans: e.spans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{Function, Label};
+    use pdbt_isa_x86::Op;
+
+    fn f(stmts: Vec<Stmt>, n_vars: u8) -> Function {
+        Function {
+            name: "test".into(),
+            stmts,
+            n_vars,
+        }
+    }
+
+    fn one(stmts: Vec<Stmt>, n_vars: u8) -> HostImage {
+        compile(&SourceProgram {
+            functions: vec![f(stmts, n_vars)],
+        })
+        .expect("compiles")
+    }
+
+    #[test]
+    fn rmw_same_destination_is_single_alu() {
+        // v0 = v0 + v1 → one addl.
+        let image = one(
+            vec![Stmt::Bin {
+                dst: Var(0),
+                op: BinOp::Add,
+                a: Rvalue::Var(Var(0)),
+                b: Rvalue::Var(Var(1)),
+            }],
+            2,
+        );
+        assert_eq!(image.spans[0].range.len(), 1);
+        assert_eq!(image.insts[0].op, Op::Add);
+    }
+
+    #[test]
+    fn three_address_needs_aux_move() {
+        // v2 = v0 + v1 → movl + addl.
+        let image = one(
+            vec![Stmt::Bin {
+                dst: Var(2),
+                op: BinOp::Add,
+                a: Rvalue::Var(Var(0)),
+                b: Rvalue::Var(Var(1)),
+            }],
+            3,
+        );
+        assert_eq!(image.spans[0].range.len(), 2);
+        assert_eq!(image.insts[0].op, Op::Mov);
+        assert_eq!(image.insts[1].op, Op::Add);
+    }
+
+    #[test]
+    fn alias_on_right_goes_through_scratch() {
+        // v1 = v0 - v1 must not clobber v1 before reading it.
+        let image = one(
+            vec![Stmt::Bin {
+                dst: Var(1),
+                op: BinOp::Sub,
+                a: Rvalue::Var(Var(0)),
+                b: Rvalue::Var(Var(1)),
+            }],
+            2,
+        );
+        assert_eq!(image.spans[0].range.len(), 3);
+        assert_eq!(image.insts[0].op, Op::Mov); // eax ← v0
+        assert_eq!(image.insts[1].op, Op::Sub); // eax -= v1
+        assert_eq!(image.insts[2].op, Op::Mov); // v1 ← eax
+    }
+
+    #[test]
+    fn andnot_emits_fig7_shape() {
+        let image = one(
+            vec![Stmt::Bin {
+                dst: Var(0),
+                op: BinOp::AndNot,
+                a: Rvalue::Var(Var(0)),
+                b: Rvalue::Var(Var(1)),
+            }],
+            2,
+        );
+        let ops: Vec<Op> = image.insts.iter().map(|i| i.op).collect();
+        assert_eq!(ops, vec![Op::Mov, Op::Not, Op::And, Op::Hlt]);
+    }
+
+    #[test]
+    fn branch_fuses_after_rmw() {
+        let image = one(
+            vec![
+                Stmt::Bin {
+                    dst: Var(0),
+                    op: BinOp::Sub,
+                    a: Rvalue::Var(Var(0)),
+                    b: Rvalue::Const(1),
+                },
+                Stmt::Branch {
+                    a: Var(0),
+                    cmp: CmpKind::Ne,
+                    b: Rvalue::Const(0),
+                    target: Label(0),
+                },
+                Stmt::Define { label: Label(0) },
+                Stmt::Return,
+            ],
+            1,
+        );
+        let ops: Vec<Op> = image.insts.iter().map(|i| i.op).collect();
+        assert!(!ops.contains(&Op::Cmp), "fused: {ops:?}");
+        assert!(ops.contains(&Op::Jcc));
+    }
+
+    #[test]
+    fn frame_slot_variables_use_memory() {
+        let image = one(
+            vec![Stmt::Bin {
+                dst: Var(5),
+                op: BinOp::Add,
+                a: Rvalue::Var(Var(5)),
+                b: Rvalue::Const(1),
+            }],
+            6,
+        );
+        assert!(image.insts[0]
+            .operands
+            .iter()
+            .any(|o| matches!(o, Operand::Mem(m) if m.base == Some(Reg::Ebp))));
+    }
+
+    #[test]
+    fn labels_resolve_relative() {
+        let image = one(
+            vec![
+                Stmt::Define { label: Label(0) },
+                Stmt::Bin {
+                    dst: Var(0),
+                    op: BinOp::Add,
+                    a: Rvalue::Var(Var(0)),
+                    b: Rvalue::Const(1),
+                },
+                Stmt::Goto { target: Label(0) },
+                Stmt::Return,
+            ],
+            1,
+        );
+        let jmp = image.insts.iter().find(|i| i.op == Op::Jmp).unwrap();
+        assert_eq!(jmp.operands[0], Operand::Target(-2));
+    }
+
+    #[test]
+    fn callee_saves_registers() {
+        let src = SourceProgram {
+            functions: vec![
+                f(
+                    vec![
+                        Stmt::Call {
+                            func: crate::lang::FuncId(1),
+                        },
+                        Stmt::Return,
+                    ],
+                    0,
+                ),
+                f(
+                    vec![
+                        Stmt::Un {
+                            dst: Var(0),
+                            op: UnOp::Mov,
+                            a: Rvalue::Const(1),
+                        },
+                        Stmt::Return,
+                    ],
+                    1,
+                ),
+            ],
+        };
+        let image = compile(&src).unwrap();
+        let ops: Vec<Op> = image.insts.iter().map(|i| i.op).collect();
+        assert!(ops.contains(&Op::Push));
+        assert!(ops.contains(&Op::Ret));
+        assert!(ops.contains(&Op::Call));
+        assert!(ops.contains(&Op::Hlt));
+    }
+
+    #[test]
+    fn clz_uses_bsr_sequence() {
+        let image = one(
+            vec![Stmt::Un {
+                dst: Var(0),
+                op: UnOp::Clz,
+                a: Rvalue::Var(Var(1)),
+            }],
+            2,
+        );
+        assert!(image.insts.iter().any(|i| i.op == Op::Bsr));
+        assert!(image.spans[0].range.len() >= 6);
+    }
+}

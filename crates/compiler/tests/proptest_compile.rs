@@ -1,0 +1,129 @@
+//! Property tests for the dual-target compiler: every valid random
+//! source program compiles on both backends, the guest image executes
+//! to completion, and the span tables are consistent.
+
+use pdbt_compiler::lang::*;
+use pdbt_compiler::{build_debug_map, compile_pair};
+use pdbt_isa::Width;
+use proptest::prelude::*;
+
+fn var() -> impl Strategy<Value = Var> {
+    (0u8..8).prop_map(Var)
+}
+
+/// Destination variables exclude `v1`, which holds the data base
+/// pointer for the final store.
+fn dst_var() -> impl Strategy<Value = Var> {
+    (0u8..7).prop_map(|i| Var(if i >= 1 { i + 1 } else { i }))
+}
+
+fn rvalue() -> impl Strategy<Value = Rvalue> {
+    prop_oneof![
+        var().prop_map(Rvalue::Var),
+        (0u32..2048).prop_map(Rvalue::Const)
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (dst_var(), 0usize..10, var(), rvalue()).prop_map(|(dst, opi, a, b)| {
+            const OPS: [BinOp; 10] = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+                BinOp::AndNot,
+                BinOp::Shl,
+                BinOp::Shr,
+                BinOp::Sar,
+                BinOp::Mul,
+            ];
+            Stmt::Bin {
+                dst,
+                op: OPS[opi],
+                a: Rvalue::Var(a),
+                b,
+            }
+        }),
+        (dst_var(), var()).prop_map(|(dst, a)| Stmt::Un {
+            dst,
+            op: UnOp::Not,
+            a: Rvalue::Var(a)
+        }),
+        (dst_var(), rvalue()).prop_map(|(dst, a)| Stmt::Un {
+            dst,
+            op: UnOp::Mov,
+            a
+        }),
+        (dst_var(), var(), var(), var()).prop_map(|(d, a, b, c)| Stmt::MulAdd { dst: d, a, b, c }),
+        (dst_var(), var()).prop_map(|(dst, a)| Stmt::Un {
+            dst,
+            op: UnOp::Clz,
+            a: Rvalue::Var(a)
+        }),
+        var().prop_map(|a| Stmt::Output { a }),
+    ]
+}
+
+fn source(stmts: Vec<Stmt>) -> SourceProgram {
+    let mut all = vec![
+        // Materialize a valid data base in v1 in case memory statements
+        // are ever added to the pool.
+        Stmt::Un {
+            dst: Var(1),
+            op: UnOp::Mov,
+            a: Rvalue::Const(0x100),
+        },
+        Stmt::Bin {
+            dst: Var(1),
+            op: BinOp::Shl,
+            a: Rvalue::Var(Var(1)),
+            b: Rvalue::Const(12),
+        },
+    ];
+    all.extend(stmts);
+    all.push(Stmt::Store {
+        src: Var(0),
+        base: Var(1),
+        offset: 0,
+        width: Width::B32,
+    });
+    all.push(Stmt::Return);
+    SourceProgram {
+        functions: vec![Function {
+            name: "p".into(),
+            stmts: all,
+            n_vars: 8,
+        }],
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_programs_compile_and_run(stmts in proptest::collection::vec(stmt(), 0..30)) {
+        let src = source(stmts);
+        let pair = compile_pair(&src, 0x1000).expect("compiles");
+        // Span tables: in-bounds, ordered, contiguous coverage.
+        let mut prev_end = 0usize;
+        for span in &pair.guest.spans {
+            prop_assert!(span.range.start == prev_end || span.range.is_empty());
+            prop_assert!(span.range.end <= pair.guest.program.len());
+            prev_end = span.range.end.max(prev_end);
+        }
+        // The accurate debug map joins both sides consistently.
+        let map = build_debug_map(&pair.guest, &pair.host);
+        for e in &map {
+            prop_assert!(e.guest.end <= pair.guest.program.len());
+            prop_assert!(e.host.end <= pair.host.insts.len());
+            prop_assert!(!e.guest.is_empty());
+            prop_assert!(!e.host.is_empty());
+        }
+        // The guest image executes to completion.
+        let mut cpu = pdbt_isa_arm::Cpu::new();
+        cpu.mem.map(0x10_0000, 0x1000);
+        cpu.mem.map(0x8_0000, 0x1000);
+        cpu.write(pdbt_isa_arm::Reg::Sp, 0x8_1000);
+        pdbt_isa_arm::run(&mut cpu, &pair.guest.program, 100_000).expect("runs");
+    }
+}

@@ -1,0 +1,541 @@
+//! Rule parameterization: deriving new rules from learned ones
+//! (paper §IV — classification, parameterization, verification,
+//! merging).
+//!
+//! For every subgroup that contributed at least one learned rule, the
+//! engine enumerates the subgroup's combo universe along the two
+//! parameterization dimensions — *opcode* (other members of the
+//! subgroup) and *addressing mode* (operand-kind and dependence-pattern
+//! variants, subject to the §IV-B guidelines) — emits an adapted host
+//! template for each target combo, verifies it symbolically, and merges
+//! the survivors into the rule store.
+
+use crate::classify::{self, Subgroup};
+use crate::emit::emit_for;
+use crate::key::{ComboKey, ModeTag};
+use crate::ruleset::{verify_combo, Provenance, RuleEntry, RuleSet};
+use pdbt_isa_arm::{Op as GOp, Shape, ShiftKind};
+use pdbt_symexec::CheckOptions;
+use std::collections::{HashMap, HashSet};
+
+/// Parameterization configuration (the ablation knobs of Figs 14/15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeriveConfig {
+    /// Opcode parameterization (dimension 1).
+    pub opcode: bool,
+    /// Addressing-mode parameterization (dimension 2).
+    pub addrmode: bool,
+    /// Condition-flag delegation: when enabled, flag-setting variants
+    /// (`s` bit, compares with differing flag formulas) are derivable
+    /// because the runtime handles flags separately (§IV-B/D); when
+    /// disabled, only flag-silent combos and exact-flag seeds derive.
+    pub flag_delegation: bool,
+}
+
+impl DeriveConfig {
+    /// Full parameterization (the paper's `para.` configuration).
+    #[must_use]
+    pub fn full() -> DeriveConfig {
+        DeriveConfig {
+            opcode: true,
+            addrmode: true,
+            flag_delegation: true,
+        }
+    }
+
+    /// No parameterization (the `w/o para.` learned-rules baseline).
+    #[must_use]
+    pub fn none() -> DeriveConfig {
+        DeriveConfig {
+            opcode: false,
+            addrmode: false,
+            flag_delegation: false,
+        }
+    }
+
+    /// Only opcode parameterization (first bar of Fig 14).
+    #[must_use]
+    pub fn opcode_only() -> DeriveConfig {
+        DeriveConfig {
+            opcode: true,
+            addrmode: false,
+            flag_delegation: false,
+        }
+    }
+
+    /// Opcode + addressing mode (second bar of Fig 14).
+    #[must_use]
+    pub fn opcode_addrmode() -> DeriveConfig {
+        DeriveConfig {
+            opcode: true,
+            addrmode: true,
+            flag_delegation: false,
+        }
+    }
+}
+
+/// Derivation statistics (feeds Table III).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeriveStats {
+    /// Learned rules in the input store.
+    pub learned: usize,
+    /// Distinct rules after opcode parameterization (learned rules that
+    /// share a subgroup and operand signature collapse together).
+    pub opcode_param_rules: usize,
+    /// Distinct rules after addressing-mode parameterization (signatures
+    /// collapse across modes and dependence patterns).
+    pub addrmode_param_rules: usize,
+    /// Derived entries added by the engine.
+    pub derived: usize,
+    /// Derivation attempts rejected by verification.
+    pub rejected: usize,
+    /// Total applicable (instantiable) rules in the output store.
+    pub instantiated: usize,
+}
+
+/// Restricted-growth strings: all canonical dependence patterns over
+/// `n` register positions (position 0 is always slot 0).
+fn patterns(n: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0u8; n];
+    fn rec(cur: &mut Vec<u8>, i: usize, max: u8, out: &mut Vec<Vec<u8>>) {
+        if i == cur.len() {
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..=max + 1 {
+            cur[i] = v;
+            rec(cur, i + 1, max.max(v), out);
+        }
+    }
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    rec(&mut cur, 1, 0, &mut out);
+    out
+}
+
+/// The flexible-operand mode variants for the addressing-mode dimension.
+fn flex_modes() -> Vec<ModeTag> {
+    vec![
+        ModeTag::Reg,
+        ModeTag::Imm,
+        ModeTag::Shifted(ShiftKind::Lsl),
+        ModeTag::Shifted(ShiftKind::Lsr),
+        ModeTag::Shifted(ShiftKind::Asr),
+        ModeTag::Shifted(ShiftKind::Ror),
+    ]
+}
+
+/// Register-mention count of a mode vector (the dst/base positions are
+/// `Reg`; the flex position contributes 0 or 1).
+fn reg_mentions(modes: &[ModeTag]) -> usize {
+    modes
+        .iter()
+        .map(|m| match m {
+            ModeTag::Reg | ModeTag::Shifted(_) => 1,
+            ModeTag::MemBaseImm => 1,
+            ModeTag::MemBaseReg => 2,
+            ModeTag::Imm | ModeTag::Opaque => 0,
+        })
+        .sum()
+}
+
+/// Enumerates the combo universe of one opcode under the guidelines of
+/// §IV-B: the target operand is never an immediate, non-load/store
+/// operands never generalize to memory, load sources / store targets
+/// stay memory.
+fn combo_universe(op: GOp, s: bool) -> Vec<ComboKey> {
+    let mode_sets: Vec<Vec<ModeTag>> = match op.shape() {
+        Shape::Dp3 => flex_modes()
+            .into_iter()
+            .map(|m| vec![ModeTag::Reg, ModeTag::Reg, m])
+            .collect(),
+        Shape::Dp2 => flex_modes()
+            .into_iter()
+            .map(|m| vec![ModeTag::Reg, m])
+            .collect(),
+        Shape::Cmp2 => flex_modes()
+            .into_iter()
+            .map(|m| vec![ModeTag::Reg, m])
+            .collect(),
+        Shape::LdSt => vec![
+            vec![ModeTag::Reg, ModeTag::MemBaseImm],
+            vec![ModeTag::Reg, ModeTag::MemBaseReg],
+        ],
+        Shape::Mul3 => vec![vec![ModeTag::Reg, ModeTag::Reg, ModeTag::Reg]],
+        _ => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    for modes in mode_sets {
+        for pattern in patterns(reg_mentions(&modes)) {
+            out.push(ComboKey {
+                op,
+                s,
+                modes: modes.clone(),
+                reg_pattern: pattern,
+            });
+        }
+    }
+    out
+}
+
+/// The operand signature of a key (everything except the opcode), used
+/// to group learned rules into opcode-parameterized rules.
+fn opcode_signature(key: &ComboKey) -> (usize, bool, Vec<ModeTag>, Vec<u8>) {
+    (
+        classify::pseudo_op(classify::subgroup_of(key.op)),
+        key.s,
+        key.modes.clone(),
+        key.reg_pattern.clone(),
+    )
+}
+
+/// The shape signature of a key (subgroup + operand count only), used to
+/// group opcode-parameterized rules into addressing-mode-parameterized
+/// rules.
+fn addrmode_signature(key: &ComboKey) -> (usize, bool, usize) {
+    (
+        classify::pseudo_op(classify::subgroup_of(key.op)),
+        key.s,
+        key.modes.len(),
+    )
+}
+
+/// Runs parameterization over a learned rule set, returning the expanded
+/// store and the statistics.
+#[must_use]
+pub fn derive(learned: &RuleSet, cfg: DeriveConfig, check: CheckOptions) -> (RuleSet, DeriveStats) {
+    let mut stats = DeriveStats {
+        learned: learned.len(),
+        ..DeriveStats::default()
+    };
+    // Rule-count aggregations for Table III.
+    let mut opcode_sigs = HashSet::new();
+    let mut addr_sigs = HashSet::new();
+    for (key, _) in learned.iter() {
+        opcode_sigs.insert(opcode_signature(key));
+        addr_sigs.insert(addrmode_signature(key));
+    }
+    stats.opcode_param_rules = opcode_sigs.len();
+    stats.addrmode_param_rules = addr_sigs.len();
+
+    let mut out = learned.clone();
+    if !cfg.opcode && !cfg.addrmode {
+        stats.instantiated = out.len();
+        return (out, stats);
+    }
+
+    // Seeds: which subgroups have learned rules, and which operand
+    // signatures appear per subgroup (for the opcode-only stage).
+    let mut subgroup_seeds: HashMap<Subgroup, Vec<ComboKey>> = HashMap::new();
+    for (key, _) in learned.iter() {
+        subgroup_seeds
+            .entry(classify::subgroup_of(key.op))
+            .or_default()
+            .push(key.clone());
+    }
+
+    for (sg, seeds) in &subgroup_seeds {
+        if !classify::is_parameterizable(*sg) {
+            continue;
+        }
+        for op in classify::members(*sg) {
+            // Flag-setting variants are always enumerated; without
+            // delegation, the post-verification filter below keeps only
+            // the ones whose host flags are *exactly* the guest's (the
+            // baseline's flag-inclusive rules), while delegation also
+            // admits inverted-carry relationships (§IV-D).
+            let s_variants: Vec<bool> = if op.supports_s() {
+                vec![false, true]
+            } else {
+                vec![false]
+            };
+            for s in s_variants {
+                let universe = if cfg.addrmode {
+                    combo_universe(op, s)
+                } else {
+                    // Opcode dimension only: project the learned operand
+                    // signatures of this subgroup onto the new opcode.
+                    seeds
+                        .iter()
+                        .filter(|k| k.s == s || cfg.flag_delegation)
+                        .map(|k| ComboKey {
+                            op,
+                            s,
+                            modes: k.modes.clone(),
+                            reg_pattern: k.reg_pattern.clone(),
+                        })
+                        .collect()
+                };
+                for key in universe {
+                    if out.contains(&key) {
+                        continue;
+                    }
+                    let Some(template) = emit_for(&key) else {
+                        stats.rejected += 1;
+                        continue;
+                    };
+                    match verify_combo(&key, &template, check) {
+                        Ok(flags) => {
+                            // Without delegation a derived rule may not
+                            // introduce flag effects that differ from
+                            // exact host behaviour.
+                            if !cfg.flag_delegation
+                                && flags
+                                    .iter()
+                                    .any(|(_, e)| *e != pdbt_symexec::FlagEquiv::Exact)
+                            {
+                                stats.rejected += 1;
+                                continue;
+                            }
+                            let provenance = if seeds.iter().any(|k| {
+                                k.modes == key.modes
+                                    && k.reg_pattern == key.reg_pattern
+                                    && k.s == key.s
+                            }) {
+                                Provenance::OpcodeDerived
+                            } else {
+                                Provenance::AddrModeDerived
+                            };
+                            let entry = RuleEntry {
+                                template,
+                                flags,
+                                provenance,
+                                imm_constraint: None,
+                            };
+                            if out.insert(key, entry) {
+                                stats.derived += 1;
+                            }
+                        }
+                        Err(_) => stats.rejected += 1,
+                    }
+                }
+            }
+        }
+    }
+    stats.instantiated = out.len();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::parameterize;
+    use crate::ruleset::RuleSet;
+    use pdbt_isa_arm::builders as g;
+    use pdbt_isa_arm::{Operand as O, Reg};
+
+    fn learned_add_rule() -> RuleSet {
+        // One learned rule: add r0, r0, r1 (reg mode, RMW pattern).
+        let p = parameterize(&g::add(Reg::R4, Reg::R4, O::Reg(Reg::R5))).unwrap();
+        let template = emit_for(&p.key).unwrap();
+        let flags = verify_combo(&p.key, &template, CheckOptions::default()).unwrap();
+        let mut rs = RuleSet::new();
+        rs.insert(
+            p.key,
+            RuleEntry {
+                template,
+                flags,
+                provenance: Provenance::Learned,
+                imm_constraint: None,
+            },
+        );
+        rs
+    }
+
+    #[test]
+    fn patterns_are_restricted_growth_strings() {
+        assert_eq!(patterns(1), vec![vec![0]]);
+        assert_eq!(patterns(2), vec![vec![0, 0], vec![0, 1]]);
+        assert_eq!(patterns(3).len(), 5); // Bell(3)
+        assert!(patterns(3).contains(&vec![0, 1, 2]));
+        assert!(patterns(3).contains(&vec![0, 0, 1]));
+        assert!(patterns(3).contains(&vec![0, 1, 0]));
+    }
+
+    #[test]
+    fn opcode_dimension_reaches_unseen_opcodes() {
+        // Paper Fig 3: an add rule derives the eor rule that was never
+        // in the training set.
+        let learned = learned_add_rule();
+        let (full, stats) = derive(
+            &learned,
+            DeriveConfig::opcode_only(),
+            CheckOptions::default(),
+        );
+        assert!(stats.derived > 0, "{stats:?}");
+        let eor = g::eor(Reg::R9, Reg::R9, O::Reg(Reg::R10));
+        assert!(full.lookup(&eor).is_some(), "eor derived from add");
+        let sub = g::sub(Reg::R9, Reg::R9, O::Reg(Reg::R10));
+        assert!(full.lookup(&sub).is_some(), "sub derived from add");
+        // But not a different addressing mode (that is dimension 2).
+        let imm = g::add(Reg::R9, Reg::R9, O::Imm(4));
+        assert!(
+            full.lookup(&imm).is_none(),
+            "imm mode needs addr-mode parameterization"
+        );
+    }
+
+    #[test]
+    fn addrmode_dimension_reaches_unseen_modes() {
+        // Paper Fig 4: immediate mode generalizes to register mode —
+        // and here the reverse plus shifted modes and fresh dependence
+        // patterns.
+        let learned = learned_add_rule();
+        let (full, stats) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        assert!(stats.derived > stats.learned, "{stats:?}");
+        assert!(full.lookup(&g::add(Reg::R9, Reg::R9, O::Imm(4))).is_some());
+        assert!(full
+            .lookup(&g::add(Reg::R4, Reg::R5, O::Reg(Reg::R6)))
+            .is_some());
+        assert!(full
+            .lookup(&g::eor(
+                Reg::R4,
+                Reg::R5,
+                O::Shifted {
+                    rm: Reg::R6,
+                    kind: ShiftKind::Lsl,
+                    amount: 2
+                }
+            ))
+            .is_some());
+        // The dst-aliases-src2 dependence pattern (Fig 8) verifies with
+        // its auxiliary move.
+        assert!(full
+            .lookup(&g::sub(Reg::R5, Reg::R4, O::Reg(Reg::R5)))
+            .is_some());
+    }
+
+    #[test]
+    fn flag_delegation_unlocks_s_variants() {
+        let learned = learned_add_rule();
+        let (without, _) = derive(
+            &learned,
+            DeriveConfig::opcode_addrmode(),
+            CheckOptions::default(),
+        );
+        let (with, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        // adds has exact flags → derivable in both configurations.
+        let adds = g::add(Reg::R4, Reg::R4, O::Imm(1)).with_s();
+        assert!(without.lookup(&adds).is_some());
+        assert!(with.lookup(&adds).is_some());
+        // subs (inverted carry) needs delegation.
+        let subs = g::sub(Reg::R4, Reg::R4, O::Imm(1)).with_s();
+        assert!(
+            without.lookup(&subs).is_none(),
+            "no inverted-carry rules without delegation"
+        );
+        assert!(with.lookup(&subs).is_some(), "delegation unlocks them");
+    }
+
+    #[test]
+    fn flag_delegation_gates_inverted_carry_rules() {
+        // Exact-flag compares (cmn/tst/teq from a cmp seed) derive in
+        // every configuration; derived cmp mode-variants carry an
+        // inverted carry and need delegation.
+        let mut rs = RuleSet::new();
+        let p = parameterize(&g::cmp(Reg::R4, O::Reg(Reg::R5))).unwrap();
+        let template = emit_for(&p.key).unwrap();
+        let flags = verify_combo(&p.key, &template, CheckOptions::default()).unwrap();
+        rs.insert(
+            p.key,
+            RuleEntry {
+                template,
+                flags,
+                provenance: Provenance::Learned,
+                imm_constraint: None,
+            },
+        );
+        let (without, _) = derive(
+            &rs,
+            DeriveConfig::opcode_addrmode(),
+            CheckOptions::default(),
+        );
+        let (with, _) = derive(&rs, DeriveConfig::full(), CheckOptions::default());
+        // Exact compares derive in both.
+        assert!(without.lookup(&g::cmn(Reg::R4, O::Reg(Reg::R5))).is_some());
+        assert!(without.lookup(&g::tst(Reg::R4, O::Imm(1))).is_some());
+        // cmp's immediate mode variant has inverted C → delegation only.
+        assert!(without.lookup(&g::cmp(Reg::R4, O::Imm(3))).is_none());
+        assert!(with.lookup(&g::cmp(Reg::R4, O::Imm(3))).is_some());
+    }
+
+    #[test]
+    fn derivation_requires_seeds() {
+        // No learned load rule → no derived load rules (training-set
+        // dependence, the premise of Figs 2/16).
+        let learned = learned_add_rule();
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let ldr = g::ldr(
+            Reg::R4,
+            pdbt_isa_arm::MemAddr::BaseImm {
+                base: Reg::R5,
+                offset: 4,
+            },
+        );
+        assert!(full.lookup(&ldr).is_none(), "no seed in the load subgroup");
+    }
+
+    #[test]
+    fn derived_rules_instantiate_and_run() {
+        use crate::template::HostLoc;
+        use pdbt_isa_x86::Reg as HReg;
+        let learned = learned_add_rule();
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        // Translate `eor r9, r10, r11` and execute the host code.
+        let inst = g::eor(Reg::R9, Reg::R10, O::Reg(Reg::R11));
+        let m = full.lookup(&inst).unwrap();
+        let code = full
+            .instantiate_match(
+                &m,
+                &[
+                    HostLoc::Reg(HReg::Ecx),
+                    HostLoc::Reg(HReg::Ebx),
+                    HostLoc::Reg(HReg::Esi),
+                ],
+            )
+            .unwrap();
+        let mut h = pdbt_isa_x86::Cpu::new();
+        h.write(HReg::Ebx, 0b1100);
+        h.write(HReg::Esi, 0b1010);
+        pdbt_isa_x86::exec_block(&mut h, &code, 100).unwrap();
+        assert_eq!(h.read(HReg::Ecx), 0b0110);
+    }
+
+    #[test]
+    fn table3_shape_counts_decrease_then_expand() {
+        // learned ≥ opcode-param ≥ addr-param classes; instantiated ≫
+        // learned (Table III's compression-then-expansion shape).
+        let mut rs = learned_add_rule();
+        for inst in [
+            g::add(Reg::R4, Reg::R4, O::Imm(3)),
+            g::sub(Reg::R4, Reg::R4, O::Reg(Reg::R5)),
+            g::orr(Reg::R4, Reg::R5, O::Reg(Reg::R6)),
+            g::mov(Reg::R4, O::Imm(9)),
+        ] {
+            let p = parameterize(&inst).unwrap();
+            let template = emit_for(&p.key).unwrap();
+            let flags = verify_combo(&p.key, &template, CheckOptions::default()).unwrap();
+            rs.insert(
+                p.key,
+                RuleEntry {
+                    template,
+                    flags,
+                    provenance: Provenance::Learned,
+                    imm_constraint: None,
+                },
+            );
+        }
+        let (_, stats) = derive(&rs, DeriveConfig::full(), CheckOptions::default());
+        assert_eq!(stats.learned, 5);
+        assert!(stats.opcode_param_rules <= stats.learned);
+        assert!(stats.addrmode_param_rules <= stats.opcode_param_rules);
+        assert!(
+            stats.instantiated > stats.learned * 10,
+            "expansion: {} from {}",
+            stats.instantiated,
+            stats.learned
+        );
+    }
+}

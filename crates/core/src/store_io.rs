@@ -1,0 +1,675 @@
+//! Rule-set persistence: a line-oriented text format for saving learned
+//! and derived rules, so a trained corpus can be shipped with a DBT
+//! deployment and reloaded without re-running the pipeline.
+//!
+//! Format (one block per rule):
+//!
+//! ```text
+//! # pdbt rules v1
+//! rule eor|s=1|modes=reg,reg,imm|pat=0,0,1|prov=O|flags=N:E,Z:E|imms=*
+//!   movl S0, S1
+//!   xorl S0, $I0
+//! end
+//! ```
+
+use crate::key::{ComboKey, ModeTag};
+use crate::ruleset::{Provenance, RuleEntry, RuleSet};
+use crate::template::{TImm, TMem, TOperand, TReg, TemplateInst};
+use pdbt_isa::Flag;
+use pdbt_isa_arm::{Op as GOp, ShiftKind};
+use pdbt_isa_x86::{Cc, Op as HOp};
+use pdbt_symexec::FlagEquiv;
+use std::fmt;
+
+/// A parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rules file line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn mode_name(m: &ModeTag) -> String {
+    match m {
+        ModeTag::Reg => "reg".into(),
+        ModeTag::Imm => "imm".into(),
+        ModeTag::Shifted(k) => format!("s{k}"),
+        ModeTag::MemBaseImm => "mbi".into(),
+        ModeTag::MemBaseReg => "mbr".into(),
+        ModeTag::Opaque => "opaque".into(),
+    }
+}
+
+fn parse_mode(s: &str) -> Option<ModeTag> {
+    Some(match s {
+        "reg" => ModeTag::Reg,
+        "imm" => ModeTag::Imm,
+        "slsl" => ModeTag::Shifted(ShiftKind::Lsl),
+        "slsr" => ModeTag::Shifted(ShiftKind::Lsr),
+        "sasr" => ModeTag::Shifted(ShiftKind::Asr),
+        "sror" => ModeTag::Shifted(ShiftKind::Ror),
+        "mbi" => ModeTag::MemBaseImm,
+        "mbr" => ModeTag::MemBaseReg,
+        _ => return None,
+    })
+}
+
+fn flag_letter(f: Flag) -> char {
+    match f {
+        Flag::N => 'N',
+        Flag::Z => 'Z',
+        Flag::C => 'C',
+        Flag::V => 'V',
+    }
+}
+
+fn parse_flag(c: char) -> Option<Flag> {
+    Some(match c {
+        'N' => Flag::N,
+        'Z' => Flag::Z,
+        'C' => Flag::C,
+        'V' => Flag::V,
+        _ => return None,
+    })
+}
+
+fn equiv_letter(e: FlagEquiv) -> char {
+    match e {
+        FlagEquiv::Exact => 'E',
+        FlagEquiv::Inverted => 'I',
+        FlagEquiv::Mismatch => 'M',
+    }
+}
+
+fn parse_equiv(c: char) -> Option<FlagEquiv> {
+    Some(match c {
+        'E' => FlagEquiv::Exact,
+        'I' => FlagEquiv::Inverted,
+        'M' => FlagEquiv::Mismatch,
+        _ => return None,
+    })
+}
+
+fn prov_letter(p: Provenance) -> char {
+    match p {
+        Provenance::Learned => 'L',
+        Provenance::OpcodeDerived => 'O',
+        Provenance::AddrModeDerived => 'A',
+    }
+}
+
+fn parse_prov(c: char) -> Option<Provenance> {
+    Some(match c {
+        'L' => Provenance::Learned,
+        'O' => Provenance::OpcodeDerived,
+        'A' => Provenance::AddrModeDerived,
+        _ => return None,
+    })
+}
+
+fn treg_text(r: &TReg) -> String {
+    match r {
+        TReg::Slot(i) => format!("S{i}"),
+        TReg::Scratch(0) => "eax".into(),
+        TReg::Scratch(_) => "edx".into(),
+    }
+}
+
+fn timm_text(i: &TImm) -> String {
+    match i {
+        TImm::Slot(j) => format!("I{j}"),
+        TImm::Fixed(v) => format!("{v}"),
+    }
+}
+
+fn operand_text(o: &TOperand) -> String {
+    match o {
+        TOperand::Reg(r) => treg_text(r),
+        TOperand::Imm(i) => format!("${}", timm_text(i)),
+        TOperand::Mem(m) => {
+            let mut s = String::from("[");
+            if let Some(b) = &m.base {
+                s.push_str(&treg_text(b));
+            }
+            if let Some(i) = &m.index {
+                s.push('+');
+                s.push_str(&treg_text(i));
+            }
+            s.push(':');
+            s.push_str(&timm_text(&m.disp));
+            s.push(']');
+            s
+        }
+    }
+}
+
+fn parse_treg(s: &str) -> Option<TReg> {
+    match s {
+        "eax" => Some(TReg::Scratch(0)),
+        "edx" => Some(TReg::Scratch(1)),
+        _ => s.strip_prefix('S')?.parse().ok().map(TReg::Slot),
+    }
+}
+
+fn parse_timm(s: &str) -> Option<TImm> {
+    if let Some(j) = s.strip_prefix('I') {
+        return j.parse().ok().map(TImm::Slot);
+    }
+    s.parse().ok().map(TImm::Fixed)
+}
+
+fn parse_operand(s: &str) -> Option<TOperand> {
+    if let Some(imm) = s.strip_prefix('$') {
+        return parse_timm(imm).map(TOperand::Imm);
+    }
+    if let Some(body) = s.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let (regs, disp) = body.split_once(':')?;
+        let (base, index) = match regs.split_once('+') {
+            Some((b, i)) => (
+                if b.is_empty() {
+                    None
+                } else {
+                    Some(parse_treg(b)?)
+                },
+                Some(parse_treg(i)?),
+            ),
+            None => (
+                if regs.is_empty() {
+                    None
+                } else {
+                    Some(parse_treg(regs)?)
+                },
+                None,
+            ),
+        };
+        return Some(TOperand::Mem(TMem {
+            base,
+            index,
+            disp: parse_timm(disp)?,
+        }));
+    }
+    parse_treg(s).map(TOperand::Reg)
+}
+
+fn template_inst_text(t: &TemplateInst) -> String {
+    let mut s = t.op.mnemonic().to_string();
+    if let Some(cc) = t.cc {
+        s.push('.');
+        s.push_str(&cc.to_string());
+    }
+    for (i, o) in t.operands.iter().enumerate() {
+        s.push_str(if i == 0 { " " } else { ", " });
+        s.push_str(&operand_text(o));
+    }
+    s
+}
+
+fn parse_template_inst(line: &str) -> Option<TemplateInst> {
+    let (head, rest) = match line.find(' ') {
+        Some(i) => (&line[..i], line[i + 1..].trim()),
+        None => (line, ""),
+    };
+    let (mnemonic, cc) = match head.split_once('.') {
+        Some((m, c)) => {
+            let cc = Cc::ALL.iter().find(|x| x.to_string() == c)?;
+            (m, Some(*cc))
+        }
+        None => (head, None),
+    };
+    let op = HOp::ALL.into_iter().find(|o| o.mnemonic() == mnemonic)?;
+    let operands: Option<Vec<TOperand>> = if rest.is_empty() {
+        Some(Vec::new())
+    } else {
+        rest.split(", ").map(parse_operand).collect()
+    };
+    Some(TemplateInst {
+        op,
+        cc,
+        operands: operands?,
+    })
+}
+
+fn key_text(key: &ComboKey) -> String {
+    let modes: Vec<String> = key.modes.iter().map(mode_name).collect();
+    let pat: Vec<String> = key.reg_pattern.iter().map(|p| p.to_string()).collect();
+    format!(
+        "{}|s={}|modes={}|pat={}",
+        key.op.mnemonic(),
+        u8::from(key.s),
+        modes.join(","),
+        pat.join(","),
+    )
+}
+
+fn parse_key(text: &str, line: usize) -> Result<ComboKey, StoreError> {
+    let err = |detail: String| StoreError {
+        line: line + 1,
+        detail,
+    };
+    let mut op = None;
+    let mut s = false;
+    let mut modes = Vec::new();
+    let mut pat = Vec::new();
+    for (i, field) in text.split('|').enumerate() {
+        if i == 0 {
+            op = GOp::ALL.into_iter().find(|o| o.mnemonic() == field);
+            if op.is_none() {
+                return Err(err(format!("unknown opcode `{field}`")));
+            }
+            continue;
+        }
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| err(format!("bad field `{field}`")))?;
+        match k {
+            "s" => s = v == "1",
+            "modes" => {
+                for m in v.split(',').filter(|m| !m.is_empty()) {
+                    modes.push(parse_mode(m).ok_or_else(|| err(format!("bad mode `{m}`")))?);
+                }
+            }
+            "pat" => {
+                for p in v.split(',').filter(|p| !p.is_empty()) {
+                    pat.push(p.parse().map_err(|_| err(format!("bad pattern `{p}`")))?);
+                }
+            }
+            other => return Err(err(format!("unknown key field `{other}`"))),
+        }
+    }
+    Ok(ComboKey {
+        op: op.expect("checked"),
+        s,
+        modes,
+        reg_pattern: pat,
+    })
+}
+
+fn entry_meta_text(entry: &RuleEntry) -> String {
+    let flags: Vec<String> = entry
+        .flags
+        .iter()
+        .map(|(f, e)| format!("{}:{}", flag_letter(*f), equiv_letter(*e)))
+        .collect();
+    let imms = match &entry.imm_constraint {
+        None => "*".to_string(),
+        Some(v) => v.iter().map(u32::to_string).collect::<Vec<_>>().join(","),
+    };
+    format!(
+        "prov={}|flags={}|imms={}",
+        prov_letter(entry.provenance),
+        flags.join(","),
+        imms
+    )
+}
+
+/// Serializes a rule set to the text format.
+#[must_use]
+pub fn save_rules(rules: &RuleSet) -> String {
+    let mut out = String::from("# pdbt rules v1\n");
+    // Deterministic order for reproducible files.
+    let mut entries: Vec<(&ComboKey, &RuleEntry)> = rules.iter().collect();
+    entries.sort_by_key(|(k, _)| format!("{k}"));
+    for (key, entry) in entries {
+        out.push_str(&format!(
+            "rule {}|{}\n",
+            key_text(key),
+            entry_meta_text(entry)
+        ));
+        for t in &entry.template {
+            out.push_str("  ");
+            out.push_str(&template_inst_text(t));
+            out.push('\n');
+        }
+        out.push_str("end\n");
+    }
+    // Sequence rules.
+    let mut seqs: Vec<(&Vec<ComboKey>, &RuleEntry)> = rules.iter_seq().collect();
+    seqs.sort_by_key(|(ks, _)| {
+        ks.iter()
+            .map(|k| format!("{k}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    });
+    for (keys, entry) in seqs {
+        out.push_str(&format!("seq {}\n", entry_meta_text(entry)));
+        for k in keys {
+            out.push_str("  g ");
+            out.push_str(&key_text(k));
+            out.push('\n');
+        }
+        for t in &entry.template {
+            out.push_str("  h ");
+            out.push_str(&template_inst_text(t));
+            out.push('\n');
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parses a rule set from the text format.
+///
+/// # Errors
+///
+/// [`StoreError`] pinpointing the offending line.
+pub fn load_rules(text: &str) -> Result<RuleSet, StoreError> {
+    let err = |line: usize, detail: String| StoreError {
+        line: line + 1,
+        detail,
+    };
+    let mut out = RuleSet::new();
+    let mut pending: Option<(ComboKey, RuleEntry)> = None;
+    let mut pending_seq: Option<(Vec<ComboKey>, RuleEntry)> = None;
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("rule ") {
+            if pending.is_some() || pending_seq.is_some() {
+                return Err(err(no, "rule block not closed with `end`".into()));
+            }
+            // Split the key fields (first four) from the entry metadata.
+            let fields: Vec<&str> = header.split('|').collect();
+            if fields.len() < 7 {
+                return Err(err(no, "truncated rule header".into()));
+            }
+            let key = parse_key(&fields[..4].join("|"), no)?;
+            let entry = parse_entry_meta(&fields[4..].join("|"), no)?;
+            pending = Some((key, entry));
+        } else if let Some(meta) = line.strip_prefix("seq ") {
+            if pending.is_some() || pending_seq.is_some() {
+                return Err(err(no, "rule block not closed with `end`".into()));
+            }
+            pending_seq = Some((Vec::new(), parse_entry_meta(meta, no)?));
+        } else if let Some(body) = line.strip_prefix("g ") {
+            let (keys, _) = pending_seq
+                .as_mut()
+                .ok_or_else(|| err(no, "`g` line outside a seq block".into()))?;
+            keys.push(parse_key(body.trim(), no)?);
+        } else if let Some(body) = line.strip_prefix("h ") {
+            let (_, entry) = pending_seq
+                .as_mut()
+                .ok_or_else(|| err(no, "`h` line outside a seq block".into()))?;
+            let t = parse_template_inst(body.trim())
+                .ok_or_else(|| err(no, format!("bad template instruction `{body}`")))?;
+            entry.template.push(t);
+        } else if line == "end" && pending_seq.is_some() {
+            let (keys, entry) = pending_seq.take().expect("checked");
+            if keys.len() < 2 || entry.template.is_empty() {
+                return Err(err(no, "seq rule needs ≥2 keys and a template".into()));
+            }
+            out.insert_seq(keys, entry);
+        } else if line == "end" {
+            let (key, entry) = pending
+                .take()
+                .ok_or_else(|| err(no, "`end` without a rule".into()))?;
+            if entry.template.is_empty() {
+                return Err(err(no, "rule has an empty template".into()));
+            }
+            out.insert(key, entry);
+        } else if let Some((_, entry)) = pending.as_mut() {
+            let t = parse_template_inst(line)
+                .ok_or_else(|| err(no, format!("bad template instruction `{line}`")))?;
+            entry.template.push(t);
+        } else {
+            return Err(err(no, format!("unexpected line `{line}`")));
+        }
+    }
+    if pending.is_some() || pending_seq.is_some() {
+        return Err(StoreError {
+            line: text.lines().count(),
+            detail: "unterminated rule".into(),
+        });
+    }
+    Ok(out)
+}
+
+fn parse_entry_meta(text: &str, line: usize) -> Result<RuleEntry, StoreError> {
+    let err = |detail: String| StoreError {
+        line: line + 1,
+        detail,
+    };
+    let mut prov = Provenance::Learned;
+    let mut flags = Vec::new();
+    let mut imms = None;
+    for field in text.split('|') {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| err(format!("bad field `{field}`")))?;
+        match k {
+            "prov" => {
+                prov = v
+                    .chars()
+                    .next()
+                    .and_then(parse_prov)
+                    .ok_or_else(|| err(format!("bad provenance `{v}`")))?;
+            }
+            "flags" => {
+                for pair in v.split(',').filter(|p| !p.is_empty()) {
+                    let mut cs = pair.chars();
+                    let f = cs
+                        .next()
+                        .and_then(parse_flag)
+                        .ok_or_else(|| err(format!("bad flag `{pair}`")))?;
+                    let e = cs
+                        .nth(1)
+                        .and_then(parse_equiv)
+                        .ok_or_else(|| err(format!("bad flag `{pair}`")))?;
+                    flags.push((f, e));
+                }
+            }
+            "imms" => {
+                imms = if v == "*" {
+                    None
+                } else {
+                    let vals: Result<Vec<u32>, _> = v.split(',').map(str::parse).collect();
+                    Some(vals.map_err(|_| err(format!("bad imms `{v}`")))?)
+                };
+            }
+            other => return Err(err(format!("unknown field `{other}`"))),
+        }
+    }
+    Ok(RuleEntry {
+        template: Vec::new(),
+        flags,
+        provenance: prov,
+        imm_constraint: imms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::emit_for;
+    use crate::key::parameterize;
+    use crate::ruleset::verify_combo;
+    use pdbt_isa_arm::{builders as g, MemAddr, Operand as O, Reg};
+    use pdbt_symexec::CheckOptions;
+
+    fn sample_rules() -> RuleSet {
+        let mut rs = RuleSet::new();
+        for inst in [
+            g::add(Reg::R4, Reg::R4, O::Imm(5)),
+            g::eor(Reg::R4, Reg::R5, O::Reg(Reg::R6)),
+            g::bic(Reg::R4, Reg::R4, O::Reg(Reg::R5)),
+            g::sub(
+                Reg::R4,
+                Reg::R5,
+                O::Shifted {
+                    rm: Reg::R6,
+                    kind: ShiftKind::Asr,
+                    amount: 3,
+                },
+            ),
+            g::cmp(Reg::R4, O::Reg(Reg::R5)),
+            g::ldrb(
+                Reg::R4,
+                MemAddr::BaseReg {
+                    base: Reg::R5,
+                    index: Reg::R6,
+                },
+            ),
+            g::str_(
+                Reg::R4,
+                MemAddr::BaseImm {
+                    base: Reg::R5,
+                    offset: 8,
+                },
+            ),
+            g::add(Reg::R4, Reg::R4, O::Imm(1)).with_s(),
+        ] {
+            let p = parameterize(&inst).unwrap();
+            let template = emit_for(&p.key).unwrap();
+            let flags = verify_combo(&p.key, &template, CheckOptions::default()).unwrap();
+            rs.insert(
+                p.key,
+                RuleEntry {
+                    template,
+                    flags,
+                    provenance: Provenance::Learned,
+                    imm_constraint: None,
+                },
+            );
+        }
+        rs
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let rules = sample_rules();
+        let text = save_rules(&rules);
+        let back = load_rules(&text).expect("loads");
+        assert_eq!(back.len(), rules.len());
+        for (key, entry) in rules.iter() {
+            let loaded = back.get(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert_eq!(loaded, entry, "entry for {key}");
+        }
+        // And the reloaded file serializes identically (canonical order).
+        assert_eq!(save_rules(&back), text);
+    }
+
+    #[test]
+    fn roundtrip_imm_constraint_and_provenance() {
+        let mut rules = RuleSet::new();
+        let p = parameterize(&g::add(Reg::R4, Reg::R4, O::Imm(5))).unwrap();
+        let template = emit_for(&p.key).unwrap();
+        rules.insert(
+            p.key,
+            RuleEntry {
+                template,
+                flags: vec![(Flag::C, FlagEquiv::Inverted)],
+                provenance: Provenance::AddrModeDerived,
+                imm_constraint: Some(vec![5, 12]),
+            },
+        );
+        let back = load_rules(&save_rules(&rules)).unwrap();
+        let (_, e) = back.iter().next().unwrap();
+        assert_eq!(e.provenance, Provenance::AddrModeDerived);
+        assert_eq!(e.imm_constraint, Some(vec![5, 12]));
+        assert_eq!(e.flags, vec![(Flag::C, FlagEquiv::Inverted)]);
+    }
+
+    #[test]
+    fn reloaded_rules_still_translate() {
+        use crate::template::HostLoc;
+        let rules = load_rules(&save_rules(&sample_rules())).unwrap();
+        let m = rules
+            .lookup(&g::eor(Reg::R9, Reg::R10, O::Reg(Reg::R11)))
+            .expect("matches");
+        let code = rules
+            .instantiate_match(
+                &m,
+                &[
+                    HostLoc::Reg(pdbt_isa_x86::Reg::Ecx),
+                    HostLoc::Reg(pdbt_isa_x86::Reg::Ebx),
+                    HostLoc::Reg(pdbt_isa_x86::Reg::Esi),
+                ],
+            )
+            .unwrap();
+        assert!(!code.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(load_rules("bogus line").unwrap_err().line == 1);
+        let e = load_rules(
+            "rule add|s=0|modes=reg,reg,imm|pat=0,0,1|prov=L|flags=|imms=*\n  zorkl S0\nend",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = load_rules("rule add|s=0|modes=reg|pat=0|prov=L|flags=|imms=*\n").unwrap_err();
+        assert!(e.detail.contains("unterminated"));
+        let e = load_rules("rule nope|s=0|modes=|pat=|prov=L|flags=|imms=*\nend").unwrap_err();
+        assert!(e.detail.contains("unknown opcode"));
+    }
+
+    #[test]
+    fn sequence_rules_roundtrip() {
+        use crate::ruleset::verify_seq;
+        let seq = [
+            g::mov(Reg::R4, O::Imm(5)),
+            g::add(Reg::R5, Reg::R5, O::Reg(Reg::R4)),
+        ];
+        let (keys, concrete) = crate::key::parameterize_seq(&seq).unwrap();
+        let host = [
+            pdbt_isa_x86::builders::mov(
+                pdbt_isa_x86::Reg::Ecx.into(),
+                pdbt_isa_x86::Operand::Imm(5),
+            ),
+            pdbt_isa_x86::builders::add(
+                pdbt_isa_x86::Reg::Ebx.into(),
+                pdbt_isa_x86::Reg::Ecx.into(),
+            ),
+        ];
+        let slot_of = |r: pdbt_isa_x86::Reg| match r {
+            pdbt_isa_x86::Reg::Ecx => Some(0u8),
+            pdbt_isa_x86::Reg::Ebx => Some(1),
+            _ => None,
+        };
+        let tmpl = crate::template::extract(&host, &slot_of, &concrete.imms).unwrap();
+        let flags = verify_seq(&keys, &tmpl, 2, CheckOptions::default()).unwrap();
+        let mut rules = sample_rules();
+        rules.insert_seq(
+            keys.clone(),
+            RuleEntry {
+                template: tmpl,
+                flags,
+                provenance: Provenance::Learned,
+                imm_constraint: None,
+            },
+        );
+        let text = save_rules(&rules);
+        assert!(text.contains("seq "), "{text}");
+        let back = load_rules(&text).expect("loads");
+        assert_eq!(back.seq_len(), 1);
+        assert_eq!(back.len(), rules.len());
+        let renamed = [
+            g::mov(Reg::R8, O::Imm(7)),
+            g::add(Reg::R9, Reg::R9, O::Reg(Reg::R8)),
+        ];
+        assert!(
+            back.lookup_seq(&renamed).is_some(),
+            "reloaded sequence rule matches"
+        );
+        assert_eq!(save_rules(&back), text, "canonical reserialization");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let rules = sample_rules();
+        let mut text = String::from("# header\n\n");
+        text.push_str(&save_rules(&rules));
+        text.push_str("\n# trailing\n");
+        assert_eq!(load_rules(&text).unwrap().len(), rules.len());
+    }
+}

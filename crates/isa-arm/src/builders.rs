@@ -1,0 +1,328 @@
+//! Ergonomic constructors for guest instructions.
+//!
+//! These panic on shape violations (they are meant for code generators and
+//! tests that construct instructions statically); use [`Inst::new`] for
+//! fallible construction from untrusted input.
+
+use crate::inst::{Inst, Op};
+use crate::operand::{MemAddr, Operand};
+use crate::reg::{FReg, Reg, RegList};
+use pdbt_isa::Cond;
+
+fn build(op: Op, operands: Vec<Operand>) -> Inst {
+    Inst::new(op, operands).expect("builder produced a malformed instruction")
+}
+
+macro_rules! dp3_builder {
+    ($(#[$doc:meta] $name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[$doc]
+            #[must_use]
+            pub fn $name(rd: Reg, rn: Reg, op2: Operand) -> Inst {
+                build(Op::$op, vec![Operand::Reg(rd), Operand::Reg(rn), op2])
+            }
+        )*
+    };
+}
+
+dp3_builder! {
+    /// `and rd, rn, <op2>`
+    and => And,
+    /// `eor rd, rn, <op2>`
+    eor => Eor,
+    /// `sub rd, rn, <op2>`
+    sub => Sub,
+    /// `rsb rd, rn, <op2>`
+    rsb => Rsb,
+    /// `add rd, rn, <op2>`
+    add => Add,
+    /// `adc rd, rn, <op2>`
+    adc => Adc,
+    /// `sbc rd, rn, <op2>`
+    sbc => Sbc,
+    /// `rsc rd, rn, <op2>`
+    rsc => Rsc,
+    /// `orr rd, rn, <op2>`
+    orr => Orr,
+    /// `bic rd, rn, <op2>`
+    bic => Bic,
+    /// `lsl rd, rn, <op2>`
+    lsl => Lsl,
+    /// `lsr rd, rn, <op2>`
+    lsr => Lsr,
+    /// `asr rd, rn, <op2>`
+    asr => Asr,
+    /// `ror rd, rn, <op2>`
+    ror => Ror,
+}
+
+/// `mov rd, <op2>`
+#[must_use]
+pub fn mov(rd: Reg, op2: Operand) -> Inst {
+    build(Op::Mov, vec![Operand::Reg(rd), op2])
+}
+
+/// `mvn rd, <op2>`
+#[must_use]
+pub fn mvn(rd: Reg, op2: Operand) -> Inst {
+    build(Op::Mvn, vec![Operand::Reg(rd), op2])
+}
+
+/// `clz rd, rm`
+#[must_use]
+pub fn clz(rd: Reg, rm: Reg) -> Inst {
+    build(Op::Clz, vec![Operand::Reg(rd), Operand::Reg(rm)])
+}
+
+/// `mul rd, rm, rs`
+#[must_use]
+pub fn mul(rd: Reg, rm: Reg, rs: Reg) -> Inst {
+    build(
+        Op::Mul,
+        vec![Operand::Reg(rd), Operand::Reg(rm), Operand::Reg(rs)],
+    )
+}
+
+/// `mla rd, rm, rs, ra` — `rd = rm * rs + ra`
+#[must_use]
+pub fn mla(rd: Reg, rm: Reg, rs: Reg, ra: Reg) -> Inst {
+    build(
+        Op::Mla,
+        vec![
+            Operand::Reg(rd),
+            Operand::Reg(rm),
+            Operand::Reg(rs),
+            Operand::Reg(ra),
+        ],
+    )
+}
+
+/// `umull rdlo, rdhi, rm, rs`
+#[must_use]
+pub fn umull(rdlo: Reg, rdhi: Reg, rm: Reg, rs: Reg) -> Inst {
+    build(
+        Op::Umull,
+        vec![
+            Operand::Reg(rdlo),
+            Operand::Reg(rdhi),
+            Operand::Reg(rm),
+            Operand::Reg(rs),
+        ],
+    )
+}
+
+/// `umlal rdlo, rdhi, rm, rs`
+#[must_use]
+pub fn umlal(rdlo: Reg, rdhi: Reg, rm: Reg, rs: Reg) -> Inst {
+    build(
+        Op::Umlal,
+        vec![
+            Operand::Reg(rdlo),
+            Operand::Reg(rdhi),
+            Operand::Reg(rm),
+            Operand::Reg(rs),
+        ],
+    )
+}
+
+/// `cmp rn, <op2>`
+#[must_use]
+pub fn cmp(rn: Reg, op2: Operand) -> Inst {
+    build(Op::Cmp, vec![Operand::Reg(rn), op2])
+}
+
+/// `cmn rn, <op2>`
+#[must_use]
+pub fn cmn(rn: Reg, op2: Operand) -> Inst {
+    build(Op::Cmn, vec![Operand::Reg(rn), op2])
+}
+
+/// `tst rn, <op2>`
+#[must_use]
+pub fn tst(rn: Reg, op2: Operand) -> Inst {
+    build(Op::Tst, vec![Operand::Reg(rn), op2])
+}
+
+/// `teq rn, <op2>`
+#[must_use]
+pub fn teq(rn: Reg, op2: Operand) -> Inst {
+    build(Op::Teq, vec![Operand::Reg(rn), op2])
+}
+
+macro_rules! ldst_builder {
+    ($(#[$doc:meta] $name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[$doc]
+            #[must_use]
+            pub fn $name(rt: Reg, mem: MemAddr) -> Inst {
+                build(Op::$op, vec![Operand::Reg(rt), Operand::Mem(mem)])
+            }
+        )*
+    };
+}
+
+ldst_builder! {
+    /// `ldr rt, <mem>`
+    ldr => Ldr,
+    /// `ldrb rt, <mem>`
+    ldrb => Ldrb,
+    /// `ldrh rt, <mem>`
+    ldrh => Ldrh,
+    /// `str rt, <mem>` (named `str_` to avoid the `str` keyword-adjacent clash)
+    str_ => Str,
+    /// `strb rt, <mem>`
+    strb => Strb,
+    /// `strh rt, <mem>`
+    strh => Strh,
+}
+
+/// `push {regs}`
+#[must_use]
+pub fn push<I: IntoIterator<Item = Reg>>(regs: I) -> Inst {
+    build(Op::Push, vec![Operand::RegList(RegList::from_regs(regs))])
+}
+
+/// `pop {regs}`
+#[must_use]
+pub fn pop<I: IntoIterator<Item = Reg>>(regs: I) -> Inst {
+    build(Op::Pop, vec![Operand::RegList(RegList::from_regs(regs))])
+}
+
+/// `b<cond> <target>` — `target` is a byte displacement from this
+/// instruction.
+#[must_use]
+pub fn b(cond: Cond, target: i32) -> Inst {
+    build(Op::B, vec![Operand::Target(target)]).with_cond(cond)
+}
+
+/// `bl <target>`
+#[must_use]
+pub fn bl(target: i32) -> Inst {
+    build(Op::Bl, vec![Operand::Target(target)])
+}
+
+/// `bx rm`
+#[must_use]
+pub fn bx(rm: Reg) -> Inst {
+    build(Op::Bx, vec![Operand::Reg(rm)])
+}
+
+/// `svc #imm` — `0` exits, `1` emits `r0` to the output stream.
+#[must_use]
+pub fn svc(imm: u32) -> Inst {
+    build(Op::Svc, vec![Operand::Imm(imm)])
+}
+
+/// `vadd.f32 sd, sn, sm`
+#[must_use]
+pub fn vadd(sd: FReg, sn: FReg, sm: FReg) -> Inst {
+    build(
+        Op::Vadd,
+        vec![Operand::FReg(sd), Operand::FReg(sn), Operand::FReg(sm)],
+    )
+}
+
+/// `vsub.f32 sd, sn, sm`
+#[must_use]
+pub fn vsub(sd: FReg, sn: FReg, sm: FReg) -> Inst {
+    build(
+        Op::Vsub,
+        vec![Operand::FReg(sd), Operand::FReg(sn), Operand::FReg(sm)],
+    )
+}
+
+/// `vmul.f32 sd, sn, sm`
+#[must_use]
+pub fn vmul(sd: FReg, sn: FReg, sm: FReg) -> Inst {
+    build(
+        Op::Vmul,
+        vec![Operand::FReg(sd), Operand::FReg(sn), Operand::FReg(sm)],
+    )
+}
+
+/// `vdiv.f32 sd, sn, sm`
+#[must_use]
+pub fn vdiv(sd: FReg, sn: FReg, sm: FReg) -> Inst {
+    build(
+        Op::Vdiv,
+        vec![Operand::FReg(sd), Operand::FReg(sn), Operand::FReg(sm)],
+    )
+}
+
+/// `vmov.f32 sd, sm`
+#[must_use]
+pub fn vmov(sd: FReg, sm: FReg) -> Inst {
+    build(Op::Vmov, vec![Operand::FReg(sd), Operand::FReg(sm)])
+}
+
+/// `vcmp.f32 sd, sm`
+#[must_use]
+pub fn vcmp(sd: FReg, sm: FReg) -> Inst {
+    build(Op::Vcmp, vec![Operand::FReg(sd), Operand::FReg(sm)])
+}
+
+/// `vldr sd, <mem>`
+#[must_use]
+pub fn vldr(sd: FReg, mem: MemAddr) -> Inst {
+    build(Op::Vldr, vec![Operand::FReg(sd), Operand::Mem(mem)])
+}
+
+/// `vstr sd, <mem>`
+#[must_use]
+pub fn vstr(sd: FReg, mem: MemAddr) -> Inst {
+    build(Op::Vstr, vec![Operand::FReg(sd), Operand::Mem(mem)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_instructions() {
+        let insts = vec![
+            add(Reg::R0, Reg::R1, Operand::Imm(1)),
+            eor(Reg::R2, Reg::R2, Operand::Reg(Reg::R3)),
+            mov(Reg::R0, Operand::Imm(0)),
+            mvn(Reg::R0, Operand::Reg(Reg::R1)),
+            clz(Reg::R0, Reg::R1),
+            mul(Reg::R0, Reg::R1, Reg::R2),
+            mla(Reg::R0, Reg::R1, Reg::R2, Reg::R3),
+            umull(Reg::R0, Reg::R1, Reg::R2, Reg::R3),
+            umlal(Reg::R0, Reg::R1, Reg::R2, Reg::R3),
+            cmp(Reg::R0, Operand::Imm(0)),
+            tst(Reg::R0, Operand::Reg(Reg::R1)),
+            ldr(
+                Reg::R0,
+                MemAddr::BaseImm {
+                    base: Reg::Sp,
+                    offset: 4,
+                },
+            ),
+            str_(
+                Reg::R0,
+                MemAddr::BaseReg {
+                    base: Reg::R1,
+                    index: Reg::R2,
+                },
+            ),
+            push([Reg::R4, Reg::Lr]),
+            pop([Reg::R4, Reg::Pc]),
+            b(Cond::Eq, 16),
+            bl(128),
+            bx(Reg::Lr),
+            svc(0),
+            vadd(FReg::new(0), FReg::new(1), FReg::new(2)),
+            vmov(FReg::new(0), FReg::new(1)),
+            vldr(
+                FReg::new(3),
+                MemAddr::BaseImm {
+                    base: Reg::R0,
+                    offset: 8,
+                },
+            ),
+        ];
+        for i in insts {
+            assert!(i.validate().is_ok(), "{i}");
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Fixed-width 32-bit binary encoding for the guest ISA.
+//!
+//! The layout is custom (this is a model ISA, not real ARM) but keeps the
+//! property that matters to the paper: a *regular, well-structured
+//! format* — fixed fields for condition, opcode, set-flags bit, and
+//! shape-specific operand fields — which is exactly the regularity the
+//! parameterization approach exploits (§I).
+//!
+//! Layout: `[31:28] cond | [27:22] opcode | [21] s | [20:0] shape payload`.
+
+use crate::inst::{Inst, Op, Shape};
+use crate::operand::{MemAddr, Operand, ShiftKind};
+use crate::reg::{FReg, Reg, RegList};
+use pdbt_isa::Cond;
+use std::fmt;
+
+/// Largest encodable immediate operand (11-bit field).
+pub const MAX_IMM: u32 = 2047;
+/// Largest encodable memory-offset magnitude (signed 12-bit field).
+pub const MAX_MEM_OFFSET: u32 = 2047;
+/// Largest encodable branch displacement magnitude in bytes
+/// (word-granular signed 21-bit field).
+pub const MAX_BRANCH: i32 = (1 << 20) * 4 - 4;
+
+/// An error raised while encoding an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An operand value does not fit its encoding field.
+    FieldOverflow {
+        /// Description of the overflowing field.
+        detail: String,
+    },
+    /// The instruction failed shape validation.
+    Malformed {
+        /// Description of the shape violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::FieldOverflow { detail } => write!(f, "field overflow: {detail}"),
+            EncodeError::Malformed { detail } => write!(f, "malformed instruction: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// An error raised while decoding a word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name an opcode.
+    BadOpcode {
+        /// The raw opcode field value.
+        raw: u8,
+    },
+    /// A field held an invalid value (condition, shift kind, …).
+    BadField {
+        /// Description of the invalid field.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { raw } => write!(f, "invalid opcode field {raw:#x}"),
+            DecodeError::BadField { detail } => write!(f, "invalid field: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn encode_op2(op2: &Operand) -> Result<u32, EncodeError> {
+    match op2 {
+        Operand::Imm(v) => {
+            if *v > MAX_IMM {
+                return Err(EncodeError::FieldOverflow {
+                    detail: format!("immediate {v} > {MAX_IMM}"),
+                });
+            }
+            Ok(*v) // kind 0
+        }
+        Operand::Reg(r) => Ok((1 << 11) | r.index() as u32),
+        Operand::Shifted { rm, kind, amount } => {
+            if *amount == 0 || *amount > 31 {
+                return Err(EncodeError::FieldOverflow {
+                    detail: format!("shift amount {amount} out of 1..=31"),
+                });
+            }
+            Ok((2 << 11)
+                | ((rm.index() as u32) << 7)
+                | (u32::from(kind.index()) << 5)
+                | u32::from(*amount))
+        }
+        other => Err(EncodeError::Malformed {
+            detail: format!("{other} is not an op2"),
+        }),
+    }
+}
+
+fn decode_op2(bits: u32) -> Result<Operand, DecodeError> {
+    match bits >> 11 {
+        0 => Ok(Operand::Imm(bits & 0x7ff)),
+        1 => Ok(Operand::Reg(reg_field(bits & 0xf)?)),
+        2 => {
+            let rm = reg_field((bits >> 7) & 0xf)?;
+            let kind = ShiftKind::from_index(((bits >> 5) & 0x3) as u8).ok_or_else(|| {
+                DecodeError::BadField {
+                    detail: "shift kind".into(),
+                }
+            })?;
+            let amount = (bits & 0x1f) as u8;
+            if amount == 0 {
+                return Err(DecodeError::BadField {
+                    detail: "zero shift amount".into(),
+                });
+            }
+            Ok(Operand::Shifted { rm, kind, amount })
+        }
+        k => Err(DecodeError::BadField {
+            detail: format!("op2 kind {k}"),
+        }),
+    }
+}
+
+fn encode_mem(m: &MemAddr) -> Result<u32, EncodeError> {
+    match m {
+        MemAddr::BaseImm { base, offset } => {
+            if offset.unsigned_abs() > MAX_MEM_OFFSET {
+                return Err(EncodeError::FieldOverflow {
+                    detail: format!("memory offset {offset}"),
+                });
+            }
+            Ok(((base.index() as u32) << 12) | ((*offset as u32) & 0xfff))
+        }
+        MemAddr::BaseReg { base, index } => {
+            Ok((1 << 16) | ((base.index() as u32) << 12) | ((index.index() as u32) << 8))
+        }
+    }
+}
+
+fn decode_mem(bits: u32) -> Result<MemAddr, DecodeError> {
+    let base = reg_field((bits >> 12) & 0xf)?;
+    if bits >> 16 == 0 {
+        let offset = pdbt_isa::sign_extend(bits & 0xfff, 12) as i32;
+        Ok(MemAddr::BaseImm { base, offset })
+    } else {
+        let index = reg_field((bits >> 8) & 0xf)?;
+        Ok(MemAddr::BaseReg { base, index })
+    }
+}
+
+fn reg_field(v: u32) -> Result<Reg, DecodeError> {
+    Reg::from_index(v as usize).ok_or_else(|| DecodeError::BadField {
+        detail: format!("register {v}"),
+    })
+}
+
+fn freg_field(v: u32) -> FReg {
+    FReg::new((v & 0xf) as u8)
+}
+
+fn reg_of(o: &Operand) -> u32 {
+    o.as_reg().expect("validated register operand").index() as u32
+}
+
+fn freg_of(o: &Operand) -> u32 {
+    match o {
+        Operand::FReg(r) => r.index() as u32,
+        _ => unreachable!("validated float register operand"),
+    }
+}
+
+/// Encodes one instruction to its 32-bit word.
+///
+/// # Errors
+///
+/// [`EncodeError`] if the instruction is malformed or a field overflows.
+pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
+    inst.validate().map_err(|e| EncodeError::Malformed {
+        detail: e.to_string(),
+    })?;
+    let head = (u32::from(inst.cond.index()) << 28)
+        | (u32::from(inst.op.index()) << 22)
+        | (u32::from(inst.s) << 21);
+    let ops = &inst.operands;
+    let payload = match inst.op.shape() {
+        Shape::Dp3 => (reg_of(&ops[0]) << 17) | (reg_of(&ops[1]) << 13) | encode_op2(&ops[2])?,
+        Shape::Dp2 | Shape::Cmp2 => (reg_of(&ops[0]) << 17) | encode_op2(&ops[1])?,
+        Shape::Unary2 => (reg_of(&ops[0]) << 17) | (reg_of(&ops[1]) << 13),
+        Shape::Mul3 => (reg_of(&ops[0]) << 17) | (reg_of(&ops[1]) << 13) | (reg_of(&ops[2]) << 9),
+        Shape::Mul4 => {
+            (reg_of(&ops[0]) << 17)
+                | (reg_of(&ops[1]) << 13)
+                | (reg_of(&ops[2]) << 9)
+                | (reg_of(&ops[3]) << 5)
+        }
+        Shape::LdSt => (reg_of(&ops[0]) << 17) | encode_mem(&ops[1].as_mem().unwrap())?,
+        Shape::Stack => match ops[0] {
+            Operand::RegList(l) => u32::from(l.bits()),
+            _ => unreachable!(),
+        },
+        Shape::Branch => {
+            let Operand::Target(d) = ops[0] else {
+                unreachable!()
+            };
+            if d % 4 != 0 || d.abs() > MAX_BRANCH {
+                return Err(EncodeError::FieldOverflow {
+                    detail: format!("branch target {d}"),
+                });
+            }
+            ((d / 4) as u32) & 0x1f_ffff
+        }
+        Shape::BranchReg => reg_of(&ops[0]) << 17,
+        Shape::Sys => {
+            let v = ops[0].as_imm().unwrap();
+            if v > 0xffff {
+                return Err(EncodeError::FieldOverflow {
+                    detail: format!("svc #{v}"),
+                });
+            }
+            v
+        }
+        Shape::Vfp3 => {
+            (freg_of(&ops[0]) << 17) | (freg_of(&ops[1]) << 13) | (freg_of(&ops[2]) << 9)
+        }
+        Shape::Vfp2 => (freg_of(&ops[0]) << 17) | (freg_of(&ops[1]) << 13),
+        Shape::VfpLdSt => (freg_of(&ops[0]) << 17) | encode_mem(&ops[1].as_mem().unwrap())?,
+    };
+    Ok(head | payload)
+}
+
+/// Decodes a 32-bit word back into an instruction.
+///
+/// # Errors
+///
+/// [`DecodeError`] on any invalid field.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let cond = Cond::from_index((word >> 28) as u8).ok_or_else(|| DecodeError::BadField {
+        detail: "condition".into(),
+    })?;
+    let op = Op::from_index(((word >> 22) & 0x3f) as u8).ok_or(DecodeError::BadOpcode {
+        raw: ((word >> 22) & 0x3f) as u8,
+    })?;
+    let s = (word >> 21) & 1 != 0;
+    let p = word & 0x1f_ffff;
+    let operands = match op.shape() {
+        Shape::Dp3 => vec![
+            Operand::Reg(reg_field((p >> 17) & 0xf)?),
+            Operand::Reg(reg_field((p >> 13) & 0xf)?),
+            decode_op2(p & 0x1fff)?,
+        ],
+        Shape::Dp2 | Shape::Cmp2 => vec![
+            Operand::Reg(reg_field((p >> 17) & 0xf)?),
+            decode_op2(p & 0x1fff)?,
+        ],
+        Shape::Unary2 => vec![
+            Operand::Reg(reg_field((p >> 17) & 0xf)?),
+            Operand::Reg(reg_field((p >> 13) & 0xf)?),
+        ],
+        Shape::Mul3 => vec![
+            Operand::Reg(reg_field((p >> 17) & 0xf)?),
+            Operand::Reg(reg_field((p >> 13) & 0xf)?),
+            Operand::Reg(reg_field((p >> 9) & 0xf)?),
+        ],
+        Shape::Mul4 => vec![
+            Operand::Reg(reg_field((p >> 17) & 0xf)?),
+            Operand::Reg(reg_field((p >> 13) & 0xf)?),
+            Operand::Reg(reg_field((p >> 9) & 0xf)?),
+            Operand::Reg(reg_field((p >> 5) & 0xf)?),
+        ],
+        Shape::LdSt => vec![
+            Operand::Reg(reg_field((p >> 17) & 0xf)?),
+            Operand::Mem(decode_mem(p & 0x1_ffff)?),
+        ],
+        Shape::Stack => vec![Operand::RegList(RegList::from_bits((p & 0xffff) as u16))],
+        Shape::Branch => {
+            let d = (pdbt_isa::sign_extend(p, 21) as i32) * 4;
+            vec![Operand::Target(d)]
+        }
+        Shape::BranchReg => vec![Operand::Reg(reg_field((p >> 17) & 0xf)?)],
+        Shape::Sys => vec![Operand::Imm(p & 0xffff)],
+        Shape::Vfp3 => vec![
+            Operand::FReg(freg_field((p >> 17) & 0xf)),
+            Operand::FReg(freg_field((p >> 13) & 0xf)),
+            Operand::FReg(freg_field((p >> 9) & 0xf)),
+        ],
+        Shape::Vfp2 => vec![
+            Operand::FReg(freg_field((p >> 17) & 0xf)),
+            Operand::FReg(freg_field((p >> 13) & 0xf)),
+        ],
+        Shape::VfpLdSt => vec![
+            Operand::FReg(freg_field((p >> 17) & 0xf)),
+            Operand::Mem(decode_mem(p & 0x1_ffff)?),
+        ],
+    };
+    let inst = Inst {
+        op,
+        s,
+        cond,
+        operands,
+    };
+    inst.validate().map_err(|e| DecodeError::BadField {
+        detail: e.to_string(),
+    })?;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+    use pdbt_isa::Cond;
+
+    fn roundtrip(i: &Inst) {
+        let w = encode(i).unwrap_or_else(|e| panic!("encode {i}: {e}"));
+        let back = decode(w).unwrap_or_else(|e| panic!("decode {i} ({w:#010x}): {e}"));
+        assert_eq!(&back, i, "roundtrip of {i}");
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let cases = vec![
+            add(Reg::R0, Reg::R1, Operand::Imm(5)),
+            add(Reg::R0, Reg::R1, Operand::Reg(Reg::R2)).with_s(),
+            sub(Reg::R12, Reg::Sp, Operand::Imm(2047)),
+            eor(
+                Reg::R3,
+                Reg::R3,
+                Operand::Shifted {
+                    rm: Reg::R4,
+                    kind: ShiftKind::Asr,
+                    amount: 31,
+                },
+            ),
+            mov(Reg::R0, Operand::Imm(0)).with_cond(Cond::Eq),
+            mvn(Reg::R7, Operand::Reg(Reg::R8)).with_s(),
+            clz(Reg::R1, Reg::R2),
+            mul(Reg::R0, Reg::R1, Reg::R2),
+            mla(Reg::R0, Reg::R1, Reg::R2, Reg::R3),
+            umull(Reg::R0, Reg::R1, Reg::R2, Reg::R3),
+            umlal(Reg::R4, Reg::R5, Reg::R6, Reg::R7),
+            cmp(Reg::R0, Operand::Imm(100)),
+            teq(Reg::R9, Operand::Reg(Reg::R10)),
+            ldr(
+                Reg::R0,
+                MemAddr::BaseImm {
+                    base: Reg::Sp,
+                    offset: -2047,
+                },
+            ),
+            ldr(
+                Reg::R0,
+                MemAddr::BaseImm {
+                    base: Reg::Pc,
+                    offset: 16,
+                },
+            ),
+            ldrb(
+                Reg::R1,
+                MemAddr::BaseReg {
+                    base: Reg::R2,
+                    index: Reg::R3,
+                },
+            ),
+            strh(
+                Reg::R4,
+                MemAddr::BaseImm {
+                    base: Reg::R5,
+                    offset: 6,
+                },
+            ),
+            push([Reg::R4, Reg::R5, Reg::Lr]),
+            pop([Reg::R4, Reg::Pc]),
+            b(Cond::Ne, -1024),
+            b(Cond::Al, MAX_BRANCH),
+            bl(4096),
+            bx(Reg::Lr),
+            svc(1),
+            vadd(FReg::new(0), FReg::new(1), FReg::new(15)),
+            vcmp(FReg::new(3), FReg::new(4)),
+            vldr(
+                FReg::new(2),
+                MemAddr::BaseImm {
+                    base: Reg::R0,
+                    offset: 8,
+                },
+            ),
+            vstr(
+                FReg::new(9),
+                MemAddr::BaseReg {
+                    base: Reg::R1,
+                    index: Reg::R2,
+                },
+            ),
+        ];
+        for i in &cases {
+            roundtrip(i);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_overflow() {
+        let i = Inst {
+            op: Op::B,
+            s: false,
+            cond: Cond::Al,
+            operands: vec![Operand::Target(2)],
+        };
+        assert!(matches!(encode(&i), Err(EncodeError::FieldOverflow { .. })));
+        let i = Inst {
+            op: Op::Svc,
+            s: false,
+            cond: Cond::Al,
+            operands: vec![Operand::Imm(0x1_0000)],
+        };
+        assert!(matches!(encode(&i), Err(EncodeError::FieldOverflow { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        // Opcode field 63 is unused.
+        let w = 63u32 << 22;
+        assert!(matches!(decode(w), Err(DecodeError::BadOpcode { raw: 63 })));
+    }
+
+    #[test]
+    fn decode_rejects_bad_op2_kind() {
+        // Build an add with op2 kind = 3 (invalid).
+        let w =
+            (u32::from(Cond::Al.index()) << 28) | (u32::from(Op::Add.index()) << 22) | (3 << 11);
+        assert!(decode(w).is_err());
+    }
+}

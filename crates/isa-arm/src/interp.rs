@@ -1,0 +1,794 @@
+//! Reference interpreter for the guest ISA.
+//!
+//! This is the semantic ground truth: the synthetic compiler's output, the
+//! learned rules, and every DBT configuration are all validated against
+//! it (directly in tests and via differential testing in the verifier).
+
+use crate::inst::{Inst, Op};
+use crate::operand::{MemAddr, Operand, ShiftKind};
+use crate::reg::Reg;
+use crate::state::Cpu;
+use pdbt_isa::{Addr, Control, ExecError, Flags};
+
+/// The result of evaluating a flexible second operand.
+struct Op2Value {
+    value: u32,
+    /// Carry out of the barrel shifter, when a shift actually happened.
+    /// (Reserved for DP-shifter carry semantics; the model only routes
+    /// shifter carry through the explicit shift opcodes.)
+    #[allow(dead_code)]
+    shifter_carry: Option<bool>,
+}
+
+fn eval_op2(cpu: &Cpu, op: &Operand) -> Result<Op2Value, ExecError> {
+    match op {
+        Operand::Reg(r) => Ok(Op2Value {
+            value: cpu.read(*r),
+            shifter_carry: None,
+        }),
+        Operand::Imm(v) => Ok(Op2Value {
+            value: *v,
+            shifter_carry: None,
+        }),
+        Operand::Shifted { rm, kind, amount } => {
+            let v = cpu.read(*rm);
+            if *amount == 0 {
+                return Ok(Op2Value {
+                    value: v,
+                    shifter_carry: None,
+                });
+            }
+            let (value, carry) = kind.apply(v, *amount);
+            Ok(Op2Value {
+                value,
+                shifter_carry: Some(carry),
+            })
+        }
+        other => Err(ExecError::MalformedInstruction {
+            detail: format!("operand {other} cannot be a flexible second operand"),
+        }),
+    }
+}
+
+fn mem_addr(cpu: &Cpu, m: MemAddr) -> Addr {
+    match m {
+        MemAddr::BaseImm { base, offset } => cpu.read(base).wrapping_add(offset as u32),
+        MemAddr::BaseReg { base, index } => cpu.read(base).wrapping_add(cpu.read(index)),
+    }
+}
+
+/// Arithmetic helper: `a + b + carry_in`, producing NZCV.
+fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
+    let wide = u64::from(a) + u64::from(b) + u64::from(carry_in);
+    let result = wide as u32;
+    let c = wide > u64::from(u32::MAX);
+    let v = (!(a ^ b) & (a ^ result)) & 0x8000_0000 != 0;
+    let mut f = Flags {
+        c,
+        v,
+        ..Flags::default()
+    };
+    f.set_nz(result);
+    (result, f)
+}
+
+fn write_result(cpu: &mut Cpu, rd: Reg, value: u32) -> Control {
+    if rd.is_pc() {
+        Control::Jump(value)
+    } else {
+        cpu.write(rd, value);
+        Control::Next
+    }
+}
+
+/// Executes one instruction on `cpu`.
+///
+/// The caller is responsible for advancing the PC on [`Control::Next`]
+/// (the interpreter never mutates `pc` itself except through explicit
+/// control transfers reported in the return value).
+///
+/// # Errors
+///
+/// Any [`ExecError`] the instruction semantics can raise (memory faults,
+/// malformed shapes, undefined system calls).
+pub fn step(cpu: &mut Cpu, inst: &Inst) -> Result<Control, ExecError> {
+    inst.validate()?;
+    if !inst.cond.eval(cpu.flags) {
+        return Ok(Control::Next);
+    }
+    let pc = cpu.pc();
+    use Op::*;
+    match inst.op {
+        // ---- three-operand data processing -------------------------------
+        And | Eor | Sub | Rsb | Add | Adc | Sbc | Rsc | Orr | Bic | Lsl | Lsr | Asr | Ror => {
+            let rd = inst.operands[0].as_reg().expect("validated");
+            let rn = cpu.read(inst.operands[1].as_reg().expect("validated"));
+            let op2 = eval_op2(cpu, &inst.operands[2])?;
+            let carry_in = cpu.flags.c;
+            let (result, arith_flags) = match inst.op {
+                Add => add_with_carry(rn, op2.value, false),
+                Adc => add_with_carry(rn, op2.value, carry_in),
+                Sub => add_with_carry(rn, !op2.value, true),
+                Sbc => add_with_carry(rn, !op2.value, carry_in),
+                Rsb => add_with_carry(op2.value, !rn, true),
+                Rsc => add_with_carry(op2.value, !rn, carry_in),
+                And => (rn & op2.value, Flags::default()),
+                Orr => (rn | op2.value, Flags::default()),
+                Eor => (rn ^ op2.value, Flags::default()),
+                Bic => (rn & !op2.value, Flags::default()),
+                Lsl | Lsr | Asr | Ror => {
+                    let amount = (op2.value & 31) as u8;
+                    let kind = match inst.op {
+                        Lsl => ShiftKind::Lsl,
+                        Lsr => ShiftKind::Lsr,
+                        Asr => ShiftKind::Asr,
+                        _ => ShiftKind::Ror,
+                    };
+                    if amount == 0 {
+                        (
+                            rn,
+                            Flags {
+                                c: cpu.flags.c,
+                                ..Flags::default()
+                            },
+                        )
+                    } else {
+                        let (v, c) = kind.apply(rn, amount);
+                        (
+                            v,
+                            Flags {
+                                c,
+                                ..Flags::default()
+                            },
+                        )
+                    }
+                }
+                _ => unreachable!(),
+            };
+            if inst.s {
+                let defs = inst.flag_defs();
+                let mut new = arith_flags;
+                new.set_nz(result);
+                cpu.flags.copy_masked(new, defs);
+            }
+            Ok(write_result(cpu, rd, result))
+        }
+        // ---- two-operand data processing ----------------------------------
+        Mov | Mvn => {
+            let rd = inst.operands[0].as_reg().expect("validated");
+            let op2 = eval_op2(cpu, &inst.operands[1])?;
+            let result = if inst.op == Mvn {
+                !op2.value
+            } else {
+                op2.value
+            };
+            if inst.s {
+                let mut new = Flags::default();
+                new.set_nz(result);
+                cpu.flags.copy_masked(new, inst.flag_defs());
+            }
+            Ok(write_result(cpu, rd, result))
+        }
+        Clz => {
+            let rd = inst.operands[0].as_reg().expect("validated");
+            let rm = cpu.read(inst.operands[1].as_reg().expect("validated"));
+            Ok(write_result(cpu, rd, rm.leading_zeros()))
+        }
+        // ---- multiply family ----------------------------------------------
+        Mul | Mla => {
+            let rd = inst.operands[0].as_reg().expect("validated");
+            let rm = cpu.read(inst.operands[1].as_reg().expect("validated"));
+            let rs = cpu.read(inst.operands[2].as_reg().expect("validated"));
+            let acc = if inst.op == Mla {
+                cpu.read(inst.operands[3].as_reg().expect("validated"))
+            } else {
+                0
+            };
+            let result = rm.wrapping_mul(rs).wrapping_add(acc);
+            if inst.s {
+                let mut new = Flags::default();
+                new.set_nz(result);
+                cpu.flags.copy_masked(new, inst.flag_defs());
+            }
+            Ok(write_result(cpu, rd, result))
+        }
+        Umull | Umlal => {
+            let rdlo = inst.operands[0].as_reg().expect("validated");
+            let rdhi = inst.operands[1].as_reg().expect("validated");
+            let rm = cpu.read(inst.operands[2].as_reg().expect("validated"));
+            let rs = cpu.read(inst.operands[3].as_reg().expect("validated"));
+            let mut wide = u64::from(rm) * u64::from(rs);
+            if inst.op == Umlal {
+                let acc = (u64::from(cpu.read(rdhi)) << 32) | u64::from(cpu.read(rdlo));
+                wide = wide.wrapping_add(acc);
+            }
+            cpu.write(rdlo, wide as u32);
+            cpu.write(rdhi, (wide >> 32) as u32);
+            Ok(Control::Next)
+        }
+        // ---- compares -------------------------------------------------------
+        Cmp | Cmn | Tst | Teq => {
+            let rn = cpu.read(inst.operands[0].as_reg().expect("validated"));
+            let op2 = eval_op2(cpu, &inst.operands[1])?;
+            match inst.op {
+                Cmp => {
+                    let (_, f) = add_with_carry(rn, !op2.value, true);
+                    cpu.flags = f;
+                }
+                Cmn => {
+                    let (_, f) = add_with_carry(rn, op2.value, false);
+                    cpu.flags = f;
+                }
+                Tst => {
+                    let mut f = Flags::default();
+                    f.set_nz(rn & op2.value);
+                    cpu.flags.copy_masked(f, inst.flag_defs());
+                }
+                Teq => {
+                    let mut f = Flags::default();
+                    f.set_nz(rn ^ op2.value);
+                    cpu.flags.copy_masked(f, inst.flag_defs());
+                }
+                _ => unreachable!(),
+            }
+            Ok(Control::Next)
+        }
+        // ---- loads and stores -----------------------------------------------
+        Ldr | Ldrb | Ldrh => {
+            let rt = inst.operands[0].as_reg().expect("validated");
+            let addr = mem_addr(cpu, inst.operands[1].as_mem().expect("validated"));
+            let width = inst.op.access_width().expect("load has a width");
+            let v = cpu.mem.load(addr, width)?;
+            Ok(write_result(cpu, rt, v))
+        }
+        Str | Strb | Strh => {
+            let rt = cpu.read(inst.operands[0].as_reg().expect("validated"));
+            let addr = mem_addr(cpu, inst.operands[1].as_mem().expect("validated"));
+            let width = inst.op.access_width().expect("store has a width");
+            cpu.mem.store(addr, rt, width)?;
+            Ok(Control::Next)
+        }
+        // ---- stack -----------------------------------------------------------
+        Push => {
+            let list = inst.reg_list().expect("validated");
+            let mut sp = cpu.sp();
+            // Store in descending address order: highest-numbered register
+            // at the highest address.
+            for r in list.iter().collect::<Vec<_>>().into_iter().rev() {
+                sp = sp.wrapping_sub(4);
+                cpu.mem.store32(sp, cpu.read(r))?;
+            }
+            cpu.write(Reg::Sp, sp);
+            Ok(Control::Next)
+        }
+        Pop => {
+            let list = inst.reg_list().expect("validated");
+            let mut sp = cpu.sp();
+            let mut jump = None;
+            for r in list.iter() {
+                let v = cpu.mem.load32(sp)?;
+                sp = sp.wrapping_add(4);
+                if r.is_pc() {
+                    jump = Some(v);
+                } else {
+                    cpu.write(r, v);
+                }
+            }
+            cpu.write(Reg::Sp, sp);
+            Ok(match jump {
+                Some(t) => Control::Jump(t),
+                None => Control::Next,
+            })
+        }
+        // ---- branches ----------------------------------------------------------
+        B => {
+            let Operand::Target(d) = inst.operands[0] else {
+                unreachable!()
+            };
+            Ok(Control::Jump(pc.wrapping_add(d as u32)))
+        }
+        Bl => {
+            let Operand::Target(d) = inst.operands[0] else {
+                unreachable!()
+            };
+            let link = pc.wrapping_add(4);
+            cpu.write(Reg::Lr, link);
+            Ok(Control::Call {
+                target: pc.wrapping_add(d as u32),
+                link,
+            })
+        }
+        Bx => {
+            let rm = cpu.read(inst.operands[0].as_reg().expect("validated"));
+            Ok(Control::Jump(rm))
+        }
+        Svc => {
+            let imm = inst.operands[0].as_imm().expect("validated");
+            match imm {
+                0 => Ok(Control::Halt),
+                1 => {
+                    cpu.output.push(cpu.read(Reg::R0));
+                    Ok(Control::Next)
+                }
+                other => Err(ExecError::Undefined {
+                    detail: format!("svc #{other}"),
+                }),
+            }
+        }
+        // ---- floating point -------------------------------------------------------
+        Vadd | Vsub | Vmul | Vdiv => {
+            let (Operand::FReg(sd), Operand::FReg(sn), Operand::FReg(sm)) =
+                (inst.operands[0], inst.operands[1], inst.operands[2])
+            else {
+                unreachable!()
+            };
+            let a = cpu.read_f(sn);
+            let b = cpu.read_f(sm);
+            let r = match inst.op {
+                Vadd => a + b,
+                Vsub => a - b,
+                Vmul => a * b,
+                Vdiv => a / b,
+                _ => unreachable!(),
+            };
+            cpu.write_f(sd, r);
+            Ok(Control::Next)
+        }
+        Vmov => {
+            let (Operand::FReg(sd), Operand::FReg(sm)) = (inst.operands[0], inst.operands[1])
+            else {
+                unreachable!()
+            };
+            let v = cpu.read_f(sm);
+            cpu.write_f(sd, v);
+            Ok(Control::Next)
+        }
+        Vcmp => {
+            let (Operand::FReg(sd), Operand::FReg(sm)) = (inst.operands[0], inst.operands[1])
+            else {
+                unreachable!()
+            };
+            let a = cpu.read_f(sd);
+            let b = cpu.read_f(sm);
+            // ARM FP comparison flags: N = less, Z = equal, C = greater-or-
+            // equal-or-unordered, V = unordered.
+            let unordered = a.is_nan() || b.is_nan();
+            cpu.flags = Flags {
+                n: !unordered && a < b,
+                z: !unordered && a == b,
+                c: unordered || a >= b,
+                v: unordered,
+            };
+            Ok(Control::Next)
+        }
+        Vldr => {
+            let Operand::FReg(sd) = inst.operands[0] else {
+                unreachable!()
+            };
+            let addr = mem_addr(cpu, inst.operands[1].as_mem().expect("validated"));
+            let bits = cpu.mem.load32(addr)?;
+            cpu.write_f(sd, f32::from_bits(bits));
+            Ok(Control::Next)
+        }
+        Vstr => {
+            let Operand::FReg(sd) = inst.operands[0] else {
+                unreachable!()
+            };
+            let addr = mem_addr(cpu, inst.operands[1].as_mem().expect("validated"));
+            cpu.mem.store32(addr, cpu.read_f(sd).to_bits())?;
+            Ok(Control::Next)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+    use crate::reg::FReg;
+    use pdbt_isa::Cond;
+
+    fn cpu() -> Cpu {
+        let mut c = Cpu::new();
+        c.mem.map(0x1_0000, 0x1000); // data
+        c.mem.map(0x8_0000, 0x1000); // stack
+        c.write(Reg::Sp, 0x8_1000);
+        c
+    }
+
+    #[test]
+    fn add_and_flags() {
+        let mut c = cpu();
+        c.write(Reg::R1, u32::MAX);
+        let ctl = step(&mut c, &add(Reg::R0, Reg::R1, Operand::Imm(1)).with_s()).unwrap();
+        assert_eq!(ctl, Control::Next);
+        assert_eq!(c.read(Reg::R0), 0);
+        assert!(c.flags.z && c.flags.c && !c.flags.n && !c.flags.v);
+    }
+
+    #[test]
+    fn signed_overflow_sets_v() {
+        let mut c = cpu();
+        c.write(Reg::R1, 0x7fff_ffff);
+        step(&mut c, &add(Reg::R0, Reg::R1, Operand::Imm(1)).with_s()).unwrap();
+        assert!(c.flags.v && c.flags.n && !c.flags.c);
+    }
+
+    #[test]
+    fn sub_carry_is_not_borrow() {
+        let mut c = cpu();
+        c.write(Reg::R1, 5);
+        step(&mut c, &sub(Reg::R0, Reg::R1, Operand::Imm(3)).with_s()).unwrap();
+        assert_eq!(c.read(Reg::R0), 2);
+        assert!(c.flags.c, "5-3 does not borrow → C set (ARM convention)");
+        step(&mut c, &sub(Reg::R0, Reg::R1, Operand::Imm(9)).with_s()).unwrap();
+        assert!(!c.flags.c, "5-9 borrows → C clear");
+        assert!(c.flags.n);
+    }
+
+    #[test]
+    fn adc_sbc_use_carry() {
+        let mut c = cpu();
+        c.flags.c = true;
+        c.write(Reg::R1, 10);
+        step(&mut c, &adc(Reg::R0, Reg::R1, Operand::Imm(5))).unwrap();
+        assert_eq!(c.read(Reg::R0), 16);
+        // sbc: rn - op2 - (1 - C); with C set it's a plain subtract.
+        step(&mut c, &sbc(Reg::R0, Reg::R1, Operand::Imm(5))).unwrap();
+        assert_eq!(c.read(Reg::R0), 5);
+        c.flags.c = false;
+        step(&mut c, &sbc(Reg::R0, Reg::R1, Operand::Imm(5))).unwrap();
+        assert_eq!(c.read(Reg::R0), 4);
+    }
+
+    #[test]
+    fn rsb_reverses() {
+        let mut c = cpu();
+        c.write(Reg::R1, 3);
+        step(&mut c, &rsb(Reg::R0, Reg::R1, Operand::Imm(10))).unwrap();
+        assert_eq!(c.read(Reg::R0), 7);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let mut c = cpu();
+        c.write(Reg::R1, 0b1100);
+        c.write(Reg::R2, 0b1010);
+        step(&mut c, &and(Reg::R0, Reg::R1, Operand::Reg(Reg::R2))).unwrap();
+        assert_eq!(c.read(Reg::R0), 0b1000);
+        step(&mut c, &orr(Reg::R0, Reg::R1, Operand::Reg(Reg::R2))).unwrap();
+        assert_eq!(c.read(Reg::R0), 0b1110);
+        step(&mut c, &eor(Reg::R0, Reg::R1, Operand::Reg(Reg::R2))).unwrap();
+        assert_eq!(c.read(Reg::R0), 0b0110);
+        step(&mut c, &bic(Reg::R0, Reg::R1, Operand::Reg(Reg::R2))).unwrap();
+        assert_eq!(c.read(Reg::R0), 0b0100);
+        step(&mut c, &mvn(Reg::R0, Operand::Imm(0))).unwrap();
+        assert_eq!(c.read(Reg::R0), u32::MAX);
+    }
+
+    #[test]
+    fn shifted_operand() {
+        let mut c = cpu();
+        c.write(Reg::R1, 1);
+        c.write(Reg::R2, 3);
+        let op2 = Operand::Shifted {
+            rm: Reg::R2,
+            kind: ShiftKind::Lsl,
+            amount: 2,
+        };
+        step(&mut c, &add(Reg::R0, Reg::R1, op2)).unwrap();
+        assert_eq!(c.read(Reg::R0), 13);
+    }
+
+    #[test]
+    fn shift_opcodes() {
+        let mut c = cpu();
+        c.write(Reg::R1, 0x80);
+        step(&mut c, &lsr(Reg::R0, Reg::R1, Operand::Imm(4))).unwrap();
+        assert_eq!(c.read(Reg::R0), 8);
+        c.write(Reg::R2, 2);
+        step(&mut c, &lsl(Reg::R0, Reg::R1, Operand::Reg(Reg::R2))).unwrap();
+        assert_eq!(c.read(Reg::R0), 0x200);
+        c.write(Reg::R1, 0x8000_0000);
+        step(&mut c, &asr(Reg::R0, Reg::R1, Operand::Imm(31))).unwrap();
+        assert_eq!(c.read(Reg::R0), u32::MAX);
+        // Shift with S sets carry from the last bit shifted out.
+        c.write(Reg::R1, 0b11);
+        step(&mut c, &lsr(Reg::R0, Reg::R1, Operand::Imm(1)).with_s()).unwrap();
+        assert!(c.flags.c);
+    }
+
+    #[test]
+    fn multiply_family() {
+        let mut c = cpu();
+        c.write(Reg::R1, 7);
+        c.write(Reg::R2, 6);
+        c.write(Reg::R3, 100);
+        step(&mut c, &mul(Reg::R0, Reg::R1, Reg::R2)).unwrap();
+        assert_eq!(c.read(Reg::R0), 42);
+        step(&mut c, &mla(Reg::R0, Reg::R1, Reg::R2, Reg::R3)).unwrap();
+        assert_eq!(c.read(Reg::R0), 142);
+        c.write(Reg::R1, 0);
+        c.write(Reg::R2, 0);
+        c.write(Reg::R4, 0xffff_ffff);
+        c.write(Reg::R5, 0x10);
+        step(&mut c, &umull(Reg::R1, Reg::R2, Reg::R4, Reg::R5)).unwrap();
+        assert_eq!(c.read(Reg::R1), 0xffff_fff0);
+        assert_eq!(c.read(Reg::R2), 0xf);
+        step(&mut c, &umlal(Reg::R1, Reg::R2, Reg::R4, Reg::R5)).unwrap();
+        assert_eq!(c.read(Reg::R1), 0xffff_ffe0);
+        assert_eq!(c.read(Reg::R2), 0x1f);
+    }
+
+    #[test]
+    fn clz_counts() {
+        let mut c = cpu();
+        c.write(Reg::R1, 0x10);
+        step(&mut c, &clz(Reg::R0, Reg::R1)).unwrap();
+        assert_eq!(c.read(Reg::R0), 27);
+        c.write(Reg::R1, 0);
+        step(&mut c, &clz(Reg::R0, Reg::R1)).unwrap();
+        assert_eq!(c.read(Reg::R0), 32);
+    }
+
+    #[test]
+    fn compare_and_conditional() {
+        let mut c = cpu();
+        c.write(Reg::R0, 3);
+        step(&mut c, &cmp(Reg::R0, Operand::Imm(5))).unwrap();
+        assert!(Cond::Lt.eval(c.flags) && Cond::Ne.eval(c.flags));
+        // Conditional instruction whose predicate fails has no effect.
+        c.write(Reg::R1, 111);
+        step(&mut c, &mov(Reg::R1, Operand::Imm(0)).with_cond(Cond::Eq)).unwrap();
+        assert_eq!(c.read(Reg::R1), 111);
+        step(&mut c, &mov(Reg::R1, Operand::Imm(0)).with_cond(Cond::Ne)).unwrap();
+        assert_eq!(c.read(Reg::R1), 0);
+    }
+
+    #[test]
+    fn tst_and_teq() {
+        let mut c = cpu();
+        c.write(Reg::R0, 0b1010);
+        step(&mut c, &tst(Reg::R0, Operand::Imm(0b0101))).unwrap();
+        assert!(c.flags.z);
+        step(&mut c, &teq(Reg::R0, Operand::Imm(0b1010))).unwrap();
+        assert!(c.flags.z);
+        step(&mut c, &teq(Reg::R0, Operand::Imm(0b1000))).unwrap();
+        assert!(!c.flags.z);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let mut c = cpu();
+        c.write(Reg::R1, 0x1_0000);
+        c.write(Reg::R0, 0xaabb_ccdd);
+        step(
+            &mut c,
+            &str_(
+                Reg::R0,
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: 4,
+                },
+            ),
+        )
+        .unwrap();
+        step(
+            &mut c,
+            &ldr(
+                Reg::R2,
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: 4,
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(c.read(Reg::R2), 0xaabb_ccdd);
+        step(
+            &mut c,
+            &ldrb(
+                Reg::R3,
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: 4,
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(c.read(Reg::R3), 0xdd);
+        step(
+            &mut c,
+            &ldrh(
+                Reg::R3,
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: 4,
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(c.read(Reg::R3), 0xccdd);
+        // Register-offset addressing.
+        c.write(Reg::R4, 8);
+        step(
+            &mut c,
+            &str_(
+                Reg::R0,
+                MemAddr::BaseReg {
+                    base: Reg::R1,
+                    index: Reg::R4,
+                },
+            ),
+        )
+        .unwrap();
+        step(
+            &mut c,
+            &ldr(
+                Reg::R5,
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: 8,
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(c.read(Reg::R5), 0xaabb_ccdd);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut c = cpu();
+        c.write(Reg::R4, 44);
+        c.write(Reg::R5, 55);
+        let sp0 = c.sp();
+        step(&mut c, &push([Reg::R4, Reg::R5])).unwrap();
+        assert_eq!(c.sp(), sp0 - 8);
+        c.write(Reg::R4, 0);
+        c.write(Reg::R5, 0);
+        step(&mut c, &pop([Reg::R4, Reg::R5])).unwrap();
+        assert_eq!((c.read(Reg::R4), c.read(Reg::R5), c.sp()), (44, 55, sp0));
+    }
+
+    #[test]
+    fn pop_pc_jumps() {
+        let mut c = cpu();
+        c.write(Reg::R0, 0x4000);
+        step(&mut c, &push([Reg::R0])).unwrap();
+        let ctl = step(&mut c, &pop([Reg::Pc])).unwrap();
+        assert_eq!(ctl, Control::Jump(0x4000));
+    }
+
+    #[test]
+    fn branches() {
+        let mut c = cpu();
+        c.set_pc(0x1000);
+        assert_eq!(
+            step(&mut c, &b(Cond::Al, 16)).unwrap(),
+            Control::Jump(0x1010)
+        );
+        c.flags.z = true;
+        assert_eq!(
+            step(&mut c, &b(Cond::Eq, -8)).unwrap(),
+            Control::Jump(0xff8)
+        );
+        assert_eq!(step(&mut c, &b(Cond::Ne, -8)).unwrap(), Control::Next);
+        let ctl = step(&mut c, &bl(0x100)).unwrap();
+        assert_eq!(
+            ctl,
+            Control::Call {
+                target: 0x1100,
+                link: 0x1004
+            }
+        );
+        assert_eq!(c.read(Reg::Lr), 0x1004);
+        c.write(Reg::R3, 0x2000);
+        assert_eq!(step(&mut c, &bx(Reg::R3)).unwrap(), Control::Jump(0x2000));
+    }
+
+    #[test]
+    fn pc_relative_load_uses_plus_eight() {
+        let mut c = cpu();
+        c.mem.map(0x1000, 0x100);
+        c.mem.store32(0x1010, 0x1234_5678).unwrap();
+        c.set_pc(0x1000);
+        // ldr r0, [pc, #8] → address = 0x1000 + 8 + 8 = 0x1010.
+        step(
+            &mut c,
+            &ldr(
+                Reg::R0,
+                MemAddr::BaseImm {
+                    base: Reg::Pc,
+                    offset: 8,
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(c.read(Reg::R0), 0x1234_5678);
+    }
+
+    #[test]
+    fn mov_to_pc_is_a_jump() {
+        let mut c = cpu();
+        c.write(Reg::Lr, 0x3000);
+        assert_eq!(
+            step(&mut c, &mov(Reg::Pc, Operand::Reg(Reg::Lr))).unwrap(),
+            Control::Jump(0x3000)
+        );
+    }
+
+    #[test]
+    fn svc_semantics() {
+        let mut c = cpu();
+        assert_eq!(step(&mut c, &svc(0)).unwrap(), Control::Halt);
+        c.write(Reg::R0, 99);
+        step(&mut c, &svc(1)).unwrap();
+        assert_eq!(c.output, vec![99]);
+        assert!(matches!(
+            step(&mut c, &svc(7)),
+            Err(ExecError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn float_ops_and_vcmp() {
+        let mut c = cpu();
+        c.write_f(FReg::new(1), 1.5);
+        c.write_f(FReg::new(2), 2.5);
+        step(&mut c, &vadd(FReg::new(0), FReg::new(1), FReg::new(2))).unwrap();
+        assert_eq!(c.read_f(FReg::new(0)), 4.0);
+        step(&mut c, &vdiv(FReg::new(0), FReg::new(2), FReg::new(1))).unwrap();
+        assert!((c.read_f(FReg::new(0)) - 5.0 / 3.0).abs() < 1e-6);
+        step(&mut c, &vcmp(FReg::new(1), FReg::new(2))).unwrap();
+        assert!(c.flags.n && !c.flags.z, "1.5 < 2.5");
+        step(&mut c, &vcmp(FReg::new(2), FReg::new(2))).unwrap();
+        assert!(c.flags.z && c.flags.c);
+    }
+
+    #[test]
+    fn vldr_vstr_roundtrip() {
+        let mut c = cpu();
+        c.write(Reg::R1, 0x1_0000);
+        c.write_f(FReg::new(5), 3.25);
+        step(
+            &mut c,
+            &vstr(
+                FReg::new(5),
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: 0,
+                },
+            ),
+        )
+        .unwrap();
+        step(
+            &mut c,
+            &vldr(
+                FReg::new(6),
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: 0,
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(c.read_f(FReg::new(6)), 3.25);
+    }
+
+    #[test]
+    fn memory_fault_propagates() {
+        let mut c = cpu();
+        c.write(Reg::R1, 0xdead_0000);
+        let r = step(
+            &mut c,
+            &ldr(
+                Reg::R0,
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: 0,
+                },
+            ),
+        );
+        assert!(matches!(r, Err(ExecError::MemoryFault { .. })));
+    }
+}

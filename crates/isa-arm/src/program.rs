@@ -1,0 +1,206 @@
+//! Guest program container and the reference execution loop.
+
+use crate::inst::Inst;
+use crate::interp;
+use crate::state::Cpu;
+use pdbt_isa::{Addr, Control, ExecError};
+
+/// Size of one encoded guest instruction in bytes.
+pub const INST_SIZE: u32 = 4;
+
+/// A guest text section: a base address and a sequence of instructions.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    base: Addr,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Creates a program at `base` from an instruction sequence.
+    #[must_use]
+    pub fn new(base: Addr, insts: Vec<Inst>) -> Program {
+        Program { base, insts }
+    }
+
+    /// The base (entry) address.
+    #[must_use]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The instructions.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The address of instruction `index`.
+    #[must_use]
+    pub fn addr_of(&self, index: usize) -> Addr {
+        self.base + (index as u32) * INST_SIZE
+    }
+
+    /// One past the last instruction address.
+    #[must_use]
+    pub fn end(&self) -> Addr {
+        self.addr_of(self.insts.len())
+    }
+
+    /// Fetches the instruction at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::BadPc`] if `pc` is outside the text section or
+    /// unaligned.
+    pub fn fetch(&self, pc: Addr) -> Result<&Inst, ExecError> {
+        if pc < self.base || pc % INST_SIZE != 0 {
+            return Err(ExecError::BadPc { pc });
+        }
+        let idx = ((pc - self.base) / INST_SIZE) as usize;
+        self.insts.get(idx).ok_or(ExecError::BadPc { pc })
+    }
+
+    /// Iterates over `(address, instruction)` pairs.
+    pub fn iter_with_addr(&self) -> impl Iterator<Item = (Addr, &Inst)> {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (self.addr_of(i), inst))
+    }
+
+    /// Pretty disassembly listing.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (addr, inst) in self.iter_with_addr() {
+            out.push_str(&format!("{addr:#010x}:  {inst}\n"));
+        }
+        out
+    }
+}
+
+/// Statistics of one reference-interpreter run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of guest instructions retired (including predicated-false).
+    pub executed: u64,
+}
+
+/// Runs `program` on `cpu` until it halts or exhausts `budget`
+/// instructions. This is the golden reference every DBT configuration is
+/// compared against.
+///
+/// # Errors
+///
+/// Any interpreter error, or [`ExecError::Timeout`] if the budget runs
+/// out before the guest exits.
+pub fn run(cpu: &mut Cpu, program: &Program, budget: u64) -> Result<RunStats, ExecError> {
+    cpu.set_pc(program.base());
+    let mut stats = RunStats::default();
+    loop {
+        if stats.executed >= budget {
+            return Err(ExecError::Timeout { budget });
+        }
+        let pc = cpu.pc();
+        let inst = program.fetch(pc)?;
+        let ctl = interp::step(cpu, inst)?;
+        stats.executed += 1;
+        match ctl {
+            Control::Next => cpu.set_pc(pc + INST_SIZE),
+            Control::Jump(t) => cpu.set_pc(t),
+            Control::Call { target, .. } => cpu.set_pc(target),
+            Control::Halt => return Ok(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+    use crate::operand::Operand;
+    use crate::reg::Reg;
+    use pdbt_isa::Cond;
+
+    #[test]
+    fn fetch_and_addresses() {
+        let p = Program::new(0x1000, vec![mov(Reg::R0, Operand::Imm(1)), svc(0)]);
+        assert_eq!(p.addr_of(1), 0x1004);
+        assert_eq!(p.end(), 0x1008);
+        assert!(p.fetch(0x1004).is_ok());
+        assert!(matches!(p.fetch(0x1008), Err(ExecError::BadPc { .. })));
+        assert!(matches!(p.fetch(0x1002), Err(ExecError::BadPc { .. })));
+        assert!(matches!(p.fetch(0xfff), Err(ExecError::BadPc { .. })));
+    }
+
+    #[test]
+    fn run_countdown_loop() {
+        // r0 = 5; loop: r1 += r0; r0 -= 1 (flags); bne loop; output r1; exit.
+        let p = Program::new(
+            0x1000,
+            vec![
+                mov(Reg::R0, Operand::Imm(5)),
+                mov(Reg::R1, Operand::Imm(0)),
+                add(Reg::R1, Reg::R1, Operand::Reg(Reg::R0)),
+                sub(Reg::R0, Reg::R0, Operand::Imm(1)).with_s(),
+                b(Cond::Ne, -8),
+                mov(Reg::R0, Operand::Reg(Reg::R1)),
+                svc(1),
+                svc(0),
+            ],
+        );
+        let mut cpu = Cpu::new();
+        let stats = run(&mut cpu, &p, 1000).unwrap();
+        assert_eq!(cpu.output, vec![15]);
+        // 2 + 5 * 3 + 3 = 20 retired instructions.
+        assert_eq!(stats.executed, 20);
+    }
+
+    #[test]
+    fn run_times_out() {
+        let p = Program::new(0, vec![b(Cond::Al, 0)]);
+        let mut cpu = Cpu::new();
+        assert!(matches!(
+            run(&mut cpu, &p, 10),
+            Err(ExecError::Timeout { budget: 10 })
+        ));
+    }
+
+    #[test]
+    fn call_and_return() {
+        // main: bl f; svc0 / f: mov r0, #7; svc 1; bx lr
+        let p = Program::new(
+            0,
+            vec![
+                bl(8),                         // 0x0 → f at 0x8
+                svc(0),                        // 0x4
+                mov(Reg::R0, Operand::Imm(7)), // 0x8
+                svc(1),                        // 0xc
+                bx(Reg::Lr),                   // 0x10 → 0x4
+            ],
+        );
+        let mut cpu = Cpu::new();
+        run(&mut cpu, &p, 100).unwrap();
+        assert_eq!(cpu.output, vec![7]);
+    }
+
+    #[test]
+    fn disassemble_listing() {
+        let p = Program::new(0x400, vec![mov(Reg::R0, Operand::Imm(3)), svc(0)]);
+        let text = p.disassemble();
+        assert!(text.contains("0x00000400:  mov r0, #3"));
+        assert!(text.contains("0x00000404:  svc #0"));
+    }
+}

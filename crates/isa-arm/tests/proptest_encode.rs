@@ -1,0 +1,128 @@
+//! Property tests: every valid guest instruction survives the binary
+//! encode/decode and the text assemble/disassemble roundtrips.
+
+use pdbt_isa::Cond;
+use pdbt_isa_arm::{
+    builders as g, decode, encode, FReg, Inst, MemAddr, Operand, Reg, RegList, ShiftKind,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..16).prop_map(FReg::new)
+}
+
+fn op2() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        (0u32..=pdbt_isa_arm::MAX_IMM).prop_map(Operand::Imm),
+        (reg(), 0usize..4, 1u8..32).prop_map(|(rm, k, amount)| Operand::Shifted {
+            rm,
+            kind: ShiftKind::ALL[k],
+            amount,
+        }),
+    ]
+}
+
+fn mem() -> impl Strategy<Value = MemAddr> {
+    prop_oneof![
+        (
+            reg(),
+            -(pdbt_isa_arm::MAX_MEM_OFFSET as i32)..=(pdbt_isa_arm::MAX_MEM_OFFSET as i32)
+        )
+            .prop_map(|(base, offset)| MemAddr::BaseImm { base, offset }),
+        (reg(), reg()).prop_map(|(base, index)| MemAddr::BaseReg { base, index }),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    (0usize..15).prop_map(|i| Cond::ALL[i])
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (0usize..14, reg(), reg(), op2(), any::<bool>()).prop_map(|(opi, rd, rn, op2, s)| {
+            type B = fn(Reg, Reg, Operand) -> Inst;
+            const OPS: [B; 14] = [
+                g::add,
+                g::sub,
+                g::and,
+                g::orr,
+                g::eor,
+                g::bic,
+                g::rsb,
+                g::adc,
+                g::sbc,
+                g::rsc,
+                g::lsl,
+                g::lsr,
+                g::asr,
+                g::ror,
+            ];
+            let i = OPS[opi](rd, rn, op2);
+            if s {
+                i.with_s()
+            } else {
+                i
+            }
+        }),
+        (reg(), op2(), any::<bool>(), cond()).prop_map(|(rd, op2, s, c)| {
+            let i = g::mov(rd, op2);
+            let i = if s { i.with_s() } else { i };
+            i.with_cond(c)
+        }),
+        (reg(), op2()).prop_map(|(rd, op2)| g::mvn(rd, op2)),
+        (reg(), reg()).prop_map(|(rd, rm)| g::clz(rd, rm)),
+        (reg(), reg(), reg()).prop_map(|(a, b, c)| g::mul(a, b, c)),
+        (reg(), reg(), reg(), reg()).prop_map(|(a, b, c, d)| g::mla(a, b, c, d)),
+        (reg(), reg(), reg(), reg()).prop_map(|(a, b, c, d)| g::umull(a, b, c, d)),
+        (reg(), reg(), reg(), reg()).prop_map(|(a, b, c, d)| g::umlal(a, b, c, d)),
+        (reg(), op2()).prop_map(|(rn, op2)| g::cmp(rn, op2)),
+        (reg(), op2()).prop_map(|(rn, op2)| g::teq(rn, op2)),
+        (reg(), mem()).prop_map(|(rt, m)| g::ldr(rt, m)),
+        (reg(), mem()).prop_map(|(rt, m)| g::ldrb(rt, m)),
+        (reg(), mem()).prop_map(|(rt, m)| g::strh(rt, m)),
+        (reg(), mem()).prop_map(|(rt, m)| g::str_(rt, m)),
+        proptest::collection::vec(reg(), 1..8).prop_map(|rs| g::push(rs)),
+        proptest::collection::vec(reg(), 1..8).prop_map(|rs| g::pop(rs)),
+        (cond(), -1000i32..1000).prop_map(|(c, d)| g::b(c, d * 4)),
+        (-1000i32..1000).prop_map(|d| g::bl(d * 4)),
+        reg().prop_map(g::bx),
+        (0u32..2).prop_map(g::svc),
+        (freg(), freg(), freg()).prop_map(|(a, b, c)| g::vadd(a, b, c)),
+        (freg(), freg()).prop_map(|(a, b)| g::vcmp(a, b)),
+        (freg(), mem()).prop_map(|(a, m)| g::vldr(a, m)),
+        (freg(), mem()).prop_map(|(a, m)| g::vstr(a, m)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip(i in inst()) {
+        let word = encode(&i).expect("valid instructions encode");
+        let back = decode(word).expect("encoded words decode");
+        prop_assert_eq!(back, i);
+    }
+
+    #[test]
+    fn text_roundtrip(i in inst()) {
+        let text = i.to_string();
+        let back: Inst = text.parse().unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
+        prop_assert_eq!(back, i);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn reglist_roundtrip(bits in any::<u16>()) {
+        let l = RegList::from_bits(bits);
+        prop_assert_eq!(l.bits(), bits);
+        prop_assert_eq!(l.iter().count(), l.len());
+    }
+}

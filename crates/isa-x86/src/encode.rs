@@ -1,0 +1,329 @@
+//! Variable-length binary encoding for the host ISA.
+//!
+//! Host instructions encode to 1–11 bytes: an opcode byte, an optional
+//! condition byte, and per-operand descriptors. The variable length is
+//! deliberate — it models the CISC side of the "same encoding format"
+//! classification guideline (paper §IV-A), where host subgroup membership
+//! follows the format class rather than a fixed width.
+
+use crate::inst::{Inst, Op, Shape};
+use crate::operand::{Cc, Mem, Operand};
+use crate::reg::{Reg, Xmm};
+use std::fmt;
+
+/// An error raised while encoding a host instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host encode error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// An error raised while decoding host bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host decode error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Operand descriptor tags.
+const TAG_REG: u8 = 0;
+const TAG_IMM: u8 = 1;
+const TAG_MEM: u8 = 2;
+const TAG_XMM: u8 = 3;
+const TAG_TARGET: u8 = 4;
+
+fn push_operand(out: &mut Vec<u8>, o: &Operand) {
+    match o {
+        Operand::Reg(r) => {
+            out.push(TAG_REG);
+            out.push(r.index() as u8);
+        }
+        Operand::Imm(v) => {
+            out.push(TAG_IMM);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Operand::Mem(m) => {
+            out.push(TAG_MEM);
+            // Flags byte: bit0 = has base, bit1 = has index.
+            let mut fl = 0u8;
+            if m.base.is_some() {
+                fl |= 1;
+            }
+            if m.index.is_some() {
+                fl |= 2;
+            }
+            out.push(fl);
+            if let Some(b) = m.base {
+                out.push(b.index() as u8);
+            }
+            if let Some(i) = m.index {
+                out.push(i.index() as u8);
+            }
+            out.extend_from_slice(&m.disp.to_le_bytes());
+        }
+        Operand::Xmm(x) => {
+            out.push(TAG_XMM);
+            out.push(x.index() as u8);
+        }
+        Operand::Target(d) => {
+            out.push(TAG_TARGET);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+}
+
+fn take(bytes: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u8>, DecodeError> {
+    if *pos + n > bytes.len() {
+        return Err(DecodeError {
+            detail: "truncated instruction".into(),
+        });
+    }
+    let v = bytes[*pos..*pos + n].to_vec();
+    *pos += n;
+    Ok(v)
+}
+
+fn read_i32(bytes: &[u8], pos: &mut usize) -> Result<i32, DecodeError> {
+    let b = take(bytes, pos, 4)?;
+    Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn pull_operand(bytes: &[u8], pos: &mut usize) -> Result<Operand, DecodeError> {
+    let tag = take(bytes, pos, 1)?[0];
+    match tag {
+        TAG_REG => {
+            let i = take(bytes, pos, 1)?[0];
+            Reg::from_index(i as usize)
+                .map(Operand::Reg)
+                .ok_or_else(|| DecodeError {
+                    detail: format!("register {i}"),
+                })
+        }
+        TAG_IMM => Ok(Operand::Imm(read_i32(bytes, pos)?)),
+        TAG_MEM => {
+            let fl = take(bytes, pos, 1)?[0];
+            let base = if fl & 1 != 0 {
+                let i = take(bytes, pos, 1)?[0];
+                Some(Reg::from_index(i as usize).ok_or_else(|| DecodeError {
+                    detail: format!("base register {i}"),
+                })?)
+            } else {
+                None
+            };
+            let index = if fl & 2 != 0 {
+                let i = take(bytes, pos, 1)?[0];
+                Some(Reg::from_index(i as usize).ok_or_else(|| DecodeError {
+                    detail: format!("index register {i}"),
+                })?)
+            } else {
+                None
+            };
+            let disp = read_i32(bytes, pos)?;
+            Ok(Operand::Mem(Mem { base, index, disp }))
+        }
+        TAG_XMM => {
+            let i = take(bytes, pos, 1)?[0];
+            if i < 8 {
+                Ok(Operand::Xmm(Xmm::new(i)))
+            } else {
+                Err(DecodeError {
+                    detail: format!("xmm register {i}"),
+                })
+            }
+        }
+        TAG_TARGET => Ok(Operand::Target(read_i32(bytes, pos)?)),
+        other => Err(DecodeError {
+            detail: format!("operand tag {other}"),
+        }),
+    }
+}
+
+/// Encodes one host instruction to bytes.
+///
+/// # Errors
+///
+/// [`EncodeError`] if the instruction fails validation.
+pub fn encode(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
+    inst.validate().map_err(|e| EncodeError {
+        detail: e.to_string(),
+    })?;
+    let mut out = vec![inst.op.index()];
+    if matches!(inst.op.shape(), Shape::CondBranch | Shape::SetCc) {
+        out.push(inst.cc.expect("validated").index());
+    }
+    for o in &inst.operands {
+        push_operand(&mut out, o);
+    }
+    Ok(out)
+}
+
+/// Decodes one host instruction from the front of `bytes`, returning the
+/// instruction and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`DecodeError`] on truncation or invalid fields.
+pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
+    let mut pos = 0usize;
+    let raw_op = take(bytes, &mut pos, 1)?[0];
+    let op = Op::from_index(raw_op).ok_or_else(|| DecodeError {
+        detail: format!("opcode {raw_op}"),
+    })?;
+    let cc = if matches!(op.shape(), Shape::CondBranch | Shape::SetCc) {
+        let raw = take(bytes, &mut pos, 1)?[0];
+        Some(Cc::from_index(raw).ok_or_else(|| DecodeError {
+            detail: format!("cc {raw}"),
+        })?)
+    } else {
+        None
+    };
+    let n_operands = match op.shape() {
+        Shape::Nullary => 0,
+        Shape::Unary | Shape::Branch | Shape::CondBranch | Shape::SetCc => 1,
+        _ => 2,
+    };
+    let mut operands = Vec::with_capacity(n_operands);
+    for _ in 0..n_operands {
+        operands.push(pull_operand(bytes, &mut pos)?);
+    }
+    let inst = Inst { op, cc, operands };
+    inst.validate().map_err(|e| DecodeError {
+        detail: e.to_string(),
+    })?;
+    Ok((inst, pos))
+}
+
+/// Encodes a sequence of instructions into one byte stream.
+///
+/// # Errors
+///
+/// The first [`EncodeError`] encountered.
+pub fn encode_block(insts: &[Inst]) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::new();
+    for i in insts {
+        out.extend(encode(i)?);
+    }
+    Ok(out)
+}
+
+/// Decodes an entire byte stream back into instructions.
+///
+/// # Errors
+///
+/// The first [`DecodeError`] encountered.
+pub fn decode_block(mut bytes: &[u8]) -> Result<Vec<Inst>, DecodeError> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let (inst, used) = decode(bytes)?;
+        out.push(inst);
+        bytes = &bytes[used..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+
+    #[test]
+    fn roundtrip_representative() {
+        let cases = vec![
+            mov(Reg::Eax.into(), Operand::Imm(-7)),
+            mov(Mem::base_disp(Reg::Ebp, 16).into(), Reg::Ecx.into()),
+            add(
+                Reg::Eax.into(),
+                Mem {
+                    base: Some(Reg::Ebx),
+                    index: Some(Reg::Ecx),
+                    disp: -4,
+                }
+                .into(),
+            ),
+            not(Reg::Edx.into()),
+            mul_wide(Reg::Esi.into()),
+            bsr(Reg::Eax.into(), Reg::Edi.into()),
+            cmp(Reg::Eax.into(), Operand::Imm(1000)),
+            push(Operand::Imm(3)),
+            pop(Reg::Eax.into()),
+            jmp_rel(-5),
+            jmp_exit(Operand::Imm(0x1234)),
+            jcc(Cc::Le, 7),
+            setcc(Cc::A, Reg::Ecx.into()),
+            out(),
+            hlt(),
+            movss(Xmm::new(3).into(), Mem::base(Reg::Eax).into()),
+            addss(Xmm::new(0), Xmm::new(7).into()),
+            ucomiss(Xmm::new(1), Mem::abs(0x100).into()),
+            movzxb(Reg::Eax.into(), Mem::base(Reg::Esi).into()),
+            movb(Mem::base(Reg::Edi).into(), Reg::Eax.into()),
+            lea(Reg::Eax.into(), Mem::base_index(Reg::Ebx, Reg::Ecx).into()),
+        ];
+        for inst in &cases {
+            let bytes = encode(inst).unwrap_or_else(|e| panic!("encode {inst}: {e}"));
+            let (back, used) = decode(&bytes).unwrap_or_else(|e| panic!("decode {inst}: {e}"));
+            assert_eq!(&back, inst, "roundtrip of {inst}");
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn variable_length_is_real() {
+        let short = encode(&hlt()).unwrap();
+        let long = encode(&add(
+            Reg::Eax.into(),
+            Mem {
+                base: Some(Reg::Ebx),
+                index: Some(Reg::Ecx),
+                disp: 1,
+            }
+            .into(),
+        ))
+        .unwrap();
+        assert_eq!(short.len(), 1);
+        assert!(
+            long.len() > 6,
+            "mem operand encodings are long: {}",
+            long.len()
+        );
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let block = vec![
+            mov(Reg::Eax.into(), Operand::Imm(1)),
+            add(Reg::Eax.into(), Operand::Imm(2)),
+            hlt(),
+        ];
+        let bytes = encode_block(&block).unwrap();
+        assert_eq!(decode_block(&bytes).unwrap(), block);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&mov(Reg::Eax.into(), Operand::Imm(77))).unwrap();
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_opcode_detected() {
+        assert!(decode(&[200]).is_err());
+    }
+}

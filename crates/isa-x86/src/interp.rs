@@ -1,0 +1,786 @@
+//! Host CPU state and block executor.
+//!
+//! Translated code runs as straight-line blocks with instruction-relative
+//! internal jumps. A block finishes by executing `hlt` (guest exit),
+//! or `jmp <r/m/imm>` whose operand value is the *next guest PC* — the
+//! same exit convention QEMU's translation blocks use to return control
+//! to the dispatcher.
+
+use crate::inst::{Inst, Op};
+use crate::operand::{Mem, Operand};
+use crate::reg::{Reg, Xmm};
+use pdbt_isa::{Addr, ExecError, Flags, Memory, Width};
+
+/// The architectural state of the host CPU.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    /// General-purpose registers.
+    pub regs: [u32; 8],
+    /// Scalar-float registers.
+    pub xmm: [f32; 8],
+    /// `EFLAGS` (`n`=SF, `z`=ZF, `c`=CF, `v`=OF).
+    pub flags: Flags,
+    /// Host memory (in the DBT, guest memory is identity-mapped here and
+    /// the guest register array lives at the environment base).
+    pub mem: Memory,
+    /// Values emitted by `out`.
+    pub output: Vec<u32>,
+}
+
+impl Cpu {
+    /// Creates a CPU with zeroed registers and empty memory.
+    #[must_use]
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn read(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, r: Reg, v: u32) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Reads a float register.
+    #[must_use]
+    pub fn read_x(&self, x: Xmm) -> f32 {
+        self.xmm[x.index()]
+    }
+
+    /// Writes a float register.
+    pub fn write_x(&mut self, x: Xmm, v: f32) {
+        self.xmm[x.index()] = v;
+    }
+}
+
+/// How a block finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockExit {
+    /// Execution fell off the end of the block.
+    Fell,
+    /// `jmp <operand>`: continue at this guest PC.
+    Jumped(Addr),
+    /// `hlt`: the guest program exited.
+    Halted,
+}
+
+fn mem_addr(cpu: &Cpu, m: Mem) -> Addr {
+    let mut a = m.disp as u32;
+    if let Some(b) = m.base {
+        a = a.wrapping_add(cpu.read(b));
+    }
+    if let Some(i) = m.index {
+        a = a.wrapping_add(cpu.read(i));
+    }
+    a
+}
+
+fn read_operand(cpu: &Cpu, o: &Operand, width: Width) -> Result<u32, ExecError> {
+    match o {
+        Operand::Reg(r) => Ok(cpu.read(*r)),
+        Operand::Imm(v) => Ok(*v as u32),
+        Operand::Mem(m) => cpu.mem.load(mem_addr(cpu, *m), width),
+        Operand::Xmm(_) | Operand::Target(_) => Err(ExecError::MalformedInstruction {
+            detail: format!("{o} is not an integer source"),
+        }),
+    }
+}
+
+fn write_operand(cpu: &mut Cpu, o: &Operand, v: u32, width: Width) -> Result<(), ExecError> {
+    match o {
+        Operand::Reg(r) => {
+            cpu.write(*r, v);
+            Ok(())
+        }
+        Operand::Mem(m) => cpu.mem.store(mem_addr(cpu, *m), v, width),
+        other => Err(ExecError::MalformedInstruction {
+            detail: format!("{other} is not a writable destination"),
+        }),
+    }
+}
+
+fn read_f(cpu: &Cpu, o: &Operand) -> Result<f32, ExecError> {
+    match o {
+        Operand::Xmm(x) => Ok(cpu.read_x(*x)),
+        Operand::Mem(m) => Ok(f32::from_bits(cpu.mem.load32(mem_addr(cpu, *m))?)),
+        other => Err(ExecError::MalformedInstruction {
+            detail: format!("{other} is not a float source"),
+        }),
+    }
+}
+
+fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
+    let wide = u64::from(a) + u64::from(b) + u64::from(carry_in);
+    let result = wide as u32;
+    let mut f = Flags {
+        c: wide > u64::from(u32::MAX),
+        v: (!(a ^ b) & (a ^ result)) & 0x8000_0000 != 0,
+        ..Flags::default()
+    };
+    f.set_nz(result);
+    (result, f)
+}
+
+fn sub_with_borrow(a: u32, b: u32, borrow_in: bool) -> (u32, Flags) {
+    // x86: CF = borrow (set when a < b + borrow_in).
+    let (r, f) = add_with_carry(a, !b, !borrow_in);
+    (r, Flags { c: !f.c, ..f })
+}
+
+fn logic_flags(result: u32) -> Flags {
+    let mut f = Flags::default(); // CF = OF = 0
+    f.set_nz(result);
+    f
+}
+
+/// The result of stepping one instruction inside a block.
+enum Step {
+    Next,
+    Rel(i32),
+    Exit(BlockExit),
+}
+
+fn step(cpu: &mut Cpu, inst: &Inst) -> Result<Step, ExecError> {
+    use Op::*;
+    let ops = &inst.operands;
+    match inst.op {
+        Mov => {
+            let v = read_operand(cpu, &ops[1], Width::B32)?;
+            write_operand(cpu, &ops[0], v, Width::B32)?;
+        }
+        MovB | MovW => {
+            let v = read_operand(cpu, &ops[1], Width::B32)?;
+            write_operand(cpu, &ops[0], v, inst.op.access_width())?;
+        }
+        MovzxB | MovzxW => {
+            let v = read_operand(cpu, &ops[1], inst.op.access_width())?;
+            write_operand(cpu, &ops[0], v, Width::B32)?;
+        }
+        Lea => {
+            let m = ops[1]
+                .as_mem()
+                .ok_or_else(|| ExecError::MalformedInstruction {
+                    detail: "lea needs a memory source".into(),
+                })?;
+            let a = mem_addr(cpu, m);
+            write_operand(cpu, &ops[0], a, Width::B32)?;
+        }
+        Add | Adc | Sub | Sbb | Cmp => {
+            let a = read_operand(cpu, &ops[0], Width::B32)?;
+            let b = read_operand(cpu, &ops[1], Width::B32)?;
+            let carry = cpu.flags.c;
+            let (r, f) = match inst.op {
+                Add => add_with_carry(a, b, false),
+                Adc => add_with_carry(a, b, carry),
+                Sub | Cmp => sub_with_borrow(a, b, false),
+                Sbb => sub_with_borrow(a, b, carry),
+                _ => unreachable!(),
+            };
+            cpu.flags = f;
+            if inst.op != Cmp {
+                write_operand(cpu, &ops[0], r, Width::B32)?;
+            }
+        }
+        And | Or | Xor | Test => {
+            let a = read_operand(cpu, &ops[0], Width::B32)?;
+            let b = read_operand(cpu, &ops[1], Width::B32)?;
+            let r = match inst.op {
+                And | Test => a & b,
+                Or => a | b,
+                Xor => a ^ b,
+                _ => unreachable!(),
+            };
+            cpu.flags = logic_flags(r);
+            if inst.op != Test {
+                write_operand(cpu, &ops[0], r, Width::B32)?;
+            }
+        }
+        Imul => {
+            let a = read_operand(cpu, &ops[0], Width::B32)?;
+            let b = read_operand(cpu, &ops[1], Width::B32)?;
+            // Flags are modelled as undefined (left unchanged).
+            write_operand(cpu, &ops[0], a.wrapping_mul(b), Width::B32)?;
+        }
+        MulWide => {
+            let a = cpu.read(Reg::Eax);
+            let b = read_operand(cpu, &ops[0], Width::B32)?;
+            let wide = u64::from(a) * u64::from(b);
+            cpu.write(Reg::Eax, wide as u32);
+            cpu.write(Reg::Edx, (wide >> 32) as u32);
+        }
+        Shl | Shr | Sar | Ror => {
+            let a = read_operand(cpu, &ops[0], Width::B32)?;
+            let amt = (read_operand(cpu, &ops[1], Width::B32)? & 31) as u8;
+            if amt == 0 {
+                // No flag change, no write needed, but write keeps RMW
+                // semantics uniform.
+                write_operand(cpu, &ops[0], a, Width::B32)?;
+            } else {
+                let kind = match inst.op {
+                    Shl => ShiftOp::Lsl,
+                    Shr => ShiftOp::Lsr,
+                    Sar => ShiftOp::Asr,
+                    _ => ShiftOp::Ror,
+                };
+                let (r, c) = apply_shift(kind, a, amt);
+                if inst.op == Ror {
+                    cpu.flags.c = c;
+                } else {
+                    let mut f = Flags {
+                        c,
+                        v: cpu.flags.v,
+                        ..Flags::default()
+                    };
+                    f.set_nz(r);
+                    cpu.flags = f;
+                }
+                write_operand(cpu, &ops[0], r, Width::B32)?;
+            }
+        }
+        Not => {
+            let a = read_operand(cpu, &ops[0], Width::B32)?;
+            write_operand(cpu, &ops[0], !a, Width::B32)?;
+        }
+        Neg => {
+            let a = read_operand(cpu, &ops[0], Width::B32)?;
+            let (r, f) = sub_with_borrow(0, a, false);
+            cpu.flags = f;
+            write_operand(cpu, &ops[0], r, Width::B32)?;
+        }
+        Bsr => {
+            let src = read_operand(cpu, &ops[1], Width::B32)?;
+            if src == 0 {
+                cpu.flags.z = true;
+            } else {
+                cpu.flags.z = false;
+                write_operand(cpu, &ops[0], 31 - src.leading_zeros(), Width::B32)?;
+            }
+        }
+        Push => {
+            let v = read_operand(cpu, &ops[0], Width::B32)?;
+            let sp = cpu.read(Reg::Esp).wrapping_sub(4);
+            cpu.mem.store32(sp, v)?;
+            cpu.write(Reg::Esp, sp);
+        }
+        Pop => {
+            let sp = cpu.read(Reg::Esp);
+            let v = cpu.mem.load32(sp)?;
+            cpu.write(Reg::Esp, sp.wrapping_add(4));
+            write_operand(cpu, &ops[0], v, Width::B32)?;
+        }
+        Jmp => match ops[0] {
+            Operand::Target(d) => return Ok(Step::Rel(d)),
+            _ => {
+                let v = read_operand(cpu, &ops[0], Width::B32)?;
+                return Ok(Step::Exit(BlockExit::Jumped(v)));
+            }
+        },
+        Jcc => {
+            let Operand::Target(d) = ops[0] else {
+                unreachable!("validated")
+            };
+            if inst.cc.expect("validated").eval(cpu.flags) {
+                return Ok(Step::Rel(d));
+            }
+        }
+        Call | Ret => {
+            return Err(ExecError::Undefined {
+                detail: format!("{} inside a translation block", inst.op),
+            })
+        }
+        Setcc => {
+            let v = u32::from(inst.cc.expect("validated").eval(cpu.flags));
+            write_operand(cpu, &ops[0], v, Width::B32)?;
+        }
+        Out => {
+            let v = cpu.read(Reg::Eax);
+            cpu.output.push(v);
+        }
+        Hlt => return Ok(Step::Exit(BlockExit::Halted)),
+        Movss => {
+            let v = read_f(cpu, &ops[1]).or_else(|_| {
+                // movss from an integer-typed source is malformed.
+                Err(ExecError::MalformedInstruction {
+                    detail: format!("{inst}"),
+                })
+            })?;
+            match &ops[0] {
+                Operand::Xmm(x) => cpu.write_x(*x, v),
+                Operand::Mem(m) => cpu.mem.store32(mem_addr(cpu, *m), v.to_bits())?,
+                other => {
+                    return Err(ExecError::MalformedInstruction {
+                        detail: format!("movss destination {other}"),
+                    })
+                }
+            }
+        }
+        Addss | Subss | Mulss | Divss => {
+            let Operand::Xmm(x) = ops[0] else {
+                unreachable!("validated")
+            };
+            let a = cpu.read_x(x);
+            let b = read_f(cpu, &ops[1])?;
+            let r = match inst.op {
+                Addss => a + b,
+                Subss => a - b,
+                Mulss => a * b,
+                Divss => a / b,
+                _ => unreachable!(),
+            };
+            cpu.write_x(x, r);
+        }
+        Ucomiss => {
+            let Operand::Xmm(x) = ops[0] else {
+                unreachable!("validated")
+            };
+            let a = cpu.read_x(x);
+            let b = read_f(cpu, &ops[1])?;
+            let unordered = a.is_nan() || b.is_nan();
+            cpu.flags = Flags {
+                z: unordered || a == b,
+                c: unordered || a < b,
+                n: false,
+                v: false,
+            };
+        }
+    }
+    Ok(Step::Next)
+}
+
+// Local alias so the shift helper can borrow the guest crate's tested
+// barrel-shifter arithmetic without a dependency edge.
+#[derive(Clone, Copy)]
+#[allow(clippy::enum_variant_names)]
+enum ShiftOp {
+    Lsl,
+    Lsr,
+    Asr,
+    Ror,
+}
+
+fn apply_shift(kind: ShiftOp, v: u32, amount: u8) -> (u32, bool) {
+    let a = u32::from(amount);
+    match kind {
+        ShiftOp::Lsl => (v << a, (v >> (32 - a)) & 1 != 0),
+        ShiftOp::Lsr => (v >> a, (v >> (a - 1)) & 1 != 0),
+        ShiftOp::Asr => (((v as i32) >> a) as u32, ((v as i32) >> (a - 1)) & 1 != 0),
+        ShiftOp::Ror => (v.rotate_right(a), (v >> (a - 1)) & 1 != 0),
+    }
+}
+
+/// Statistics of one block execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Host instructions retired.
+    pub executed: u64,
+}
+
+/// Executes a straight-line block of host instructions on `cpu`.
+///
+/// # Errors
+///
+/// Any interpreter error; [`ExecError::Timeout`] if more than `budget`
+/// instructions retire; [`ExecError::BadPc`] if a relative jump leaves
+/// the block.
+pub fn exec_block(
+    cpu: &mut Cpu,
+    insts: &[Inst],
+    budget: u64,
+) -> Result<(BlockExit, ExecStats), ExecError> {
+    exec_block_impl(cpu, insts, budget, &mut |_| {})
+}
+
+/// Like [`exec_block`], but also reports how many times each
+/// instruction index retired (the DBT runtime uses this to attribute
+/// executed host instructions to their code class).
+///
+/// # Errors
+///
+/// See [`exec_block`].
+pub fn exec_block_traced(
+    cpu: &mut Cpu,
+    insts: &[Inst],
+    budget: u64,
+) -> Result<(BlockExit, ExecStats, Vec<u32>), ExecError> {
+    let mut counts = vec![0u32; insts.len()];
+    let (exit, stats) = exec_block_impl(cpu, insts, budget, &mut |ip| counts[ip] += 1)?;
+    Ok((exit, stats, counts))
+}
+
+fn exec_block_impl(
+    cpu: &mut Cpu,
+    insts: &[Inst],
+    budget: u64,
+    on_retire: &mut dyn FnMut(usize),
+) -> Result<(BlockExit, ExecStats), ExecError> {
+    let mut ip: usize = 0;
+    let mut stats = ExecStats::default();
+    while ip < insts.len() {
+        if stats.executed >= budget {
+            return Err(ExecError::Timeout { budget });
+        }
+        let inst = &insts[ip];
+        stats.executed += 1;
+        on_retire(ip);
+        match step(cpu, inst)? {
+            Step::Next => ip += 1,
+            Step::Rel(d) => {
+                let next = ip as i64 + 1 + i64::from(d);
+                if next < 0 || next as usize > insts.len() {
+                    return Err(ExecError::BadPc { pc: next as u32 });
+                }
+                ip = next as usize;
+            }
+            Step::Exit(e) => return Ok((e, stats)),
+        }
+    }
+    Ok((BlockExit::Fell, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+    use crate::operand::Cc;
+
+    fn cpu() -> Cpu {
+        let mut c = Cpu::new();
+        c.mem.map(0x1_0000, 0x1000);
+        c.mem.map(0x8_0000, 0x1000);
+        c.write(Reg::Esp, 0x8_1000);
+        c
+    }
+
+    fn run(cpu: &mut Cpu, insts: &[Inst]) -> BlockExit {
+        exec_block(cpu, insts, 10_000).expect("block runs").0
+    }
+
+    #[test]
+    fn mov_and_add() {
+        let mut c = cpu();
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(5)),
+                mov(Reg::Ecx.into(), Operand::Imm(7)),
+                add(Reg::Eax.into(), Reg::Ecx.into()),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), 12);
+    }
+
+    #[test]
+    fn sub_sets_borrow_carry() {
+        let mut c = cpu();
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(3)),
+                sub(Reg::Eax.into(), Operand::Imm(5)),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax) as i32, -2);
+        assert!(c.flags.c, "x86 CF is set on borrow");
+        assert!(c.flags.n);
+        // Compare without writing.
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(9)),
+                cmp(Reg::Eax.into(), Operand::Imm(4)),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), 9);
+        assert!(!c.flags.c);
+    }
+
+    #[test]
+    fn adc_sbb_chain() {
+        let mut c = cpu();
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(-1)),
+                add(Reg::Eax.into(), Operand::Imm(1)), // carry out
+                mov(Reg::Ecx.into(), Operand::Imm(0)),
+                adc(Reg::Ecx.into(), Operand::Imm(0)), // picks up carry
+            ],
+        );
+        assert_eq!(c.read(Reg::Ecx), 1);
+    }
+
+    #[test]
+    fn logic_clears_carry() {
+        let mut c = cpu();
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(3)),
+                sub(Reg::Eax.into(), Operand::Imm(5)), // CF=1
+                and(Reg::Eax.into(), Operand::Imm(0xff)),
+            ],
+        );
+        assert!(!c.flags.c && !c.flags.v);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let mut c = cpu();
+        c.write(Reg::Ebp, 0x1_0000);
+        run(
+            &mut c,
+            &[
+                mov(Mem::base_disp(Reg::Ebp, 8).into(), Operand::Imm(0x1234)),
+                mov(Reg::Eax.into(), Mem::base_disp(Reg::Ebp, 8).into()),
+                add(Mem::base_disp(Reg::Ebp, 8).into(), Operand::Imm(1)),
+                mov(Reg::Ecx.into(), Mem::base_disp(Reg::Ebp, 8).into()),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), 0x1234);
+        assert_eq!(c.read(Reg::Ecx), 0x1235);
+    }
+
+    #[test]
+    fn narrow_moves() {
+        let mut c = cpu();
+        c.write(Reg::Ebp, 0x1_0000);
+        run(
+            &mut c,
+            &[
+                mov(Mem::base(Reg::Ebp).into(), Operand::Imm(-1)),
+                mov(Reg::Eax.into(), Operand::Imm(0xab)),
+                movb(Mem::base(Reg::Ebp).into(), Reg::Eax.into()),
+                movzxb(Reg::Ecx.into(), Mem::base(Reg::Ebp).into()),
+                movzxw(Reg::Edx.into(), Mem::base(Reg::Ebp).into()),
+            ],
+        );
+        assert_eq!(c.read(Reg::Ecx), 0xab);
+        assert_eq!(c.read(Reg::Edx), 0xffab);
+    }
+
+    #[test]
+    fn lea_computes_address() {
+        let mut c = cpu();
+        c.write(Reg::Ebx, 100);
+        c.write(Reg::Ecx, 20);
+        run(
+            &mut c,
+            &[lea(
+                Reg::Eax.into(),
+                Mem {
+                    base: Some(Reg::Ebx),
+                    index: Some(Reg::Ecx),
+                    disp: 3,
+                }
+                .into(),
+            )],
+        );
+        assert_eq!(c.read(Reg::Eax), 123);
+    }
+
+    #[test]
+    fn shifts_and_flags() {
+        let mut c = cpu();
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(1)),
+                shl(Reg::Eax.into(), Operand::Imm(4)),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), 16);
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(3)),
+                shr(Reg::Eax.into(), Operand::Imm(1)),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), 1);
+        assert!(c.flags.c);
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(i32::MIN)),
+                sar(Reg::Eax.into(), Operand::Imm(31)),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), u32::MAX);
+    }
+
+    #[test]
+    fn mul_and_bsr() {
+        let mut c = cpu();
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(6)),
+                imul(Reg::Eax.into(), Operand::Imm(7)),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), 42);
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(-1)),
+                mov(Reg::Ecx.into(), Operand::Imm(16)),
+                mul_wide(Reg::Ecx.into()),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), 0xffff_fff0);
+        assert_eq!(c.read(Reg::Edx), 0xf);
+        run(
+            &mut c,
+            &[
+                mov(Reg::Ecx.into(), Operand::Imm(0x10)),
+                bsr(Reg::Eax.into(), Reg::Ecx.into()),
+            ],
+        );
+        assert_eq!(c.read(Reg::Eax), 4);
+        assert!(!c.flags.z);
+        run(
+            &mut c,
+            &[
+                mov(Reg::Ecx.into(), Operand::Imm(0)),
+                bsr(Reg::Eax.into(), Reg::Ecx.into()),
+            ],
+        );
+        assert!(c.flags.z);
+    }
+
+    #[test]
+    fn not_neg() {
+        let mut c = cpu();
+        run(
+            &mut c,
+            &[mov(Reg::Eax.into(), Operand::Imm(0)), not(Reg::Eax.into())],
+        );
+        assert_eq!(c.read(Reg::Eax), u32::MAX);
+        run(
+            &mut c,
+            &[mov(Reg::Eax.into(), Operand::Imm(5)), neg(Reg::Eax.into())],
+        );
+        assert_eq!(c.read(Reg::Eax) as i32, -5);
+        assert!(c.flags.c, "neg of nonzero sets CF");
+    }
+
+    #[test]
+    fn push_pop() {
+        let mut c = cpu();
+        let sp0 = c.read(Reg::Esp);
+        run(
+            &mut c,
+            &[
+                push(Operand::Imm(11)),
+                push(Operand::Imm(22)),
+                pop(Reg::Eax.into()),
+                pop(Reg::Ecx.into()),
+            ],
+        );
+        assert_eq!((c.read(Reg::Eax), c.read(Reg::Ecx)), (22, 11));
+        assert_eq!(c.read(Reg::Esp), sp0);
+    }
+
+    #[test]
+    fn internal_jumps_and_exits() {
+        let mut c = cpu();
+        // if eax == 0 { ecx = 1 } else { ecx = 2 }
+        let block = [
+            mov(Reg::Eax.into(), Operand::Imm(0)),
+            test(Reg::Eax.into(), Reg::Eax.into()),
+            jcc(Cc::Ne, 2),
+            mov(Reg::Ecx.into(), Operand::Imm(1)),
+            jmp_rel(1),
+            mov(Reg::Ecx.into(), Operand::Imm(2)),
+            hlt(),
+        ];
+        assert_eq!(run(&mut c, &block), BlockExit::Halted);
+        assert_eq!(c.read(Reg::Ecx), 1);
+    }
+
+    #[test]
+    fn block_exit_jump() {
+        let mut c = cpu();
+        let exit = run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(0x40)),
+                jmp_exit(Reg::Eax.into()),
+            ],
+        );
+        assert_eq!(exit, BlockExit::Jumped(0x40));
+        let exit = run(&mut c, &[jmp_exit(Operand::Imm(0x2000))]);
+        assert_eq!(exit, BlockExit::Jumped(0x2000));
+    }
+
+    #[test]
+    fn out_and_setcc() {
+        let mut c = cpu();
+        run(
+            &mut c,
+            &[
+                mov(Reg::Eax.into(), Operand::Imm(7)),
+                out(),
+                cmp(Reg::Eax.into(), Operand::Imm(7)),
+                setcc(Cc::E, Reg::Ecx.into()),
+            ],
+        );
+        assert_eq!(c.output, vec![7]);
+        assert_eq!(c.read(Reg::Ecx), 1);
+    }
+
+    #[test]
+    fn float_ops() {
+        let mut c = cpu();
+        c.write_x(Xmm::new(1), 2.0);
+        c.write_x(Xmm::new(2), 8.0);
+        run(
+            &mut c,
+            &[
+                movss(Xmm::new(0).into(), Xmm::new(1).into()),
+                addss(Xmm::new(0), Xmm::new(2).into()),
+                divss(Xmm::new(0), Xmm::new(1).into()),
+            ],
+        );
+        assert_eq!(c.read_x(Xmm::new(0)), 5.0);
+        run(&mut c, &[ucomiss(Xmm::new(1), Xmm::new(2).into())]);
+        assert!(c.flags.c && !c.flags.z, "2.0 < 8.0");
+    }
+
+    #[test]
+    fn budget_and_bad_jump() {
+        let mut c = cpu();
+        let spin = [jmp_rel(-1)];
+        assert!(matches!(
+            exec_block(&mut c, &spin, 5),
+            Err(ExecError::Timeout { .. })
+        ));
+        let wild = [jmp_rel(100)];
+        assert!(matches!(
+            exec_block(&mut c, &wild, 5),
+            Err(ExecError::BadPc { .. })
+        ));
+    }
+
+    #[test]
+    fn fell_off_end() {
+        let mut c = cpu();
+        assert_eq!(
+            run(&mut c, &[mov(Reg::Eax.into(), Operand::Imm(1))]),
+            BlockExit::Fell
+        );
+    }
+
+    #[test]
+    fn call_ret_rejected() {
+        let mut c = cpu();
+        assert!(matches!(
+            exec_block(&mut c, &[ret()], 5),
+            Err(ExecError::Undefined { .. })
+        ));
+    }
+}

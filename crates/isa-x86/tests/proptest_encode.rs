@@ -1,0 +1,107 @@
+//! Property tests: host instructions survive the variable-length binary
+//! encode/decode roundtrip, and arbitrary bytes never panic the decoder.
+
+use pdbt_isa_x86::{builders as h, decode, encode, Cc, Inst, Mem, Operand, Reg, Xmm};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0usize..8).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn mem() -> impl Strategy<Value = Mem> {
+    (
+        proptest::option::of(reg()),
+        proptest::option::of(reg()),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| Mem { base, index, disp })
+}
+
+fn rm() -> impl Strategy<Value = Operand> {
+    prop_oneof![reg().prop_map(Operand::Reg), mem().prop_map(Operand::Mem)]
+}
+
+fn rmi() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        mem().prop_map(Operand::Mem),
+        any::<i32>().prop_map(Operand::Imm),
+    ]
+}
+
+fn cc() -> impl Strategy<Value = Cc> {
+    (0usize..14).prop_map(|i| Cc::ALL[i])
+}
+
+fn not_both_mem(a: &Operand, b: &Operand) -> bool {
+    !(matches!(a, Operand::Mem(_)) && matches!(b, Operand::Mem(_)))
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (0usize..15, rm(), rmi())
+            .prop_filter("mem-mem is illegal", |(_, a, b)| not_both_mem(a, b))
+            .prop_map(|(opi, dst, src)| {
+                type B = fn(Operand, Operand) -> Inst;
+                const OPS: [B; 15] = [
+                    h::mov,
+                    h::add,
+                    h::adc,
+                    h::sub,
+                    h::sbb,
+                    h::and,
+                    h::or,
+                    h::xor,
+                    h::imul,
+                    h::shl,
+                    h::shr,
+                    h::sar,
+                    h::ror,
+                    h::cmp,
+                    h::test,
+                ];
+                OPS[opi](dst, src)
+            }),
+        rm().prop_map(h::not),
+        rm().prop_map(h::neg),
+        rm().prop_map(h::mul_wide),
+        rm().prop_map(h::push),
+        rm().prop_map(h::pop),
+        (reg(), rm()).prop_map(|(d, s)| h::bsr(d.into(), s)),
+        (reg(), mem()).prop_map(|(d, m)| h::lea(d.into(), m.into())),
+        (reg(), mem()).prop_map(|(d, m)| h::movzxb(d.into(), m.into())),
+        (mem(), reg()).prop_map(|(m, s)| h::movb(m.into(), s.into())),
+        any::<i32>().prop_map(h::jmp_rel),
+        rmi().prop_map(h::jmp_exit),
+        (cc(), any::<i32>()).prop_map(|(c, d)| h::jcc(c, d)),
+        (cc(), rm()).prop_map(|(c, d)| h::setcc(c, d)),
+        Just(h::ret()),
+        Just(h::out()),
+        Just(h::hlt()),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| h::addss(Xmm::new(a), Xmm::new(b).into())),
+        (0u8..8, mem()).prop_map(|(a, m)| h::movss(Xmm::new(a).into(), m.into())),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| h::ucomiss(Xmm::new(a), Xmm::new(b).into())),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip(i in inst()) {
+        let bytes = encode(&i).expect("valid instructions encode");
+        let (back, used) = decode(&bytes).expect("encoded bytes decode");
+        prop_assert_eq!(back, i);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn block_roundtrip(is in proptest::collection::vec(inst(), 0..12)) {
+        let bytes = pdbt_isa_x86::encode_block(&is).expect("encodes");
+        let back = pdbt_isa_x86::decode_block(&bytes).expect("decodes");
+        prop_assert_eq!(back, is);
+    }
+}

@@ -1,0 +1,90 @@
+//! The common execution-error type for both machine interpreters.
+
+use crate::Addr;
+use std::fmt;
+
+/// An error raised while interpreting guest or host code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A load or store touched an address outside the mapped memory.
+    MemoryFault {
+        /// The faulting address.
+        addr: Addr,
+    },
+    /// An unaligned access where the model requires alignment.
+    Unaligned {
+        /// The faulting address.
+        addr: Addr,
+        /// The required alignment in bytes.
+        align: u32,
+    },
+    /// The program counter left the text section.
+    BadPc {
+        /// The faulting program-counter value.
+        pc: Addr,
+    },
+    /// An instruction whose operand shape is invalid for its opcode.
+    MalformedInstruction {
+        /// Human-readable description of the shape violation.
+        detail: String,
+    },
+    /// Integer division by zero.
+    DivideByZero,
+    /// The interpreter exceeded its instruction budget (runaway guest).
+    Timeout {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// An undefined or unimplemented operation was executed.
+    Undefined {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MemoryFault { addr } => write!(f, "memory fault at {addr:#010x}"),
+            ExecError::Unaligned { addr, align } => {
+                write!(
+                    f,
+                    "unaligned access at {addr:#010x} (requires {align}-byte alignment)"
+                )
+            }
+            ExecError::BadPc { pc } => write!(f, "program counter left text section: {pc:#010x}"),
+            ExecError::MalformedInstruction { detail } => {
+                write!(f, "malformed instruction: {detail}")
+            }
+            ExecError::DivideByZero => f.write_str("integer division by zero"),
+            ExecError::Timeout { budget } => {
+                write!(f, "execution exceeded budget of {budget} instructions")
+            }
+            ExecError::Undefined { detail } => write!(f, "undefined operation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExecError::MemoryFault { addr: 0x1000 };
+        assert!(e.to_string().contains("0x00001000"));
+        let e = ExecError::Unaligned { addr: 3, align: 4 };
+        assert!(e.to_string().contains("4-byte"));
+        let e = ExecError::Timeout { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ExecError>();
+    }
+}

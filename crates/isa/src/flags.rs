@@ -1,0 +1,306 @@
+//! Condition flags shared by the guest and host machine models.
+//!
+//! The guest (ARM-like) calls them N/Z/C/V in `CPSR`; the host (x86-like)
+//! calls them SF/ZF/CF/OF in `EFLAGS`. The paper's condition-flag delegation
+//! (§IV-B, §IV-D) relies on the fact that "a large part of the condition
+//! codes are the same in all ISAs", so both models share this one
+//! representation and the delegation analysis maps N↔SF, Z↔ZF, C↔CF, V↔OF.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+
+/// One condition flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Flag {
+    /// Negative (ARM N, x86 SF).
+    N,
+    /// Zero (ARM Z, x86 ZF).
+    Z,
+    /// Carry (ARM C, x86 CF — note ARM borrow semantics are inverted; the
+    /// machine models handle that in their interpreters).
+    C,
+    /// Overflow (ARM V, x86 OF).
+    V,
+}
+
+impl Flag {
+    /// All four flags in canonical order.
+    pub const ALL: [Flag; 4] = [Flag::N, Flag::Z, Flag::C, Flag::V];
+
+    fn bit(self) -> u8 {
+        match self {
+            Flag::N => 1 << 0,
+            Flag::Z => 1 << 1,
+            Flag::C => 1 << 2,
+            Flag::V => 1 << 3,
+        }
+    }
+}
+
+impl fmt::Display for Flag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Flag::N => "N",
+            Flag::Z => "Z",
+            Flag::C => "C",
+            Flag::V => "V",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of condition flags, e.g. the flags an instruction defines or reads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct FlagSet(u8);
+
+impl FlagSet {
+    /// The empty set.
+    pub const EMPTY: FlagSet = FlagSet(0);
+    /// All four flags.
+    pub const NZCV: FlagSet = FlagSet(0b1111);
+    /// N and Z only (logical operations on the guest).
+    pub const NZ: FlagSet = FlagSet(0b0011);
+    /// N, Z and C (shifter-carry logical operations).
+    pub const NZC: FlagSet = FlagSet(0b0111);
+
+    /// Creates a set from an iterator of flags.
+    pub fn from_flags<I: IntoIterator<Item = Flag>>(iter: I) -> FlagSet {
+        let mut s = FlagSet::EMPTY;
+        for f in iter {
+            s |= FlagSet::single(f);
+        }
+        s
+    }
+
+    /// The singleton set `{f}`.
+    #[must_use]
+    pub fn single(f: Flag) -> FlagSet {
+        FlagSet(f.bit())
+    }
+
+    /// Whether the set contains `f`.
+    #[must_use]
+    pub fn contains(self, f: Flag) -> bool {
+        self.0 & f.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self` and `other` share any flag.
+    #[must_use]
+    pub fn intersects(self, other: FlagSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether every flag in `other` is also in `self`.
+    #[must_use]
+    pub fn contains_all(self, other: FlagSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Iterates over the flags in the set in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = Flag> {
+        Flag::ALL.into_iter().filter(move |f| self.contains(*f))
+    }
+
+    /// Number of flags in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+impl BitOr for FlagSet {
+    type Output = FlagSet;
+    fn bitor(self, rhs: FlagSet) -> FlagSet {
+        FlagSet(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for FlagSet {
+    fn bitor_assign(&mut self, rhs: FlagSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for FlagSet {
+    type Output = FlagSet;
+    fn bitand(self, rhs: FlagSet) -> FlagSet {
+        FlagSet(self.0 & rhs.0)
+    }
+}
+
+impl Sub for FlagSet {
+    type Output = FlagSet;
+    fn sub(self, rhs: FlagSet) -> FlagSet {
+        FlagSet(self.0 & !rhs.0)
+    }
+}
+
+impl Not for FlagSet {
+    type Output = FlagSet;
+    fn not(self) -> FlagSet {
+        FlagSet(!self.0 & 0b1111)
+    }
+}
+
+impl FromIterator<Flag> for FlagSet {
+    fn from_iter<I: IntoIterator<Item = Flag>>(iter: I) -> FlagSet {
+        FlagSet::from_flags(iter)
+    }
+}
+
+impl fmt::Debug for FlagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlagSet{{")?;
+        for flag in self.iter() {
+            write!(f, "{flag}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for FlagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("-");
+        }
+        for flag in self.iter() {
+            write!(f, "{flag}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Concrete values of the four condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Negative / sign flag.
+    pub n: bool,
+    /// Zero flag.
+    pub z: bool,
+    /// Carry flag.
+    pub c: bool,
+    /// Overflow flag.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Reads one flag.
+    #[must_use]
+    pub fn get(&self, f: Flag) -> bool {
+        match f {
+            Flag::N => self.n,
+            Flag::Z => self.z,
+            Flag::C => self.c,
+            Flag::V => self.v,
+        }
+    }
+
+    /// Writes one flag.
+    pub fn set(&mut self, f: Flag, val: bool) {
+        match f {
+            Flag::N => self.n = val,
+            Flag::Z => self.z = val,
+            Flag::C => self.c = val,
+            Flag::V => self.v = val,
+        }
+    }
+
+    /// Sets N and Z from a 32-bit result.
+    pub fn set_nz(&mut self, result: u32) {
+        self.n = (result as i32) < 0;
+        self.z = result == 0;
+    }
+
+    /// Copies only the flags in `mask` from `other`.
+    pub fn copy_masked(&mut self, other: Flags, mask: FlagSet) {
+        for f in mask.iter() {
+            self.set(f, other.get(f));
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.n { 'N' } else { 'n' },
+            if self.z { 'Z' } else { 'z' },
+            if self.c { 'C' } else { 'c' },
+            if self.v { 'V' } else { 'v' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagset_ops() {
+        let nz = FlagSet::single(Flag::N) | FlagSet::single(Flag::Z);
+        assert_eq!(nz, FlagSet::NZ);
+        assert!(nz.contains(Flag::N));
+        assert!(!nz.contains(Flag::C));
+        assert!(nz.intersects(FlagSet::NZCV));
+        assert!(FlagSet::NZCV.contains_all(nz));
+        assert!(!nz.contains_all(FlagSet::NZCV));
+        assert_eq!((FlagSet::NZCV - nz).len(), 2);
+        assert_eq!(!FlagSet::NZCV, FlagSet::EMPTY);
+        assert_eq!(nz.iter().collect::<Vec<_>>(), vec![Flag::N, Flag::Z]);
+    }
+
+    #[test]
+    fn flagset_display() {
+        assert_eq!(FlagSet::EMPTY.to_string(), "-");
+        assert_eq!(FlagSet::NZCV.to_string(), "NZCV");
+        assert_eq!(format!("{:?}", FlagSet::NZ), "FlagSet{NZ}");
+    }
+
+    #[test]
+    fn flags_set_nz() {
+        let mut f = Flags::default();
+        f.set_nz(0);
+        assert!(f.z && !f.n);
+        f.set_nz(0x8000_0000);
+        assert!(!f.z && f.n);
+        f.set_nz(7);
+        assert!(!f.z && !f.n);
+    }
+
+    #[test]
+    fn flags_copy_masked() {
+        let mut a = Flags::default();
+        let b = Flags {
+            n: true,
+            z: true,
+            c: true,
+            v: true,
+        };
+        a.copy_masked(b, FlagSet::NZ);
+        assert!(a.n && a.z && !a.c && !a.v);
+    }
+
+    #[test]
+    fn flags_get_set_roundtrip() {
+        let mut f = Flags::default();
+        for flag in Flag::ALL {
+            f.set(flag, true);
+            assert!(f.get(flag));
+            f.set(flag, false);
+            assert!(!f.get(flag));
+        }
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: FlagSet = [Flag::C, Flag::V].into_iter().collect();
+        assert!(s.contains(Flag::C) && s.contains(Flag::V) && s.len() == 2);
+    }
+}

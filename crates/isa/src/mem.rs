@@ -1,0 +1,207 @@
+//! A simple paged, little-endian memory shared by the guest and host
+//! machine models.
+//!
+//! Pages are allocated on demand inside explicitly mapped regions;
+//! accesses outside any mapped region fault, which is how the interpreters
+//! catch miscompiled or mistranslated address arithmetic.
+
+use crate::{Addr, ExecError, Width};
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: u32 = 1 << PAGE_BITS;
+
+/// Little-endian byte-addressable memory with demand-paged storage.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    regions: Vec<(Addr, Addr)>, // [start, end) mapped ranges
+}
+
+impl Memory {
+    /// Creates an empty memory with no mapped regions.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Maps `[base, base + size)` as accessible. Overlapping maps are
+    /// allowed and merged logically.
+    pub fn map(&mut self, base: Addr, size: u32) {
+        assert!(size > 0, "cannot map an empty region");
+        let end = base
+            .checked_add(size)
+            .expect("region wraps the address space");
+        self.regions.push((base, end));
+    }
+
+    /// Whether `[addr, addr + len)` lies inside one mapped region.
+    #[must_use]
+    pub fn is_mapped(&self, addr: Addr, len: u32) -> bool {
+        let Some(end) = addr.checked_add(len) else {
+            return false;
+        };
+        self.regions.iter().any(|&(s, e)| addr >= s && end <= e)
+    }
+
+    fn check(&self, addr: Addr, len: u32) -> Result<(), ExecError> {
+        if self.is_mapped(addr, len) {
+            Ok(())
+        } else {
+            Err(ExecError::MemoryFault { addr })
+        }
+    }
+
+    fn byte(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    fn byte_mut(&mut self, addr: Addr) -> &mut u8 {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        &mut page[(addr & (PAGE_SIZE - 1)) as usize]
+    }
+
+    /// Loads a value of the given width, zero-extended to 32 bits.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemoryFault`] if any byte of the access is unmapped.
+    pub fn load(&self, addr: Addr, width: Width) -> Result<u32, ExecError> {
+        self.check(addr, width.bytes())?;
+        let mut v = 0u32;
+        for i in 0..width.bytes() {
+            v |= u32::from(self.byte(addr + i)) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Stores the low `width` bits of `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemoryFault`] if any byte of the access is unmapped.
+    pub fn store(&mut self, addr: Addr, value: u32, width: Width) -> Result<(), ExecError> {
+        self.check(addr, width.bytes())?;
+        for i in 0..width.bytes() {
+            *self.byte_mut(addr + i) = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Loads a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::load`].
+    pub fn load32(&self, addr: Addr) -> Result<u32, ExecError> {
+        self.load(addr, Width::B32)
+    }
+
+    /// Stores a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::store`].
+    pub fn store32(&mut self, addr: Addr, value: u32) -> Result<(), ExecError> {
+        self.store(addr, value, Width::B32)
+    }
+
+    /// Writes a byte slice starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemoryFault`] if the range is unmapped.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), ExecError> {
+        self.check(addr, bytes.len() as u32)?;
+        for (i, b) in bytes.iter().enumerate() {
+            *self.byte_mut(addr + i as u32) = *b;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemoryFault`] if the range is unmapped.
+    pub fn read_bytes(&self, addr: Addr, len: u32) -> Result<Vec<u8>, ExecError> {
+        self.check(addr, len)?;
+        Ok((0..len).map(|i| self.byte(addr + i)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = Memory::new();
+        assert_eq!(
+            m.load32(0x1000),
+            Err(ExecError::MemoryFault { addr: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn map_load_store_roundtrip() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000);
+        m.store32(0x1000, 0xdead_beef).unwrap();
+        assert_eq!(m.load32(0x1000).unwrap(), 0xdead_beef);
+        // Little-endian byte order.
+        assert_eq!(m.load(0x1000, Width::B8).unwrap(), 0xef);
+        assert_eq!(m.load(0x1001, Width::B8).unwrap(), 0xbe);
+        assert_eq!(m.load(0x1000, Width::B16).unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn narrow_store_preserves_neighbors() {
+        let mut m = Memory::new();
+        m.map(0, 0x100);
+        m.store32(0, 0x1122_3344).unwrap();
+        m.store(1, 0xaa, Width::B8).unwrap();
+        assert_eq!(m.load32(0).unwrap(), 0x1122_aa44);
+        m.store(2, 0xbbcc, Width::B16).unwrap();
+        assert_eq!(m.load32(0).unwrap(), 0xbbcc_aa44);
+    }
+
+    #[test]
+    fn boundary_access_fails_partially_outside() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x10);
+        assert!(m.load32(0x100c).is_ok());
+        assert!(m.load32(0x100d).is_err());
+        assert!(m.load(0x100f, Width::B8).is_ok());
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.map(0, 0x3000);
+        m.store32(0xffe, 0xcafe_f00d).unwrap();
+        assert_eq!(m.load32(0xffe).unwrap(), 0xcafe_f00d);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = Memory::new();
+        m.map(0x2000, 0x100);
+        m.write_bytes(0x2000, &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(m.read_bytes(0x2000, 5).unwrap(), vec![1, 2, 3, 4, 5]);
+        assert!(m.write_bytes(0x20fe, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let mut m = Memory::new();
+        m.map(0x5000, 0x100);
+        assert_eq!(m.load32(0x5000).unwrap(), 0);
+    }
+}

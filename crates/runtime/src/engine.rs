@@ -1,0 +1,448 @@
+//! The DBT engine: code cache, dispatcher, metrics.
+//!
+//! Translated blocks are cached by guest address ("code cache", paper
+//! §V-B1) and executed on the host model; the dispatcher follows block
+//! exits until the guest program halts. Executed host instructions are
+//! attributed to their [`CodeClass`], which is the measurement behind
+//! Table II, Fig 13 and the instruction-count performance proxy.
+
+use crate::translate::{
+    translate_block, CodeClass, TranslateConfig, TranslateError, TranslatedBlock,
+};
+use pdbt_core::RuleSet;
+use pdbt_ir::env;
+use pdbt_isa::{Addr, ExecError};
+use pdbt_isa_arm::{Program, Reg as GReg};
+use pdbt_isa_x86::{exec_block_traced, BlockExit, Cpu as HostCpu, Reg as HReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Base address of the guest environment block in host memory.
+pub const ENV_BASE: Addr = 0xE000_0000;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Translation knobs.
+    pub translate: TranslateConfig,
+}
+
+/// Guest memory layout and entry state for a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunSetup {
+    /// Regions to map (base, size) — data, stack, …; guest memory is
+    /// identity-mapped into host memory (user-mode DBT).
+    pub maps: Vec<(Addr, u32)>,
+    /// Initial guest register values (index = register number).
+    pub regs: [u32; 16],
+    /// Initial memory contents: (address, words).
+    pub init_words: Vec<(Addr, Vec<u32>)>,
+    /// Guest instruction budget.
+    pub max_guest: u64,
+}
+
+impl RunSetup {
+    /// A setup with one data region and one stack region, `sp` at the
+    /// stack top.
+    #[must_use]
+    pub fn basic(data_base: Addr, data_size: u32, stack_base: Addr, stack_size: u32) -> RunSetup {
+        let mut regs = [0u32; 16];
+        regs[GReg::Sp.index()] = stack_base + stack_size;
+        RunSetup {
+            maps: vec![(data_base, data_size), (stack_base, stack_size)],
+            regs,
+            init_words: Vec::new(),
+            max_guest: 50_000_000,
+        }
+    }
+}
+
+/// Aggregated run metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Guest instructions retired (dynamic).
+    pub guest_retired: u64,
+    /// Guest instructions translated through rules (dynamic), including
+    /// delegated terminal branches.
+    pub rule_covered: u64,
+    /// Executed host instructions by [`CodeClass`] index.
+    pub host_by_class: [u64; 4],
+    /// Blocks translated (static) and executed (dynamic).
+    pub blocks_translated: u64,
+    /// Block executions.
+    pub blocks_executed: u64,
+    /// Host instructions generated (static).
+    pub host_generated: u64,
+}
+
+impl Metrics {
+    /// Dynamic coverage: fraction of retired guest instructions that
+    /// were rule-translated (paper Figs 12/14/16).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.guest_retired == 0 {
+            return 0.0;
+        }
+        self.rule_covered as f64 / self.guest_retired as f64
+    }
+
+    /// Total executed host instructions — the deterministic performance
+    /// proxy ("program execution time is directly proportionate to the
+    /// number of instructions executed", §V-B1).
+    #[must_use]
+    pub fn host_executed(&self) -> u64 {
+        self.host_by_class.iter().sum()
+    }
+
+    /// Host instructions per guest instruction for one class (the
+    /// columns of Table II).
+    #[must_use]
+    pub fn ratio(&self, class: CodeClass) -> f64 {
+        if self.guest_retired == 0 {
+            return 0.0;
+        }
+        self.host_by_class[class.index()] as f64 / self.guest_retired as f64
+    }
+
+    /// Total host instructions per guest instruction (Fig 13).
+    #[must_use]
+    pub fn total_ratio(&self) -> f64 {
+        if self.guest_retired == 0 {
+            return 0.0;
+        }
+        self.host_executed() as f64 / self.guest_retired as f64
+    }
+}
+
+/// The result of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Run metrics.
+    pub metrics: Metrics,
+    /// The guest's observable output stream.
+    pub output: Vec<u32>,
+}
+
+/// A runtime failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Translation failed.
+    Translate(TranslateError),
+    /// Host execution failed.
+    Exec(ExecError),
+    /// The guest instruction budget was exhausted.
+    Budget,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Translate(e) => write!(f, "{e}"),
+            EngineError::Exec(e) => write!(f, "execution error: {e}"),
+            EngineError::Budget => f.write_str("guest instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TranslateError> for EngineError {
+    fn from(e: TranslateError) -> EngineError {
+        EngineError::Translate(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> EngineError {
+        EngineError::Exec(e)
+    }
+}
+
+/// The dynamic binary translator.
+#[derive(Debug)]
+pub struct Engine {
+    rules: Option<RuleSet>,
+    cfg: EngineConfig,
+    cache: HashMap<Addr, TranslatedBlock>,
+    metrics: Metrics,
+}
+
+impl Engine {
+    /// Creates an engine. `rules = None` is the pure QEMU-path baseline.
+    #[must_use]
+    pub fn new(rules: Option<RuleSet>, cfg: EngineConfig) -> Engine {
+        Engine {
+            rules,
+            cfg,
+            cache: HashMap::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// The accumulated metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Clears the code cache and metrics.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.metrics = Metrics::default();
+    }
+
+    /// Translates (or fetches from cache) the block at `pc`.
+    fn block(&mut self, prog: &Program, pc: Addr) -> Result<&TranslatedBlock, EngineError> {
+        if !self.cache.contains_key(&pc) {
+            let block = translate_block(prog, pc, self.rules.as_ref(), &self.cfg.translate)?;
+            self.metrics.blocks_translated += 1;
+            self.metrics.host_generated += block.code.len() as u64;
+            self.cache.insert(pc, block);
+        }
+        Ok(&self.cache[&pc])
+    }
+
+    /// Runs a guest program under the DBT.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] on translation or execution failures, or when the
+    /// guest budget runs out.
+    pub fn run(&mut self, prog: &Program, setup: &RunSetup) -> Result<Report, EngineError> {
+        let mut host = HostCpu::new();
+        // The environment block.
+        host.mem.map(ENV_BASE, env::ENV_SIZE);
+        host.write(HReg::Ebp, ENV_BASE);
+        // Identity-map guest memory.
+        for (base, size) in &setup.maps {
+            host.mem.map(*base, *size);
+        }
+        for (addr, words) in &setup.init_words {
+            for (i, w) in words.iter().enumerate() {
+                host.mem.store32(addr + (i as u32) * 4, *w)?;
+            }
+        }
+        // Seed guest registers into the environment.
+        for r in GReg::ALL {
+            host.mem.store32(
+                ENV_BASE.wrapping_add(env::reg_offset(r) as u32),
+                setup.regs[r.index()],
+            )?;
+        }
+        let mut pc = prog.base();
+        loop {
+            if self.metrics.guest_retired >= setup.max_guest {
+                return Err(EngineError::Budget);
+            }
+            let (code_len, exit, counts) = {
+                let block = self.block(prog, pc)?;
+                let (exit, _stats, counts) = exec_block_traced(&mut host, &block.code, 1_000_000)?;
+                (block.code.len(), exit, counts)
+            };
+            let block = &self.cache[&pc];
+            debug_assert_eq!(code_len, block.classes.len());
+            for (i, c) in counts.iter().enumerate() {
+                self.metrics.host_by_class[block.classes[i].index()] += u64::from(*c);
+            }
+            self.metrics.blocks_executed += 1;
+            self.metrics.guest_retired += u64::from(block.guest_len);
+            self.metrics.rule_covered += u64::from(block.rule_covered);
+            match exit {
+                BlockExit::Jumped(next) => pc = next,
+                BlockExit::Halted => break,
+                BlockExit::Fell => {
+                    return Err(EngineError::Exec(ExecError::BadPc { pc }));
+                }
+            }
+        }
+        Ok(Report {
+            metrics: self.metrics.clone(),
+            output: host.output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdbt_isa::Cond;
+    use pdbt_isa_arm::builders as g;
+    use pdbt_isa_arm::{Cpu as GuestCpu, Operand as O, Reg};
+
+    fn countdown_program() -> Program {
+        Program::new(
+            0x1000,
+            vec![
+                g::mov(Reg::R0, O::Imm(5)),
+                g::mov(Reg::R1, O::Imm(0)),
+                g::add(Reg::R1, Reg::R1, O::Reg(Reg::R0)),
+                g::sub(Reg::R0, Reg::R0, O::Imm(1)).with_s(),
+                g::b(Cond::Ne, -8),
+                g::mov(Reg::R0, O::Reg(Reg::R1)),
+                g::svc(1),
+                g::svc(0),
+            ],
+        )
+    }
+
+    fn setup() -> RunSetup {
+        RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000)
+    }
+
+    #[test]
+    fn qemu_only_engine_matches_interpreter() {
+        let prog = countdown_program();
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let report = engine.run(&prog, &setup()).expect("runs");
+        assert_eq!(report.output, vec![15]);
+        assert_eq!(report.metrics.coverage(), 0.0, "no rules, no coverage");
+        assert_eq!(report.metrics.guest_retired, 20);
+        // And the golden interpreter agrees.
+        let mut cpu = GuestCpu::new();
+        pdbt_isa_arm::run(&mut cpu, &prog, 10_000).unwrap();
+        assert_eq!(cpu.output, report.output);
+    }
+
+    #[test]
+    fn code_cache_reuses_blocks() {
+        let prog = countdown_program();
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let report = engine.run(&prog, &setup()).unwrap();
+        // The loop block executes 5 times but translates once.
+        assert!(report.metrics.blocks_executed > report.metrics.blocks_translated);
+    }
+
+    #[test]
+    fn class_accounting_covers_all_executed() {
+        let prog = countdown_program();
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let report = engine.run(&prog, &setup()).unwrap();
+        assert!(report.metrics.host_executed() > report.metrics.guest_retired);
+        assert!(report.metrics.host_by_class[CodeClass::Control.index()] > 0);
+        assert!(report.metrics.host_by_class[CodeClass::QemuCore.index()] > 0);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let prog = Program::new(0, vec![g::b(Cond::Al, 0)]);
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let mut s = setup();
+        s.max_guest = 100;
+        assert!(matches!(engine.run(&prog, &s), Err(EngineError::Budget)));
+    }
+}
+
+#[cfg(test)]
+mod engine_edge_tests {
+    use super::*;
+    use pdbt_isa_arm::builders as g;
+    use pdbt_isa_arm::{Operand as O, Program, Reg};
+
+    fn tiny_program() -> Program {
+        Program::new(
+            0x1000,
+            vec![g::mov(Reg::R0, O::Imm(1)), g::svc(1), g::svc(0)],
+        )
+    }
+
+    #[test]
+    fn reset_clears_cache_and_metrics() {
+        let prog = tiny_program();
+        let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        let mut engine = Engine::new(None, EngineConfig::default());
+        engine.run(&prog, &setup).unwrap();
+        assert!(engine.metrics().blocks_translated > 0);
+        engine.reset();
+        assert_eq!(engine.metrics().blocks_translated, 0);
+        assert_eq!(engine.metrics().guest_retired, 0);
+        // And it still runs after a reset.
+        let r = engine.run(&prog, &setup).unwrap();
+        assert_eq!(r.output, vec![1]);
+    }
+
+    #[test]
+    fn rerun_reuses_the_code_cache() {
+        let prog = tiny_program();
+        let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        let mut engine = Engine::new(None, EngineConfig::default());
+        engine.run(&prog, &setup).unwrap();
+        let translated_once = engine.metrics().blocks_translated;
+        engine.run(&prog, &setup).unwrap();
+        assert_eq!(
+            engine.metrics().blocks_translated,
+            translated_once,
+            "second run translates nothing new"
+        );
+        assert_eq!(engine.metrics().blocks_executed, 2);
+    }
+
+    #[test]
+    fn unmapped_guest_memory_faults_cleanly() {
+        let prog = Program::new(
+            0x1000,
+            vec![
+                g::mov(Reg::R1, O::Imm(0x40)),
+                g::lsl(Reg::R1, Reg::R1, O::Imm(12)), // 0x40000: unmapped
+                g::ldr(
+                    Reg::R0,
+                    pdbt_isa_arm::MemAddr::BaseImm {
+                        base: Reg::R1,
+                        offset: 0,
+                    },
+                ),
+                g::svc(0),
+            ],
+        );
+        let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        let mut engine = Engine::new(None, EngineConfig::default());
+        assert!(matches!(
+            engine.run(&prog, &setup),
+            Err(EngineError::Exec(_))
+        ));
+    }
+
+    #[test]
+    fn init_words_are_visible_to_the_guest() {
+        let prog = Program::new(
+            0x1000,
+            vec![
+                g::mov(Reg::R1, O::Imm(0x100)),
+                g::lsl(Reg::R1, Reg::R1, O::Imm(12)),
+                g::ldr(
+                    Reg::R0,
+                    pdbt_isa_arm::MemAddr::BaseImm {
+                        base: Reg::R1,
+                        offset: 8,
+                    },
+                ),
+                g::svc(1),
+                g::svc(0),
+            ],
+        );
+        let mut setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        setup.init_words.push((0x10_0008, vec![0xdead_beef]));
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let r = engine.run(&prog, &setup).unwrap();
+        assert_eq!(r.output, vec![0xdead_beef]);
+    }
+
+    #[test]
+    fn metrics_ratios_are_consistent() {
+        let prog = tiny_program();
+        let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let r = engine.run(&prog, &setup).unwrap();
+        let m = &r.metrics;
+        let sum: f64 = [
+            crate::CodeClass::RuleCore,
+            crate::CodeClass::QemuCore,
+            crate::CodeClass::DataTransfer,
+            crate::CodeClass::Control,
+        ]
+        .into_iter()
+        .map(|c| m.ratio(c))
+        .sum();
+        assert!((sum - m.total_ratio()).abs() < 1e-9);
+        assert_eq!(m.host_executed(), m.host_by_class.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,1489 @@
+//! Block translation: the three translation paths and their glue.
+//!
+//! Each guest basic block becomes one host block:
+//!
+//! * **prologue** — load the block's cached guest registers from the
+//!   environment (the *data transfer* instructions of Table II),
+//! * per guest instruction, either a **rule-translated** segment
+//!   (template instantiation, §IV-D) or a **QEMU-path** segment
+//!   (lift + lower through the TCG-like IR),
+//! * condition-flag handling — delegation to live host flags when the
+//!   flag producer sits within the look-ahead window, otherwise
+//!   materialization into the environment (§IV-D, Fig 10),
+//! * **epilogue** — store dirty cached registers back,
+//! * **control stub** — block bookkeeping and the exit jumps (the
+//!   *control code* of Table II).
+
+use pdbt_core::flags::{
+    can_materialize, cond_flag_uses, delegated_cc, setcc_for_flag, DELEGATION_WINDOW,
+};
+use pdbt_core::{emit, key as rkey, template as rtemplate, HostLoc, RuleSet};
+use pdbt_ir::{env, lift, lower_branch_cond, lower_ops, RegMap, Terminator};
+use pdbt_isa::Flag;
+use pdbt_isa::{Addr, Cond, FlagSet};
+use pdbt_isa_arm::{Inst as GInst, Operand, Program, Reg as GReg, INST_SIZE};
+use pdbt_isa_x86::builders as hb;
+use pdbt_isa_x86::{Inst as HInst, Operand as HOperand, Reg as HReg};
+use pdbt_symexec::FlagEquiv;
+use std::fmt;
+
+/// Where an executed host instruction's cost is attributed (the four
+/// columns of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeClass {
+    /// Host code produced by rule instantiation.
+    RuleCore,
+    /// Host code produced by the lift/lower (QEMU) path.
+    QemuCore,
+    /// Guest-register loads/stores around the block.
+    DataTransfer,
+    /// Block stubs: bookkeeping, exit jumps, chaining glue.
+    Control,
+}
+
+impl CodeClass {
+    /// Dense index for per-class counters.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            CodeClass::RuleCore => 0,
+            CodeClass::QemuCore => 1,
+            CodeClass::DataTransfer => 2,
+            CodeClass::Control => 3,
+        }
+    }
+}
+
+/// Translation configuration (the ablation knobs of Figs 14/15 at the
+/// runtime level; which rules exist is decided by the rule set itself).
+#[derive(Debug, Clone, Copy)]
+pub struct TranslateConfig {
+    /// Condition-flag delegation at rule application (§IV-D). When off,
+    /// rules only apply to live-flag producers whose report is exact,
+    /// and flags are always materialized.
+    pub flag_delegation: bool,
+    /// Maximum guest instructions per block.
+    pub max_block: usize,
+    /// Delegation look-ahead window in guest instructions (§IV-D uses
+    /// three; exposed for the window-size ablation bench).
+    pub window: usize,
+}
+
+impl Default for TranslateConfig {
+    fn default() -> TranslateConfig {
+        TranslateConfig {
+            flag_delegation: true,
+            max_block: 32,
+            window: DELEGATION_WINDOW,
+        }
+    }
+}
+
+/// A translation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translation error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// One translated basic block.
+#[derive(Debug, Clone)]
+pub struct TranslatedBlock {
+    /// Guest start address.
+    pub start: Addr,
+    /// The host code.
+    pub code: Vec<HInst>,
+    /// Per-host-instruction cost class (same length as `code`).
+    pub classes: Vec<CodeClass>,
+    /// Number of guest instructions the block covers.
+    pub guest_len: u32,
+    /// How many of them were rule-translated (including a delegated
+    /// terminal branch).
+    pub rule_covered: u32,
+}
+
+struct Emitter {
+    code: Vec<HInst>,
+    classes: Vec<CodeClass>,
+}
+
+impl Emitter {
+    fn push(&mut self, inst: HInst, class: CodeClass) {
+        self.code.push(inst);
+        self.classes.push(class);
+    }
+
+    fn extend(&mut self, insts: Vec<HInst>, class: CodeClass) {
+        for i in insts {
+            self.push(i, class);
+        }
+    }
+}
+
+/// Rewrites env-resident operands of ALU operations through scratch
+/// registers — TCG emits reg-reg operations only (guest registers are
+/// loaded into temps before use), so the QEMU path may not exploit the
+/// host's memory-operand ALU forms the way rule-translated code does.
+fn tcg_legalize(code: Vec<HInst>) -> Vec<HInst> {
+    use pdbt_isa_x86::Op as HOp;
+    let mut out = Vec::with_capacity(code.len());
+    for inst in code {
+        let alu_like = matches!(
+            inst.op,
+            HOp::Add
+                | HOp::Adc
+                | HOp::Sub
+                | HOp::Sbb
+                | HOp::And
+                | HOp::Or
+                | HOp::Xor
+                | HOp::Imul
+                | HOp::Shl
+                | HOp::Shr
+                | HOp::Sar
+                | HOp::Ror
+                | HOp::Cmp
+                | HOp::Test
+                | HOp::Not
+                | HOp::Neg
+        );
+        if !alu_like {
+            out.push(inst);
+            continue;
+        }
+        let env_mem = |o: &HOperand| matches!(o, HOperand::Mem(m) if m.base == Some(HReg::Ebp));
+        let mut operands = inst.operands.clone();
+        let uses_eax = operands.iter().any(|o| *o == HOperand::Reg(HReg::Eax));
+        let uses_edx = operands.iter().any(|o| *o == HOperand::Reg(HReg::Edx));
+        // Source position (last operand) first.
+        if operands.len() == 2 && env_mem(&operands[1]) {
+            let scratch = if uses_edx { HReg::Eax } else { HReg::Edx };
+            out.push(hb::mov(HOperand::Reg(scratch), operands[1]));
+            operands[1] = HOperand::Reg(scratch);
+        }
+        // Destination (read-modify-write) position.
+        if env_mem(&operands[0]) && !matches!(inst.op, HOp::Cmp | HOp::Test) {
+            let scratch = if uses_eax || operands.get(1) == Some(&HOperand::Reg(HReg::Eax)) {
+                HReg::Edx
+            } else {
+                HReg::Eax
+            };
+            let dst = operands[0];
+            out.push(hb::mov(HOperand::Reg(scratch), dst));
+            operands[0] = HOperand::Reg(scratch);
+            out.push(HInst {
+                op: inst.op,
+                cc: inst.cc,
+                operands,
+            });
+            out.push(hb::mov(dst, HOperand::Reg(scratch)));
+            continue;
+        } else if env_mem(&operands[0]) {
+            // cmp/test with an env-resident left operand.
+            let scratch = if uses_edx || operands.get(1) == Some(&HOperand::Reg(HReg::Edx)) {
+                HReg::Eax
+            } else {
+                HReg::Edx
+            };
+            out.push(hb::mov(HOperand::Reg(scratch), operands[0]));
+            operands[0] = HOperand::Reg(scratch);
+        }
+        out.push(HInst {
+            op: inst.op,
+            cc: inst.cc,
+            operands,
+        });
+    }
+    out
+}
+
+/// Whole-program flag live-in analysis: for every instruction index,
+/// which flags may be read (along some path) before being redefined.
+/// Backward fixpoint over the static CFG; indirect control transfers
+/// (`bx`, `pop {…, pc}`, `mov pc, …`) conservatively treat all flags as
+/// live. The block translator uses this to decide which flag
+/// definitions must be materialized into the environment for
+/// *successor* blocks — the cross-block counterpart of the paper's
+/// "emulated by their corresponding memory locations to guarantee the
+/// correctness" fallback (§IV-D).
+pub(crate) fn flag_liveins(prog: &Program) -> Vec<FlagSet> {
+    let insts = prog.insts();
+    let n = insts.len();
+    let idx_of = |addr: Addr| -> Option<usize> {
+        if addr < prog.base() || (addr - prog.base()) % INST_SIZE != 0 {
+            return None;
+        }
+        let i = ((addr - prog.base()) / INST_SIZE) as usize;
+        (i < n).then_some(i)
+    };
+    let mut live_in = vec![FlagSet::EMPTY; n];
+    loop {
+        let mut changed = false;
+        // Indirect control transfers are overwhelmingly returns; their
+        // flag live-out is the join over every call continuation (the
+        // instruction after each `bl`). Truly unknown targets (computed
+        // jumps) would need NZCV, but the guest compiler only produces
+        // indirect control flow for returns.
+        let mut ret_live = FlagSet::EMPTY;
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.op == pdbt_isa_arm::Op::Bl && i + 1 < n {
+                ret_live |= live_in[i + 1];
+            }
+        }
+        for i in (0..n).rev() {
+            let inst = &insts[i];
+            let addr = prog.addr_of(i);
+            let at = |j: Option<usize>, live_in: &[FlagSet]| {
+                j.map(|j| live_in[j]).unwrap_or(FlagSet::NZCV)
+            };
+            let fall = (i + 1 < n).then_some(i + 1);
+            let (uses, succ) = match inst.op {
+                pdbt_isa_arm::Op::B => {
+                    let Operand::Target(d) = inst.operands[0] else {
+                        unreachable!()
+                    };
+                    let t = idx_of(addr.wrapping_add(d as u32));
+                    if inst.cond == Cond::Al {
+                        (FlagSet::EMPTY, at(t, &live_in))
+                    } else {
+                        (
+                            cond_flag_uses(inst.cond),
+                            at(t, &live_in) | at(fall, &live_in),
+                        )
+                    }
+                }
+                pdbt_isa_arm::Op::Bl => {
+                    let Operand::Target(d) = inst.operands[0] else {
+                        unreachable!()
+                    };
+                    let t = idx_of(addr.wrapping_add(d as u32));
+                    // The callee's entry, plus (conservatively) the
+                    // return continuation.
+                    (FlagSet::EMPTY, at(t, &live_in) | at(fall, &live_in))
+                }
+                pdbt_isa_arm::Op::Svc if inst.operands[0].as_imm() == Some(0) => {
+                    (FlagSet::EMPTY, FlagSet::EMPTY)
+                }
+                _ if inst.is_branch() => (inst.flag_uses(), ret_live),
+                _ => (inst.flag_uses(), at(fall, &live_in)),
+            };
+            let new = uses | (succ - inst.flag_defs());
+            if new != live_in[i] {
+                live_in[i] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            return live_in;
+        }
+    }
+}
+
+/// Collects the guest basic block starting at `start`.
+///
+/// # Errors
+///
+/// [`TranslateError`] if the start address is outside the program.
+pub fn collect_block<'p>(
+    prog: &'p Program,
+    start: Addr,
+    max: usize,
+) -> Result<Vec<(Addr, &'p GInst)>, TranslateError> {
+    let mut out = Vec::new();
+    let mut pc = start;
+    loop {
+        let inst = prog.fetch(pc).map_err(|e| TranslateError {
+            detail: format!("fetch {pc:#x}: {e}"),
+        })?;
+        out.push((pc, inst));
+        if inst.ends_block() || out.len() >= max {
+            return Ok(out);
+        }
+        pc += INST_SIZE;
+    }
+}
+
+/// The guest register map location of a rule slot.
+fn slot_loc(map: &RegMap, g: GReg) -> HostLoc {
+    match map.loc(g) {
+        env::Loc::Host(h) => HostLoc::Reg(h),
+        env::Loc::Env => HostLoc::Mem(env::reg_mem(g)),
+    }
+}
+
+/// Emits flag materialization from live host flags into the guest
+/// environment, honouring the rule's per-flag relationship.
+fn materialize_flags(
+    e: &mut Emitter,
+    flags: FlagSet,
+    report: &[(pdbt_isa::Flag, FlagEquiv)],
+) -> bool {
+    for f in flags.iter() {
+        let Some(equiv) = report.iter().find(|(ff, _)| *ff == f).map(|(_, eq)| *eq) else {
+            return false;
+        };
+        let Some(cc) = setcc_for_flag(f, equiv) else {
+            return false;
+        };
+        // setcc does not disturb the remaining live flags, so the loop
+        // can materialize each flag in turn.
+        e.push(hb::setcc(cc, HOperand::Reg(HReg::Eax)), CodeClass::RuleCore);
+        e.push(
+            hb::mov(HOperand::Mem(env::flag_mem(f)), HOperand::Reg(HReg::Eax)),
+            CodeClass::RuleCore,
+        );
+    }
+    true
+}
+
+/// The guest-flag ↔ host-flag relationship after lowering a foldable
+/// flag producer with its environment materialization omitted: the last
+/// flag-setting host instruction is the counterpart ALU op, whose flag
+/// semantics relative to the guest's are fixed per opcode class. (The
+/// same relationships the symbolic verifier reports for the equivalent
+/// rule templates — asserted equal in this crate's tests.)
+fn folded_flag_report(inst: &GInst) -> Option<Vec<(Flag, pdbt_symexec::FlagEquiv)>> {
+    use pdbt_isa_arm::Op as G;
+    use FlagEquiv::{Exact, Inverted};
+    let defs = inst.flag_defs();
+    if defs.is_empty() {
+        return None;
+    }
+    let per_flag: Vec<(Flag, FlagEquiv)> = match inst.op {
+        // Subtraction class: host CF is the borrow, guest C is its
+        // inverse.
+        G::Sub | G::Rsb | G::Cmp => {
+            vec![
+                (Flag::N, Exact),
+                (Flag::Z, Exact),
+                (Flag::C, Inverted),
+                (Flag::V, Exact),
+            ]
+        }
+        // Addition class: carries agree.
+        G::Add | G::Cmn => {
+            vec![
+                (Flag::N, Exact),
+                (Flag::Z, Exact),
+                (Flag::C, Exact),
+                (Flag::V, Exact),
+            ]
+        }
+        // Logical class: NZ agree (guest leaves C/V, host zeroes them —
+        // not reported, so conditions needing them will not fold).
+        G::And | G::Orr | G::Eor | G::Bic | G::Tst | G::Teq => {
+            vec![(Flag::N, Exact), (Flag::Z, Exact)]
+        }
+        // Shift class: NZ agree and the shifted-out carry formulas match.
+        G::Lsl | G::Lsr | G::Asr | G::Ror => {
+            vec![(Flag::N, Exact), (Flag::Z, Exact), (Flag::C, Exact)]
+        }
+        _ => return None,
+    };
+    Some(
+        per_flag
+            .into_iter()
+            .filter(|(f, _)| defs.contains(*f))
+            .collect(),
+    )
+}
+
+/// Emits host code for a foldable QEMU-path flag producer whose flags
+/// feed the adjacent terminal branch: the canonical counterpart code
+/// with environment flag materialization omitted (TCG's compare/branch
+/// folding). Returns the flag report for the stub's condition mapping.
+fn fold_producer(inst: &GInst, map: &RegMap) -> Option<(Vec<HInst>, Vec<(Flag, FlagEquiv)>)> {
+    let report = folded_flag_report(inst)?;
+    let p = rkey::parameterize(inst)?;
+    let template = emit::emit_for(&p.key)?;
+    let locs: Vec<HostLoc> = p.inst.slots.iter().map(|g| slot_loc(map, *g)).collect();
+    let code = rtemplate::instantiate(&template, &locs, &p.inst.imms).ok()?;
+    Some((code, report))
+}
+
+/// Who produced the host flags the terminal branch may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProducerKind {
+    Rule,
+    Qemu,
+}
+
+/// How the terminal conditional branch will be compiled.
+enum BranchMode {
+    /// Branch directly on the live host flags with this condition.
+    Direct(pdbt_isa_x86::Cc),
+    /// Evaluate the guest condition from the environment flags.
+    Env,
+}
+
+/// Appends the block bookkeeping the stubs perform on every exit
+/// (modelling QEMU's icount/pending-work maintenance).
+fn bookkeeping(e: &mut Emitter, guest_len: u32) {
+    e.push(
+        hb::add(
+            HOperand::Mem(env::mem_icount()),
+            HOperand::Imm(guest_len as i32),
+        ),
+        CodeClass::Control,
+    );
+    e.push(
+        hb::mov(HOperand::Reg(HReg::Edx), HOperand::Mem(env::mem_pending())),
+        CodeClass::Control,
+    );
+}
+
+/// Emits a two-sided exit stub branching on `cc`.
+fn two_sided_exit(e: &mut Emitter, cc: pdbt_isa_x86::Cc, taken: Addr, fall: Addr, guest_len: u32) {
+    // jcc over the fall-through side (bookkeeping + exit = 3 each).
+    e.push(hb::jcc(cc, 3), CodeClass::Control);
+    bookkeeping(e, guest_len);
+    e.push(hb::jmp_exit(HOperand::Imm(fall as i32)), CodeClass::Control);
+    bookkeeping(e, guest_len);
+    e.push(
+        hb::jmp_exit(HOperand::Imm(taken as i32)),
+        CodeClass::Control,
+    );
+}
+
+/// Emits a one-sided exit stub.
+fn one_sided_exit(e: &mut Emitter, target: HOperand, guest_len: u32) {
+    bookkeeping(e, guest_len);
+    e.push(hb::jmp_exit(target), CodeClass::Control);
+}
+
+/// Translates the basic block starting at `start`.
+///
+/// # Errors
+///
+/// [`TranslateError`] on fetch failures or unliftable instructions.
+pub fn translate_block(
+    prog: &Program,
+    start: Addr,
+    rules: Option<&RuleSet>,
+    cfg: &TranslateConfig,
+) -> Result<TranslatedBlock, TranslateError> {
+    let insts = collect_block(prog, start, cfg.max_block)?;
+    let guest_len = insts.len() as u32;
+
+    // Register allocation: most-frequent guest registers first.
+    let mut freq: Vec<(GReg, usize)> = Vec::new();
+    for (_, inst) in &insts {
+        for r in inst.uses().into_iter().chain(inst.defs()) {
+            match freq.iter_mut().find(|(g, _)| *g == r) {
+                Some((_, n)) => *n += 1,
+                None => freq.push((r, 1)),
+            }
+        }
+    }
+    freq.sort_by(|a, b| b.1.cmp(&a.1));
+    let ordered: Vec<GReg> = freq.iter().map(|(g, _)| *g).collect();
+    let map = RegMap::allocate(&ordered);
+
+    // Flag liveness (backwards), including the terminal branch's needs.
+    let terminal_cond: Option<Cond> = match insts.last() {
+        Some((_, i)) if i.op == pdbt_isa_arm::Op::B && i.cond != Cond::Al => Some(i.cond),
+        _ => None,
+    };
+    let n = insts.len();
+    // Flags live into the block's successors (cross-block liveness).
+    let liveins = flag_liveins(prog);
+    let idx_of = |addr: Addr| -> Option<usize> {
+        if addr < prog.base() || (addr - prog.base()) % INST_SIZE != 0 {
+            return None;
+        }
+        let i = ((addr - prog.base()) / INST_SIZE) as usize;
+        (i < liveins.len()).then_some(i)
+    };
+    let at = |addr: Addr| idx_of(addr).map(|i| liveins[i]).unwrap_or(FlagSet::NZCV);
+    let (last_addr, last_inst) = *insts.last().expect("non-empty block");
+    let exit_live: FlagSet = match last_inst.op {
+        pdbt_isa_arm::Op::B => {
+            let Operand::Target(d) = last_inst.operands[0] else {
+                unreachable!()
+            };
+            let taken = at(last_addr.wrapping_add(d as u32));
+            if last_inst.cond == Cond::Al {
+                taken
+            } else {
+                taken | at(last_addr + INST_SIZE)
+            }
+        }
+        pdbt_isa_arm::Op::Bl => {
+            let Operand::Target(d) = last_inst.operands[0] else {
+                unreachable!()
+            };
+            at(last_addr.wrapping_add(d as u32)) | at(last_addr + INST_SIZE)
+        }
+        pdbt_isa_arm::Op::Svc if last_inst.operands[0].as_imm() == Some(0) => FlagSet::EMPTY,
+        _ if last_inst.is_branch() => {
+            // Indirect transfer (return): join over call continuations.
+            let mut ret_live = FlagSet::EMPTY;
+            for (i, (_, inst)) in prog
+                .insts()
+                .iter()
+                .enumerate()
+                .map(|(i, inst)| (i, (prog.addr_of(i), inst)))
+            {
+                if inst.op == pdbt_isa_arm::Op::Bl && i + 1 < liveins.len() {
+                    ret_live |= liveins[i + 1];
+                }
+            }
+            ret_live
+        }
+        // Max-length block: falls through to the next instruction.
+        _ => at(last_addr + INST_SIZE),
+    };
+    let mut live_after = vec![FlagSet::EMPTY; n];
+    let mut live = exit_live;
+    for i in (0..n).rev() {
+        let inst = insts[i].1;
+        live_after[i] = live;
+        // Conditional branches read exactly their condition's flags.
+        let uses = if inst.op == pdbt_isa_arm::Op::B && inst.cond != Cond::Al {
+            cond_flag_uses(inst.cond)
+        } else {
+            inst.flag_uses()
+        };
+        live = (live - inst.flag_defs()) | uses;
+    }
+
+    // The body excludes the final instruction iff it terminates control
+    // flow (it is handled by the stub); a max-length block keeps all.
+    let last_terminates = insts.last().is_some_and(|(_, i)| i.ends_block());
+    let body_len = if last_terminates { n - 1 } else { n };
+
+    // Identify the flag producer feeding the terminal branch.
+    let branch_flag_uses = terminal_cond.map(cond_flag_uses).unwrap_or(FlagSet::EMPTY);
+    let mut producer: Option<usize> = None;
+    if !branch_flag_uses.is_empty() {
+        for i in (0..body_len).rev() {
+            if insts[i].1.flag_defs().intersects(branch_flag_uses) {
+                producer = Some(i);
+                break;
+            }
+        }
+    }
+
+    let mut e = Emitter {
+        code: Vec::new(),
+        classes: Vec::new(),
+    };
+    let mut rule_covered: u32 = 0;
+
+    // -------- Phase 1: generate per-instruction segments -----------------
+    //
+    // Materialization of live flags is deferred to phase 2, which decides
+    // — with the generated host code of every segment in hand — whether
+    // the terminal branch can consume the producer's live host flags
+    // directly (delegation / TCG compare-branch folding) or whether the
+    // flags must be stored into the environment.
+    struct Segment {
+        code: Vec<HInst>,
+        class: CodeClass,
+        /// Guest instructions this segment rule-covers.
+        covered: u32,
+        /// Host-flag relationship at the segment's end, when its flag
+        /// materialization was deferred.
+        report: Option<Vec<(Flag, FlagEquiv)>>,
+        needs_mat: FlagSet,
+        kind: ProducerKind,
+        /// Whether the segment works on the block's cached registers
+        /// (rule path) or on the in-environment state (TCG path) — the
+        /// register-residency split whose synchronization cost makes
+        /// low coverage expensive.
+        cached: bool,
+    }
+    let env_map = RegMap::all_env();
+    let mut segments: Vec<Segment> = Vec::with_capacity(body_len);
+    // Guest instruction index → segment index (sequence rules make the
+    // relationship many-to-one).
+    let mut seg_of_guest: Vec<usize> = Vec::with_capacity(body_len);
+    let mut cached_regs: Vec<GReg> = Vec::new();
+    let mut cached_writes: Vec<GReg> = Vec::new();
+    // Register caching only pays off when enough of the block is
+    // rule-translated to amortize the residency synchronization; short
+    // or sparsely covered blocks instantiate rules directly on the
+    // environment slots.
+    let rule_hits = rules
+        .map(|r| {
+            insts
+                .iter()
+                .take(body_len)
+                .filter(|(_, i)| r.lookup(i).is_some())
+                .count()
+        })
+        .unwrap_or(0);
+    let use_cache = rule_hits >= 3;
+    let body_insts: Vec<&GInst> = insts.iter().take(body_len).map(|(_, i)| *i).collect();
+    let mut i = 0usize;
+    while i < body_len {
+        let (addr, inst) = (&insts[i].0, insts[i].1);
+        let live_defs = inst.flag_defs() & live_after[i];
+        // --- learned sequence rules (longest-first, §V-D) ---
+        if let Some(rules) = rules {
+            if rules.max_seq_len() >= 2 {
+                let tail: Vec<GInst> = body_insts[i..].iter().map(|x| (*x).clone()).collect();
+                if let Some(sm) = rules.lookup_seq(&tail) {
+                    // Flag policy: no instruction inside the sequence may
+                    // define live flags except the last, which follows
+                    // the single-instruction policy; and the branch
+                    // producer may not sit strictly inside.
+                    let last = i + sm.len - 1;
+                    let mut ok = !producer.is_some_and(|p| p >= i && p < last);
+                    let mut last_live = FlagSet::EMPTY;
+                    for j in i..=last {
+                        let ld = insts[j].1.flag_defs() & live_after[j];
+                        if !ld.is_empty() {
+                            if j != last {
+                                ok = false;
+                            } else {
+                                last_live = ld;
+                            }
+                        }
+                    }
+                    if ok && !last_live.is_empty() {
+                        ok = if cfg.flag_delegation {
+                            can_materialize(last_live, &sm.entry.flags)
+                        } else {
+                            last_live.iter().all(|f| {
+                                sm.entry
+                                    .flags
+                                    .iter()
+                                    .any(|(ff, eq)| *ff == f && *eq == FlagEquiv::Exact)
+                            })
+                        };
+                    }
+                    if ok {
+                        let locs: Vec<HostLoc> = if use_cache {
+                            sm.inst.slots.iter().map(|g| slot_loc(&map, *g)).collect()
+                        } else {
+                            sm.inst
+                                .slots
+                                .iter()
+                                .map(|g| HostLoc::Mem(env::reg_mem(*g)))
+                                .collect()
+                        };
+                        if let Ok(code) = rules.instantiate_seq_match(&sm, &locs) {
+                            for j in i..=last {
+                                for g in insts[j].1.uses().into_iter().chain(insts[j].1.defs()) {
+                                    if !cached_regs.contains(&g) {
+                                        cached_regs.push(g);
+                                    }
+                                }
+                                for g in insts[j].1.defs() {
+                                    if !cached_writes.contains(&g) {
+                                        cached_writes.push(g);
+                                    }
+                                }
+                            }
+                            let report = sm.entry.flags.clone();
+                            for _ in 0..sm.len {
+                                seg_of_guest.push(segments.len());
+                            }
+                            segments.push(Segment {
+                                code,
+                                class: CodeClass::RuleCore,
+                                covered: sm.len as u32,
+                                report: (!last_live.is_empty()).then_some(report),
+                                needs_mat: last_live,
+                                kind: ProducerKind::Rule,
+                                cached: use_cache,
+                            });
+                            i += sm.len;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        // --- rule path ---
+        if let Some(rules) = rules {
+            if let Some(m) = rules.lookup(inst) {
+                let report = m.entry.flags.clone();
+                let flags_ok = if live_defs.is_empty() {
+                    true
+                } else if cfg.flag_delegation {
+                    // Live flags must be recoverable from the host flags
+                    // (directly for a delegated branch, or via setcc
+                    // materialization).
+                    can_materialize(live_defs, &report)
+                } else {
+                    // Without delegation, rules apply to live-flag
+                    // producers only when the relationship is exact —
+                    // modelling the baseline's flag-inclusive rules.
+                    live_defs.iter().all(|f| {
+                        report
+                            .iter()
+                            .any(|(ff, eq)| *ff == f && *eq == FlagEquiv::Exact)
+                    })
+                };
+                if flags_ok {
+                    let locs: Vec<HostLoc> = if use_cache {
+                        m.inst.slots.iter().map(|g| slot_loc(&map, *g)).collect()
+                    } else {
+                        m.inst
+                            .slots
+                            .iter()
+                            .map(|g| HostLoc::Mem(env::reg_mem(*g)))
+                            .collect()
+                    };
+                    let code =
+                        rules
+                            .instantiate_match(&m, &locs)
+                            .map_err(|err| TranslateError {
+                                detail: format!("instantiation failed: {err}"),
+                            })?;
+                    for g in inst.uses().into_iter().chain(inst.defs()) {
+                        if !cached_regs.contains(&g) {
+                            cached_regs.push(g);
+                        }
+                    }
+                    for g in inst.defs() {
+                        if !cached_writes.contains(&g) {
+                            cached_writes.push(g);
+                        }
+                    }
+                    seg_of_guest.push(segments.len());
+                    segments.push(Segment {
+                        code,
+                        class: CodeClass::RuleCore,
+                        covered: 1,
+                        report: (!live_defs.is_empty()).then_some(report),
+                        needs_mat: live_defs,
+                        kind: ProducerKind::Rule,
+                        cached: use_cache,
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        // --- QEMU path ---
+        // TCG-style flag handling: dead flags are never materialized,
+        // and a producer whose live flags are recoverable from the host
+        // ALU flags defers materialization (compare/branch folding).
+        let dead = inst.flag_defs() - live_defs;
+        let folded = if live_defs.is_empty() {
+            None
+        } else {
+            folded_flag_report(inst)
+                .filter(|r| can_materialize(live_defs, r))
+                .and_then(|r| {
+                    fold_producer(inst, &env_map).map(|(code, _)| (tcg_legalize(code), r))
+                })
+        };
+        if let Some((code, report)) = folded {
+            seg_of_guest.push(segments.len());
+            segments.push(Segment {
+                code,
+                class: CodeClass::QemuCore,
+                covered: 0,
+                report: Some(report),
+                needs_mat: live_defs,
+                kind: ProducerKind::Qemu,
+                cached: false,
+            });
+        } else {
+            let lifted = pdbt_ir::lift_omit(inst, *addr, dead).map_err(|err| TranslateError {
+                detail: format!("{inst}: {err}"),
+            })?;
+            let code = tcg_legalize(lower_ops(&lifted.body, &env_map));
+            seg_of_guest.push(segments.len());
+            segments.push(Segment {
+                code,
+                class: CodeClass::QemuCore,
+                covered: 0,
+                report: None,
+                needs_mat: FlagSet::EMPTY,
+                kind: ProducerKind::Qemu,
+                cached: false,
+            });
+        }
+        i += 1;
+    }
+
+    // -------- Phase 2: delegation decision --------------------------------
+    let mut direct_cc: Option<pdbt_isa_x86::Cc> = None;
+    let mut branch_covered = false;
+    if let (Some(cond), Some(p)) = (terminal_cond, producer) {
+        let within_window = n - 1 - p <= cfg.window;
+        // The segment holding the producer (sequence rules cover several
+        // guest instructions); delegation additionally requires the
+        // producer to be the segment's *last* flag definer, which the
+        // sequence application policy guarantees.
+        let sp = seg_of_guest.get(p).copied();
+        if within_window {
+            if let Some(sp) = sp {
+                if let Some(report) = segments.get(sp).and_then(|s| s.report.clone()) {
+                    if let Some(cc) = delegated_cc(cond, &report) {
+                        // The host flags must survive every later segment
+                        // (the paper's "killed within the window" check;
+                        // materialization code is flag-preserving
+                        // setcc/mov).
+                        let clean = segments[sp + 1..]
+                            .iter()
+                            .flat_map(|s| &s.code)
+                            .all(|h| h.flag_defs().is_empty());
+                        if clean {
+                            direct_cc = Some(cc);
+                            branch_covered =
+                                segments[sp].kind == ProducerKind::Rule && cfg.flag_delegation;
+                            // Flags the branch consumes can skip the
+                            // environment — unless a successor block also
+                            // reads them.
+                            segments[sp].needs_mat =
+                                segments[sp].needs_mat - (branch_flag_uses - exit_live);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // -------- Emit: segments, with register-residency synchronization ------
+    //
+    // The environment is canonical between blocks. Rule-translated
+    // segments work on block-cached host registers; TCG segments work on
+    // the environment directly. Every residency transition pays data
+    // transfer (register loads/stores), which is why low coverage —
+    // frequent rule↔emulation mixing — barely beats pure emulation
+    // (paper Fig 11: `w/o para.` at 1.04×) while high coverage pays the
+    // sync only at block boundaries.
+    let mut cached_mode = false;
+    // Load every register the rule segments touch; store back only the
+    // ones they write (values loaded and unmodified match the
+    // environment already).
+    let sync_loads: Vec<(GReg, HReg)> = map
+        .allocated()
+        .iter()
+        .copied()
+        .filter(|(g, _)| cached_regs.contains(g))
+        .collect();
+    let sync_stores: Vec<(GReg, HReg)> = map
+        .allocated()
+        .iter()
+        .copied()
+        .filter(|(g, _)| cached_writes.contains(g))
+        .collect();
+    let enter_cached = |e: &mut Emitter, cached_mode: &mut bool| {
+        if !*cached_mode {
+            for (g, h) in &sync_loads {
+                e.push(
+                    hb::mov(HOperand::Reg(*h), HOperand::Mem(env::reg_mem(*g))),
+                    CodeClass::DataTransfer,
+                );
+            }
+            *cached_mode = true;
+        }
+    };
+    let enter_env = |e: &mut Emitter, cached_mode: &mut bool| {
+        if *cached_mode {
+            for (g, h) in &sync_stores {
+                e.push(
+                    hb::mov(HOperand::Mem(env::reg_mem(*g)), HOperand::Reg(*h)),
+                    CodeClass::DataTransfer,
+                );
+            }
+            *cached_mode = false;
+        }
+    };
+    for seg in &segments {
+        if seg.cached {
+            enter_cached(&mut e, &mut cached_mode);
+        } else {
+            enter_env(&mut e, &mut cached_mode);
+        }
+        e.extend(seg.code.clone(), seg.class);
+        rule_covered += seg.covered;
+        if !seg.needs_mat.is_empty() {
+            let report = seg.report.as_ref().expect("deferred flags carry a report");
+            if !materialize_flags(&mut e, seg.needs_mat, report) {
+                return Err(TranslateError {
+                    detail: "phase 1 admitted an unmaterializable producer".into(),
+                });
+            }
+        }
+    }
+    if branch_covered {
+        rule_covered += 1;
+    }
+
+    // Terminal instruction: emit its guest work (link-register writes,
+    // pop loads, condition evaluation) BEFORE the epilogue so its
+    // register effects are stored back; the exit jumps come after.
+    enum StubPlan {
+        FallThrough,
+        Uncond(Addr),
+        Cond(pdbt_isa_x86::Cc, Addr, Addr),
+        Indirect,
+        Exit,
+    }
+    let fall = start + guest_len * INST_SIZE;
+    let plan: StubPlan = if last_terminates {
+        let (addr, inst) = insts[n - 1];
+        let lifted = lift(inst, addr).map_err(|err| TranslateError {
+            detail: format!("{inst}: {err}"),
+        })?;
+        let mode = match direct_cc {
+            Some(cc) => BranchMode::Direct(cc),
+            None => BranchMode::Env,
+        };
+        match (&lifted.term, mode) {
+            (
+                Some(Terminator::Br {
+                    cond: Some(_),
+                    taken,
+                    fallthrough,
+                }),
+                BranchMode::Direct(cc),
+            ) => {
+                // Direct branch on live host flags: delegation (rule
+                // producer, Fig 10) or TCG folding (QEMU producer). The
+                // coverage accounting happened in phase 2. The cached
+                // registers are stored by the epilogue below.
+                StubPlan::Cond(cc, *taken, *fallthrough)
+            }
+            (
+                Some(Terminator::Br {
+                    cond: Some((icc, a, b)),
+                    taken,
+                    fallthrough,
+                }),
+                BranchMode::Env,
+            ) => {
+                enter_env(&mut e, &mut cached_mode);
+                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
+                e.extend(host, CodeClass::QemuCore);
+                let (cmp, hcc) = lower_branch_cond(*icc, *a, *b, &env_map);
+                e.extend(tcg_legalize(cmp), CodeClass::QemuCore);
+                StubPlan::Cond(hcc, *taken, *fallthrough)
+            }
+            (
+                Some(Terminator::Br {
+                    cond: None, taken, ..
+                }),
+                _,
+            ) => {
+                enter_env(&mut e, &mut cached_mode);
+                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
+                e.extend(host, CodeClass::QemuCore);
+                StubPlan::Uncond(*taken)
+            }
+            (Some(Terminator::BrInd { target }), _) => {
+                enter_env(&mut e, &mut cached_mode);
+                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
+                e.extend(host, CodeClass::QemuCore);
+                let src = match target {
+                    pdbt_ir::Val::Reg(g) => HOperand::Mem(env::reg_mem(*g)),
+                    pdbt_ir::Val::Tmp(t) => HOperand::Mem(env::spill_mem(t.0 as usize)),
+                    pdbt_ir::Val::Const(c) => HOperand::Imm(*c as i32),
+                };
+                e.push(hb::mov(HOperand::Reg(HReg::Eax), src), CodeClass::QemuCore);
+                StubPlan::Indirect
+            }
+            (Some(Terminator::Exit), _) => {
+                enter_env(&mut e, &mut cached_mode);
+                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
+                e.extend(host, CodeClass::QemuCore);
+                StubPlan::Exit
+            }
+            (None, _) => {
+                enter_env(&mut e, &mut cached_mode);
+                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
+                e.extend(host, CodeClass::QemuCore);
+                StubPlan::FallThrough
+            }
+        }
+    } else {
+        StubPlan::FallThrough
+    };
+
+    // Epilogue: leave the environment canonical (flag-preserving moves).
+    enter_env(&mut e, &mut cached_mode);
+
+    // Exit stubs.
+    match plan {
+        StubPlan::FallThrough => {
+            one_sided_exit(&mut e, HOperand::Imm(fall as i32), guest_len);
+        }
+        StubPlan::Uncond(taken) => {
+            one_sided_exit(&mut e, HOperand::Imm(taken as i32), guest_len);
+        }
+        StubPlan::Cond(cc, taken, fallthrough) => {
+            two_sided_exit(&mut e, cc, taken, fallthrough, guest_len);
+        }
+        StubPlan::Indirect => {
+            one_sided_exit(&mut e, HOperand::Reg(HReg::Eax), guest_len);
+        }
+        StubPlan::Exit => {
+            bookkeeping(&mut e, guest_len);
+            e.push(hb::hlt(), CodeClass::Control);
+        }
+    }
+
+    Ok(TranslatedBlock {
+        start,
+        code: e.code,
+        classes: e.classes,
+        guest_len,
+        rule_covered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig, RunSetup};
+    use pdbt_compiler::lang::{
+        BinOp, CmpKind, Function, Label, Rvalue, SourceProgram, Stmt, UnOp, Var,
+    };
+    use pdbt_compiler::{build_debug_map, compile_pair};
+    use pdbt_core::derive::{derive, DeriveConfig};
+    use pdbt_core::learning::{learn_into, LearnConfig};
+    use pdbt_core::RuleSet;
+    use pdbt_isa_arm::Cpu as GuestCpu;
+    use pdbt_symexec::CheckOptions;
+
+    /// A training program rich enough to seed the main subgroups.
+    fn training_source() -> SourceProgram {
+        let c = Rvalue::Const;
+        let v = |i: u8| Rvalue::Var(Var(i));
+        let stmts = vec![
+            Stmt::Un {
+                dst: Var(0),
+                op: UnOp::Mov,
+                a: c(100),
+            },
+            Stmt::Un {
+                dst: Var(1),
+                op: UnOp::Mov,
+                a: c(7),
+            },
+            Stmt::Bin {
+                dst: Var(0),
+                op: BinOp::Add,
+                a: v(0),
+                b: v(1),
+            },
+            Stmt::Bin {
+                dst: Var(2),
+                op: BinOp::Sub,
+                a: v(0),
+                b: c(3),
+            },
+            Stmt::Bin {
+                dst: Var(2),
+                op: BinOp::And,
+                a: v(2),
+                b: c(255),
+            },
+            // Memory (base address = 0x10_0000 via shift).
+            Stmt::Un {
+                dst: Var(3),
+                op: UnOp::Mov,
+                a: c(0x100),
+            },
+            Stmt::Bin {
+                dst: Var(3),
+                op: BinOp::Shl,
+                a: v(3),
+                b: c(12),
+            },
+            Stmt::Store {
+                src: Var(2),
+                base: Var(3),
+                offset: 4,
+                width: pdbt_isa::Width::B32,
+            },
+            Stmt::Load {
+                dst: Var(1),
+                base: Var(3),
+                offset: 4,
+                width: pdbt_isa::Width::B32,
+            },
+            // Compare seed.
+            Stmt::Branch {
+                a: Var(0),
+                cmp: CmpKind::LtS,
+                b: c(0),
+                target: Label(0),
+            },
+            Stmt::Define { label: Label(0) },
+            Stmt::Output { a: Var(1) },
+            Stmt::Return,
+        ];
+        SourceProgram {
+            functions: vec![Function {
+                name: "train".into(),
+                stmts,
+                n_vars: 4,
+            }],
+        }
+    }
+
+    fn learn_rules() -> RuleSet {
+        let pair = compile_pair(&training_source(), 0x1000).unwrap();
+        let debug = build_debug_map(&pair.guest, &pair.host);
+        let mut rules = RuleSet::new();
+        learn_into(&mut rules, &pair, &debug, LearnConfig::default());
+        assert!(
+            rules.len() >= 6,
+            "expected a healthy seed set, got {}",
+            rules.len()
+        );
+        rules
+    }
+
+    /// A distinct test program reusing only combos reachable from the
+    /// training seeds (plus QEMU-path branches/IO).
+    fn test_program() -> pdbt_isa_arm::Program {
+        use pdbt_isa::Cond;
+        use pdbt_isa_arm::builders as g;
+        use pdbt_isa_arm::{Operand as O, Reg};
+        // A loop long enough for block-level register caching to
+        // amortize (real blocks are; see the workload suite).
+        pdbt_isa_arm::Program::new(
+            0x2000,
+            vec![
+                g::mov(Reg::R4, O::Imm(40)), // 0x2000
+                g::mov(Reg::R5, O::Imm(0)),
+                // loop: (0x2008)
+                g::eor(Reg::R6, Reg::R4, O::Imm(21)), // derived opcode
+                g::add(Reg::R5, Reg::R5, O::Reg(Reg::R6)),
+                g::and(Reg::R6, Reg::R6, O::Imm(0xff)),
+                g::orr(Reg::R5, Reg::R5, O::Imm(1)),
+                g::add(Reg::R5, Reg::R5, O::Imm(3)),
+                g::eor(Reg::R5, Reg::R5, O::Reg(Reg::R6)),
+                g::sub(Reg::R4, Reg::R4, O::Imm(1)).with_s(), // s-variant (delegation)
+                g::b(Cond::Ne, -28),
+                g::mov(Reg::R0, O::Reg(Reg::R5)),
+                g::svc(1),
+                g::svc(0),
+            ],
+        )
+    }
+
+    fn run_config(rules: Option<RuleSet>, delegation: bool) -> crate::engine::Report {
+        let mut cfg = EngineConfig::default();
+        cfg.translate.flag_delegation = delegation;
+        let mut engine = Engine::new(rules, cfg);
+        let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        engine.run(&test_program(), &setup).expect("runs")
+    }
+
+    fn golden_output() -> Vec<u32> {
+        let mut cpu = GuestCpu::new();
+        cpu.mem.map(0x10_0000, 0x1000);
+        cpu.mem.map(0x8_0000, 0x1000);
+        cpu.write(pdbt_isa_arm::Reg::Sp, 0x8_1000);
+        pdbt_isa_arm::run(&mut cpu, &test_program(), 100_000).unwrap();
+        cpu.output
+    }
+
+    #[test]
+    fn all_configurations_agree_with_the_interpreter() {
+        let golden = golden_output();
+        let learned = learn_rules();
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let (opcode_only, _) = derive(
+            &learned,
+            DeriveConfig::opcode_only(),
+            CheckOptions::default(),
+        );
+        for (name, rules, delegation) in [
+            ("qemu", None, true),
+            ("learned", Some(learned.clone()), false),
+            ("opcode", Some(opcode_only), false),
+            ("full", Some(full.clone()), true),
+            ("full-no-delegation", Some(full), false),
+        ] {
+            let report = run_config(rules, delegation);
+            assert_eq!(report.output, golden, "config {name}");
+        }
+    }
+
+    #[test]
+    fn coverage_orders_across_configurations() {
+        let learned = learn_rules();
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let (oa, _) = derive(
+            &learned,
+            DeriveConfig::opcode_addrmode(),
+            CheckOptions::default(),
+        );
+        let qemu = run_config(None, true).metrics;
+        let base = run_config(Some(learned), false).metrics;
+        let mid = run_config(Some(oa), false).metrics;
+        let top = run_config(Some(full), true).metrics;
+        assert_eq!(qemu.coverage(), 0.0);
+        assert!(base.coverage() > 0.0, "learned rules cover something");
+        assert!(
+            mid.coverage() >= base.coverage(),
+            "{} vs {}",
+            mid.coverage(),
+            base.coverage()
+        );
+        assert!(
+            top.coverage() > mid.coverage(),
+            "delegation adds the branch+s coverage"
+        );
+        assert!(
+            top.coverage() > 0.8,
+            "full config covers most of the loop: {}",
+            top.coverage()
+        );
+    }
+
+    #[test]
+    fn performance_proxy_orders_across_configurations() {
+        let learned = learn_rules();
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let qemu = run_config(None, true).metrics;
+        let top = run_config(Some(full), true).metrics;
+        assert!(
+            top.host_executed() < qemu.host_executed(),
+            "parameterized DBT executes fewer host instructions: {} vs {}",
+            top.host_executed(),
+            qemu.host_executed()
+        );
+        assert!(top.total_ratio() < qemu.total_ratio());
+    }
+
+    #[test]
+    fn delegated_branch_skips_env_flags() {
+        let learned = learn_rules();
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let cfg = TranslateConfig::default();
+        // The loop body block at 0x2008 (seven ALU ops + bne).
+        let block = translate_block(&test_program(), 0x2008, Some(&full), &cfg).unwrap();
+        assert_eq!(block.guest_len, 8);
+        assert_eq!(block.rule_covered, 8, "subs delegated into bne");
+        // No environment flag reads in the emitted code.
+        let flag_addrs: Vec<i32> = pdbt_isa::Flag::ALL
+            .iter()
+            .map(|f| pdbt_ir::env::flag_offset(*f))
+            .collect();
+        for inst in &block.code {
+            for o in &inst.operands {
+                if let pdbt_isa_x86::Operand::Mem(m) = o {
+                    if m.base == Some(HReg::Ebp) {
+                        assert!(
+                            !flag_addrs.contains(&m.disp),
+                            "unexpected env flag access in {inst}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn without_delegation_subs_is_not_rule_covered() {
+        // Without delegation the s-variant is not derivable, so the
+        // producer goes through the QEMU path; TCG-style folding still
+        // branches directly, but neither the subs nor the bne count as
+        // rule-covered.
+        let learned = learn_rules();
+        let (oa, _) = derive(
+            &learned,
+            DeriveConfig::opcode_addrmode(),
+            CheckOptions::default(),
+        );
+        let cfg = TranslateConfig {
+            flag_delegation: false,
+            ..TranslateConfig::default()
+        };
+        let block = translate_block(&test_program(), 0x2008, Some(&oa), &cfg).unwrap();
+        assert!(
+            block.rule_covered + 2 <= block.guest_len,
+            "subs and bne stay emulated: {}/{}",
+            block.rule_covered,
+            block.guest_len
+        );
+    }
+
+    #[test]
+    fn distant_producer_branch_reads_env_flags() {
+        // When another instruction separates the flag producer from the
+        // branch AND clobbers host flags, the branch must evaluate the
+        // guest condition from the environment.
+        use pdbt_isa::Cond;
+        use pdbt_isa_arm::builders as g;
+        use pdbt_isa_arm::{Operand as O, Reg};
+        let prog = pdbt_isa_arm::Program::new(
+            0x3000,
+            vec![
+                g::sub(Reg::R4, Reg::R4, O::Imm(1)).with_s(),
+                g::add(Reg::R5, Reg::R5, O::Imm(3)), // clobbers host flags
+                g::b(Cond::Ne, -8),
+                g::svc(0),
+            ],
+        );
+        let cfg = TranslateConfig {
+            flag_delegation: false,
+            ..TranslateConfig::default()
+        };
+        let block = translate_block(&prog, 0x3000, None, &cfg).unwrap();
+        let z_off = pdbt_ir::env::flag_offset(pdbt_isa::Flag::Z);
+        let reads_z = block.code.iter().any(|i| {
+            i.operands.iter().any(
+                |o| matches!(o, pdbt_isa_x86::Operand::Mem(m) if m.base == Some(HReg::Ebp) && m.disp == z_off),
+            )
+        });
+        assert!(reads_z, "env Z flag consulted by the branch");
+        // And execution agrees with the interpreter.
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let mut setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        setup.regs[4] = 5;
+        let report = engine.run(&prog, &setup).unwrap();
+        let mut cpu = pdbt_isa_arm::Cpu::new();
+        cpu.write(Reg::R4, 5);
+        pdbt_isa_arm::run(&mut cpu, &prog, 1000).unwrap();
+        assert_eq!(report.output, cpu.output);
+    }
+
+    #[test]
+    fn block_collection_stops_at_branches() {
+        let prog = test_program();
+        let b = collect_block(&prog, 0x2000, 32).unwrap();
+        assert_eq!(b.len(), 2 + 8, "up to and including bne");
+        let b = collect_block(&prog, 0x2028, 32).unwrap();
+        assert_eq!(b.len(), 3, "mov/svc1 continue, svc0 terminates");
+    }
+}
+
+#[cfg(test)]
+mod seq_tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig, RunSetup};
+    use pdbt_core::learning::LearnConfig;
+    use pdbt_core::ruleset::{verify_seq, Provenance, RuleEntry};
+    use pdbt_core::{key, template, RuleSet};
+    use pdbt_isa_arm::builders as g;
+    use pdbt_isa_arm::{Operand as O, Reg};
+    use pdbt_isa_x86::builders as h;
+    use pdbt_isa_x86::Reg as HReg;
+    use pdbt_symexec::CheckOptions;
+
+    /// Hand-build one sequence rule: `mov rA, #k; add rB, rB, rA`
+    /// collapses into a single `addl`.
+    fn seq_rule_set() -> RuleSet {
+        let seq = [
+            g::mov(Reg::R4, O::Imm(5)),
+            g::add(Reg::R5, Reg::R5, O::Reg(Reg::R4)),
+        ];
+        let (keys, concrete) = key::parameterize_seq(&seq).unwrap();
+        // Host: movl S0, $I0; addl S1, S0 — the learned pair shape.
+        let host = [
+            h::mov(HReg::Ecx.into(), pdbt_isa_x86::Operand::Imm(5)),
+            h::add(HReg::Ebx.into(), HReg::Ecx.into()),
+        ];
+        let slot_of = |r: HReg| match r {
+            HReg::Ecx => Some(0u8),
+            HReg::Ebx => Some(1),
+            _ => None,
+        };
+        let tmpl = template::extract(&host, &slot_of, &concrete.imms).unwrap();
+        let flags = verify_seq(&keys, &tmpl, 2, CheckOptions::default()).unwrap();
+        let mut rs = RuleSet::new();
+        assert!(rs.insert_seq(
+            keys,
+            RuleEntry {
+                template: tmpl,
+                flags,
+                provenance: Provenance::Learned,
+                imm_constraint: None
+            },
+        ));
+        rs
+    }
+
+    #[test]
+    fn sequence_rule_matches_and_counts_coverage() {
+        let rules = seq_rule_set();
+        let prog = pdbt_isa_arm::Program::new(
+            0x1000,
+            vec![
+                g::mov(Reg::R8, O::Imm(42)),               // single inst: no rule
+                g::mov(Reg::R6, O::Imm(9)),                // seq part 1 (fresh regs)
+                g::add(Reg::R7, Reg::R7, O::Reg(Reg::R6)), // seq part 2
+                g::svc(0),
+            ],
+        );
+        let block =
+            translate_block(&prog, 0x1000, Some(&rules), &TranslateConfig::default()).unwrap();
+        assert_eq!(block.guest_len, 4);
+        assert_eq!(
+            block.rule_covered, 2,
+            "the sequence covers two guest instructions"
+        );
+        // And it executes correctly.
+        let mut engine = Engine::new(Some(rules), EngineConfig::default());
+        let mut setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        setup.regs[7] = 100;
+        let mut prog2 = prog.insts().to_vec();
+        prog2.insert(3, g::mov(Reg::R0, O::Reg(Reg::R7)));
+        prog2.insert(4, g::svc(1));
+        let prog2 = pdbt_isa_arm::Program::new(0x1000, prog2);
+        let report = engine.run(&prog2, &setup).unwrap();
+        assert_eq!(report.output, vec![109]);
+    }
+
+    #[test]
+    fn sequence_rules_are_learned_from_merged_candidates() {
+        // Force merge-everything debug maps so multi-statement candidates
+        // dominate, then check sequence rules appear.
+        use pdbt_compiler::lang::*;
+        let src = SourceProgram {
+            functions: vec![Function {
+                name: "m".into(),
+                stmts: vec![
+                    Stmt::Un {
+                        dst: Var(0),
+                        op: UnOp::Mov,
+                        a: Rvalue::Const(3),
+                    },
+                    Stmt::Bin {
+                        dst: Var(2),
+                        op: BinOp::Add,
+                        a: Rvalue::Var(Var(2)),
+                        b: Rvalue::Var(Var(0)),
+                    },
+                    Stmt::Bin {
+                        dst: Var(3),
+                        op: BinOp::Xor,
+                        a: Rvalue::Var(Var(3)),
+                        b: Rvalue::Const(9),
+                    },
+                    Stmt::Return,
+                ],
+                n_vars: 4,
+            }],
+        };
+        let pair = pdbt_compiler::compile_pair(&src, 0x1000).unwrap();
+        let accurate = pdbt_compiler::build_debug_map(&pair.guest, &pair.host);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let degraded = pdbt_compiler::degrade(
+            &accurate,
+            pdbt_compiler::DegradeProfile {
+                drop: 0.0,
+                merge: 1.0,
+                skew: 0.0,
+            },
+            &mut rng,
+        );
+        let mut rules = RuleSet::new();
+        let stats =
+            pdbt_core::learning::learn_into(&mut rules, &pair, &degraded, LearnConfig::default());
+        assert!(rules.seq_len() > 0, "sequence rules learned: {stats:?}");
+    }
+}

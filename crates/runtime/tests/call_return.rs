@@ -1,0 +1,95 @@
+//! Regression tests for call/return translation: the terminal
+//! instruction's guest work (the `bl` link-register write) must be
+//! emitted before the block epilogue, and repeated call/return cycles
+//! must not drift the stack pointer (both were real bugs caught by the
+//! workload integration tests).
+
+use pdbt_isa::Cond;
+use pdbt_isa_arm::builders as g;
+use pdbt_isa_arm::{Operand as O, Program, Reg};
+use pdbt_runtime::{Engine, EngineConfig, RunSetup};
+
+fn run_both(prog: Program) -> (Vec<u32>, Vec<u32>) {
+    let mut cpu = pdbt_isa_arm::Cpu::new();
+    cpu.mem.map(0x10_0000, 0x1000);
+    cpu.mem.map(0x8_0000, 0x1000);
+    cpu.write(Reg::Sp, 0x8_1000);
+    pdbt_isa_arm::run(&mut cpu, &prog, 1_000_000).unwrap();
+    let mut engine = Engine::new(None, EngineConfig::default());
+    let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+    let report = engine.run(&prog, &setup).unwrap();
+    (cpu.output, report.output)
+}
+
+#[test]
+fn simple_call_return() {
+    let prog = Program::new(
+        0x1000,
+        vec![
+            g::bl(16),                   // 0x1000 → f at 0x1010
+            g::svc(1),                   // 0x1004
+            g::svc(0),                   // 0x1008
+            g::svc(0),                   // 0x100c pad
+            g::push([Reg::R4, Reg::Lr]), // 0x1010 f:
+            g::mov(Reg::R4, O::Imm(7)),
+            g::mov(Reg::R0, O::Reg(Reg::R4)),
+            g::pop([Reg::R4, Reg::Pc]),
+        ],
+    );
+    let (a, b) = run_both(prog);
+    assert_eq!(a, b);
+    assert_eq!(a, vec![7]);
+}
+
+#[test]
+fn repeated_calls_do_not_drift_sp() {
+    let prog = Program::new(
+        0x1000,
+        vec![
+            g::mov(Reg::R5, O::Imm(50)),                  // 0x1000
+            g::bl(0x1c - 0x04),                           // 0x1004 → 0x101c
+            g::sub(Reg::R5, Reg::R5, O::Imm(1)).with_s(), // 0x1008
+            g::b(Cond::Ne, -8),                           // 0x100c
+            g::mov(Reg::R0, O::Reg(Reg::Sp)),             // 0x1010
+            g::svc(1),                                    // 0x1014
+            g::svc(0),                                    // 0x1018
+            g::push([Reg::R4, Reg::R6, Reg::Lr]),         // 0x101c f:
+            g::add(Reg::R4, Reg::R4, O::Imm(1)),
+            g::pop([Reg::R4, Reg::R6, Reg::Pc]),
+        ],
+    );
+    let (a, b) = run_both(prog);
+    assert_eq!(a, b, "sp after the call loop must match the interpreter");
+}
+
+#[test]
+fn nested_calls_restore_state() {
+    // main → f → g, each saving and clobbering registers.
+    let prog = Program::new(
+        0x1000,
+        vec![
+            g::mov(Reg::R4, O::Imm(11)),      // 0x1000
+            g::bl(0x10),                      // 0x1004 → f at 0x1014
+            g::mov(Reg::R0, O::Reg(Reg::R4)), // 0x1008
+            g::svc(1),                        // 0x100c
+            g::svc(0),                        // 0x1010
+            // f:
+            g::push([Reg::R4, Reg::Lr]), // 0x1014
+            g::mov(Reg::R4, O::Imm(22)), // 0x1018
+            g::bl(0x0c),                 // 0x101c → g at 0x1028
+            g::pop([Reg::R4, Reg::Pc]),  // 0x1020
+            g::svc(0),                   // 0x1024 pad
+            // g:
+            g::push([Reg::R4, Reg::Lr]), // 0x1028
+            g::mov(Reg::R4, O::Imm(33)), // 0x102c
+            g::pop([Reg::R4, Reg::Pc]),  // 0x1030
+        ],
+    );
+    let (a, b) = run_both(prog);
+    assert_eq!(a, b);
+    assert_eq!(
+        a,
+        vec![11],
+        "callee-saved registers restored through two levels"
+    );
+}

@@ -1,0 +1,455 @@
+//! The normalizing rewriter.
+//!
+//! Rewrites terms into a canonical form: constants folded, commutative
+//! operands ordered, algebraic identities applied. Two semantically
+//! matching sequences produced by the aligned guest/host evaluators
+//! normalize to structurally equal terms, which is the fast path of the
+//! equivalence checker.
+
+use crate::term::{BinOp, PredOp, Sym, SymMem, Term, TermRef, UnOp};
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+/// A total structural order used to canonicalize commutative operands.
+fn term_order(a: &Term, b: &Term) -> Ordering {
+    rank(a)
+        .cmp(&rank(b))
+        .then_with(|| format!("{a}").cmp(&format!("{b}")))
+}
+
+fn rank(t: &Term) -> u8 {
+    match t {
+        // Constants sort last so canonical forms look like `x + c`,
+        // which the constant-chain reassociation patterns rely on.
+        Term::Const(_) => 11,
+        Term::Sym(_) => 1,
+        Term::Un(..) => 2,
+        Term::Bin(..) => 3,
+        Term::Pred(..) => 4,
+        Term::CarryAdd(..) => 5,
+        Term::BorrowSub(..) => 6,
+        Term::OverflowAdd(..) => 7,
+        Term::OverflowSub(..) => 8,
+        Term::Ite(..) => 9,
+        Term::Read(..) => 10,
+    }
+}
+
+/// Normalizes a term.
+#[must_use]
+pub fn simplify(t: &TermRef) -> TermRef {
+    match &**t {
+        Term::Const(_) | Term::Sym(_) => t.clone(),
+        Term::Un(op, a) => {
+            let a = simplify(a);
+            if let Term::Const(v) = &*a {
+                return Term::c(op.eval(*v));
+            }
+            // not(not x) = x, neg(neg x) = x
+            if let Term::Un(inner, x) = &*a {
+                if inner == op && matches!(op, UnOp::Not | UnOp::Neg) {
+                    return x.clone();
+                }
+            }
+            Rc::new(Term::Un(*op, a))
+        }
+        Term::Bin(op, a, b) => {
+            let mut a = simplify(a);
+            let mut b = simplify(b);
+            if let (Term::Const(x), Term::Const(y)) = (&*a, &*b) {
+                return Term::c(op.eval(*x, *y));
+            }
+            if op.is_commutative() && term_order(&a, &b) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            // Identities.
+            match op {
+                BinOp::Add => {
+                    if a.is_const(0) {
+                        return b;
+                    }
+                    if b.is_const(0) {
+                        return a;
+                    }
+                }
+                BinOp::Sub => {
+                    if b.is_const(0) {
+                        return a;
+                    }
+                    if a == b {
+                        return Term::c(0);
+                    }
+                }
+                BinOp::And => {
+                    if a.is_const(0) || b.is_const(0) {
+                        return Term::c(0);
+                    }
+                    if a.is_const(u32::MAX) {
+                        return b;
+                    }
+                    if b.is_const(u32::MAX) {
+                        return a;
+                    }
+                    if a == b {
+                        return a;
+                    }
+                }
+                BinOp::Or => {
+                    if a.is_const(0) {
+                        return b;
+                    }
+                    if b.is_const(0) {
+                        return a;
+                    }
+                    if a == b {
+                        return a;
+                    }
+                    if a.is_const(u32::MAX) || b.is_const(u32::MAX) {
+                        return Term::c(u32::MAX);
+                    }
+                }
+                BinOp::Xor => {
+                    if a.is_const(0) {
+                        return b;
+                    }
+                    if b.is_const(0) {
+                        return a;
+                    }
+                    if a == b {
+                        return Term::c(0);
+                    }
+                }
+                BinOp::Shl | BinOp::Shr | BinOp::Sar | BinOp::Ror => {
+                    if b.is_const(0) {
+                        return a;
+                    }
+                    if a.is_const(0) && *op != BinOp::Sar {
+                        return Term::c(0);
+                    }
+                }
+                BinOp::Mul => {
+                    if a.is_const(0) || b.is_const(0) {
+                        return Term::c(0);
+                    }
+                    if a.is_const(1) {
+                        return b;
+                    }
+                    if b.is_const(1) {
+                        return a;
+                    }
+                }
+                BinOp::MulhU => {
+                    if a.is_const(0) || b.is_const(0) {
+                        return Term::c(0);
+                    }
+                }
+                // Float identities are not algebraically safe (NaN, -0.0);
+                // float terms only fold when both operands are constant.
+                BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => {}
+            }
+            // Reassociate constant chains: (x + c1) + c2 → x + (c1+c2);
+            // also (x - c1) - c2 and (x + c1) - c2 style mixes.
+            if let Term::Const(c2) = &*b {
+                if let Term::Bin(inner_op, x, c1) = &*a {
+                    if let Term::Const(c1v) = &**c1 {
+                        match (inner_op, op) {
+                            (BinOp::Add, BinOp::Add) => {
+                                return simplify(&Term::bin(
+                                    BinOp::Add,
+                                    x.clone(),
+                                    Term::c(c1v.wrapping_add(*c2)),
+                                ));
+                            }
+                            (BinOp::Add, BinOp::Sub) => {
+                                return simplify(&Term::bin(
+                                    BinOp::Add,
+                                    x.clone(),
+                                    Term::c(c1v.wrapping_sub(*c2)),
+                                ));
+                            }
+                            (BinOp::Sub, BinOp::Sub) => {
+                                return simplify(&Term::bin(
+                                    BinOp::Sub,
+                                    x.clone(),
+                                    Term::c(c1v.wrapping_add(*c2)),
+                                ));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            // Canonicalize x - c → x + (-c) so add/sub chains merge.
+            if *op == BinOp::Sub {
+                if let Term::Const(c) = &*b {
+                    return simplify(&Term::bin(BinOp::Add, a, Term::c(c.wrapping_neg())));
+                }
+            }
+            Rc::new(Term::Bin(*op, a, b))
+        }
+        Term::Pred(op, a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            if let (Term::Const(x), Term::Const(y)) = (&*a, &*b) {
+                return Term::c(u32::from(op.eval(*x, *y)));
+            }
+            // Predicates over a 0/1-valued term against 0: `(p != 0)` is
+            // `p`, `(p == 0)` is `1 - p` canonicalized as xor 1.
+            if b.is_const(0) && is_boolean(&a) {
+                match op {
+                    PredOp::Ne => return a,
+                    PredOp::Eq => {
+                        return simplify(&Term::bin(BinOp::Xor, a, Term::c(1)));
+                    }
+                    _ => {}
+                }
+            }
+            Rc::new(Term::Pred(*op, a, b))
+        }
+        Term::CarryAdd(a, b, c) => {
+            let (a, b, c) = (simplify(a), simplify(b), simplify(c));
+            if let (Term::Const(x), Term::Const(y), Term::Const(z)) = (&*a, &*b, &*c) {
+                let wide = u64::from(*x) + u64::from(*y) + u64::from(*z & 1);
+                return Term::c(u32::from(wide > u64::from(u32::MAX)));
+            }
+            let (a, b) = order_pair(a, b);
+            Rc::new(Term::CarryAdd(a, b, c))
+        }
+        Term::BorrowSub(a, b, c) => {
+            let (a, b, c) = (simplify(a), simplify(b), simplify(c));
+            if let (Term::Const(x), Term::Const(y), Term::Const(z)) = (&*a, &*b, &*c) {
+                let borrow = u64::from(*x) < u64::from(*y) + u64::from(*z & 1);
+                return Term::c(u32::from(borrow));
+            }
+            Rc::new(Term::BorrowSub(a, b, c))
+        }
+        Term::OverflowAdd(a, b, c) => {
+            let (a, b, c) = (simplify(a), simplify(b), simplify(c));
+            if let (Term::Const(x), Term::Const(y), Term::Const(z)) = (&*a, &*b, &*c) {
+                let r = x.wrapping_add(*y).wrapping_add(*z & 1);
+                let v = (!(x ^ y) & (x ^ r)) & 0x8000_0000 != 0;
+                return Term::c(u32::from(v));
+            }
+            let (a, b) = order_pair(a, b);
+            Rc::new(Term::OverflowAdd(a, b, c))
+        }
+        Term::OverflowSub(a, b, c) => {
+            let (a, b, c) = (simplify(a), simplify(b), simplify(c));
+            if let (Term::Const(x), Term::Const(y), Term::Const(z)) = (&*a, &*b, &*c) {
+                let r = x.wrapping_sub(*y).wrapping_sub(*z & 1);
+                let v = ((x ^ y) & (x ^ r)) & 0x8000_0000 != 0;
+                return Term::c(u32::from(v));
+            }
+            Rc::new(Term::OverflowSub(a, b, c))
+        }
+        Term::Ite(c, t, e) => {
+            let c = simplify(c);
+            let t = simplify(t);
+            let e = simplify(e);
+            if let Term::Const(v) = &*c {
+                return if *v != 0 { t } else { e };
+            }
+            if t == e {
+                return t;
+            }
+            Rc::new(Term::Ite(c, t, e))
+        }
+        Term::Read(mem, addr, width) => {
+            let addr = simplify(addr);
+            let mem = simplify_mem(mem);
+            // Store-to-load forwarding for syntactically equal addresses
+            // and widths (sound but incomplete: differing symbolic
+            // addresses conservatively keep the read).
+            let mut cur: &SymMem = &mem;
+            while let SymMem::Store {
+                prev,
+                addr: saddr,
+                val,
+                width: sw,
+            } = cur
+            {
+                if *saddr == addr && sw == width {
+                    return if *width == pdbt_isa::Width::B32 {
+                        val.clone()
+                    } else {
+                        simplify(&Term::bin(BinOp::And, val.clone(), Term::c(width.mask())))
+                    };
+                }
+                // Distinct constant addresses cannot alias (width-aware).
+                if let (Term::Const(sa), Term::Const(da)) = (&**saddr, &*addr) {
+                    let no_alias =
+                        sa.wrapping_add(sw.bytes()) <= *da || da.wrapping_add(width.bytes()) <= *sa;
+                    if no_alias {
+                        cur = prev;
+                        continue;
+                    }
+                }
+                break;
+            }
+            Rc::new(Term::Read(mem, addr, *width))
+        }
+    }
+}
+
+fn order_pair(a: TermRef, b: TermRef) -> (TermRef, TermRef) {
+    if term_order(&a, &b) == Ordering::Greater {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
+/// Whether a term is known to be 0/1-valued.
+fn is_boolean(t: &Term) -> bool {
+    matches!(
+        t,
+        Term::Pred(..)
+            | Term::CarryAdd(..)
+            | Term::BorrowSub(..)
+            | Term::OverflowAdd(..)
+            | Term::OverflowSub(..)
+    ) || matches!(t, Term::Const(v) if *v <= 1)
+        || matches!(t, Term::Sym(Sym::Flag(_) | Sym::HostFlag(_)))
+}
+
+/// Normalizes a symbolic memory (simplifying store addresses/values).
+#[must_use]
+pub fn simplify_mem(m: &Rc<SymMem>) -> Rc<SymMem> {
+    match &**m {
+        SymMem::Init => m.clone(),
+        SymMem::Store {
+            prev,
+            addr,
+            val,
+            width,
+        } => Rc::new(SymMem::Store {
+            prev: simplify_mem(prev),
+            addr: simplify(addr),
+            val: simplify(val),
+            width: *width,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sym;
+
+    fn p(i: u8) -> TermRef {
+        Term::sym(Sym::Param(i))
+    }
+
+    #[test]
+    fn constant_folding() {
+        let t = Term::bin(BinOp::Add, Term::c(3), Term::c(4));
+        assert!(simplify(&t).is_const(7));
+        let t = Term::un(UnOp::Not, Term::c(0));
+        assert!(simplify(&t).is_const(u32::MAX));
+        let t = Term::pred(PredOp::Ltu, Term::c(1), Term::c(2));
+        assert!(simplify(&t).is_const(1));
+    }
+
+    #[test]
+    fn commutative_ordering_makes_equal() {
+        let ab = simplify(&Term::bin(BinOp::Add, p(0), p(1)));
+        let ba = simplify(&Term::bin(BinOp::Add, p(1), p(0)));
+        assert_eq!(ab, ba);
+        // Non-commutative must not reorder.
+        let s1 = simplify(&Term::bin(BinOp::Sub, p(0), p(1)));
+        let s2 = simplify(&Term::bin(BinOp::Sub, p(1), p(0)));
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(simplify(&Term::bin(BinOp::Add, p(0), Term::c(0))), p(0));
+        assert!(simplify(&Term::bin(BinOp::Xor, p(0), p(0))).is_const(0));
+        assert_eq!(simplify(&Term::bin(BinOp::And, p(0), p(0))), p(0));
+        assert!(simplify(&Term::bin(BinOp::Mul, p(0), Term::c(0))).is_const(0));
+        assert_eq!(
+            simplify(&Term::un(UnOp::Not, Term::un(UnOp::Not, p(3)))),
+            p(3)
+        );
+        assert!(simplify(&Term::bin(BinOp::Sub, p(2), p(2))).is_const(0));
+    }
+
+    #[test]
+    fn constant_chain_reassociation() {
+        // (p0 + 4) + 8 → p0 + 12
+        let t = Term::bin(
+            BinOp::Add,
+            Term::bin(BinOp::Add, p(0), Term::c(4)),
+            Term::c(8),
+        );
+        let expect = simplify(&Term::bin(BinOp::Add, p(0), Term::c(12)));
+        assert_eq!(simplify(&t), expect);
+        // (p0 - 4) - 8 → p0 - 12 ≡ p0 + (-12)
+        let t = Term::bin(
+            BinOp::Sub,
+            Term::bin(BinOp::Sub, p(0), Term::c(4)),
+            Term::c(8),
+        );
+        let expect = simplify(&Term::bin(BinOp::Add, p(0), Term::c(12u32.wrapping_neg())));
+        assert_eq!(simplify(&t), expect);
+    }
+
+    #[test]
+    fn sub_const_canonicalizes_to_add() {
+        let sub = simplify(&Term::bin(BinOp::Sub, p(0), Term::c(1)));
+        let add = simplify(&Term::bin(BinOp::Add, p(0), Term::c(1u32.wrapping_neg())));
+        assert_eq!(sub, add);
+    }
+
+    #[test]
+    fn boolean_predicates_collapse() {
+        let carry = Rc::new(Term::CarryAdd(p(0), p(1), Term::c(0)));
+        // (carry != 0) → carry
+        let t = Term::pred(PredOp::Ne, carry.clone(), Term::c(0));
+        assert_eq!(simplify(&t), simplify(&carry));
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let mem = Rc::new(SymMem::Store {
+            prev: Rc::new(SymMem::Init),
+            addr: p(0),
+            val: p(1),
+            width: pdbt_isa::Width::B32,
+        });
+        let read = Rc::new(Term::Read(mem, p(0), pdbt_isa::Width::B32));
+        assert_eq!(simplify(&read), p(1));
+    }
+
+    #[test]
+    fn read_skips_non_aliasing_constant_store() {
+        let mem = Rc::new(SymMem::Store {
+            prev: Rc::new(SymMem::Store {
+                prev: Rc::new(SymMem::Init),
+                addr: Term::c(0x100),
+                val: p(1),
+                width: pdbt_isa::Width::B32,
+            }),
+            addr: Term::c(0x200),
+            val: p(2),
+            width: pdbt_isa::Width::B32,
+        });
+        let read = Rc::new(Term::Read(mem, Term::c(0x100), pdbt_isa::Width::B32));
+        assert_eq!(simplify(&read), p(1));
+    }
+
+    #[test]
+    fn ite_simplifies() {
+        let t = Rc::new(Term::Ite(Term::c(1), p(0), p(1)));
+        assert_eq!(simplify(&t), p(0));
+        let t = Rc::new(Term::Ite(p(2), p(0), p(0)));
+        assert_eq!(simplify(&t), p(0));
+    }
+
+    #[test]
+    fn carry_is_commutative_in_addends() {
+        let c1 = Rc::new(Term::CarryAdd(p(0), p(1), Term::c(0)));
+        let c2 = Rc::new(Term::CarryAdd(p(1), p(0), Term::c(0)));
+        assert_eq!(simplify(&c1), simplify(&c2));
+    }
+}

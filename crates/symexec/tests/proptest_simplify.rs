@@ -1,0 +1,98 @@
+//! Property tests for the normalizing rewriter: simplification preserves
+//! concrete meaning, is idempotent, and canonicalizes commutativity.
+
+use pdbt_symexec::term::{BinOp, PredOp, Sym, Term, TermRef, UnOp};
+use pdbt_symexec::{eval, simplify, Assignment};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn leaf() -> impl Strategy<Value = TermRef> {
+    prop_oneof![
+        any::<u32>().prop_map(Term::c),
+        (0u8..4).prop_map(|i| Term::sym(Sym::Param(i))),
+        (0u8..4).prop_map(|i| Term::sym(Sym::Flag(i))),
+    ]
+}
+
+fn term() -> impl Strategy<Value = TermRef> {
+    leaf().prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (0usize..11, inner.clone(), inner.clone()).prop_map(|(opi, a, b)| {
+                const OPS: [BinOp; 11] = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                    BinOp::Sar,
+                    BinOp::Ror,
+                    BinOp::Mul,
+                    BinOp::MulhU,
+                ];
+                Term::bin(OPS[opi], a, b)
+            }),
+            (0usize..3, inner.clone()).prop_map(|(opi, a)| {
+                const OPS: [UnOp; 3] = [UnOp::Not, UnOp::Neg, UnOp::Clz];
+                Term::un(OPS[opi], a)
+            }),
+            (0usize..10, inner.clone(), inner.clone()).prop_map(|(opi, a, b)| {
+                const OPS: [PredOp; 10] = [
+                    PredOp::Eq,
+                    PredOp::Ne,
+                    PredOp::Ltu,
+                    PredOp::Geu,
+                    PredOp::Lts,
+                    PredOp::Ges,
+                    PredOp::Gts,
+                    PredOp::Les,
+                    PredOp::Gtu,
+                    PredOp::Leu,
+                ];
+                Term::pred(OPS[opi], a, b)
+            }),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Rc::new(Term::Ite(c, t, e))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| Rc::new(Term::CarryAdd(a, b, c))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Rc::new(Term::BorrowSub(a, b, c))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn simplify_preserves_meaning(t in term(), seed in any::<u64>()) {
+        let s = simplify(&t);
+        for k in 0..8u64 {
+            let asg = Assignment::new(seed.wrapping_add(k));
+            prop_assert_eq!(eval(&t, &asg), eval(&s, &asg), "term {} vs {}", t, s);
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent(t in term()) {
+        let once = simplify(&t);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn commutative_operands_canonicalize(a in leaf(), b in leaf()) {
+        for op in [BinOp::Add, BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Mul] {
+            let ab = simplify(&Term::bin(op, a.clone(), b.clone()));
+            let ba = simplify(&Term::bin(op, b.clone(), a.clone()));
+            prop_assert_eq!(ab, ba);
+        }
+    }
+
+    #[test]
+    fn constant_terms_fold_completely(x in any::<u32>(), y in any::<u32>()) {
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Shr, BinOp::Ror] {
+            let t = simplify(&Term::bin(op, Term::c(x), Term::c(y)));
+            prop_assert!(matches!(&*t, Term::Const(_)), "{:?} did not fold", op);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+use pdbt_core::derive::{derive, DeriveConfig};
+use pdbt_core::learning::LearnConfig;
+use pdbt_symexec::CheckOptions;
+use pdbt_workloads::*;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let suite = suite(Scale::full());
+    println!("build suite: {:?}", t0.elapsed());
+    let total: usize = suite.iter().map(|w| w.statements).sum();
+    println!("total statements: {total}");
+    let t = Instant::now();
+    let rules = train_excluding(&suite, Benchmark::Mcf, LearnConfig::default());
+    println!(
+        "train 11 benchmarks: {:?}, {} unique rules",
+        t.elapsed(),
+        rules.len()
+    );
+    let t = Instant::now();
+    let (full, stats) = derive(&rules, DeriveConfig::full(), CheckOptions::default());
+    println!("derive full: {:?}, stats {:?}", t.elapsed(), stats);
+    let t = Instant::now();
+    let target = suite.iter().find(|w| w.bench == Benchmark::Mcf).unwrap();
+    let r = run_dbt(target, Some(full), true).unwrap();
+    println!(
+        "run mcf para: {:?}, guest {} coverage {:.3} ratio {:.2}",
+        t.elapsed(),
+        r.metrics.guest_retired,
+        r.metrics.coverage(),
+        r.metrics.total_ratio()
+    );
+    let t = Instant::now();
+    let q = run_dbt(target, None, true).unwrap();
+    println!(
+        "run mcf qemu: {:?}, ratio {:.2} speedup {:.2}",
+        t.elapsed(),
+        q.metrics.total_ratio(),
+        q.metrics.host_executed() as f64 / r.metrics.host_executed() as f64
+    );
+}

@@ -1,0 +1,592 @@
+//! The synthetic benchmark program generator.
+//!
+//! Produces deterministic (seeded) programs in the compiler's statement
+//! language following a [`Profile`]: an entry function with an outer
+//! loop that calls a handful of hot functions, each built around a
+//! counted inner loop whose body is sampled from the profile's
+//! statement mix. Hot loops dominate execution — mirroring the paper's
+//! observation that fewer than 5% of statements execute at runtime
+//! (§II) — while the colder remainder still contributes statements to
+//! the learning funnel.
+
+use crate::profile::Profile;
+use pdbt_compiler::lang::{
+    BinOp, CmpKind, FuncId, Function, Label, Rvalue, SourceProgram, Stmt, UnOp, Var,
+};
+use pdbt_isa::Width;
+use pdbt_isa_arm::ShiftKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Guest data region base (also identity-mapped into host memory).
+pub const DATA_BASE: u32 = 0x10_0000;
+/// Guest data region size.
+pub const DATA_SIZE: u32 = 0x1000;
+/// Guest stack region base.
+pub const STACK_BASE: u32 = 0x8_0000;
+/// Guest stack region size.
+pub const STACK_SIZE: u32 = 0x1000;
+
+/// Reserved variables: `v0` loop counter, `v1` data base pointer.
+const COUNTER: Var = Var(0);
+const BASE: Var = Var(1);
+
+struct Gen<'a> {
+    rng: &'a mut StdRng,
+    profile: &'a Profile,
+    next_label: u16,
+    stmts: Vec<Stmt>,
+}
+
+impl Gen<'_> {
+    fn label(&mut self) -> Label {
+        self.next_label += 1;
+        Label(self.next_label - 1)
+    }
+
+    /// A data variable: low (register-resident) most of the time, high
+    /// (frame-slot) with the profile's ratio.
+    fn data_var(&mut self) -> Var {
+        if self.rng.gen_bool(self.profile.high_var_ratio) {
+            Var(self.rng.gen_range(4..8))
+        } else {
+            Var(self.rng.gen_range(2..4))
+        }
+    }
+
+    fn low_var(&mut self) -> Var {
+        Var(self.rng.gen_range(2..4))
+    }
+
+    fn small_const(&mut self) -> u32 {
+        self.rng.gen_range(0..256)
+    }
+
+    fn binop(&mut self) -> BinOp {
+        let sig: u32 = self.profile.signature_ops.iter().map(|(_, w)| w).sum();
+        let base: u32 = self.profile.op_weights.iter().map(|(_, w)| w).sum();
+        let mut roll = self.rng.gen_range(0..sig + base);
+        for (op, w) in self
+            .profile
+            .signature_ops
+            .iter()
+            .chain(&self.profile.op_weights)
+        {
+            if roll < *w {
+                return *op;
+            }
+            roll -= w;
+        }
+        BinOp::Add
+    }
+
+    fn cmp_kind(&mut self) -> CmpKind {
+        const KINDS: [CmpKind; 8] = [
+            CmpKind::Eq,
+            CmpKind::Ne,
+            CmpKind::LtS,
+            CmpKind::GeS,
+            CmpKind::GtS,
+            CmpKind::LeS,
+            CmpKind::LtU,
+            CmpKind::GeU,
+        ];
+        KINDS[self.rng.gen_range(0..KINDS.len())]
+    }
+
+    fn width(&mut self) -> Width {
+        match self.rng.gen_range(0..10) {
+            0..=6 => Width::B32,
+            7 | 8 => Width::B8,
+            _ => Width::B16,
+        }
+    }
+
+    /// Emits one ALU statement.
+    fn alu(&mut self) {
+        let op = self.binop();
+        let dst = self.data_var();
+        // Reverse-subtract form (`rsb`) occasionally.
+        if op == BinOp::Sub && self.rng.gen_bool(0.15) {
+            let b = self.data_var();
+            let c = self.small_const();
+            self.stmts.push(Stmt::Bin {
+                dst,
+                op,
+                a: Rvalue::Const(c),
+                b: Rvalue::Var(b),
+            });
+            return;
+        }
+        let a = if self.rng.gen_bool(self.profile.rmw_bias) {
+            dst
+        } else {
+            self.data_var()
+        };
+        let b = match op {
+            BinOp::Shl | BinOp::Shr | BinOp::Sar | BinOp::Ror => {
+                Rvalue::Const(self.rng.gen_range(1..16))
+            }
+            _ if self.rng.gen_bool(self.profile.imm_bias) => Rvalue::Const(self.small_const()),
+            _ => Rvalue::Var(self.data_var()),
+        };
+        self.stmts.push(Stmt::Bin {
+            dst,
+            op,
+            a: Rvalue::Var(a),
+            b,
+        });
+    }
+
+    fn shifted(&mut self) {
+        let kinds = [
+            ShiftKind::Lsl,
+            ShiftKind::Lsr,
+            ShiftKind::Asr,
+            ShiftKind::Ror,
+        ];
+        let ops = [BinOp::Add, BinOp::Sub, BinOp::And, BinOp::Or, BinOp::Xor];
+        let dst = self.data_var();
+        let a = self.data_var();
+        let b = self.data_var();
+        self.stmts.push(Stmt::BinShifted {
+            dst,
+            op: ops[self.rng.gen_range(0..ops.len())],
+            a,
+            b,
+            shift: kinds[self.rng.gen_range(0..kinds.len())],
+            amount: self.rng.gen_range(1..9),
+        });
+    }
+
+    fn unary(&mut self) {
+        let dst = self.data_var();
+        match self.rng.gen_range(0..4) {
+            0 => {
+                let c = self.small_const();
+                self.stmts.push(Stmt::Un {
+                    dst,
+                    op: UnOp::Mov,
+                    a: Rvalue::Const(c),
+                });
+            }
+            1 => {
+                let a = self.data_var();
+                self.stmts.push(Stmt::Un {
+                    dst,
+                    op: UnOp::Mov,
+                    a: Rvalue::Var(a),
+                });
+            }
+            2 => {
+                let a = self.data_var();
+                self.stmts.push(Stmt::Un {
+                    dst,
+                    op: UnOp::Not,
+                    a: Rvalue::Var(a),
+                });
+            }
+            _ => {
+                let a = self.data_var();
+                self.stmts.push(Stmt::Un {
+                    dst,
+                    op: UnOp::Neg,
+                    a: Rvalue::Var(a),
+                });
+            }
+        }
+    }
+
+    fn memory(&mut self) {
+        let width = self.width();
+        let offset = (self.rng.gen_range(0..(DATA_SIZE / 8)) & !3) as i32;
+        if self.rng.gen_bool(0.12) {
+            // Register-offset load with a masked index (keeps addresses
+            // inside the data region).
+            let idx = self.low_var();
+            let dst = self.data_var();
+            self.stmts.push(Stmt::Bin {
+                dst: idx,
+                op: BinOp::And,
+                a: Rvalue::Var(idx),
+                b: Rvalue::Const(0xfc),
+            });
+            self.stmts.push(Stmt::LoadIndexed {
+                dst,
+                base: BASE,
+                index: idx,
+            });
+        } else if self.rng.gen_bool(0.5) {
+            let dst = self.data_var();
+            self.stmts.push(Stmt::Load {
+                dst,
+                base: BASE,
+                offset,
+                width,
+            });
+        } else {
+            let src = self.data_var();
+            self.stmts.push(Stmt::Store {
+                src,
+                base: BASE,
+                offset,
+                width,
+            });
+        }
+    }
+
+    /// A forward-branch `if` group.
+    fn if_group(&mut self) {
+        let l = self.label();
+        let a = self.data_var();
+        let cmp = self.cmp_kind();
+        let c = self.small_const();
+        self.stmts.push(Stmt::Branch {
+            a,
+            cmp,
+            b: Rvalue::Const(c),
+            target: l,
+        });
+        self.alu();
+        if self.rng.gen_bool(0.4) {
+            self.memory();
+        }
+        self.stmts.push(Stmt::Define { label: l });
+    }
+
+    /// A flag-coupled group: an S-fusable ALU statement immediately
+    /// consumed by an equality branch (the `eors`/`subs` + `bne` idiom
+    /// behind the paper's condition-flag delegation).
+    fn flag_coupled(&mut self) {
+        let l = self.label();
+        let dst = self.data_var();
+        let ops = [BinOp::Xor, BinOp::And, BinOp::Sub, BinOp::Add, BinOp::Or];
+        let op = ops[self.rng.gen_range(0..ops.len())];
+        let b = if self.rng.gen_bool(0.5) {
+            Rvalue::Const(self.small_const())
+        } else {
+            Rvalue::Var(self.data_var())
+        };
+        self.stmts.push(Stmt::Bin {
+            dst,
+            op,
+            a: Rvalue::Var(dst),
+            b,
+        });
+        let cmp = if self.rng.gen_bool(0.5) {
+            CmpKind::Ne
+        } else {
+            CmpKind::Eq
+        };
+        self.stmts.push(Stmt::Branch {
+            a: dst,
+            cmp,
+            b: Rvalue::Const(0),
+            target: l,
+        });
+        self.unary();
+        self.stmts.push(Stmt::Define { label: l });
+    }
+
+    fn special(&mut self) {
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let dst = self.data_var();
+                let (a, b, c) = (self.low_var(), self.low_var(), self.data_var());
+                self.stmts.push(Stmt::MulAdd { dst, a, b, c });
+            }
+            1 => {
+                let dst = self.data_var();
+                let a = self.low_var();
+                self.stmts.push(Stmt::Un {
+                    dst,
+                    op: UnOp::Clz,
+                    a: Rvalue::Var(a),
+                });
+            }
+            _ => {
+                // Distinct fixed variables keep the 64-bit accumulate
+                // well-formed.
+                self.stmts.push(Stmt::WideMulAcc {
+                    lo: Var(4),
+                    hi: Var(5),
+                    a: Var(2),
+                    b: Var(3),
+                });
+            }
+        }
+    }
+
+    /// Emits one statement or statement group from the profile mix.
+    fn body_stmt(&mut self, callees: &[FuncId]) {
+        let p = self.profile;
+        let roll: f64 = self.rng.gen();
+        let mut acc = p.call_ratio;
+        if roll < acc && !callees.is_empty() {
+            let f = callees[self.rng.gen_range(0..callees.len())];
+            self.stmts.push(Stmt::Call { func: f });
+            return;
+        }
+        acc += p.if_ratio;
+        if roll < acc {
+            self.if_group();
+            return;
+        }
+        acc += p.flag_coupled_ratio;
+        if roll < acc {
+            self.flag_coupled();
+            return;
+        }
+        acc += p.mem_ratio;
+        if roll < acc {
+            self.memory();
+            return;
+        }
+        acc += p.shifted_ratio;
+        if roll < acc {
+            self.shifted();
+            return;
+        }
+        acc += p.unary_ratio;
+        if roll < acc {
+            self.unary();
+            return;
+        }
+        acc += p.special_ratio;
+        if roll < acc {
+            self.special();
+            return;
+        }
+        self.alu();
+    }
+
+    /// Prologue statements: materialize the data base pointer and seed
+    /// the data variables.
+    fn init(&mut self) {
+        self.stmts.push(Stmt::Un {
+            dst: BASE,
+            op: UnOp::Mov,
+            a: Rvalue::Const(DATA_BASE >> 12),
+        });
+        self.stmts.push(Stmt::Bin {
+            dst: BASE,
+            op: BinOp::Shl,
+            a: Rvalue::Var(BASE),
+            b: Rvalue::Const(12),
+        });
+        for i in 2..8 {
+            let c = self.small_const().max(1);
+            self.stmts.push(Stmt::Un {
+                dst: Var(i),
+                op: UnOp::Mov,
+                a: Rvalue::Const(c),
+            });
+        }
+    }
+
+    /// A counted loop around `body_count` sampled statements.
+    fn counted_loop(&mut self, iters: u32, body_count: usize, callees: &[FuncId]) {
+        let l = self.label();
+        self.stmts.push(Stmt::Un {
+            dst: COUNTER,
+            op: UnOp::Mov,
+            a: Rvalue::Const(iters),
+        });
+        self.stmts.push(Stmt::Define { label: l });
+        for _ in 0..body_count {
+            self.body_stmt(callees);
+        }
+        self.stmts.push(Stmt::Bin {
+            dst: COUNTER,
+            op: BinOp::Sub,
+            a: Rvalue::Var(COUNTER),
+            b: Rvalue::Const(1),
+        });
+        self.stmts.push(Stmt::Branch {
+            a: COUNTER,
+            cmp: CmpKind::Ne,
+            b: Rvalue::Const(0),
+            target: l,
+        });
+    }
+}
+
+/// Generates a benchmark's source program: entry function 0 plus hot and
+/// cold functions, totalling roughly `statement_budget` statements.
+#[must_use]
+pub fn generate(profile: &Profile, statement_budget: usize, rng: &mut StdRng) -> SourceProgram {
+    let n_hot = 2 + (statement_budget / 150).min(3);
+    let n_cold = 1 + (statement_budget / 120).min(6);
+    let n_funcs = 1 + n_hot + n_cold;
+    let per_func = (statement_budget / n_funcs).max(8);
+
+    let mut functions = Vec::with_capacity(n_funcs);
+
+    // Hot functions come right after the entry (ids 1..=n_hot).
+    let hot_ids: Vec<FuncId> = (1..=n_hot).map(|i| FuncId(i as u16)).collect();
+    let cold_ids: Vec<FuncId> = (n_hot + 1..n_funcs).map(|i| FuncId(i as u16)).collect();
+
+    // Entry: init, outer loop over hot calls, outputs, exit.
+    {
+        let mut g = Gen {
+            rng,
+            profile,
+            next_label: 0,
+            stmts: Vec::new(),
+        };
+        g.init();
+        let outer = g.label();
+        g.stmts.push(Stmt::Un {
+            dst: COUNTER,
+            op: UnOp::Mov,
+            a: Rvalue::Const(profile.outer_iters),
+        });
+        g.stmts.push(Stmt::Define { label: outer });
+        for f in &hot_ids {
+            g.stmts.push(Stmt::Call { func: *f });
+        }
+        if let Some(f) = cold_ids.first() {
+            g.stmts.push(Stmt::Call { func: *f });
+        }
+        g.stmts.push(Stmt::Bin {
+            dst: COUNTER,
+            op: BinOp::Sub,
+            a: Rvalue::Var(COUNTER),
+            b: Rvalue::Const(1),
+        });
+        g.stmts.push(Stmt::Branch {
+            a: COUNTER,
+            cmp: CmpKind::Ne,
+            b: Rvalue::Const(0),
+            target: outer,
+        });
+        g.stmts.push(Stmt::Output { a: Var(2) });
+        g.stmts.push(Stmt::Output { a: Var(3) });
+        g.stmts.push(Stmt::Return);
+        functions.push(Function {
+            name: "main".into(),
+            stmts: g.stmts,
+            n_vars: 8,
+        });
+    }
+
+    // Hot functions: a counted inner loop dominates.
+    for (i, _) in hot_ids.iter().enumerate() {
+        let mut g = Gen {
+            rng,
+            profile,
+            next_label: 0,
+            stmts: Vec::new(),
+        };
+        g.init();
+        let body = (per_func.saturating_sub(14)).clamp(4, 40);
+        g.counted_loop(profile.hot_loop_iters, body, &[]);
+        g.stmts.push(Stmt::Store {
+            src: Var(2),
+            base: BASE,
+            offset: (i as i32) * 4,
+            width: Width::B32,
+        });
+        g.stmts.push(Stmt::Return);
+        functions.push(Function {
+            name: format!("hot{i}"),
+            stmts: g.stmts,
+            n_vars: 8,
+        });
+    }
+
+    // Cold functions: straight-line statements, occasionally calling a
+    // deeper cold function (no recursion: only higher ids).
+    for (i, id) in cold_ids.iter().enumerate() {
+        let mut g = Gen {
+            rng,
+            profile,
+            next_label: 0,
+            stmts: Vec::new(),
+        };
+        g.init();
+        let deeper: Vec<FuncId> = cold_ids.iter().copied().filter(|f| f.0 > id.0).collect();
+        for _ in 0..per_func {
+            g.body_stmt(&deeper);
+        }
+        g.stmts.push(Stmt::Return);
+        functions.push(Function {
+            name: format!("cold{i}"),
+            stmts: g.stmts,
+            n_vars: 8,
+        });
+    }
+
+    SourceProgram { functions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Benchmark, Scale};
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = Benchmark::Mcf.profile();
+        let a = generate(&p, 60, &mut StdRng::seed_from_u64(1));
+        let b = generate(&p, 60, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let c = generate(&p, 60, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_programs_compile_and_terminate() {
+        for b in [Benchmark::Mcf, Benchmark::Libquantum, Benchmark::H264ref] {
+            let p = b.profile();
+            let mut rng = StdRng::seed_from_u64(b.seed());
+            let src = generate(&p, Scale::tiny().statements(b), &mut rng);
+            let pair =
+                pdbt_compiler::compile_pair(&src, 0x1000).unwrap_or_else(|e| panic!("{b}: {e}"));
+            let mut cpu = pdbt_isa_arm::Cpu::new();
+            cpu.mem.map(DATA_BASE, DATA_SIZE);
+            cpu.mem.map(STACK_BASE, STACK_SIZE);
+            cpu.write(pdbt_isa_arm::Reg::Sp, STACK_BASE + STACK_SIZE);
+            let stats = pdbt_isa_arm::run(&mut cpu, &pair.guest.program, 20_000_000)
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert!(
+                stats.executed > 1_000,
+                "{b}: ran {} instructions",
+                stats.executed
+            );
+            assert_eq!(cpu.output.len(), 2, "{b}: entry outputs two accumulators");
+        }
+    }
+
+    #[test]
+    fn statement_budget_is_roughly_respected() {
+        let p = Benchmark::Gcc.profile();
+        let mut rng = StdRng::seed_from_u64(3);
+        let src = generate(&p, 400, &mut rng);
+        let n = src.statement_count();
+        assert!(n >= 200 && n <= 800, "got {n}");
+    }
+
+    #[test]
+    fn hot_loops_dominate_execution() {
+        // The paper's <5%-of-statements-execute observation: dynamic
+        // instruction count greatly exceeds static size.
+        let b = Benchmark::Hmmer;
+        let p = b.profile();
+        let mut rng = StdRng::seed_from_u64(b.seed());
+        let src = generate(&p, Scale::tiny().statements(b), &mut rng);
+        let pair = pdbt_compiler::compile_pair(&src, 0x1000).unwrap();
+        let static_len = pair.guest.program.len() as u64;
+        let mut cpu = pdbt_isa_arm::Cpu::new();
+        cpu.mem.map(DATA_BASE, DATA_SIZE);
+        cpu.mem.map(STACK_BASE, STACK_SIZE);
+        cpu.write(pdbt_isa_arm::Reg::Sp, STACK_BASE + STACK_SIZE);
+        let stats = pdbt_isa_arm::run(&mut cpu, &pair.guest.program, 20_000_000).unwrap();
+        assert!(
+            stats.executed > static_len * 10,
+            "dynamic {} vs static {static_len}",
+            stats.executed
+        );
+    }
+}

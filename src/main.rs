@@ -1,0 +1,258 @@
+//! `pdbt` — command-line front end for the parameterized learning-based
+//! DBT.
+//!
+//! ```text
+//! pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] -o rules.txt
+//! pdbt run    prog.s [--rules rules.txt] [--no-delegation] [--stats]
+//! pdbt trace  prog.s [--rules rules.txt] [--addr HEX]
+//! pdbt bench  [--scale tiny|full] [BENCH]
+//! ```
+//!
+//! Guest programs are assembly listings in the syntax the disassembler
+//! prints (see `pdbt_isa_arm::parse_listing`); they are loaded at
+//! `0x1000` with a data region at `0x100000` and a stack at `0x80000`.
+
+use pdbt::arm::{parse_listing, Program};
+use pdbt::core::derive::{derive, DeriveConfig};
+use pdbt::core::learning::LearnConfig;
+use pdbt::core::{load_rules, save_rules, RuleSet};
+use pdbt::runtime::{translate_block, CodeClass, Engine, EngineConfig, RunSetup, TranslateConfig};
+use pdbt::workloads::{run_dbt, run_reference, train_excluding, Benchmark, Scale};
+use pdbt_symexec::CheckOptions;
+use std::process::ExitCode;
+
+const DATA_BASE: u32 = 0x10_0000;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] -o FILE\n  \
+         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats]\n  \
+         pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
+         pdbt bench  [--scale tiny|full] [BENCH]"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal flag parser: returns (positional args, flag values).
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String], value_flags: &[&str]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    flags.push((name.to_string(), it.next().cloned()));
+                } else {
+                    flags.push((name.to_string(), None));
+                }
+            } else if a == "-o" {
+                flags.push(("out".to_string(), it.next().cloned()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn scale_of(args: &Args) -> Scale {
+    match args.value("scale") {
+        Some("tiny") => Scale::tiny(),
+        _ => Scale::full(),
+    }
+}
+
+fn bench_of(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| b.name() == name)
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let insts = parse_listing(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Program::new(0x1000, insts))
+}
+
+fn load_rules_file(path: &str) -> Result<RuleSet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    load_rules(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args.value("out").ok_or("train needs -o FILE")?;
+    let scale = scale_of(args);
+    let exclude = match args.value("exclude") {
+        Some(name) => Some(bench_of(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?),
+        None => None,
+    };
+    eprintln!("building the synthetic suite…");
+    let suite = pdbt::workloads::suite(scale);
+    let learned = match exclude {
+        Some(b) => train_excluding(&suite, b, LearnConfig::default()),
+        None => {
+            let mut all = RuleSet::new();
+            for w in &suite {
+                let mut r = RuleSet::new();
+                pdbt::core::learning::learn_into(&mut r, &w.pair, &w.debug, LearnConfig::default());
+                all.merge(r);
+            }
+            all
+        }
+    };
+    eprintln!(
+        "learned {} rules (+{} sequences)",
+        learned.len(),
+        learned.seq_len()
+    );
+    let rules = if args.has("no-param") {
+        learned
+    } else {
+        let (full, stats) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        eprintln!(
+            "parameterized to {} applicable rules ({} derived, {} rejected)",
+            stats.instantiated, stats.derived, stats.rejected
+        );
+        full
+    };
+    std::fs::write(out, save_rules(&rules)).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("run needs a program file")?;
+    let prog = load_program(path)?;
+    let rules = match args.value("rules") {
+        Some(p) => Some(load_rules_file(p)?),
+        None => None,
+    };
+    let mut cfg = EngineConfig::default();
+    cfg.translate.flag_delegation = !args.has("no-delegation");
+    let mut engine = Engine::new(rules, cfg);
+    let setup = RunSetup::basic(DATA_BASE, 0x1000, 0x8_0000, 0x1000);
+    let report = engine.run(&prog, &setup).map_err(|e| e.to_string())?;
+    for v in &report.output {
+        println!("{v}");
+    }
+    if args.has("stats") {
+        let m = &report.metrics;
+        eprintln!(
+            "guest instructions : {}\nhost instructions  : {}\ncoverage           : {:.1}%\nhost/guest ratio   : {:.2}\nblocks (xlated/run): {}/{}",
+            m.guest_retired,
+            m.host_executed(),
+            m.coverage() * 100.0,
+            m.total_ratio(),
+            m.blocks_translated,
+            m.blocks_executed,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("trace needs a program file")?;
+    let prog = load_program(path)?;
+    let rules = match args.value("rules") {
+        Some(p) => Some(load_rules_file(p)?),
+        None => None,
+    };
+    let addr = match args.value("addr") {
+        Some(hex) => u32::from_str_radix(hex.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("bad --addr: {e}"))?,
+        None => prog.base(),
+    };
+    let block = translate_block(&prog, addr, rules.as_ref(), &TranslateConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "block {:#x}: {} guest instructions, {} rule-covered, {} host instructions",
+        addr,
+        block.guest_len,
+        block.rule_covered,
+        block.code.len()
+    );
+    for (inst, class) in block.code.iter().zip(&block.classes) {
+        let tag = match class {
+            CodeClass::RuleCore => "rule",
+            CodeClass::QemuCore => "qemu",
+            CodeClass::DataTransfer => "data",
+            CodeClass::Control => "ctrl",
+        };
+        println!("  [{tag}] {inst}");
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let scale = scale_of(args);
+    let only = args.positional.first().map(String::as_str);
+    let suite = pdbt::workloads::suite(scale);
+    println!(
+        "{:<12}{:>10}{:>12}{:>10}",
+        "benchmark", "coverage", "host/guest", "speedup"
+    );
+    for w in &suite {
+        if let Some(name) = only {
+            if w.bench.name() != name {
+                continue;
+            }
+        }
+        let golden = run_reference(w).map_err(|e| e.to_string())?;
+        let learned = train_excluding(&suite, w.bench, LearnConfig::default());
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let qemu = run_dbt(w, None, true).map_err(|e| e.to_string())?;
+        let para = run_dbt(w, Some(full), true).map_err(|e| e.to_string())?;
+        if qemu.output != golden || para.output != golden {
+            return Err(format!("{}: output mismatch", w.bench));
+        }
+        println!(
+            "{:<12}{:>9.1}%{:>12.2}{:>9.2}x",
+            w.bench.name(),
+            para.metrics.coverage() * 100.0,
+            para.metrics.total_ratio(),
+            qemu.metrics.host_executed() as f64 / para.metrics.host_executed() as f64,
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().map(String::as_str) else {
+        return usage();
+    };
+    let args = Args::parse(&raw[1..], &["scale", "exclude", "rules", "addr"]);
+    let result = match cmd {
+        "train" => cmd_train(&args),
+        "run" => cmd_run(&args),
+        "trace" => cmd_trace(&args),
+        "bench" => cmd_bench(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the full paper pipeline at test scale.
+//!
+//! Builds the synthetic suite, trains leave-one-out, derives
+//! parameterized rules, and runs several benchmarks under every system
+//! configuration, checking output correctness against the reference
+//! interpreter and the evaluation's headline orderings.
+
+use pdbt::core::derive::{derive, DeriveConfig};
+use pdbt::core::learning::LearnConfig;
+use pdbt::workloads::{build, run_dbt, run_reference, train_excluding, Benchmark, Scale};
+use pdbt_symexec::CheckOptions;
+
+fn targets() -> [Benchmark; 3] {
+    [Benchmark::Mcf, Benchmark::Libquantum, Benchmark::Astar]
+}
+
+#[test]
+fn every_configuration_is_correct_and_ordered() {
+    let scale = Scale::tiny();
+    let suite = pdbt::workloads::suite(scale);
+    for target in targets() {
+        let w = suite.iter().find(|w| w.bench == target).unwrap();
+        let golden = run_reference(w).expect("reference runs");
+        assert!(!golden.is_empty());
+
+        let learned = train_excluding(&suite, target, LearnConfig::default());
+        assert!(learned.len() > 20, "{target}: learned {}", learned.len());
+        let (full, stats) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        assert!(stats.instantiated > stats.learned, "{target}: {stats:?}");
+
+        let qemu = run_dbt(w, None, true).expect("qemu config");
+        assert_eq!(qemu.output, golden, "{target}: qemu output");
+        assert_eq!(qemu.metrics.coverage(), 0.0);
+
+        let wo = run_dbt(w, Some(learned), false).expect("w/o para config");
+        assert_eq!(wo.output, golden, "{target}: w/o para output");
+
+        let para = run_dbt(w, Some(full), true).expect("para config");
+        assert_eq!(para.output, golden, "{target}: para output");
+
+        // Headline orderings (Figs 11/12): parameterization increases
+        // coverage and reduces executed host instructions.
+        assert!(
+            para.metrics.coverage() > wo.metrics.coverage(),
+            "{target}: coverage {} vs {}",
+            para.metrics.coverage(),
+            wo.metrics.coverage()
+        );
+        assert!(
+            para.metrics.coverage() > 0.85,
+            "{target}: {}",
+            para.metrics.coverage()
+        );
+        assert!(
+            para.metrics.host_executed() < qemu.metrics.host_executed(),
+            "{target}: para {} vs qemu {}",
+            para.metrics.host_executed(),
+            qemu.metrics.host_executed()
+        );
+    }
+}
+
+#[test]
+fn ablation_stages_are_monotone_in_coverage() {
+    let scale = Scale::tiny();
+    let suite = pdbt::workloads::suite(scale);
+    let target = Benchmark::Sjeng;
+    let w = suite.iter().find(|w| w.bench == target).unwrap();
+    let learned = train_excluding(&suite, target, LearnConfig::default());
+    let check = CheckOptions::default();
+    let (opcode, _) = derive(&learned, DeriveConfig::opcode_only(), check);
+    let (addr, _) = derive(&learned, DeriveConfig::opcode_addrmode(), check);
+    let (full, _) = derive(&learned, DeriveConfig::full(), check);
+
+    let c0 = run_dbt(w, Some(learned), false).unwrap().metrics.coverage();
+    let c1 = run_dbt(w, Some(opcode), false).unwrap().metrics.coverage();
+    let c2 = run_dbt(w, Some(addr), false).unwrap().metrics.coverage();
+    let c3 = run_dbt(w, Some(full), true).unwrap().metrics.coverage();
+    assert!(c0 <= c1 + 1e-9, "{c0} {c1}");
+    assert!(c1 <= c2 + 1e-9, "{c1} {c2}");
+    assert!(c2 < c3, "{c2} {c3}");
+}
+
+#[test]
+fn unlearnable_instructions_fall_back_but_stay_correct() {
+    // A program built around the paper's seven unlearnables.
+    use pdbt::arm::{builders as g, Operand as O, Program, Reg};
+    use pdbt::runtime::{Engine, EngineConfig, RunSetup};
+    let prog = Program::new(
+        0x1000,
+        vec![
+            g::mov(Reg::R4, O::Imm(0x321)),
+            g::clz(Reg::R5, Reg::R4),                   // clz
+            g::mla(Reg::R6, Reg::R5, Reg::R5, Reg::R4), // mla
+            g::push([Reg::R4, Reg::R5]),                // push
+            g::pop([Reg::R7, Reg::R8]),                 // pop
+            g::bl(8),                                   // bl → f
+            g::b(pdbt_isa::Cond::Al, 12),               // b → out
+            g::add(Reg::R6, Reg::R6, O::Reg(Reg::R7)),  // f:
+            g::bx(Reg::Lr),
+            g::mov(Reg::R0, O::Reg(Reg::R6)), // out:
+            g::svc(1),
+            g::svc(0),
+        ],
+    );
+    let scale = Scale::tiny();
+    let suite = pdbt::workloads::suite(scale);
+    let learned = train_excluding(&suite, Benchmark::Mcf, LearnConfig::default());
+    let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+    let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+    let mut engine = Engine::new(Some(full), EngineConfig::default());
+    let report = engine.run(&prog, &setup).unwrap();
+    // Reference.
+    let mut cpu = pdbt::arm::Cpu::new();
+    cpu.mem.map(0x10_0000, 0x1000);
+    cpu.mem.map(0x8_0000, 0x1000);
+    cpu.write(Reg::Sp, 0x8_1000);
+    pdbt::arm::run(&mut cpu, &prog, 10_000).unwrap();
+    assert_eq!(report.output, cpu.output);
+    // The unlearnables kept coverage below 100%.
+    assert!(report.metrics.coverage() < 1.0);
+    assert!(report.metrics.coverage() > 0.0);
+}

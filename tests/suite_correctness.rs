@@ -1,0 +1,29 @@
+//! The big hammer: every benchmark in the suite, under the fully
+//! parameterized DBT and under the pure QEMU path, must reproduce the
+//! reference interpreter's output exactly.
+
+use pdbt::core::derive::{derive, DeriveConfig};
+use pdbt::core::learning::LearnConfig;
+use pdbt::workloads::{run_dbt, run_reference, train_excluding, Scale};
+use pdbt_symexec::CheckOptions;
+
+#[test]
+fn all_twelve_benchmarks_are_translated_correctly() {
+    let suite = pdbt::workloads::suite(Scale::tiny());
+    for w in &suite {
+        let golden = run_reference(w).unwrap_or_else(|e| panic!("{}: reference {e}", w.bench));
+        let qemu = run_dbt(w, None, true).unwrap_or_else(|e| panic!("{}: qemu {e}", w.bench));
+        assert_eq!(qemu.output, golden, "{}: qemu output", w.bench);
+
+        let learned = train_excluding(&suite, w.bench, LearnConfig::default());
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let para = run_dbt(w, Some(full), true).unwrap_or_else(|e| panic!("{}: para {e}", w.bench));
+        assert_eq!(para.output, golden, "{}: para output", w.bench);
+        assert!(
+            para.metrics.coverage() > 0.80,
+            "{}: coverage {:.3}",
+            w.bench,
+            para.metrics.coverage()
+        );
+    }
+}
