@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks: translation throughput per path, rule
-//! lookup + instantiation cost (the paper's §IV-D claim that the two
-//! extra steps "incur very little additional overhead"), and symbolic
+//! Micro-benchmarks: translation throughput per path, rule lookup +
+//! instantiation cost (the paper's §IV-D claim that the two extra
+//! steps "incur very little additional overhead"), and symbolic
 //! verification cost.
+//!
+//! Hand-rolled harness (`harness = false`): each benchmark is timed in
+//! batches of iterations; we report the fastest batch (least noise) and
+//! the mean, in ns per operation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pdbt_bench::{Config, Experiment};
 use pdbt_core::emit::emit_for;
 use pdbt_core::key::parameterize;
@@ -15,8 +18,32 @@ use pdbt_runtime::{translate_block, TranslateConfig};
 use pdbt_symexec::CheckOptions;
 use pdbt_workloads::{Benchmark, Scale};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_translation(c: &mut Criterion) {
+/// Number of timed batches per benchmark.
+const BATCHES: usize = 12;
+
+/// Times `f` over `iters` calls per batch, after one warm-up batch.
+/// Prints min / mean ns per call.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters {
+        f();
+    }
+    let mut samples = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as u64 / u64::from(iters);
+        samples.push(ns);
+    }
+    let min = samples.iter().copied().min().unwrap();
+    let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+    println!("{name:<44} {min:>10} ns/op (min)  {mean:>12.1} ns/op (mean)");
+}
+
+fn bench_translation() {
     let exp = Experiment::new(Scale::tiny());
     let w = exp
         .suite
@@ -27,44 +54,41 @@ fn bench_translation(c: &mut Criterion) {
     let (rules, _) = exp.rules_for(Config::Para, Benchmark::Mcf);
     let rules = rules.unwrap();
     let cfg = TranslateConfig::default();
-    c.bench_function("translate_block/qemu_path", |b| {
-        b.iter(|| black_box(translate_block(prog, prog.base(), None, &cfg).unwrap()))
+    bench("translate_block/qemu_path", 2_000, || {
+        black_box(translate_block(prog, prog.base(), None, &cfg).unwrap());
     });
-    c.bench_function("translate_block/rule_path", |b| {
-        b.iter(|| black_box(translate_block(prog, prog.base(), Some(&rules), &cfg).unwrap()))
+    bench("translate_block/rule_path", 2_000, || {
+        black_box(translate_block(prog, prog.base(), Some(&rules), &cfg).unwrap());
     });
 }
 
-fn bench_lookup_instantiate(c: &mut Criterion) {
+fn bench_lookup_instantiate() {
     let exp = Experiment::new(Scale::tiny());
     let (rules, _) = exp.rules_for(Config::Para, Benchmark::Mcf);
     let rules = rules.unwrap();
     let inst = g::add(Reg::R4, Reg::R4, O::Imm(5));
-    c.bench_function("rule/parameterize_guest", |b| {
-        b.iter(|| black_box(parameterize(black_box(&inst))))
+    bench("rule/parameterize_guest", 200_000, || {
+        black_box(parameterize(black_box(&inst)));
     });
-    c.bench_function("rule/hash_lookup", |b| {
-        b.iter(|| black_box(rules.lookup(black_box(&inst))))
+    bench("rule/hash_lookup", 200_000, || {
+        black_box(rules.lookup(black_box(&inst)));
     });
     let locs = [HostLoc::Reg(pdbt_isa_x86::Reg::Ecx)];
-    c.bench_function("rule/lookup_and_instantiate", |b| {
-        b.iter_batched(
-            || rules.lookup(&inst).unwrap(),
-            |m| black_box(rules.instantiate_match(&m, &locs).unwrap()),
-            BatchSize::SmallInput,
-        )
+    bench("rule/lookup_and_instantiate", 100_000, || {
+        let m = rules.lookup(&inst).unwrap();
+        black_box(rules.instantiate_match(&m, &locs).unwrap());
     });
 }
 
-fn bench_verification(c: &mut Criterion) {
+fn bench_verification() {
     let p = parameterize(&g::add(Reg::R4, Reg::R5, O::Reg(Reg::R6))).unwrap();
     let template = emit_for(&p.key).unwrap();
-    c.bench_function("verify/derived_combo", |b| {
-        b.iter(|| black_box(verify_combo(&p.key, &template, CheckOptions::default()).unwrap()))
+    bench("verify/derived_combo", 2_000, || {
+        black_box(verify_combo(&p.key, &template, CheckOptions::default()).unwrap());
     });
 }
 
-fn bench_lookup_scaling(c: &mut Criterion) {
+fn bench_lookup_scaling() {
     // Hash-table lookup cost vs rule-set size — the design choice behind
     // the paper's "hash algorithm is used to retrieve the translation
     // rules" (§V-A): lookup stays flat as the store grows from the
@@ -77,21 +101,26 @@ fn bench_lookup_scaling(c: &mut Criterion) {
         CheckOptions::default(),
     );
     let inst = g::eor(Reg::R4, Reg::R4, O::Reg(Reg::R5));
-    let mut group = c.benchmark_group("lookup_scaling");
-    group.bench_function(format!("learned_{}_rules", learned.len()), |b| {
-        b.iter(|| black_box(learned.lookup(black_box(&inst))))
-    });
-    group.bench_function(format!("parameterized_{}_rules", full.len()), |b| {
-        b.iter(|| black_box(full.lookup(black_box(&inst))))
-    });
-    group.finish();
+    bench(
+        &format!("lookup_scaling/learned_{}_rules", learned.len()),
+        200_000,
+        || {
+            black_box(learned.lookup(black_box(&inst)));
+        },
+    );
+    bench(
+        &format!("lookup_scaling/parameterized_{}_rules", full.len()),
+        200_000,
+        || {
+            black_box(full.lookup(black_box(&inst)));
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_translation,
-    bench_lookup_instantiate,
-    bench_verification,
-    bench_lookup_scaling
-);
-criterion_main!(benches);
+fn main() {
+    println!("micro-benchmarks ({BATCHES} batches, min and mean per op)");
+    bench_translation();
+    bench_lookup_instantiate();
+    bench_verification();
+    bench_lookup_scaling();
+}

@@ -7,7 +7,7 @@
 use pdbt_core::derive::{derive, DeriveConfig};
 use pdbt_core::learning::{learn_into, FunnelStats, LearnConfig};
 use pdbt_core::RuleSet;
-use pdbt_runtime::{CodeClass, Metrics};
+use pdbt_runtime::{CodeClass, Metrics, Report, RunObs};
 use pdbt_symexec::CheckOptions;
 use pdbt_workloads::{run_dbt, suite, Benchmark, Scale, Workload};
 
@@ -122,14 +122,36 @@ impl Experiment {
     /// Runs one benchmark under one configuration.
     #[must_use]
     pub fn run(&self, cfg: Config, target: Benchmark) -> Metrics {
+        self.run_full(cfg, target).metrics
+    }
+
+    /// Runs one benchmark under one configuration and keeps the whole
+    /// report — metrics plus the observability record (per-rule
+    /// attribution, timing histograms).
+    #[must_use]
+    pub fn run_full(&self, cfg: Config, target: Benchmark) -> Report {
         let w = self
             .suite
             .iter()
             .find(|w| w.bench == target)
             .expect("benchmark in suite");
         let (rules, delegation) = self.rules_for(cfg, target);
-        let report = run_dbt(w, rules, delegation).expect("workload runs");
-        report.metrics
+        run_dbt(w, rules, delegation).expect("workload runs")
+    }
+
+    /// Runs the whole suite under one configuration and folds the
+    /// results into a single aggregate: summed [`Metrics`] (via
+    /// [`Metrics::merge`]) and merged observability counters.
+    #[must_use]
+    pub fn run_suite(&self, cfg: Config) -> (Metrics, RunObs) {
+        let mut metrics = Metrics::default();
+        let mut obs = RunObs::default();
+        for w in &self.suite {
+            let report = self.run_full(cfg, w.bench);
+            metrics.merge(&report.metrics);
+            obs.merge(&report.obs);
+        }
+        (metrics, obs)
     }
 }
 
@@ -183,6 +205,17 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
         assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_aggregate_folds_attribution() {
+        let exp = Experiment::new(Scale::tiny());
+        let (metrics, obs) = exp.run_suite(Config::Para);
+        // The merged counters decompose the merged coverage exactly.
+        assert_eq!(obs.rules.total_covered(), metrics.rule_covered);
+        assert_eq!(obs.block_host_len.count(), metrics.blocks_executed);
+        assert_eq!(obs.block_host_len.sum(), metrics.host_retired);
+        assert!(metrics.coverage() > 0.5);
     }
 
     #[test]

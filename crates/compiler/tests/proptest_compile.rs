@@ -1,32 +1,46 @@
-//! Property tests for the dual-target compiler: every valid random
+//! Randomized tests for the dual-target compiler: every valid random
 //! source program compiles on both backends, the guest image executes
 //! to completion, and the span tables are consistent.
+//!
+//! Originally written with `proptest`; the offline build environment has
+//! no crates.io access, so the strategies are hand-rolled samplers over
+//! the deterministic in-tree PRNG (`pdbt-rng`, aliased as `rand`).
 
 use pdbt_compiler::lang::*;
 use pdbt_compiler::{build_debug_map, compile_pair};
 use pdbt_isa::Width;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn var() -> impl Strategy<Value = Var> {
-    (0u8..8).prop_map(Var)
+fn cases() -> usize {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+fn var(rng: &mut StdRng) -> Var {
+    Var(rng.gen_range(0u8..8))
 }
 
 /// Destination variables exclude `v1`, which holds the data base
 /// pointer for the final store.
-fn dst_var() -> impl Strategy<Value = Var> {
-    (0u8..7).prop_map(|i| Var(if i >= 1 { i + 1 } else { i }))
+fn dst_var(rng: &mut StdRng) -> Var {
+    let i = rng.gen_range(0u8..7);
+    Var(if i >= 1 { i + 1 } else { i })
 }
 
-fn rvalue() -> impl Strategy<Value = Rvalue> {
-    prop_oneof![
-        var().prop_map(Rvalue::Var),
-        (0u32..2048).prop_map(Rvalue::Const)
-    ]
+fn rvalue(rng: &mut StdRng) -> Rvalue {
+    if rng.gen_bool(0.5) {
+        Rvalue::Var(var(rng))
+    } else {
+        Rvalue::Const(rng.gen_range(0u32..2048))
+    }
 }
 
-fn stmt() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (dst_var(), 0usize..10, var(), rvalue()).prop_map(|(dst, opi, a, b)| {
+fn stmt(rng: &mut StdRng) -> Stmt {
+    match rng.gen_range(0..6) {
+        0 => {
             const OPS: [BinOp; 10] = [
                 BinOp::Add,
                 BinOp::Sub,
@@ -40,30 +54,35 @@ fn stmt() -> impl Strategy<Value = Stmt> {
                 BinOp::Mul,
             ];
             Stmt::Bin {
-                dst,
-                op: OPS[opi],
-                a: Rvalue::Var(a),
-                b,
+                dst: dst_var(rng),
+                op: OPS[rng.gen_range(0..10)],
+                a: Rvalue::Var(var(rng)),
+                b: rvalue(rng),
             }
-        }),
-        (dst_var(), var()).prop_map(|(dst, a)| Stmt::Un {
-            dst,
+        }
+        1 => Stmt::Un {
+            dst: dst_var(rng),
             op: UnOp::Not,
-            a: Rvalue::Var(a)
-        }),
-        (dst_var(), rvalue()).prop_map(|(dst, a)| Stmt::Un {
-            dst,
+            a: Rvalue::Var(var(rng)),
+        },
+        2 => Stmt::Un {
+            dst: dst_var(rng),
             op: UnOp::Mov,
-            a
-        }),
-        (dst_var(), var(), var(), var()).prop_map(|(d, a, b, c)| Stmt::MulAdd { dst: d, a, b, c }),
-        (dst_var(), var()).prop_map(|(dst, a)| Stmt::Un {
-            dst,
+            a: rvalue(rng),
+        },
+        3 => Stmt::MulAdd {
+            dst: dst_var(rng),
+            a: var(rng),
+            b: var(rng),
+            c: var(rng),
+        },
+        4 => Stmt::Un {
+            dst: dst_var(rng),
             op: UnOp::Clz,
-            a: Rvalue::Var(a)
-        }),
-        var().prop_map(|a| Stmt::Output { a }),
-    ]
+            a: Rvalue::Var(var(rng)),
+        },
+        _ => Stmt::Output { a: var(rng) },
+    }
 }
 
 fn source(stmts: Vec<Stmt>) -> SourceProgram {
@@ -99,25 +118,28 @@ fn source(stmts: Vec<Stmt>) -> SourceProgram {
     }
 }
 
-proptest! {
-    #[test]
-    fn random_programs_compile_and_run(stmts in proptest::collection::vec(stmt(), 0..30)) {
+#[test]
+fn random_programs_compile_and_run() {
+    let mut rng = StdRng::seed_from_u64(0xC0_01);
+    for _ in 0..cases() {
+        let n = rng.gen_range(0..30);
+        let stmts: Vec<Stmt> = (0..n).map(|_| stmt(&mut rng)).collect();
         let src = source(stmts);
         let pair = compile_pair(&src, 0x1000).expect("compiles");
         // Span tables: in-bounds, ordered, contiguous coverage.
         let mut prev_end = 0usize;
         for span in &pair.guest.spans {
-            prop_assert!(span.range.start == prev_end || span.range.is_empty());
-            prop_assert!(span.range.end <= pair.guest.program.len());
+            assert!(span.range.start == prev_end || span.range.is_empty());
+            assert!(span.range.end <= pair.guest.program.len());
             prev_end = span.range.end.max(prev_end);
         }
         // The accurate debug map joins both sides consistently.
         let map = build_debug_map(&pair.guest, &pair.host);
         for e in &map {
-            prop_assert!(e.guest.end <= pair.guest.program.len());
-            prop_assert!(e.host.end <= pair.host.insts.len());
-            prop_assert!(!e.guest.is_empty());
-            prop_assert!(!e.host.is_empty());
+            assert!(e.guest.end <= pair.guest.program.len());
+            assert!(e.host.end <= pair.host.insts.len());
+            assert!(!e.guest.is_empty());
+            assert!(!e.host.is_empty());
         }
         // The guest image executes to completion.
         let mut cpu = pdbt_isa_arm::Cpu::new();

@@ -206,6 +206,7 @@ fn addrmode_signature(key: &ComboKey) -> (usize, bool, usize) {
 /// store and the statistics.
 #[must_use]
 pub fn derive(learned: &RuleSet, cfg: DeriveConfig, check: CheckOptions) -> (RuleSet, DeriveStats) {
+    let _span = pdbt_obs::span("parameterize");
     let mut stats = DeriveStats {
         learned: learned.len(),
         ..DeriveStats::default()

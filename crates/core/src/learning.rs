@@ -294,6 +294,7 @@ pub fn learn_into(
     debug: &[DebugEntry],
     cfg: LearnConfig,
 ) -> FunnelStats {
+    let _span = pdbt_obs::span("learn");
     let mut stats = FunnelStats {
         statements: pair.guest.spans.len(),
         candidates: debug.len(),

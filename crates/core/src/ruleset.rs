@@ -105,6 +105,7 @@ pub fn verify_combo(
     template: &Template,
     opts: CheckOptions,
 ) -> Result<Vec<(Flag, FlagEquiv)>, String> {
+    let _span = pdbt_obs::span_with("verify", || key.to_string());
     let n = key::slot_count(key);
     if n > 4 {
         return Err(format!("{n} parameter slots exceed the canonical pool"));
@@ -156,6 +157,12 @@ pub fn verify_seq(
     n_slots: usize,
     opts: CheckOptions,
 ) -> Result<Vec<(Flag, FlagEquiv)>, String> {
+    let _span = pdbt_obs::span_with("verify", || {
+        keys.iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    });
     if n_slots > 4 {
         return Err(format!(
             "{n_slots} parameter slots exceed the canonical pool"
@@ -204,6 +211,8 @@ pub fn verify_seq(
 /// A matched rule ready to instantiate.
 #[derive(Debug, Clone)]
 pub struct Match<'a> {
+    /// The key that matched (attribution label for observability).
+    pub key: ComboKey,
     /// The rule.
     pub entry: &'a RuleEntry,
     /// The guest instruction's concrete registers and immediates.
@@ -213,6 +222,8 @@ pub struct Match<'a> {
 /// A matched sequence rule ready to instantiate.
 #[derive(Debug, Clone)]
 pub struct SeqMatch<'a> {
+    /// The keys that matched, in sequence order.
+    pub keys: Vec<ComboKey>,
     /// The rule.
     pub entry: &'a RuleEntry,
     /// Concrete registers and immediates for the whole sequence.
@@ -303,6 +314,7 @@ impl RuleSet {
                     }
                 }
                 return Some(SeqMatch {
+                    keys,
                     entry,
                     inst: concrete,
                     len,
@@ -353,6 +365,7 @@ impl RuleSet {
             }
         }
         Some(Match {
+            key,
             entry,
             inst: concrete,
         })

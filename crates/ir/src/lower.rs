@@ -69,6 +69,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Loads `v` into `eax` (no-op when it is already forwarded there).
+    #[allow(clippy::wrong_self_convention)]
     fn to_eax(&mut self, v: Val) {
         let op = self.resolve(v);
         if op != HOp::Reg(SCRATCH_A) {

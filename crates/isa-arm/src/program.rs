@@ -65,7 +65,7 @@ impl Program {
     /// [`ExecError::BadPc`] if `pc` is outside the text section or
     /// unaligned.
     pub fn fetch(&self, pc: Addr) -> Result<&Inst, ExecError> {
-        if pc < self.base || pc % INST_SIZE != 0 {
+        if pc < self.base || !pc.is_multiple_of(INST_SIZE) {
             return Err(ExecError::BadPc { pc });
         }
         let idx = ((pc - self.base) / INST_SIZE) as usize;

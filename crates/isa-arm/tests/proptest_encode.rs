@@ -1,50 +1,70 @@
-//! Property tests: every valid guest instruction survives the binary
+//! Randomized tests: every valid guest instruction survives the binary
 //! encode/decode and the text assemble/disassemble roundtrips.
+//!
+//! Originally written with `proptest`; the offline build environment has
+//! no crates.io access, so the strategies are hand-rolled samplers over
+//! the deterministic in-tree PRNG (`pdbt-rng`, aliased as `rand`).
 
 use pdbt_isa::Cond;
 use pdbt_isa_arm::{
     builders as g, decode, encode, FReg, Inst, MemAddr, Operand, Reg, RegList, ShiftKind,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+fn cases() -> usize {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512)
 }
 
-fn freg() -> impl Strategy<Value = FReg> {
-    (0u8..16).prop_map(FReg::new)
+fn reg(rng: &mut StdRng) -> Reg {
+    Reg::from_index(rng.gen_range(0..16)).unwrap()
 }
 
-fn op2() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg().prop_map(Operand::Reg),
-        (0u32..=pdbt_isa_arm::MAX_IMM).prop_map(Operand::Imm),
-        (reg(), 0usize..4, 1u8..32).prop_map(|(rm, k, amount)| Operand::Shifted {
-            rm,
-            kind: ShiftKind::ALL[k],
-            amount,
-        }),
-    ]
+fn freg(rng: &mut StdRng) -> FReg {
+    FReg::new(rng.gen_range(0u8..16))
 }
 
-fn mem() -> impl Strategy<Value = MemAddr> {
-    prop_oneof![
-        (
-            reg(),
-            -(pdbt_isa_arm::MAX_MEM_OFFSET as i32)..=(pdbt_isa_arm::MAX_MEM_OFFSET as i32)
-        )
-            .prop_map(|(base, offset)| MemAddr::BaseImm { base, offset }),
-        (reg(), reg()).prop_map(|(base, index)| MemAddr::BaseReg { base, index }),
-    ]
+fn op2(rng: &mut StdRng) -> Operand {
+    match rng.gen_range(0..3) {
+        0 => Operand::Reg(reg(rng)),
+        1 => Operand::Imm(rng.gen_range(0..=pdbt_isa_arm::MAX_IMM)),
+        _ => Operand::Shifted {
+            rm: reg(rng),
+            kind: ShiftKind::ALL[rng.gen_range(0..4)],
+            amount: rng.gen_range(1u8..32),
+        },
+    }
 }
 
-fn cond() -> impl Strategy<Value = Cond> {
-    (0usize..15).prop_map(|i| Cond::ALL[i])
+fn mem(rng: &mut StdRng) -> MemAddr {
+    if rng.gen_bool(0.5) {
+        let max = pdbt_isa_arm::MAX_MEM_OFFSET as i32;
+        MemAddr::BaseImm {
+            base: reg(rng),
+            offset: rng.gen_range(-max..=max),
+        }
+    } else {
+        MemAddr::BaseReg {
+            base: reg(rng),
+            index: reg(rng),
+        }
+    }
 }
 
-fn inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (0usize..14, reg(), reg(), op2(), any::<bool>()).prop_map(|(opi, rd, rn, op2, s)| {
+fn cond(rng: &mut StdRng) -> Cond {
+    Cond::ALL[rng.gen_range(0..15)]
+}
+
+fn reg_vec(rng: &mut StdRng) -> Vec<Reg> {
+    (0..rng.gen_range(1..8)).map(|_| reg(rng)).collect()
+}
+
+fn inst(rng: &mut StdRng) -> Inst {
+    match rng.gen_range(0..24) {
+        0 => {
             type B = fn(Reg, Reg, Operand) -> Inst;
             const OPS: [B; 14] = [
                 g::add,
@@ -62,67 +82,83 @@ fn inst() -> impl Strategy<Value = Inst> {
                 g::asr,
                 g::ror,
             ];
-            let i = OPS[opi](rd, rn, op2);
-            if s {
+            let i = OPS[rng.gen_range(0..14)](reg(rng), reg(rng), op2(rng));
+            if rng.gen_bool(0.5) {
                 i.with_s()
             } else {
                 i
             }
-        }),
-        (reg(), op2(), any::<bool>(), cond()).prop_map(|(rd, op2, s, c)| {
-            let i = g::mov(rd, op2);
-            let i = if s { i.with_s() } else { i };
-            i.with_cond(c)
-        }),
-        (reg(), op2()).prop_map(|(rd, op2)| g::mvn(rd, op2)),
-        (reg(), reg()).prop_map(|(rd, rm)| g::clz(rd, rm)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| g::mul(a, b, c)),
-        (reg(), reg(), reg(), reg()).prop_map(|(a, b, c, d)| g::mla(a, b, c, d)),
-        (reg(), reg(), reg(), reg()).prop_map(|(a, b, c, d)| g::umull(a, b, c, d)),
-        (reg(), reg(), reg(), reg()).prop_map(|(a, b, c, d)| g::umlal(a, b, c, d)),
-        (reg(), op2()).prop_map(|(rn, op2)| g::cmp(rn, op2)),
-        (reg(), op2()).prop_map(|(rn, op2)| g::teq(rn, op2)),
-        (reg(), mem()).prop_map(|(rt, m)| g::ldr(rt, m)),
-        (reg(), mem()).prop_map(|(rt, m)| g::ldrb(rt, m)),
-        (reg(), mem()).prop_map(|(rt, m)| g::strh(rt, m)),
-        (reg(), mem()).prop_map(|(rt, m)| g::str_(rt, m)),
-        proptest::collection::vec(reg(), 1..8).prop_map(|rs| g::push(rs)),
-        proptest::collection::vec(reg(), 1..8).prop_map(|rs| g::pop(rs)),
-        (cond(), -1000i32..1000).prop_map(|(c, d)| g::b(c, d * 4)),
-        (-1000i32..1000).prop_map(|d| g::bl(d * 4)),
-        reg().prop_map(g::bx),
-        (0u32..2).prop_map(g::svc),
-        (freg(), freg(), freg()).prop_map(|(a, b, c)| g::vadd(a, b, c)),
-        (freg(), freg()).prop_map(|(a, b)| g::vcmp(a, b)),
-        (freg(), mem()).prop_map(|(a, m)| g::vldr(a, m)),
-        (freg(), mem()).prop_map(|(a, m)| g::vstr(a, m)),
-    ]
+        }
+        1 => {
+            let i = g::mov(reg(rng), op2(rng));
+            let i = if rng.gen_bool(0.5) { i.with_s() } else { i };
+            i.with_cond(cond(rng))
+        }
+        2 => g::mvn(reg(rng), op2(rng)),
+        3 => g::clz(reg(rng), reg(rng)),
+        4 => g::mul(reg(rng), reg(rng), reg(rng)),
+        5 => g::mla(reg(rng), reg(rng), reg(rng), reg(rng)),
+        6 => g::umull(reg(rng), reg(rng), reg(rng), reg(rng)),
+        7 => g::umlal(reg(rng), reg(rng), reg(rng), reg(rng)),
+        8 => g::cmp(reg(rng), op2(rng)),
+        9 => g::teq(reg(rng), op2(rng)),
+        10 => g::ldr(reg(rng), mem(rng)),
+        11 => g::ldrb(reg(rng), mem(rng)),
+        12 => g::strh(reg(rng), mem(rng)),
+        13 => g::str_(reg(rng), mem(rng)),
+        14 => g::push(reg_vec(rng)),
+        15 => g::pop(reg_vec(rng)),
+        16 => g::b(cond(rng), rng.gen_range(-1000..1000) * 4),
+        17 => g::bl(rng.gen_range(-1000..1000) * 4),
+        18 => g::bx(reg(rng)),
+        19 => g::svc(rng.gen_range(0u32..2)),
+        20 => g::vadd(freg(rng), freg(rng), freg(rng)),
+        21 => g::vcmp(freg(rng), freg(rng)),
+        22 => g::vldr(freg(rng), mem(rng)),
+        _ => g::vstr(freg(rng), mem(rng)),
+    }
 }
 
-proptest! {
-    #[test]
-    fn binary_roundtrip(i in inst()) {
+#[test]
+fn binary_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xA51);
+    for _ in 0..cases() {
+        let i = inst(&mut rng);
         let word = encode(&i).expect("valid instructions encode");
         let back = decode(word).expect("encoded words decode");
-        prop_assert_eq!(back, i);
+        assert_eq!(back, i);
     }
+}
 
-    #[test]
-    fn text_roundtrip(i in inst()) {
+#[test]
+fn text_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xA52);
+    for _ in 0..cases() {
+        let i = inst(&mut rng);
         let text = i.to_string();
-        let back: Inst = text.parse().unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
-        prop_assert_eq!(back, i);
+        let back: Inst = text
+            .parse()
+            .unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
+        assert_eq!(back, i);
     }
+}
 
-    #[test]
-    fn decode_never_panics(word in any::<u32>()) {
+#[test]
+fn decode_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xA53);
+    for _ in 0..cases() * 8 {
+        let word: u32 = rng.gen();
         let _ = decode(word);
     }
+}
 
-    #[test]
-    fn reglist_roundtrip(bits in any::<u16>()) {
+#[test]
+fn reglist_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xA54);
+    for _ in 0..cases() {
+        let bits: u16 = rng.gen_range(0..=u16::MAX);
         let l = RegList::from_bits(bits);
-        prop_assert_eq!(l.bits(), bits);
-        prop_assert_eq!(l.iter().count(), l.len());
+        assert_eq!(l.bits(), bits);
+        assert_eq!(l.iter().count(), l.len());
     }
 }

@@ -302,11 +302,8 @@ fn step(cpu: &mut Cpu, inst: &Inst) -> Result<Step, ExecError> {
         }
         Hlt => return Ok(Step::Exit(BlockExit::Halted)),
         Movss => {
-            let v = read_f(cpu, &ops[1]).or_else(|_| {
-                // movss from an integer-typed source is malformed.
-                Err(ExecError::MalformedInstruction {
-                    detail: format!("{inst}"),
-                })
+            let v = read_f(cpu, &ops[1]).map_err(|_| ExecError::MalformedInstruction {
+                detail: format!("{inst}"),
             })?;
             match &ops[0] {
                 Operand::Xmm(x) => cpu.write_x(*x, v),

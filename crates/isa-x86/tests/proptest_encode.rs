@@ -1,107 +1,151 @@
-//! Property tests: host instructions survive the variable-length binary
-//! encode/decode roundtrip, and arbitrary bytes never panic the decoder.
+//! Randomized tests: host instructions survive the variable-length
+//! binary encode/decode roundtrip, and arbitrary bytes never panic the
+//! decoder.
+//!
+//! Originally written with `proptest`; the offline build environment has
+//! no crates.io access, so the strategies are hand-rolled samplers over
+//! the deterministic in-tree PRNG (`pdbt-rng`, aliased as `rand`).
 
 use pdbt_isa_x86::{builders as h, decode, encode, Cc, Inst, Mem, Operand, Reg, Xmm};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0usize..8).prop_map(|i| Reg::from_index(i).unwrap())
+fn cases() -> usize {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512)
 }
 
-fn mem() -> impl Strategy<Value = Mem> {
-    (
-        proptest::option::of(reg()),
-        proptest::option::of(reg()),
-        any::<i32>(),
-    )
-        .prop_map(|(base, index, disp)| Mem { base, index, disp })
+fn reg(rng: &mut StdRng) -> Reg {
+    Reg::from_index(rng.gen_range(0..8)).unwrap()
 }
 
-fn rm() -> impl Strategy<Value = Operand> {
-    prop_oneof![reg().prop_map(Operand::Reg), mem().prop_map(Operand::Mem)]
+fn any_i32(rng: &mut StdRng) -> i32 {
+    rng.gen_range(i32::MIN..=i32::MAX)
 }
 
-fn rmi() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg().prop_map(Operand::Reg),
-        mem().prop_map(Operand::Mem),
-        any::<i32>().prop_map(Operand::Imm),
-    ]
+fn mem(rng: &mut StdRng) -> Mem {
+    Mem {
+        base: rng.gen_bool(0.5).then(|| reg(rng)),
+        index: rng.gen_bool(0.5).then(|| reg(rng)),
+        disp: any_i32(rng),
+    }
 }
 
-fn cc() -> impl Strategy<Value = Cc> {
-    (0usize..14).prop_map(|i| Cc::ALL[i])
+fn rm(rng: &mut StdRng) -> Operand {
+    if rng.gen_bool(0.5) {
+        Operand::Reg(reg(rng))
+    } else {
+        Operand::Mem(mem(rng))
+    }
 }
 
-fn not_both_mem(a: &Operand, b: &Operand) -> bool {
-    !(matches!(a, Operand::Mem(_)) && matches!(b, Operand::Mem(_)))
+fn rmi(rng: &mut StdRng) -> Operand {
+    match rng.gen_range(0..3) {
+        0 => Operand::Reg(reg(rng)),
+        1 => Operand::Mem(mem(rng)),
+        _ => Operand::Imm(any_i32(rng)),
+    }
 }
 
-fn inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (0usize..15, rm(), rmi())
-            .prop_filter("mem-mem is illegal", |(_, a, b)| not_both_mem(a, b))
-            .prop_map(|(opi, dst, src)| {
-                type B = fn(Operand, Operand) -> Inst;
-                const OPS: [B; 15] = [
-                    h::mov,
-                    h::add,
-                    h::adc,
-                    h::sub,
-                    h::sbb,
-                    h::and,
-                    h::or,
-                    h::xor,
-                    h::imul,
-                    h::shl,
-                    h::shr,
-                    h::sar,
-                    h::ror,
-                    h::cmp,
-                    h::test,
-                ];
-                OPS[opi](dst, src)
-            }),
-        rm().prop_map(h::not),
-        rm().prop_map(h::neg),
-        rm().prop_map(h::mul_wide),
-        rm().prop_map(h::push),
-        rm().prop_map(h::pop),
-        (reg(), rm()).prop_map(|(d, s)| h::bsr(d.into(), s)),
-        (reg(), mem()).prop_map(|(d, m)| h::lea(d.into(), m.into())),
-        (reg(), mem()).prop_map(|(d, m)| h::movzxb(d.into(), m.into())),
-        (mem(), reg()).prop_map(|(m, s)| h::movb(m.into(), s.into())),
-        any::<i32>().prop_map(h::jmp_rel),
-        rmi().prop_map(h::jmp_exit),
-        (cc(), any::<i32>()).prop_map(|(c, d)| h::jcc(c, d)),
-        (cc(), rm()).prop_map(|(c, d)| h::setcc(c, d)),
-        Just(h::ret()),
-        Just(h::out()),
-        Just(h::hlt()),
-        (0u8..8, 0u8..8).prop_map(|(a, b)| h::addss(Xmm::new(a), Xmm::new(b).into())),
-        (0u8..8, mem()).prop_map(|(a, m)| h::movss(Xmm::new(a).into(), m.into())),
-        (0u8..8, 0u8..8).prop_map(|(a, b)| h::ucomiss(Xmm::new(a), Xmm::new(b).into())),
-    ]
+fn cc(rng: &mut StdRng) -> Cc {
+    Cc::ALL[rng.gen_range(0..14)]
 }
 
-proptest! {
-    #[test]
-    fn binary_roundtrip(i in inst()) {
+fn inst(rng: &mut StdRng) -> Inst {
+    match rng.gen_range(0..21) {
+        0..=5 => {
+            type B = fn(Operand, Operand) -> Inst;
+            const OPS: [B; 15] = [
+                h::mov,
+                h::add,
+                h::adc,
+                h::sub,
+                h::sbb,
+                h::and,
+                h::or,
+                h::xor,
+                h::imul,
+                h::shl,
+                h::shr,
+                h::sar,
+                h::ror,
+                h::cmp,
+                h::test,
+            ];
+            // mem-mem forms are illegal; resample the source.
+            let dst = rm(rng);
+            let src = loop {
+                let s = rmi(rng);
+                if !(matches!(dst, Operand::Mem(_)) && matches!(s, Operand::Mem(_))) {
+                    break s;
+                }
+            };
+            OPS[rng.gen_range(0..15)](dst, src)
+        }
+        6 => h::not(rm(rng)),
+        7 => h::neg(rm(rng)),
+        8 => h::mul_wide(rm(rng)),
+        9 => h::push(rm(rng)),
+        10 => h::pop(rm(rng)),
+        11 => h::bsr(reg(rng).into(), rm(rng)),
+        12 => h::lea(reg(rng).into(), mem(rng).into()),
+        13 => h::movzxb(reg(rng).into(), mem(rng).into()),
+        14 => h::movb(mem(rng).into(), reg(rng).into()),
+        15 => h::jmp_rel(any_i32(rng)),
+        16 => h::jmp_exit(rmi(rng)),
+        17 => h::jcc(cc(rng), any_i32(rng)),
+        18 => h::setcc(cc(rng), rm(rng)),
+        19 => match rng.gen_range(0..3) {
+            0 => h::ret(),
+            1 => h::out(),
+            _ => h::hlt(),
+        },
+        _ => match rng.gen_range(0..3) {
+            0 => h::addss(
+                Xmm::new(rng.gen_range(0u8..8)),
+                Xmm::new(rng.gen_range(0u8..8)).into(),
+            ),
+            1 => h::movss(Xmm::new(rng.gen_range(0u8..8)).into(), mem(rng).into()),
+            _ => h::ucomiss(
+                Xmm::new(rng.gen_range(0u8..8)),
+                Xmm::new(rng.gen_range(0u8..8)).into(),
+            ),
+        },
+    }
+}
+
+#[test]
+fn binary_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x86_01);
+    for _ in 0..cases() {
+        let i = inst(&mut rng);
         let bytes = encode(&i).expect("valid instructions encode");
         let (back, used) = decode(&bytes).expect("encoded bytes decode");
-        prop_assert_eq!(back, i);
-        prop_assert_eq!(used, bytes.len());
+        assert_eq!(back, i);
+        assert_eq!(used, bytes.len());
     }
+}
 
-    #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+#[test]
+fn decode_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x86_02);
+    for _ in 0..cases() * 4 {
+        let n = rng.gen_range(0..24);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=u8::MAX)).collect();
         let _ = decode(&bytes);
     }
+}
 
-    #[test]
-    fn block_roundtrip(is in proptest::collection::vec(inst(), 0..12)) {
+#[test]
+fn block_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x86_03);
+    for _ in 0..cases() / 4 {
+        let n = rng.gen_range(0..12);
+        let is: Vec<Inst> = (0..n).map(|_| inst(&mut rng)).collect();
         let bytes = pdbt_isa_x86::encode_block(&is).expect("encodes");
         let back = pdbt_isa_x86::decode_block(&bytes).expect("decodes");
-        prop_assert_eq!(back, is);
+        assert_eq!(back, is);
     }
 }

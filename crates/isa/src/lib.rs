@@ -46,7 +46,7 @@ impl Control {
 /// Sign-extend the low `bits` bits of `v`.
 #[must_use]
 pub fn sign_extend(v: u32, bits: u32) -> u32 {
-    debug_assert!(bits >= 1 && bits <= 32);
+    debug_assert!((1..=32).contains(&bits));
     if bits == 32 {
         return v;
     }

@@ -1,0 +1,228 @@
+//! Per-rule attribution counters.
+//!
+//! Rule labels (the `Display` form of a `ComboKey`, or a synthetic name
+//! like `seq:...`) are interned once into a dense [`RuleId`] so the hot
+//! path touches only `Vec` indexing. Two counts are kept per rule:
+//!
+//! * `static_hits` — how many times translation selected the rule
+//!   (once per translated site), plus `static_misses` for lookups that
+//!   found no rule;
+//! * `dyn_covered` — how many *executed* guest instructions the rule
+//!   supplied, i.e. static coverage weighted by block execution counts.
+//!   Summed over all rules this equals the engine's `rule_covered`
+//!   metric, so coverage decomposes exactly into per-rule shares.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense handle for an interned rule label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RuleId(pub u32);
+
+/// One rule's attribution row.
+#[derive(Clone, Debug, Default)]
+pub struct RuleRow {
+    /// Display label (`add reg reg imm /00`, `seq:...`, `qemu:...`).
+    pub label: String,
+    /// Instruction-class subgroup the rule's root op belongs to
+    /// (`Int/Dp/Alu` style), empty when not applicable.
+    pub subgroup: String,
+    /// Times translation instantiated this rule.
+    pub static_hits: u64,
+    /// Executed guest instructions this rule covered.
+    pub dyn_covered: u64,
+}
+
+/// Interned per-rule hit/coverage counters plus a miss table.
+#[derive(Clone, Debug, Default)]
+pub struct RuleCounters {
+    index: HashMap<String, RuleId>,
+    rows: Vec<RuleRow>,
+    /// Lookup misses keyed by the un-matched opcode/key label.
+    misses: HashMap<String, u64>,
+}
+
+impl RuleCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `label`, recording `subgroup` on first sight.
+    pub fn intern(&mut self, label: &str, subgroup: &str) -> RuleId {
+        if let Some(&id) = self.index.get(label) {
+            return id;
+        }
+        let id = RuleId(self.rows.len() as u32);
+        self.index.insert(label.to_string(), id);
+        self.rows.push(RuleRow {
+            label: label.to_string(),
+            subgroup: subgroup.to_string(),
+            ..RuleRow::default()
+        });
+        id
+    }
+
+    #[inline]
+    pub fn hit(&mut self, id: RuleId, n: u64) {
+        self.rows[id.0 as usize].static_hits += n;
+    }
+
+    #[inline]
+    pub fn covered(&mut self, id: RuleId, n: u64) {
+        self.rows[id.0 as usize].dyn_covered += n;
+    }
+
+    /// Records a translate-time lookup that matched no rule.
+    pub fn miss(&mut self, label: &str) {
+        *self.misses.entry(label.to_string()).or_insert(0) += 1;
+    }
+
+    pub fn rows(&self) -> &[RuleRow] {
+        &self.rows
+    }
+
+    /// Rows sorted by dynamic coverage, heaviest first.
+    pub fn rows_by_coverage(&self) -> Vec<&RuleRow> {
+        let mut v: Vec<_> = self.rows.iter().collect();
+        v.sort_by(|a, b| {
+            b.dyn_covered
+                .cmp(&a.dyn_covered)
+                .then(b.static_hits.cmp(&a.static_hits))
+                .then(a.label.cmp(&b.label))
+        });
+        v
+    }
+
+    /// `(label, count)` miss rows, heaviest first.
+    pub fn misses(&self) -> Vec<(&str, u64)> {
+        let mut v: Vec<_> = self.misses.iter().map(|(k, &n)| (k.as_str(), n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    pub fn total_static_hits(&self) -> u64 {
+        self.rows.iter().map(|r| r.static_hits).sum()
+    }
+
+    pub fn total_covered(&self) -> u64 {
+        self.rows.iter().map(|r| r.dyn_covered).sum()
+    }
+
+    pub fn total_misses(&self) -> u64 {
+        self.misses.values().sum()
+    }
+
+    /// Per-subgroup `(subgroup, dyn_covered)` totals, heaviest first.
+    pub fn coverage_by_subgroup(&self) -> Vec<(String, u64)> {
+        let mut map: HashMap<&str, u64> = HashMap::new();
+        for r in &self.rows {
+            if !r.subgroup.is_empty() {
+                *map.entry(r.subgroup.as_str()).or_insert(0) += r.dyn_covered;
+            }
+        }
+        let mut v: Vec<_> = map.into_iter().map(|(k, n)| (k.to_string(), n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Folds `other` into `self`, re-interning by label.
+    pub fn merge(&mut self, other: &RuleCounters) {
+        for row in &other.rows {
+            let id = self.intern(&row.label, &row.subgroup);
+            self.rows[id.0 as usize].static_hits += row.static_hits;
+            self.rows[id.0 as usize].dyn_covered += row.dyn_covered;
+        }
+        for (label, n) in &other.misses {
+            *self.misses.entry(label.clone()).or_insert(0) += n;
+        }
+    }
+}
+
+impl fmt::Display for RuleCounters {
+    /// Human-readable table, heaviest coverage first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  {:<40} {:<24} {:>8} {:>10}",
+            "rule", "subgroup", "hits", "covered"
+        )?;
+        for r in self.rows_by_coverage() {
+            writeln!(
+                f,
+                "  {:<40} {:<24} {:>8} {:>10}",
+                r.label, r.subgroup, r.static_hits, r.dyn_covered
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_counts_accumulate() {
+        let mut c = RuleCounters::new();
+        let a = c.intern("add reg reg imm /00", "Int/Dp/Alu");
+        let b = c.intern("ldr reg mem /01", "Int/Mem/Load");
+        let a2 = c.intern("add reg reg imm /00", "Int/Dp/Alu");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        c.hit(a, 1);
+        c.hit(a, 1);
+        c.covered(a, 10);
+        c.hit(b, 1);
+        c.covered(b, 4);
+        assert_eq!(c.total_static_hits(), 3);
+        assert_eq!(c.total_covered(), 14);
+        assert_eq!(c.rows_by_coverage()[0].label, "add reg reg imm /00");
+    }
+
+    #[test]
+    fn merge_reinterns_by_label() {
+        let mut a = RuleCounters::new();
+        let ra = a.intern("add", "Int/Dp/Alu");
+        a.hit(ra, 2);
+        a.covered(ra, 20);
+        a.miss("vadd");
+
+        let mut b = RuleCounters::new();
+        // Different interning order on the other side.
+        let rb_other = b.intern("sub", "Int/Dp/Alu");
+        let rb = b.intern("add", "Int/Dp/Alu");
+        b.hit(rb, 3);
+        b.covered(rb, 30);
+        b.hit(rb_other, 1);
+        b.covered(rb_other, 5);
+        b.miss("vadd");
+        b.miss("svc");
+
+        a.merge(&b);
+        assert_eq!(a.total_static_hits(), 6);
+        assert_eq!(a.total_covered(), 55);
+        assert_eq!(a.total_misses(), 3);
+        let add = a.rows().iter().find(|r| r.label == "add").unwrap();
+        assert_eq!(add.static_hits, 5);
+        assert_eq!(add.dyn_covered, 50);
+        assert_eq!(a.misses()[0], ("vadd", 2));
+    }
+
+    #[test]
+    fn subgroup_rollup_sums_dynamic_coverage() {
+        let mut c = RuleCounters::new();
+        let a = c.intern("add", "Int/Dp/Alu");
+        let s = c.intern("sub", "Int/Dp/Alu");
+        let l = c.intern("ldr", "Int/Mem/Load");
+        c.covered(a, 7);
+        c.covered(s, 3);
+        c.covered(l, 5);
+        assert_eq!(
+            c.coverage_by_subgroup(),
+            vec![
+                ("Int/Dp/Alu".to_string(), 10),
+                ("Int/Mem/Load".to_string(), 5)
+            ]
+        );
+    }
+}

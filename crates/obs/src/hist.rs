@@ -1,0 +1,248 @@
+//! Fixed-bucket histograms for latency and size distributions.
+//!
+//! Buckets are defined by a static slice of inclusive upper bounds; the
+//! final bucket is an implicit catch-all. Recording is two array
+//! lookups and three adds — cheap enough to live on warm paths — and
+//! merging is element-wise, so per-shard histograms can be folded into
+//! a run-level one.
+
+use std::fmt;
+
+/// Upper bounds (ns, inclusive) for translate-latency style
+/// distributions: 1us .. 16ms in powers of four.
+pub const LATENCY_NS_BOUNDS: &[u64] = &[
+    1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000, 4_096_000, 16_384_000,
+];
+
+/// Upper bounds for block-length style distributions (instruction
+/// counts; the translator caps blocks at 32 guest instructions).
+pub const BLOCK_LEN_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
+
+/// Upper bounds for flag-delegation window depth: 0, 1, 2, 3; the
+/// catch-all bucket counts memory/environment fallbacks recorded as
+/// [`Histogram::FALLBACK`].
+pub const DELEG_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 3];
+
+/// A fixed-bucket histogram with min/max/sum tracking.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Sentinel value routed to the catch-all bucket; used by the
+    /// delegation-depth histogram for environment fallbacks.
+    pub const FALLBACK: u64 = u64::MAX;
+
+    pub fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn latency_ns() -> Self {
+        Self::new(LATENCY_NS_BOUNDS)
+    }
+
+    pub fn block_len() -> Self {
+        Self::new(BLOCK_LEN_BOUNDS)
+    }
+
+    pub fn deleg_depth() -> Self {
+        Self::new(DELEG_DEPTH_BOUNDS)
+    }
+
+    /// Index of the bucket `v` falls into.
+    fn bucket_of(&self, v: u64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len())
+    }
+
+    pub fn record(&mut self, v: u64) {
+        let b = self.bucket_of(v);
+        self.counts[b] += 1;
+        self.count += 1;
+        self.sum = self
+            .sum
+            .saturating_add(if v == Self::FALLBACK { 0 } else { v });
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Both sides must share bucket bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bound mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (0.0..=1.0): the
+    /// bound of the first bucket whose cumulative count reaches it.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target.max(1) {
+                return self.bounds.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket rows as `(label, count)`, catch-all last.
+    pub fn buckets(&self) -> Vec<(String, u64)> {
+        let mut rows = Vec::with_capacity(self.counts.len());
+        let mut lo = 0u64;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            rows.push((format!("{lo}..={b}"), self.counts[i]));
+            lo = b + 1;
+        }
+        rows.push((
+            format!(">{}", self.bounds.last().copied().unwrap_or(0)),
+            *self.counts.last().unwrap(),
+        ));
+        rows
+    }
+
+    /// Raw bucket counts (length `bounds.len() + 1`).
+    pub fn raw_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// A compact ASCII bar chart, one bucket per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (label, n) in self.buckets() {
+            let bar = "#".repeat(((n as f64 / peak as f64) * 40.0).round() as usize);
+            writeln!(f, "  {label:>16}  {n:>8}  {bar}")?;
+        }
+        write!(
+            f,
+            "  n={} mean={:.1} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_respects_inclusive_bounds() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.raw_counts(), &[2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn fallback_sentinel_lands_in_catch_all_without_poisoning_sum() {
+        let mut h = Histogram::deleg_depth();
+        h.record(0);
+        h.record(3);
+        h.record(Histogram::FALLBACK);
+        assert_eq!(h.raw_counts(), &[1, 0, 0, 1, 1]);
+        assert_eq!(h.sum(), 3);
+    }
+
+    #[test]
+    fn merge_is_element_wise_and_tracks_extrema() {
+        let mut a = Histogram::new(&[10, 100]);
+        a.record(5);
+        a.record(50);
+        let mut b = Histogram::new(&[10, 100]);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.raw_counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.sum(), 555);
+    }
+
+    #[test]
+    fn percentile_reports_bucket_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for _ in 0..90 {
+            h.record(7);
+        }
+        for _ in 0..10 {
+            h.record(700);
+        }
+        assert_eq!(h.percentile(0.5), 10);
+        assert_eq!(h.percentile(0.99), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::latency_ns();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        let _ = h.to_string();
+    }
+}

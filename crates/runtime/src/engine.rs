@@ -7,13 +7,15 @@
 //! Table II, Fig 13 and the instruction-count performance proxy.
 
 use crate::translate::{
-    translate_block, CodeClass, TranslateConfig, TranslateError, TranslatedBlock,
+    translate_block, CodeClass, DelegOutcome, TranslateConfig, TranslateError, TranslatedBlock,
 };
 use pdbt_core::RuleSet;
 use pdbt_ir::env;
 use pdbt_isa::{Addr, ExecError};
 use pdbt_isa_arm::{Program, Reg as GReg};
 use pdbt_isa_x86::{exec_block_traced, BlockExit, Cpu as HostCpu, Reg as HReg};
+use pdbt_obs::json::Json;
+use pdbt_obs::{Histogram, RuleCounters, RuleId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -73,6 +75,10 @@ pub struct Metrics {
     pub blocks_executed: u64,
     /// Host instructions generated (static).
     pub host_generated: u64,
+    /// Executed host instructions as counted by the block executor
+    /// (folds the per-block `ExecStats`; equals the sum of the
+    /// per-class counters).
+    pub host_retired: u64,
 }
 
 impl Metrics {
@@ -112,6 +118,115 @@ impl Metrics {
         }
         self.host_executed() as f64 / self.guest_retired as f64
     }
+
+    /// Folds another run's metrics into this one (suite aggregation).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.guest_retired += other.guest_retired;
+        self.rule_covered += other.rule_covered;
+        for (a, b) in self.host_by_class.iter_mut().zip(&other.host_by_class) {
+            *a += b;
+        }
+        self.blocks_translated += other.blocks_translated;
+        self.blocks_executed += other.blocks_executed;
+        self.host_generated += other.host_generated;
+        self.host_retired += other.host_retired;
+    }
+}
+
+impl fmt::Display for Metrics {
+    /// Human-readable run summary (the `--stats` table).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  guest retired   {:>12}", self.guest_retired)?;
+        writeln!(
+            f,
+            "  rule covered    {:>12}  ({:.1}%)",
+            self.rule_covered,
+            self.coverage() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  host executed   {:>12}  ({:.2}x)",
+            self.host_executed(),
+            self.total_ratio()
+        )?;
+        for (name, class) in [
+            ("rule core", CodeClass::RuleCore),
+            ("qemu core", CodeClass::QemuCore),
+            ("data transfer", CodeClass::DataTransfer),
+            ("control", CodeClass::Control),
+        ] {
+            writeln!(
+                f,
+                "    {:<13} {:>12}  ({:.2}x)",
+                name,
+                self.host_by_class[class.index()],
+                self.ratio(class)
+            )?;
+        }
+        writeln!(
+            f,
+            "  blocks          {:>12}  translated, {} executed",
+            self.blocks_translated, self.blocks_executed
+        )?;
+        write!(f, "  host generated  {:>12}", self.host_generated)
+    }
+}
+
+/// Aggregated observability state for an engine's lifetime: per-rule
+/// attribution counters and the timing/shape histograms behind the
+/// `pdbt stats` table and the JSON run report.
+#[derive(Debug, Clone)]
+pub struct RunObs {
+    /// Per-rule static hits, dynamic coverage attribution and lookup
+    /// misses.
+    pub rules: RuleCounters,
+    /// Per-block translation latency in nanoseconds. Stays empty when
+    /// the `obs` feature is disabled (no clock).
+    pub translate_ns: Histogram,
+    /// Executed host instructions per block execution.
+    pub block_host_len: Histogram,
+    /// Flag-delegation look-ahead depth per conditional-exit block
+    /// execution; the catch-all bucket counts environment fallbacks.
+    pub deleg_depth: Histogram,
+}
+
+impl Default for RunObs {
+    fn default() -> RunObs {
+        RunObs {
+            rules: RuleCounters::new(),
+            translate_ns: Histogram::latency_ns(),
+            block_host_len: Histogram::block_len(),
+            deleg_depth: Histogram::deleg_depth(),
+        }
+    }
+}
+
+impl RunObs {
+    /// Folds another run's observability state into this one.
+    pub fn merge(&mut self, other: &RunObs) {
+        self.rules.merge(&other.rules);
+        self.translate_ns.merge(&other.translate_ns);
+        self.block_host_len.merge(&other.block_host_len);
+        self.deleg_depth.merge(&other.deleg_depth);
+    }
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    Json::obj([
+        (
+            "bounds",
+            Json::arr(h.bounds().iter().map(|&b| Json::from(b))),
+        ),
+        (
+            "counts",
+            Json::arr(h.raw_counts().iter().map(|&c| Json::from(c))),
+        ),
+        ("count", Json::from(h.count())),
+        ("sum", Json::from(h.sum())),
+        ("min", Json::from(h.min())),
+        ("max", Json::from(h.max())),
+        ("mean", Json::from(h.mean())),
+    ])
 }
 
 /// The result of one run.
@@ -121,6 +236,94 @@ pub struct Report {
     pub metrics: Metrics,
     /// The guest's observable output stream.
     pub output: Vec<u32>,
+    /// Observability snapshot: per-rule attribution and histograms.
+    pub obs: RunObs,
+}
+
+impl Report {
+    /// The machine-readable run report (`pdbt run --report-json`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let m = &self.metrics;
+        Json::obj([
+            (
+                "metrics",
+                Json::obj([
+                    ("guest_retired", Json::from(m.guest_retired)),
+                    ("rule_covered", Json::from(m.rule_covered)),
+                    ("coverage", Json::from(m.coverage())),
+                    ("host_executed", Json::from(m.host_executed())),
+                    ("host_retired", Json::from(m.host_retired)),
+                    ("total_ratio", Json::from(m.total_ratio())),
+                    (
+                        "host_by_class",
+                        Json::obj([
+                            (
+                                "rule_core",
+                                Json::from(m.host_by_class[CodeClass::RuleCore.index()]),
+                            ),
+                            (
+                                "qemu_core",
+                                Json::from(m.host_by_class[CodeClass::QemuCore.index()]),
+                            ),
+                            (
+                                "data_transfer",
+                                Json::from(m.host_by_class[CodeClass::DataTransfer.index()]),
+                            ),
+                            (
+                                "control",
+                                Json::from(m.host_by_class[CodeClass::Control.index()]),
+                            ),
+                        ]),
+                    ),
+                    ("blocks_translated", Json::from(m.blocks_translated)),
+                    ("blocks_executed", Json::from(m.blocks_executed)),
+                    ("host_generated", Json::from(m.host_generated)),
+                ]),
+            ),
+            (
+                "rules",
+                Json::arr(self.obs.rules.rows_by_coverage().into_iter().map(|r| {
+                    Json::obj([
+                        ("label", Json::str(&r.label)),
+                        ("subgroup", Json::str(&r.subgroup)),
+                        ("static_hits", Json::from(r.static_hits)),
+                        ("dyn_covered", Json::from(r.dyn_covered)),
+                    ])
+                })),
+            ),
+            (
+                "lookup_misses",
+                Json::arr(self.obs.rules.misses().into_iter().map(|(label, n)| {
+                    Json::obj([("label", Json::str(label)), ("count", Json::from(n))])
+                })),
+            ),
+            (
+                "coverage_by_subgroup",
+                Json::arr(
+                    self.obs
+                        .rules
+                        .coverage_by_subgroup()
+                        .into_iter()
+                        .map(|(sg, n)| {
+                            Json::obj([("subgroup", Json::str(sg)), ("dyn_covered", Json::from(n))])
+                        }),
+                ),
+            ),
+            (
+                "histograms",
+                Json::obj([
+                    ("translate_ns", hist_json(&self.obs.translate_ns)),
+                    ("block_host_len", hist_json(&self.obs.block_host_len)),
+                    ("deleg_depth", hist_json(&self.obs.deleg_depth)),
+                ]),
+            ),
+            (
+                "output",
+                Json::arr(self.output.iter().map(|&w| Json::from(u64::from(w)))),
+            ),
+        ])
+    }
 }
 
 /// A runtime failure.
@@ -165,6 +368,10 @@ pub struct Engine {
     cfg: EngineConfig,
     cache: HashMap<Addr, TranslatedBlock>,
     metrics: Metrics,
+    obs: RunObs,
+    /// Per cached block: interned rule ids with their per-execution
+    /// coverage weight (avoids re-interning labels on the hot path).
+    attr_ids: HashMap<Addr, Vec<(RuleId, u32)>>,
 }
 
 impl Engine {
@@ -176,6 +383,8 @@ impl Engine {
             cfg,
             cache: HashMap::new(),
             metrics: Metrics::default(),
+            obs: RunObs::default(),
+            attr_ids: HashMap::new(),
         }
     }
 
@@ -185,18 +394,47 @@ impl Engine {
         &self.metrics
     }
 
-    /// Clears the code cache and metrics.
+    /// The accumulated observability state.
+    #[must_use]
+    pub fn obs(&self) -> &RunObs {
+        &self.obs
+    }
+
+    /// Clears the code cache, metrics and observability state.
     pub fn reset(&mut self) {
         self.cache.clear();
         self.metrics = Metrics::default();
+        self.obs = RunObs::default();
+        self.attr_ids.clear();
     }
 
     /// Translates (or fetches from cache) the block at `pc`.
     fn block(&mut self, prog: &Program, pc: Addr) -> Result<&TranslatedBlock, EngineError> {
         if !self.cache.contains_key(&pc) {
+            let t0 = pdbt_obs::now_ns();
             let block = translate_block(prog, pc, self.rules.as_ref(), &self.cfg.translate)?;
+            if pdbt_obs::ENABLED {
+                self.obs
+                    .translate_ns
+                    .record(pdbt_obs::now_ns().saturating_sub(t0));
+            }
             self.metrics.blocks_translated += 1;
             self.metrics.host_generated += block.code.len() as u64;
+            // Intern this block's rule attributions once; executions
+            // only bump dense counters.
+            let ids: Vec<(RuleId, u32)> = block
+                .attributions
+                .iter()
+                .map(|a| {
+                    let id = self.obs.rules.intern(&a.label, &a.subgroup);
+                    self.obs.rules.hit(id, 1);
+                    (id, a.covered)
+                })
+                .collect();
+            for miss in &block.lookup_misses {
+                self.obs.rules.miss(miss);
+            }
+            self.attr_ids.insert(pc, ids);
             self.cache.insert(pc, block);
         }
         Ok(&self.cache[&pc])
@@ -234,10 +472,11 @@ impl Engine {
             if self.metrics.guest_retired >= setup.max_guest {
                 return Err(EngineError::Budget);
             }
-            let (code_len, exit, counts) = {
+            let (code_len, exit, stats, counts) = {
                 let block = self.block(prog, pc)?;
-                let (exit, _stats, counts) = exec_block_traced(&mut host, &block.code, 1_000_000)?;
-                (block.code.len(), exit, counts)
+                let _exec_span = pdbt_obs::span("exec_block");
+                let (exit, stats, counts) = exec_block_traced(&mut host, &block.code, 1_000_000)?;
+                (block.code.len(), exit, stats, counts)
             };
             let block = &self.cache[&pc];
             debug_assert_eq!(code_len, block.classes.len());
@@ -247,6 +486,21 @@ impl Engine {
             self.metrics.blocks_executed += 1;
             self.metrics.guest_retired += u64::from(block.guest_len);
             self.metrics.rule_covered += u64::from(block.rule_covered);
+            self.metrics.host_retired += stats.executed;
+            // Dynamic coverage attribution: static per-block shares
+            // weighted by this execution.
+            if let Some(ids) = self.attr_ids.get(&pc) {
+                for (id, covered) in ids {
+                    self.obs.rules.covered(*id, u64::from(*covered));
+                }
+            }
+            self.obs.block_host_len.record(stats.executed);
+            if let Some(d) = block.deleg {
+                self.obs.deleg_depth.record(match d {
+                    DelegOutcome::Delegated(depth) => u64::from(depth),
+                    DelegOutcome::EnvFallback => Histogram::FALLBACK,
+                });
+            }
             match exit {
                 BlockExit::Jumped(next) => pc = next,
                 BlockExit::Halted => break,
@@ -258,6 +512,7 @@ impl Engine {
         Ok(Report {
             metrics: self.metrics.clone(),
             output: host.output,
+            obs: self.obs.clone(),
         })
     }
 }
@@ -345,6 +600,26 @@ mod engine_edge_tests {
         )
     }
 
+    fn countdown_program() -> Program {
+        Program::new(
+            0x1000,
+            vec![
+                g::mov(Reg::R0, O::Imm(5)),
+                g::mov(Reg::R1, O::Imm(0)),
+                g::add(Reg::R1, Reg::R1, O::Reg(Reg::R0)),
+                g::sub(Reg::R0, Reg::R0, O::Imm(1)).with_s(),
+                g::b(pdbt_isa::Cond::Ne, -8),
+                g::mov(Reg::R0, O::Reg(Reg::R1)),
+                g::svc(1),
+                g::svc(0),
+            ],
+        )
+    }
+
+    fn setup() -> RunSetup {
+        RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000)
+    }
+
     #[test]
     fn reset_clears_cache_and_metrics() {
         let prog = tiny_program();
@@ -424,6 +699,89 @@ mod engine_edge_tests {
         let mut engine = Engine::new(None, EngineConfig::default());
         let r = engine.run(&prog, &setup).unwrap();
         assert_eq!(r.output, vec![0xdead_beef]);
+    }
+
+    #[test]
+    fn metrics_merge_sums_every_field() {
+        let prog = tiny_program();
+        let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let a = engine.run(&prog, &setup).unwrap().metrics;
+        let mut total = a.clone();
+        total.merge(&a);
+        assert_eq!(total.guest_retired, 2 * a.guest_retired);
+        assert_eq!(total.host_executed(), 2 * a.host_executed());
+        assert_eq!(total.host_retired, 2 * a.host_retired);
+        assert_eq!(total.blocks_translated, 2 * a.blocks_translated);
+        assert_eq!(total.host_generated, 2 * a.host_generated);
+        // Ratios are invariant under self-merge.
+        assert!((total.total_ratio() - a.total_ratio()).abs() < 1e-12);
+        // The Display table mentions the headline counters.
+        let table = total.to_string();
+        assert!(table.contains("guest retired"));
+        assert!(table.contains("rule core"));
+    }
+
+    #[test]
+    fn exec_stats_fold_into_host_retired() {
+        let prog = countdown_program();
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let report = engine.run(&prog, &setup()).unwrap();
+        // The executor's own count agrees with the per-class attribution.
+        assert_eq!(report.metrics.host_retired, report.metrics.host_executed());
+        assert!(report.metrics.host_retired > 0);
+    }
+
+    #[test]
+    fn observability_counts_block_shapes() {
+        let prog = countdown_program();
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let report = engine.run(&prog, &setup()).unwrap();
+        // One histogram sample per block execution.
+        assert_eq!(
+            report.obs.block_host_len.count(),
+            report.metrics.blocks_executed
+        );
+        assert_eq!(report.obs.block_host_len.sum(), report.metrics.host_retired);
+        // The loop's conditional exit ran once per iteration; without
+        // rules it cannot delegate (QEMU folding may still apply, so we
+        // only check that every conditional exit was observed).
+        assert_eq!(report.obs.deleg_depth.count(), 5);
+        // No rules, no attribution.
+        assert_eq!(report.obs.rules.total_covered(), 0);
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let prog = countdown_program();
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let report = engine.run(&prog, &setup()).unwrap();
+        let text = report.to_json().to_string();
+        let doc = pdbt_obs::json::Json::parse(&text).expect("valid json");
+        let metrics = doc.get("metrics").expect("metrics object");
+        assert_eq!(
+            metrics.get("guest_retired").and_then(|v| v.as_u64()),
+            Some(report.metrics.guest_retired)
+        );
+        assert_eq!(
+            metrics
+                .get("host_by_class")
+                .and_then(|c| c.get("control"))
+                .and_then(|v| v.as_u64()),
+            Some(report.metrics.host_by_class[CodeClass::Control.index()])
+        );
+        let hists = doc.get("histograms").expect("histograms object");
+        assert_eq!(
+            hists
+                .get("block_host_len")
+                .and_then(|h| h.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(report.metrics.blocks_executed)
+        );
+        assert_eq!(
+            doc.get("output").and_then(|o| o.as_arr()).map(|a| a.len()),
+            Some(report.output.len())
+        );
     }
 
     #[test]

@@ -33,7 +33,8 @@
 mod engine;
 mod translate;
 
-pub use engine::{Engine, EngineConfig, EngineError, Metrics, Report, RunSetup, ENV_BASE};
+pub use engine::{Engine, EngineConfig, EngineError, Metrics, Report, RunObs, RunSetup, ENV_BASE};
 pub use translate::{
-    collect_block, translate_block, CodeClass, TranslateConfig, TranslateError, TranslatedBlock,
+    collect_block, translate_block, CodeClass, DelegOutcome, RuleAttribution, TranslateConfig,
+    TranslateError, TranslatedBlock,
 };

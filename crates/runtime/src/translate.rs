@@ -14,6 +14,7 @@
 //! * **control stub** — block bookkeeping and the exit jumps (the
 //!   *control code* of Table II).
 
+use pdbt_core::classify::subgroup_of;
 use pdbt_core::flags::{
     can_materialize, cond_flag_uses, delegated_cc, setcc_for_flag, DELEGATION_WINDOW,
 };
@@ -94,6 +95,32 @@ impl fmt::Display for TranslateError {
 
 impl std::error::Error for TranslateError {}
 
+/// One rule application inside a translated block, for per-rule
+/// coverage attribution: which parameterized rule supplied which part
+/// of the block's coverage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleAttribution {
+    /// Rule label: the matched `ComboKey`'s display form, a
+    /// `seq[..]` compound for sequence rules, or `b<cond> (delegated)`
+    /// for a delegated terminal branch.
+    pub label: String,
+    /// Instruction-class subgroup of the rule's root opcode
+    /// (`Int/Dp/Alu` style).
+    pub subgroup: String,
+    /// Guest instructions this application covers.
+    pub covered: u32,
+}
+
+/// How the block's terminal conditional branch consumed its flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelegOutcome {
+    /// Delegated to live host flags; the payload is the producer's
+    /// look-ahead distance in guest instructions (0..=window).
+    Delegated(u32),
+    /// Fell back to flags materialized in the environment.
+    EnvFallback,
+}
+
 /// One translated basic block.
 #[derive(Debug, Clone)]
 pub struct TranslatedBlock {
@@ -108,6 +135,15 @@ pub struct TranslatedBlock {
     /// How many of them were rule-translated (including a delegated
     /// terminal branch).
     pub rule_covered: u32,
+    /// Per-rule coverage attribution; `covered` sums to
+    /// [`TranslatedBlock::rule_covered`].
+    pub attributions: Vec<RuleAttribution>,
+    /// Rule-lookup misses: labels of body instructions that fell to the
+    /// QEMU path while a rule set was installed.
+    pub lookup_misses: Vec<String>,
+    /// Terminal-branch flag handling, when the block ends in a
+    /// conditional branch.
+    pub deleg: Option<DelegOutcome>,
 }
 
 struct Emitter {
@@ -161,8 +197,8 @@ fn tcg_legalize(code: Vec<HInst>) -> Vec<HInst> {
         }
         let env_mem = |o: &HOperand| matches!(o, HOperand::Mem(m) if m.base == Some(HReg::Ebp));
         let mut operands = inst.operands.clone();
-        let uses_eax = operands.iter().any(|o| *o == HOperand::Reg(HReg::Eax));
-        let uses_edx = operands.iter().any(|o| *o == HOperand::Reg(HReg::Edx));
+        let uses_eax = operands.contains(&HOperand::Reg(HReg::Eax));
+        let uses_edx = operands.contains(&HOperand::Reg(HReg::Edx));
         // Source position (last operand) first.
         if operands.len() == 2 && env_mem(&operands[1]) {
             let scratch = if uses_edx { HReg::Eax } else { HReg::Edx };
@@ -218,7 +254,7 @@ pub(crate) fn flag_liveins(prog: &Program) -> Vec<FlagSet> {
     let insts = prog.insts();
     let n = insts.len();
     let idx_of = |addr: Addr| -> Option<usize> {
-        if addr < prog.base() || (addr - prog.base()) % INST_SIZE != 0 {
+        if addr < prog.base() || !(addr - prog.base()).is_multiple_of(INST_SIZE) {
             return None;
         }
         let i = ((addr - prog.base()) / INST_SIZE) as usize;
@@ -292,11 +328,11 @@ pub(crate) fn flag_liveins(prog: &Program) -> Vec<FlagSet> {
 /// # Errors
 ///
 /// [`TranslateError`] if the start address is outside the program.
-pub fn collect_block<'p>(
-    prog: &'p Program,
+pub fn collect_block(
+    prog: &Program,
     start: Addr,
     max: usize,
-) -> Result<Vec<(Addr, &'p GInst)>, TranslateError> {
+) -> Result<Vec<(Addr, &GInst)>, TranslateError> {
     let mut out = Vec::new();
     let mut pc = start;
     loop {
@@ -396,11 +432,14 @@ fn folded_flag_report(inst: &GInst) -> Option<Vec<(Flag, pdbt_symexec::FlagEquiv
     )
 }
 
+/// Per-flag equivalence reports for a producer's host code.
+type FlagReports = Vec<(Flag, FlagEquiv)>;
+
 /// Emits host code for a foldable QEMU-path flag producer whose flags
 /// feed the adjacent terminal branch: the canonical counterpart code
 /// with environment flag materialization omitted (TCG's compare/branch
 /// folding). Returns the flag report for the stub's condition mapping.
-fn fold_producer(inst: &GInst, map: &RegMap) -> Option<(Vec<HInst>, Vec<(Flag, FlagEquiv)>)> {
+fn fold_producer(inst: &GInst, map: &RegMap) -> Option<(Vec<HInst>, FlagReports)> {
     let report = folded_flag_report(inst)?;
     let p = rkey::parameterize(inst)?;
     let template = emit::emit_for(&p.key)?;
@@ -470,6 +509,7 @@ pub fn translate_block(
     rules: Option<&RuleSet>,
     cfg: &TranslateConfig,
 ) -> Result<TranslatedBlock, TranslateError> {
+    let _span = pdbt_obs::span_with("translate_block", || format!("{start:#x}"));
     let insts = collect_block(prog, start, cfg.max_block)?;
     let guest_len = insts.len() as u32;
 
@@ -483,7 +523,7 @@ pub fn translate_block(
             }
         }
     }
-    freq.sort_by(|a, b| b.1.cmp(&a.1));
+    freq.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let ordered: Vec<GReg> = freq.iter().map(|(g, _)| *g).collect();
     let map = RegMap::allocate(&ordered);
 
@@ -496,7 +536,7 @@ pub fn translate_block(
     // Flags live into the block's successors (cross-block liveness).
     let liveins = flag_liveins(prog);
     let idx_of = |addr: Addr| -> Option<usize> {
-        if addr < prog.base() || (addr - prog.base()) % INST_SIZE != 0 {
+        if addr < prog.base() || !(addr - prog.base()).is_multiple_of(INST_SIZE) {
             return None;
         }
         let i = ((addr - prog.base()) / INST_SIZE) as usize;
@@ -577,6 +617,8 @@ pub fn translate_block(
         classes: Vec::new(),
     };
     let mut rule_covered: u32 = 0;
+    let mut attributions: Vec<RuleAttribution> = Vec::new();
+    let mut lookup_misses: Vec<String> = Vec::new();
 
     // -------- Phase 1: generate per-instruction segments -----------------
     //
@@ -672,19 +714,31 @@ pub fn translate_block(
                                 .collect()
                         };
                         if let Ok(code) = rules.instantiate_seq_match(&sm, &locs) {
-                            for j in i..=last {
-                                for g in insts[j].1.uses().into_iter().chain(insts[j].1.defs()) {
+                            for (_, seq_inst) in &insts[i..=last] {
+                                for g in seq_inst.uses().into_iter().chain(seq_inst.defs()) {
                                     if !cached_regs.contains(&g) {
                                         cached_regs.push(g);
                                     }
                                 }
-                                for g in insts[j].1.defs() {
+                                for g in seq_inst.defs() {
                                     if !cached_writes.contains(&g) {
                                         cached_writes.push(g);
                                     }
                                 }
                             }
                             let report = sm.entry.flags.clone();
+                            attributions.push(RuleAttribution {
+                                label: format!(
+                                    "seq[{}]",
+                                    sm.keys
+                                        .iter()
+                                        .map(|k| k.to_string())
+                                        .collect::<Vec<_>>()
+                                        .join(" + ")
+                                ),
+                                subgroup: subgroup_of(sm.keys[0].op).to_string(),
+                                covered: sm.len as u32,
+                            });
                             for _ in 0..sm.len {
                                 seg_of_guest.push(segments.len());
                             }
@@ -751,6 +805,11 @@ pub fn translate_block(
                             cached_writes.push(g);
                         }
                     }
+                    attributions.push(RuleAttribution {
+                        label: m.key.to_string(),
+                        subgroup: subgroup_of(m.key.op).to_string(),
+                        covered: 1,
+                    });
                     seg_of_guest.push(segments.len());
                     segments.push(Segment {
                         code,
@@ -770,6 +829,13 @@ pub fn translate_block(
         // TCG-style flag handling: dead flags are never materialized,
         // and a producer whose live flags are recoverable from the host
         // ALU flags defers materialization (compare/branch folding).
+        if rules.is_some() {
+            lookup_misses.push(
+                rkey::parameterize(inst)
+                    .map(|p| p.key.to_string())
+                    .unwrap_or_else(|| inst.op.to_string()),
+            );
+        }
         let dead = inst.flag_defs() - live_defs;
         let folded = if live_defs.is_empty() {
             None
@@ -813,6 +879,7 @@ pub fn translate_block(
     // -------- Phase 2: delegation decision --------------------------------
     let mut direct_cc: Option<pdbt_isa_x86::Cc> = None;
     let mut branch_covered = false;
+    let mut deleg_depth: Option<u32> = None;
     if let (Some(cond), Some(p)) = (terminal_cond, producer) {
         let within_window = n - 1 - p <= cfg.window;
         // The segment holding the producer (sequence rules cover several
@@ -834,6 +901,7 @@ pub fn translate_block(
                             .all(|h| h.flag_defs().is_empty());
                         if clean {
                             direct_cc = Some(cc);
+                            deleg_depth = Some((n - 1 - p) as u32);
                             branch_covered =
                                 segments[sp].kind == ProducerKind::Rule && cfg.flag_delegation;
                             // Flags the branch consumes can skip the
@@ -914,7 +982,22 @@ pub fn translate_block(
     }
     if branch_covered {
         rule_covered += 1;
+        attributions.push(RuleAttribution {
+            label: format!(
+                "b{} (delegated)",
+                terminal_cond.expect("covered branch has a condition")
+            ),
+            subgroup: subgroup_of(pdbt_isa_arm::Op::B).to_string(),
+            covered: 1,
+        });
     }
+    // Terminal-branch flag handling, for the window-depth histogram: a
+    // conditional exit either delegated (depth = producer distance) or
+    // read environment-materialized flags.
+    let deleg = terminal_cond.map(|_| match deleg_depth {
+        Some(d) => DelegOutcome::Delegated(d),
+        None => DelegOutcome::EnvFallback,
+    });
 
     // Terminal instruction: emit its guest work (link-register writes,
     // pop loads, condition evaluation) BEFORE the epilogue so its
@@ -1029,12 +1112,20 @@ pub fn translate_block(
         }
     }
 
+    debug_assert_eq!(
+        attributions.iter().map(|a| a.covered).sum::<u32>(),
+        rule_covered,
+        "attribution must decompose coverage exactly"
+    );
     Ok(TranslatedBlock {
         start,
         code: e.code,
         classes: e.classes,
         guest_len,
         rule_covered,
+        attributions,
+        lookup_misses,
+        deleg,
     })
 }
 
@@ -1255,6 +1346,50 @@ mod tests {
             qemu.host_executed()
         );
         assert!(top.total_ratio() < qemu.total_ratio());
+    }
+
+    #[test]
+    fn attribution_decomposes_coverage_exactly() {
+        let learned = learn_rules();
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let cfg = TranslateConfig::default();
+        for start in [0x2000u32, 0x2008, 0x2028] {
+            let block = translate_block(&test_program(), start, Some(&full), &cfg).unwrap();
+            let sum: u32 = block.attributions.iter().map(|a| a.covered).sum();
+            assert_eq!(sum, block.rule_covered, "block {start:#x}");
+            for a in &block.attributions {
+                assert!(!a.label.is_empty());
+                assert!(!a.subgroup.is_empty(), "label {} has a subgroup", a.label);
+            }
+        }
+        // The loop block delegates its terminal bne to the subs producer
+        // one instruction back.
+        let block = translate_block(&test_program(), 0x2008, Some(&full), &cfg).unwrap();
+        assert_eq!(block.deleg, Some(DelegOutcome::Delegated(1)));
+        assert!(block
+            .attributions
+            .iter()
+            .any(|a| a.label.contains("delegated")));
+        // Without rules every body instruction of the loop is a miss —
+        // but only when a rule set is installed.
+        let qemu = translate_block(&test_program(), 0x2008, None, &cfg).unwrap();
+        assert!(qemu.attributions.is_empty());
+        assert!(qemu.lookup_misses.is_empty());
+        assert_eq!(qemu.rule_covered, 0);
+    }
+
+    #[test]
+    fn undelegated_conditional_exit_reports_env_fallback() {
+        let learned = learn_rules();
+        let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let cfg = TranslateConfig {
+            window: 0,
+            ..TranslateConfig::default()
+        };
+        // With a zero look-ahead window the producer (distance 1) is out
+        // of range, so the branch reads environment flags.
+        let block = translate_block(&test_program(), 0x2008, Some(&full), &cfg).unwrap();
+        assert_eq!(block.deleg, Some(DelegOutcome::EnvFallback));
     }
 
     #[test]

@@ -1,18 +1,30 @@
-//! Property tests for the symbolic machine evaluators: running a random
-//! straight-line sequence symbolically and then evaluating the result
-//! terms under a concrete assignment must agree with the concrete
+//! Randomized tests for the symbolic machine evaluators: running a
+//! random straight-line sequence symbolically and then evaluating the
+//! result terms under a concrete assignment must agree with the concrete
 //! interpreter started from the same state.
 //!
 //! This pins the verifier's semantic model to the reference
 //! interpreters — the property that makes `check`'s verdicts
 //! trustworthy.
+//!
+//! Originally written with `proptest`; the offline build environment has
+//! no crates.io access, so the strategies are hand-rolled samplers over
+//! the deterministic in-tree PRNG (`pdbt-rng`, aliased as `rand`).
 
 use pdbt_isa::Flag;
 use pdbt_symexec::machine::{guest, host};
 use pdbt_symexec::{eval, Assignment, Sym, Term};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const MEM_BASE: u32 = 0x10_0000;
+
+fn cases() -> usize {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
 
 // ---------------------------------------------------------------------------
 // Guest side
@@ -22,26 +34,26 @@ mod g {
     use super::*;
     use pdbt_isa_arm::{builders as gb, Cpu, Inst, MemAddr, Operand, Reg, ShiftKind};
 
-    fn reg() -> impl Strategy<Value = Reg> {
+    fn reg(rng: &mut StdRng) -> Reg {
         // r1 is reserved as the in-range memory base.
-        (4usize..12).prop_map(|i| Reg::from_index(i).unwrap())
+        Reg::from_index(rng.gen_range(4..12)).unwrap()
     }
 
-    fn op2() -> impl Strategy<Value = Operand> {
-        prop_oneof![
-            reg().prop_map(Operand::Reg),
-            (0u32..2048).prop_map(Operand::Imm),
-            (reg(), 0usize..4, 1u8..32).prop_map(|(rm, k, amount)| Operand::Shifted {
-                rm,
-                kind: ShiftKind::ALL[k],
-                amount,
-            }),
-        ]
+    fn op2(rng: &mut StdRng) -> Operand {
+        match rng.gen_range(0..3) {
+            0 => Operand::Reg(reg(rng)),
+            1 => Operand::Imm(rng.gen_range(0u32..2048)),
+            _ => Operand::Shifted {
+                rm: reg(rng),
+                kind: ShiftKind::ALL[rng.gen_range(0..4)],
+                amount: rng.gen_range(1u8..32),
+            },
+        }
     }
 
-    pub fn inst() -> impl Strategy<Value = Inst> {
-        prop_oneof![
-            (0usize..10, reg(), reg(), op2(), any::<bool>()).prop_map(|(opi, rd, rn, op2, s)| {
+    pub fn inst(rng: &mut StdRng) -> Inst {
+        match rng.gen_range(0..14) {
+            0 => {
                 type B = fn(Reg, Reg, Operand) -> Inst;
                 const OPS: [B; 10] = [
                     gb::add,
@@ -55,66 +67,59 @@ mod g {
                     gb::sbc,
                     gb::rsc,
                 ];
-                let i = OPS[opi](rd, rn, op2);
-                if s && opi < 7 {
+                let opi = rng.gen_range(0..10);
+                let i = OPS[opi](reg(rng), reg(rng), op2(rng));
+                if rng.gen_bool(0.5) && opi < 7 {
                     i.with_s()
                 } else {
                     i
                 }
-            }),
-            (reg(), op2(), any::<bool>()).prop_map(|(rd, op2, s)| {
-                let i = gb::mov(rd, op2);
-                if s {
+            }
+            1 => {
+                let i = gb::mov(reg(rng), op2(rng));
+                if rng.gen_bool(0.5) {
                     i.with_s()
                 } else {
                     i
                 }
-            }),
-            (reg(), op2()).prop_map(|(rd, op2)| gb::mvn(rd, op2)),
-            (reg(), op2()).prop_map(|(rn, op2)| gb::cmp(rn, op2)),
-            (reg(), op2()).prop_map(|(rn, op2)| gb::cmn(rn, op2)),
-            (reg(), op2()).prop_map(|(rn, op2)| gb::tst(rn, op2)),
-            (reg(), op2()).prop_map(|(rn, op2)| gb::teq(rn, op2)),
-            (reg(), reg(), reg()).prop_map(|(a, b, c)| gb::mul(a, b, c)),
-            (reg(), reg(), reg(), reg()).prop_map(|(a, b, c, d)| gb::mla(a, b, c, d)),
-            (reg(), reg(), reg(), reg()).prop_map(|(a, b, c, d)| gb::umull(a, b, c, d)),
-            (reg(), 0i32..0xf0).prop_map(|(rt, off)| {
-                gb::ldr(
-                    rt,
-                    MemAddr::BaseImm {
-                        base: Reg::R1,
-                        offset: off & !3,
-                    },
-                )
-            }),
-            (reg(), 0i32..0xf0).prop_map(|(rt, off)| {
-                gb::str_(
-                    rt,
-                    MemAddr::BaseImm {
-                        base: Reg::R1,
-                        offset: off & !3,
-                    },
-                )
-            }),
-            (reg(), 0i32..0xf0).prop_map(|(rt, off)| {
-                gb::ldrb(
-                    rt,
-                    MemAddr::BaseImm {
-                        base: Reg::R1,
-                        offset: off,
-                    },
-                )
-            }),
-            (reg(), 0i32..0xf0).prop_map(|(rt, off)| {
-                gb::strb(
-                    rt,
-                    MemAddr::BaseImm {
-                        base: Reg::R1,
-                        offset: off,
-                    },
-                )
-            }),
-        ]
+            }
+            2 => gb::mvn(reg(rng), op2(rng)),
+            3 => gb::cmp(reg(rng), op2(rng)),
+            4 => gb::cmn(reg(rng), op2(rng)),
+            5 => gb::tst(reg(rng), op2(rng)),
+            6 => gb::teq(reg(rng), op2(rng)),
+            7 => gb::mul(reg(rng), reg(rng), reg(rng)),
+            8 => gb::mla(reg(rng), reg(rng), reg(rng), reg(rng)),
+            9 => gb::umull(reg(rng), reg(rng), reg(rng), reg(rng)),
+            10 => gb::ldr(
+                reg(rng),
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: rng.gen_range(0i32..0xf0) & !3,
+                },
+            ),
+            11 => gb::str_(
+                reg(rng),
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: rng.gen_range(0i32..0xf0) & !3,
+                },
+            ),
+            12 => gb::ldrb(
+                reg(rng),
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: rng.gen_range(0i32..0xf0),
+                },
+            ),
+            _ => gb::strb(
+                reg(rng),
+                MemAddr::BaseImm {
+                    base: Reg::R1,
+                    offset: rng.gen_range(0i32..0xf0),
+                },
+            ),
+        }
     }
 
     /// Runs `seq` concretely from a seeded state.
@@ -138,27 +143,27 @@ mod g {
                 .unwrap();
         }
         for inst in seq {
-            // The strategy never emits control flow.
+            // The sampler never emits control flow.
             let _ = pdbt_isa_arm::step(&mut cpu, inst).expect("concrete step");
         }
         cpu
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn guest_symbolic_matches_interpreter(
-        seq in proptest::collection::vec(g::inst(), 1..8),
-        seeds in proptest::collection::vec(0u32..0xffff, 8),
-        flags in any::<u8>(),
-    ) {
+#[test]
+fn guest_symbolic_matches_interpreter() {
+    let mut rng = StdRng::seed_from_u64(0x6E_01);
+    for _ in 0..cases() {
+        let seq: Vec<_> = (0..rng.gen_range(1..8))
+            .map(|_| g::inst(&mut rng))
+            .collect();
+        let seeds: Vec<u32> = (0..8).map(|_| rng.gen_range(0u32..0xffff)).collect();
+        let flags: u8 = rng.gen_range(0..=u8::MAX);
         // Symbolic run with every register a distinct symbol.
         let mut st = guest::State::init(|r| Term::sym(Sym::GuestReg(r.index() as u8)));
         if guest::run(&mut st, &seq).is_err() {
             // e.g. a flag-setting carry-chain op — outside the subset.
-            return Ok(());
+            continue;
         }
         // Bind the symbols to the concrete seeds.
         let mut asg = Assignment::new(0xfeed);
@@ -183,11 +188,23 @@ proptest! {
                 continue;
             }
             let sym_val = eval(&st.regs[r.index()], &asg);
-            prop_assert_eq!(sym_val, cpu.read(r), "register {} after {:?}", r, seq.iter().map(|i| i.to_string()).collect::<Vec<_>>());
+            assert_eq!(
+                sym_val,
+                cpu.read(r),
+                "register {} after {:?}",
+                r,
+                seq.iter().map(|i| i.to_string()).collect::<Vec<_>>()
+            );
         }
         for (i, f) in Flag::ALL.into_iter().enumerate() {
             let sym_val = eval(&st.flags[i], &asg) & 1;
-            prop_assert_eq!(sym_val != 0, cpu.flags.get(f), "flag {} after {:?}", f, seq.iter().map(|i| i.to_string()).collect::<Vec<_>>());
+            assert_eq!(
+                sym_val != 0,
+                cpu.flags.get(f),
+                "flag {} after {:?}",
+                f,
+                seq.iter().map(|i| i.to_string()).collect::<Vec<_>>()
+            );
         }
     }
 }
@@ -200,33 +217,28 @@ mod h {
     use super::*;
     use pdbt_isa_x86::{builders as hbb, Cpu, Inst, Mem, Operand, Reg};
 
-    fn reg() -> impl Strategy<Value = Reg> {
+    const REGS: [Reg; 6] = [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esi, Reg::Edi];
+
+    fn reg(rng: &mut StdRng) -> Reg {
         // ebp is reserved as the in-range memory base.
-        prop_oneof![
-            Just(Reg::Eax),
-            Just(Reg::Ecx),
-            Just(Reg::Edx),
-            Just(Reg::Ebx),
-            Just(Reg::Esi),
-            Just(Reg::Edi),
-        ]
+        REGS[rng.gen_range(0..6)]
     }
 
-    fn mem() -> impl Strategy<Value = Mem> {
-        (0i32..0xf0).prop_map(|off| Mem::base_disp(Reg::Ebp, off & !3))
+    fn mem(rng: &mut StdRng) -> Mem {
+        Mem::base_disp(Reg::Ebp, rng.gen_range(0i32..0xf0) & !3)
     }
 
-    fn rmi() -> impl Strategy<Value = Operand> {
-        prop_oneof![
-            reg().prop_map(Operand::Reg),
-            (-2048i32..2048).prop_map(Operand::Imm),
-            mem().prop_map(Operand::Mem),
-        ]
+    fn rmi(rng: &mut StdRng) -> Operand {
+        match rng.gen_range(0..3) {
+            0 => Operand::Reg(reg(rng)),
+            1 => Operand::Imm(rng.gen_range(-2048i32..2048)),
+            _ => Operand::Mem(mem(rng)),
+        }
     }
 
-    pub fn inst() -> impl Strategy<Value = Inst> {
-        prop_oneof![
-            (0usize..13, reg(), rmi()).prop_map(|(opi, dst, src)| {
+    pub fn inst(rng: &mut StdRng) -> Inst {
+        match rng.gen_range(0..8) {
+            0 | 1 => {
                 type B = fn(Operand, Operand) -> Inst;
                 const OPS: [B; 13] = [
                     hbb::mov,
@@ -243,29 +255,31 @@ mod h {
                     hbb::sar,
                     hbb::cmp,
                 ];
-                OPS[opi](Operand::Reg(dst), src)
-            }),
-            (mem(), rmi()).prop_map(|(m, src)| match src {
-                Operand::Mem(_) => hbb::mov(Operand::Mem(m), Operand::Imm(7)),
-                other => hbb::mov(Operand::Mem(m), other),
-            }),
-            reg().prop_map(|r| hbb::not(Operand::Reg(r))),
-            reg().prop_map(|r| hbb::neg(Operand::Reg(r))),
-            (reg(), mem()).prop_map(|(d, m)| hbb::movzxb(Operand::Reg(d), Operand::Mem(m))),
-            (mem(), reg()).prop_map(|(m, s)| hbb::movb(Operand::Mem(m), Operand::Reg(s))),
-            (0usize..14, reg())
-                .prop_map(|(cci, d)| { hbb::setcc(pdbt_isa_x86::Cc::ALL[cci], Operand::Reg(d)) }),
-        ]
+                OPS[rng.gen_range(0..13)](Operand::Reg(reg(rng)), rmi(rng))
+            }
+            2 => {
+                let m = mem(rng);
+                match rmi(rng) {
+                    Operand::Mem(_) => hbb::mov(Operand::Mem(m), Operand::Imm(7)),
+                    other => hbb::mov(Operand::Mem(m), other),
+                }
+            }
+            3 => hbb::not(Operand::Reg(reg(rng))),
+            4 => hbb::neg(Operand::Reg(reg(rng))),
+            5 => hbb::movzxb(Operand::Reg(reg(rng)), Operand::Mem(mem(rng))),
+            6 => hbb::movb(Operand::Mem(mem(rng)), Operand::Reg(reg(rng))),
+            _ => hbb::setcc(
+                pdbt_isa_x86::Cc::ALL[rng.gen_range(0..14)],
+                Operand::Reg(reg(rng)),
+            ),
+        }
     }
 
     pub fn run_concrete(seq: &[Inst], seeds: &[u32], flags: u8, asg: &Assignment) -> Cpu {
         let mut cpu = Cpu::new();
         cpu.mem.map(MEM_BASE, 0x1000);
         cpu.write(Reg::Ebp, MEM_BASE);
-        for (r, v) in [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esi, Reg::Edi]
-            .into_iter()
-            .zip(seeds)
-        {
+        for (r, v) in REGS.into_iter().zip(seeds) {
             cpu.write(r, *v);
         }
         cpu.flags.n = flags & 1 != 0;
@@ -283,16 +297,16 @@ mod h {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn host_symbolic_matches_executor(
-        seq in proptest::collection::vec(h::inst(), 1..8),
-        seeds in proptest::collection::vec(0u32..0xffff, 6),
-        flags in any::<u8>(),
-    ) {
-        use pdbt_isa_x86::Reg;
+#[test]
+fn host_symbolic_matches_executor() {
+    use pdbt_isa_x86::Reg;
+    let mut rng = StdRng::seed_from_u64(0x6E_02);
+    for _ in 0..cases() {
+        let seq: Vec<_> = (0..rng.gen_range(1..8))
+            .map(|_| h::inst(&mut rng))
+            .collect();
+        let seeds: Vec<u32> = (0..6).map(|_| rng.gen_range(0u32..0xffff)).collect();
+        let flags: u8 = rng.gen_range(0..=u8::MAX);
         let mut st = host::State::init(|r| {
             if r == Reg::Ebp {
                 Term::c(MEM_BASE)
@@ -301,7 +315,7 @@ proptest! {
             }
         });
         if host::run(&mut st, &seq).is_err() {
-            return Ok(());
+            continue;
         }
         let mut asg = Assignment::new(0xbeef);
         for (r, v) in [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esi, Reg::Edi]
@@ -320,7 +334,13 @@ proptest! {
                 continue;
             }
             let sym_val = eval(&st.regs[r.index()], &asg);
-            prop_assert_eq!(sym_val, cpu.read(r), "register {} after {:?}", r, seq.iter().map(|i| i.to_string()).collect::<Vec<_>>());
+            assert_eq!(
+                sym_val,
+                cpu.read(r),
+                "register {} after {:?}",
+                r,
+                seq.iter().map(|i| i.to_string()).collect::<Vec<_>>()
+            );
         }
         // Flags: imul leaves them modelled-undefined in both, the rest
         // must agree.
@@ -328,7 +348,13 @@ proptest! {
         if !any_undefined {
             for (i, f) in Flag::ALL.into_iter().enumerate() {
                 let sym_val = eval(&st.flags[i], &asg) & 1;
-                prop_assert_eq!(sym_val != 0, cpu.flags.get(f), "flag {} after {:?}", f, seq.iter().map(|i| i.to_string()).collect::<Vec<_>>());
+                assert_eq!(
+                    sym_val != 0,
+                    cpu.flags.get(f),
+                    "flag {} after {:?}",
+                    f,
+                    seq.iter().map(|i| i.to_string()).collect::<Vec<_>>()
+                );
             }
         }
     }

@@ -565,7 +565,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let src = generate(&p, 400, &mut rng);
         let n = src.statement_count();
-        assert!(n >= 200 && n <= 800, "got {n}");
+        assert!((200..=800).contains(&n), "got {n}");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub use pdbt_ir as ir;
 pub use pdbt_isa as isa;
 pub use pdbt_isa_arm as arm;
 pub use pdbt_isa_x86 as x86;
+pub use pdbt_obs as obs;
 pub use pdbt_runtime as runtime;
 pub use pdbt_symexec as symexec;
 pub use pdbt_workloads as workloads;

@@ -4,9 +4,18 @@
 //! ```text
 //! pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] -o rules.txt
 //! pdbt run    prog.s [--rules rules.txt] [--no-delegation] [--stats]
+//!             [--report-json FILE] [--trace-out FILE]
+//! pdbt stats  prog.s [--rules rules.txt] [--no-delegation]
+//!             [--report-json FILE] [--trace-out FILE]
 //! pdbt trace  prog.s [--rules rules.txt] [--addr HEX]
 //! pdbt bench  [--scale tiny|full] [BENCH]
 //! ```
+//!
+//! `run --stats` prints the metrics table to stderr; `stats` prints the
+//! full observability report (metrics, per-rule attribution, timing
+//! histograms) to stdout. `--report-json` writes the machine-readable
+//! run report and `--trace-out` writes a Chrome `trace_event` file
+//! loadable in `chrome://tracing` / Perfetto.
 //!
 //! Guest programs are assembly listings in the syntax the disassembler
 //! prints (see `pdbt_isa_arm::parse_listing`); they are loaded at
@@ -16,6 +25,8 @@ use pdbt::arm::{parse_listing, Program};
 use pdbt::core::derive::{derive, DeriveConfig};
 use pdbt::core::learning::LearnConfig;
 use pdbt::core::{load_rules, save_rules, RuleSet};
+use pdbt::obs::trace::export_chrome_trace;
+use pdbt::runtime::Report;
 use pdbt::runtime::{translate_block, CodeClass, Engine, EngineConfig, RunSetup, TranslateConfig};
 use pdbt::workloads::{run_dbt, run_reference, train_excluding, Benchmark, Scale};
 use pdbt_symexec::CheckOptions;
@@ -27,7 +38,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] -o FILE\n  \
-         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats]\n  \
+         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
          pdbt bench  [--scale tiny|full] [BENCH]"
     );
@@ -136,8 +148,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("run needs a program file")?;
+/// Runs a guest program and returns its report (shared by `run` and
+/// `stats`).
+fn execute(args: &Args, verb: &str) -> Result<Report, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("{verb} needs a program file"))?;
     let prog = load_program(path)?;
     let rules = match args.value("rules") {
         Some(p) => Some(load_rules_file(p)?),
@@ -147,23 +164,75 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     cfg.translate.flag_delegation = !args.has("no-delegation");
     let mut engine = Engine::new(rules, cfg);
     let setup = RunSetup::basic(DATA_BASE, 0x1000, 0x8_0000, 0x1000);
-    let report = engine.run(&prog, &setup).map_err(|e| e.to_string())?;
+    engine.run(&prog, &setup).map_err(|e| e.to_string())
+}
+
+/// Handles `--report-json FILE` and `--trace-out FILE`.
+fn export_report(args: &Args, report: &Report) -> Result<(), String> {
+    if let Some(out) = args.value("report-json") {
+        std::fs::write(out, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    if let Some(out) = args.value("trace-out") {
+        let (events, dropped) = pdbt::obs::drain_events();
+        if !pdbt::obs::ENABLED {
+            eprintln!("warning: built without the `obs` feature; trace is empty");
+        } else if dropped > 0 {
+            eprintln!("warning: trace ring overflowed, {dropped} early events dropped");
+        }
+        std::fs::write(out, export_chrome_trace(&events)).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {out} ({} events)", events.len());
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let report = execute(args, "run")?;
     for v in &report.output {
         println!("{v}");
     }
     if args.has("stats") {
-        let m = &report.metrics;
-        eprintln!(
-            "guest instructions : {}\nhost instructions  : {}\ncoverage           : {:.1}%\nhost/guest ratio   : {:.2}\nblocks (xlated/run): {}/{}",
-            m.guest_retired,
-            m.host_executed(),
-            m.coverage() * 100.0,
-            m.total_ratio(),
-            m.blocks_translated,
-            m.blocks_executed,
-        );
+        eprintln!("{}", report.metrics);
     }
-    Ok(())
+    export_report(args, &report)
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let report = execute(args, "stats")?;
+    println!("metrics");
+    println!("{}", report.metrics);
+    let rules = &report.obs.rules;
+    if rules.rows().is_empty() {
+        println!("\nno rule attribution (ran without --rules)");
+    } else {
+        println!("\nper-rule attribution\n{rules}");
+        println!("coverage by subgroup");
+        for (subgroup, covered) in rules.coverage_by_subgroup() {
+            println!("  {subgroup:<24} {covered:>12}");
+        }
+    }
+    let misses = rules.misses();
+    if !misses.is_empty() {
+        let mut rows: Vec<_> = misses.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        println!("\ntop lookup misses");
+        for (label, n) in rows.into_iter().take(10) {
+            println!("  {label:<40} {n:>8}");
+        }
+    }
+    if pdbt::obs::ENABLED {
+        println!("\ntranslate latency (ns)\n{}", report.obs.translate_ns);
+    }
+    println!(
+        "\nhost instructions per block execution\n{}",
+        report.obs.block_host_len
+    );
+    println!(
+        "\nflag-delegation window depth (catch-all = env fallback)\n{}",
+        report.obs.deleg_depth
+    );
+    export_report(args, &report)
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
@@ -240,10 +309,21 @@ fn main() -> ExitCode {
     let Some(cmd) = raw.first().map(String::as_str) else {
         return usage();
     };
-    let args = Args::parse(&raw[1..], &["scale", "exclude", "rules", "addr"]);
+    let args = Args::parse(
+        &raw[1..],
+        &[
+            "scale",
+            "exclude",
+            "rules",
+            "addr",
+            "report-json",
+            "trace-out",
+        ],
+    );
     let result = match cmd {
         "train" => cmd_train(&args),
         "run" => cmd_run(&args),
+        "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "bench" => cmd_bench(&args),
         _ => return usage(),

@@ -1,10 +1,14 @@
-//! Property-based differential testing: random guest programs must
-//! behave identically on the reference interpreter, the QEMU-path DBT,
-//! and the fully parameterized DBT.
+//! Randomized differential testing: random guest programs must behave
+//! identically on the reference interpreter, the QEMU-path DBT, and the
+//! fully parameterized DBT.
 //!
 //! This is the runtime-correctness backstop for the whole stack: any
 //! unsound rule derivation, mis-instantiated template, broken flag
 //! delegation or translator bug shows up as an output divergence.
+//!
+//! Originally written with `proptest`; the offline build environment has
+//! no crates.io access, so the strategies are hand-rolled samplers over
+//! the deterministic in-tree PRNG (`pdbt-rng`, aliased as `rand`).
 
 use pdbt::arm::{builders as g, Inst, MemAddr, Operand, Program, Reg, ShiftKind};
 use pdbt::core::derive::{derive, DeriveConfig};
@@ -13,12 +17,21 @@ use pdbt::core::RuleSet;
 use pdbt::runtime::{Engine, EngineConfig, RunSetup};
 use pdbt::workloads::{train_excluding, Benchmark, Scale};
 use pdbt_symexec::CheckOptions;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::OnceLock;
 
 const DATA_BASE: u32 = 0x10_0000;
 
-/// A parameterized rule set trained once for the whole property run.
+/// Honour FUZZ_CASES when set; default to a CI-friendly 48.
+fn cases() -> usize {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// A parameterized rule set trained once for the whole run.
 fn rules() -> &'static RuleSet {
     static RULES: OnceLock<RuleSet> = OnceLock::new();
     RULES.get_or_init(|| {
@@ -30,116 +43,105 @@ fn rules() -> &'static RuleSet {
 }
 
 /// Registers the generated body may use (r1 holds the data base).
-fn body_reg() -> impl Strategy<Value = Reg> {
-    (4usize..12).prop_map(|i| Reg::from_index(i).unwrap())
+fn body_reg(rng: &mut StdRng) -> Reg {
+    Reg::from_index(rng.gen_range(4..12)).unwrap()
 }
 
-fn op2() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        body_reg().prop_map(Operand::Reg),
-        (0u32..2048).prop_map(Operand::Imm),
-        (body_reg(), 0usize..4, 1u8..32).prop_map(|(rm, k, amount)| Operand::Shifted {
-            rm,
-            kind: ShiftKind::ALL[k],
-            amount,
-        }),
-    ]
+fn op2(rng: &mut StdRng) -> Operand {
+    match rng.gen_range(0..3) {
+        0 => Operand::Reg(body_reg(rng)),
+        1 => Operand::Imm(rng.gen_range(0u32..2048)),
+        _ => Operand::Shifted {
+            rm: body_reg(rng),
+            kind: ShiftKind::ALL[rng.gen_range(0..4)],
+            amount: rng.gen_range(1u8..32),
+        },
+    }
 }
 
 /// One safe straight-line instruction.
-fn body_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        // Three-operand data processing (with optional S).
-        (0usize..14, body_reg(), body_reg(), op2(), any::<bool>()).prop_map(
-            |(opi, rd, rn, op2, s)| {
-                type B = fn(Reg, Reg, Operand) -> Inst;
-                const OPS: [B; 14] = [
-                    g::add,
-                    g::sub,
-                    g::and,
-                    g::orr,
-                    g::eor,
-                    g::bic,
-                    g::rsb,
-                    g::adc,
-                    g::sbc,
-                    g::rsc,
-                    g::lsl,
-                    g::lsr,
-                    g::asr,
-                    g::ror,
-                ];
-                let inst = OPS[opi](rd, rn, op2);
-                // Variable-amount flag-setting shifts and flag-setting
-                // carry-chain ops (adcs/sbcs/rscs) are outside the
-                // supported subset (the compiler never emits them).
-                let _ = inst.operands.len();
-                if s && opi < 7 {
-                    inst.with_s()
-                } else {
-                    inst
-                }
+fn body_inst(rng: &mut StdRng) -> Inst {
+    match rng.gen_range(0..14) {
+        0 => {
+            // Three-operand data processing (with optional S).
+            type B = fn(Reg, Reg, Operand) -> Inst;
+            const OPS: [B; 14] = [
+                g::add,
+                g::sub,
+                g::and,
+                g::orr,
+                g::eor,
+                g::bic,
+                g::rsb,
+                g::adc,
+                g::sbc,
+                g::rsc,
+                g::lsl,
+                g::lsr,
+                g::asr,
+                g::ror,
+            ];
+            let opi = rng.gen_range(0..14);
+            let inst = OPS[opi](body_reg(rng), body_reg(rng), op2(rng));
+            // Variable-amount flag-setting shifts and flag-setting
+            // carry-chain ops (adcs/sbcs/rscs) are outside the
+            // supported subset (the compiler never emits them).
+            if rng.gen_bool(0.5) && opi < 7 {
+                inst.with_s()
+            } else {
+                inst
             }
-        ),
-        // Moves.
-        (body_reg(), op2(), any::<bool>()).prop_map(|(rd, op2, s)| {
-            let i = g::mov(rd, op2);
-            if s {
+        }
+        1 => {
+            // Moves.
+            let i = g::mov(body_reg(rng), op2(rng));
+            if rng.gen_bool(0.5) {
                 i.with_s()
             } else {
                 i
             }
-        }),
-        (body_reg(), op2()).prop_map(|(rd, op2)| g::mvn(rd, op2)),
+        }
+        2 => g::mvn(body_reg(rng), op2(rng)),
         // Compares.
-        (body_reg(), op2()).prop_map(|(rn, op2)| g::cmp(rn, op2)),
-        (body_reg(), op2()).prop_map(|(rn, op2)| g::tst(rn, op2)),
-        (body_reg(), op2()).prop_map(|(rn, op2)| g::cmn(rn, op2)),
-        (body_reg(), op2()).prop_map(|(rn, op2)| g::teq(rn, op2)),
+        3 => g::cmp(body_reg(rng), op2(rng)),
+        4 => g::tst(body_reg(rng), op2(rng)),
+        5 => g::cmn(body_reg(rng), op2(rng)),
+        6 => g::teq(body_reg(rng), op2(rng)),
         // Multiplies and specials (the unlearnables must also run
         // correctly through the QEMU path).
-        (body_reg(), body_reg(), body_reg()).prop_map(|(rd, rm, rs)| g::mul(rd, rm, rs)),
-        (body_reg(), body_reg(), body_reg(), body_reg())
-            .prop_map(|(rd, rm, rs, ra)| g::mla(rd, rm, rs, ra)),
-        (body_reg(), body_reg()).prop_map(|(rd, rm)| g::clz(rd, rm)),
+        7 => g::mul(body_reg(rng), body_reg(rng), body_reg(rng)),
+        8 => g::mla(body_reg(rng), body_reg(rng), body_reg(rng), body_reg(rng)),
+        9 => g::clz(body_reg(rng), body_reg(rng)),
         // Memory within the data region: [r1 + small offset].
-        (body_reg(), 0i32..0x3f0).prop_map(|(rt, off)| {
-            g::ldr(
-                rt,
-                MemAddr::BaseImm {
-                    base: Reg::R1,
-                    offset: off & !3,
-                },
-            )
-        }),
-        (body_reg(), 0i32..0x3f0).prop_map(|(rt, off)| {
-            g::str_(
-                rt,
-                MemAddr::BaseImm {
-                    base: Reg::R1,
-                    offset: off & !3,
-                },
-            )
-        }),
-        (body_reg(), 0i32..0x3f0).prop_map(|(rt, off)| {
-            g::ldrb(
-                rt,
-                MemAddr::BaseImm {
-                    base: Reg::R1,
-                    offset: off,
-                },
-            )
-        }),
-        (body_reg(), 0i32..0x3f0).prop_map(|(rt, off)| {
-            g::strh(
-                rt,
-                MemAddr::BaseImm {
-                    base: Reg::R1,
-                    offset: off & !1,
-                },
-            )
-        }),
-    ]
+        10 => g::ldr(
+            body_reg(rng),
+            MemAddr::BaseImm {
+                base: Reg::R1,
+                offset: rng.gen_range(0i32..0x3f0) & !3,
+            },
+        ),
+        11 => g::str_(
+            body_reg(rng),
+            MemAddr::BaseImm {
+                base: Reg::R1,
+                offset: rng.gen_range(0i32..0x3f0) & !3,
+            },
+        ),
+        12 => g::ldrb(
+            body_reg(rng),
+            MemAddr::BaseImm {
+                base: Reg::R1,
+                offset: rng.gen_range(0i32..0x3f0),
+            },
+        ),
+        _ => g::strh(
+            body_reg(rng),
+            MemAddr::BaseImm {
+                base: Reg::R1,
+                offset: rng.gen_range(0i32..0x3f0) & !1,
+            },
+        ),
+    }
 }
 
 /// A program: base-pointer setup, seeded registers, a body with an
@@ -211,41 +213,40 @@ fn loop_program(body: Vec<Inst>, seeds: Vec<u32>, iters: u32) -> Program {
     Program::new(0x1000, insts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        // Honour PROPTEST_CASES when set; default to a CI-friendly 48.
-        cases: std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(48),
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_programs_agree_across_translators(
-        body in proptest::collection::vec(body_inst(), 1..24),
-        seeds in proptest::collection::vec(0u32..2048, 8),
-        branch in proptest::option::of((0usize..20, any::<u8>())),
-    ) {
+#[test]
+fn random_programs_agree_across_translators() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF01);
+    for _ in 0..cases() {
+        let body: Vec<Inst> = (0..rng.gen_range(1..24))
+            .map(|_| body_inst(&mut rng))
+            .collect();
+        let seeds: Vec<u32> = (0..8).map(|_| rng.gen_range(0u32..2048)).collect();
+        let branch = rng
+            .gen_bool(0.5)
+            .then(|| (rng.gen_range(0usize..20), rng.gen_range(0..=u8::MAX)));
         let prog = program(body, seeds, branch);
         let golden = run_reference(&prog);
         let qemu = run_engine(&prog, None);
-        prop_assert_eq!(&qemu, &golden, "qemu path diverged");
+        assert_eq!(&qemu, &golden, "qemu path diverged");
         let para = run_engine(&prog, Some(rules().clone()));
-        prop_assert_eq!(&para, &golden, "parameterized path diverged");
+        assert_eq!(&para, &golden, "parameterized path diverged");
     }
+}
 
-    #[test]
-    fn random_loops_agree_across_translators(
-        body in proptest::collection::vec(body_inst(), 1..12),
-        seeds in proptest::collection::vec(0u32..2048, 8),
-        iters in 1u32..20,
-    ) {
+#[test]
+fn random_loops_agree_across_translators() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF02);
+    for _ in 0..cases() {
+        let body: Vec<Inst> = (0..rng.gen_range(1..12))
+            .map(|_| body_inst(&mut rng))
+            .collect();
+        let seeds: Vec<u32> = (0..8).map(|_| rng.gen_range(0u32..2048)).collect();
+        let iters = rng.gen_range(1u32..20);
         let prog = loop_program(body, seeds, iters);
         let golden = run_reference(&prog);
         let qemu = run_engine(&prog, None);
-        prop_assert_eq!(&qemu, &golden, "qemu path diverged");
+        assert_eq!(&qemu, &golden, "qemu path diverged");
         let para = run_engine(&prog, Some(rules().clone()));
-        prop_assert_eq!(&para, &golden, "parameterized path diverged");
+        assert_eq!(&para, &golden, "parameterized path diverged");
     }
 }

@@ -7,7 +7,7 @@
 
 use pdbt::core::derive::{derive, DeriveConfig};
 use pdbt::core::learning::LearnConfig;
-use pdbt::workloads::{build, run_dbt, run_reference, train_excluding, Benchmark, Scale};
+use pdbt::workloads::{run_dbt, run_reference, train_excluding, Benchmark, Scale};
 use pdbt_symexec::CheckOptions;
 
 fn targets() -> [Benchmark; 3] {

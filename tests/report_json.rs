@@ -1,0 +1,113 @@
+//! End-to-end check of the machine-readable run report: drive the real
+//! `pdbt` binary with `--report-json`, parse the file with the
+//! serde-free JSON parser, and verify the attribution invariant — the
+//! per-rule dynamic coverage counts sum to the engine's `rule_covered`
+//! metric.
+
+use pdbt::core::derive::{derive, DeriveConfig};
+use pdbt::core::learning::{learn_into, LearnConfig};
+use pdbt::core::{save_rules, RuleSet};
+use pdbt::obs::json::Json;
+use pdbt::workloads::{suite, Scale};
+use pdbt_symexec::CheckOptions;
+use std::process::Command;
+
+const GUEST: &str = "\
+mov r0, #5
+mov r1, #0
+add r1, r1, r0
+subs r0, r0, #1
+bne .-8
+mov r0, r1
+svc #1
+svc #0
+";
+
+fn train_rules() -> String {
+    let suite = suite(Scale::tiny());
+    let mut learned = RuleSet::new();
+    for w in &suite {
+        let mut r = RuleSet::new();
+        learn_into(&mut r, &w.pair, &w.debug, LearnConfig::default());
+        learned.merge(r);
+    }
+    let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+    save_rules(&full)
+}
+
+#[test]
+fn report_json_attribution_sums_to_rule_covered() {
+    let dir = std::env::temp_dir().join(format!("pdbt-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("loop.s");
+    let rules = dir.join("rules.txt");
+    let report = dir.join("report.json");
+    std::fs::write(&prog, GUEST).unwrap();
+    std::fs::write(&rules, train_rules()).unwrap();
+
+    let status = Command::new(env!("CARGO_BIN_EXE_pdbt"))
+        .args([
+            "run",
+            prog.to_str().unwrap(),
+            "--rules",
+            rules.to_str().unwrap(),
+            "--report-json",
+            report.to_str().unwrap(),
+        ])
+        .status()
+        .expect("pdbt binary runs");
+    assert!(status.success());
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let doc = Json::parse(&text).expect("report is valid JSON");
+
+    let metrics = doc.get("metrics").expect("metrics object");
+    let rule_covered = metrics
+        .get("rule_covered")
+        .and_then(|v| v.as_u64())
+        .expect("rule_covered");
+    assert!(rule_covered > 0, "trained run should cover instructions");
+
+    // The attribution invariant, end to end through the binary.
+    let rows = doc.get("rules").and_then(|r| r.as_arr()).expect("rules");
+    let attributed: u64 = rows
+        .iter()
+        .map(|r| r.get("dyn_covered").and_then(|v| v.as_u64()).unwrap())
+        .sum();
+    assert_eq!(attributed, rule_covered);
+
+    // Subgroup decomposition covers the same total.
+    let by_subgroup: u64 = doc
+        .get("coverage_by_subgroup")
+        .and_then(|r| r.as_arr())
+        .expect("coverage_by_subgroup")
+        .iter()
+        .map(|r| r.get("dyn_covered").and_then(|v| v.as_u64()).unwrap())
+        .sum();
+    assert_eq!(by_subgroup, rule_covered);
+
+    // Histograms are present and consistent with the block counts.
+    let hists = doc.get("histograms").expect("histograms");
+    let blocks_executed = metrics
+        .get("blocks_executed")
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert_eq!(
+        hists
+            .get("block_host_len")
+            .and_then(|h| h.get("count"))
+            .and_then(|v| v.as_u64()),
+        Some(blocks_executed)
+    );
+    for key in ["translate_ns", "deleg_depth"] {
+        assert!(hists.get(key).is_some(), "histogram {key} present");
+    }
+
+    // Per-class host counts are all present.
+    let by_class = metrics.get("host_by_class").expect("host_by_class");
+    for key in ["rule_core", "qemu_core", "data_transfer", "control"] {
+        assert!(by_class.get(key).and_then(|v| v.as_u64()).is_some());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
