@@ -1,0 +1,102 @@
+//! Derive-phase wall-clock: `derive_jobs` at `jobs=1` (serial) versus
+//! `jobs=4` over the full tiny-suite learned set, plus engine prewarm
+//! timing at both worker counts.
+//!
+//! The point of this harness is the *equivalence* column, not the
+//! speedup one: the parallel pipeline must produce a byte-identical
+//! serialized rule set and identical funnel stats. Timings are reported
+//! for inspection only — CI machines may expose a single hardware
+//! thread, where `jobs=4` legitimately costs slightly more than serial.
+
+use pdbt_bench::{header, row, Experiment};
+use pdbt_core::{derive_jobs, save_rules, DeriveConfig, RuleSet};
+use pdbt_runtime::{Engine, EngineConfig};
+use pdbt_symexec::CheckOptions;
+use pdbt_workloads::Scale;
+use std::time::Instant;
+
+/// Timed batches per configuration; the fastest is reported.
+const BATCHES: usize = 3;
+
+fn time_derive(learned: &RuleSet, jobs: usize) -> (u128, RuleSet) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        let (rules, _) = derive_jobs(learned, DeriveConfig::full(), CheckOptions::default(), jobs);
+        best = best.min(start.elapsed().as_micros());
+        out = Some(rules);
+    }
+    (best, out.unwrap())
+}
+
+fn time_prewarm(rules: &RuleSet, jobs: usize) -> (u128, usize) {
+    let exp = Experiment::new(Scale::tiny());
+    let mut best = u128::MAX;
+    let mut blocks = 0;
+    for _ in 0..BATCHES {
+        let mut total = 0u128;
+        blocks = 0;
+        for w in &exp.suite {
+            let cfg = EngineConfig {
+                jobs,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(Some(rules.clone()), cfg);
+            let start = Instant::now();
+            blocks += engine.prewarm(&w.pair.guest.program);
+            total += start.elapsed().as_micros();
+        }
+        best = best.min(total);
+    }
+    (best, blocks)
+}
+
+fn main() {
+    let exp = Experiment::new(Scale::tiny());
+    let mut learned = RuleSet::new();
+    for r in &exp.per_rules {
+        learned.merge(r.clone());
+    }
+
+    let (serial_us, serial_rules) = time_derive(&learned, 1);
+    let (par_us, par_rules) = time_derive(&learned, 4);
+    let identical = save_rules(&serial_rules) == save_rules(&par_rules);
+    assert!(identical, "jobs=4 derive diverged from jobs=1");
+
+    let (warm1_us, blocks1) = time_prewarm(&serial_rules, 1);
+    let (warm4_us, blocks4) = time_prewarm(&serial_rules, 4);
+    assert_eq!(blocks1, blocks4, "prewarm block count depends on jobs");
+
+    header(
+        "Parallel pipeline: derive + prewarm wall-clock (tiny suite)",
+        &["jobs=1 us", "jobs=4 us", "identical"],
+    );
+    println!(
+        "{}",
+        row(
+            "derive (parameterize+verify)",
+            &[
+                serial_us.to_string(),
+                par_us.to_string(),
+                String::from("yes"),
+            ],
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &format!("prewarm ({blocks1} blocks)"),
+            &[
+                warm1_us.to_string(),
+                warm4_us.to_string(),
+                String::from("yes"),
+            ],
+        )
+    );
+    println!(
+        "\n{} applicable rules; timings are best of {BATCHES} batches and \
+         depend on hardware thread count — equivalence is the invariant.",
+        serial_rules.len()
+    );
+}

@@ -15,6 +15,7 @@ use crate::emit::emit_for;
 use crate::key::{ComboKey, ModeTag};
 use crate::ruleset::{verify_combo, Provenance, RuleEntry, RuleSet};
 use pdbt_isa_arm::{Op as GOp, Shape, ShiftKind};
+use pdbt_par::Pool;
 use pdbt_symexec::CheckOptions;
 use std::collections::{HashMap, HashSet};
 
@@ -202,10 +203,48 @@ fn addrmode_signature(key: &ComboKey) -> (usize, bool, usize) {
     )
 }
 
+/// One deduplicated derivation candidate. `occurrences` counts how many
+/// times the enumeration visits the key — a candidate that fails
+/// verification is rejected once per visit, exactly as the serial loop
+/// (which never caches failures) would count it.
+struct Candidate {
+    key: ComboKey,
+    provenance: Provenance,
+    occurrences: usize,
+}
+
+/// A verification worker's decision for one candidate.
+enum Outcome {
+    Accepted(Box<RuleEntry>),
+    Rejected,
+}
+
 /// Runs parameterization over a learned rule set, returning the expanded
-/// store and the statistics.
+/// store and the statistics. Serial shorthand for
+/// [`derive_jobs`]`(learned, cfg, check, 1)`.
 #[must_use]
 pub fn derive(learned: &RuleSet, cfg: DeriveConfig, check: CheckOptions) -> (RuleSet, DeriveStats) {
+    derive_jobs(learned, cfg, check, 1)
+}
+
+/// Runs parameterization with verification fanned out over `jobs` worker
+/// threads.
+///
+/// The pipeline has three phases: a serial, deterministically ordered
+/// enumeration of the candidate universe (subgroups, seeds, and
+/// duplicates all sorted or folded in a fixed order); a parallel
+/// emit-and-verify map over the deduplicated candidates ([`verify_combo`]
+/// is pure, so verdicts are position-stable); and a serial merge in
+/// enumeration order. The resulting `RuleSet` and `DeriveStats` are
+/// therefore **identical for every `jobs` value** — `jobs` buys
+/// wall-clock time only. `tests/determinism.rs` pins this down.
+#[must_use]
+pub fn derive_jobs(
+    learned: &RuleSet,
+    cfg: DeriveConfig,
+    check: CheckOptions,
+    jobs: usize,
+) -> (RuleSet, DeriveStats) {
     let _span = pdbt_obs::span("parameterize");
     let mut stats = DeriveStats {
         learned: learned.len(),
@@ -227,8 +266,10 @@ pub fn derive(learned: &RuleSet, cfg: DeriveConfig, check: CheckOptions) -> (Rul
         return (out, stats);
     }
 
-    // Seeds: which subgroups have learned rules, and which operand
-    // signatures appear per subgroup (for the opcode-only stage).
+    // Phase 1 — enumerate. Seeds: which subgroups have learned rules,
+    // and which operand signatures appear per subgroup (for the
+    // opcode-only stage). Everything is sorted so the candidate order
+    // does not depend on `HashMap` iteration order.
     let mut subgroup_seeds: HashMap<Subgroup, Vec<ComboKey>> = HashMap::new();
     for (key, _) in learned.iter() {
         subgroup_seeds
@@ -236,11 +277,16 @@ pub fn derive(learned: &RuleSet, cfg: DeriveConfig, check: CheckOptions) -> (Rul
             .or_default()
             .push(key.clone());
     }
+    let mut groups: Vec<(Subgroup, Vec<ComboKey>)> = subgroup_seeds.into_iter().collect();
+    groups.sort_by_key(|(sg, _)| *sg);
 
-    for (sg, seeds) in &subgroup_seeds {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut index: HashMap<ComboKey, usize> = HashMap::new();
+    for (sg, seeds) in &mut groups {
         if !classify::is_parameterizable(*sg) {
             continue;
         }
+        seeds.sort();
         for op in classify::members(*sg) {
             // Flag-setting variants are always enumerated; without
             // delegation, the post-verification filter below keeps only
@@ -273,23 +319,15 @@ pub fn derive(learned: &RuleSet, cfg: DeriveConfig, check: CheckOptions) -> (Rul
                     if out.contains(&key) {
                         continue;
                     }
-                    let Some(template) = emit_for(&key) else {
-                        stats.rejected += 1;
-                        continue;
-                    };
-                    match verify_combo(&key, &template, check) {
-                        Ok(flags) => {
-                            // Without delegation a derived rule may not
-                            // introduce flag effects that differ from
-                            // exact host behaviour.
-                            if !cfg.flag_delegation
-                                && flags
-                                    .iter()
-                                    .any(|(_, e)| *e != pdbt_symexec::FlagEquiv::Exact)
-                            {
-                                stats.rejected += 1;
-                                continue;
-                            }
+                    use std::collections::hash_map::Entry;
+                    match index.entry(key) {
+                        Entry::Occupied(e) => candidates[*e.get()].occurrences += 1,
+                        Entry::Vacant(v) => {
+                            let key = v.key().clone();
+                            // A key names its opcode, so duplicates can
+                            // only repeat within one subgroup: the
+                            // provenance decision is safe to make on the
+                            // first visit.
                             let provenance = if seeds.iter().any(|k| {
                                 k.modes == key.modes
                                     && k.reg_pattern == key.reg_pattern
@@ -299,20 +337,63 @@ pub fn derive(learned: &RuleSet, cfg: DeriveConfig, check: CheckOptions) -> (Rul
                             } else {
                                 Provenance::AddrModeDerived
                             };
-                            let entry = RuleEntry {
-                                template,
-                                flags,
+                            v.insert(candidates.len());
+                            candidates.push(Candidate {
+                                key,
                                 provenance,
-                                imm_constraint: None,
-                            };
-                            if out.insert(key, entry) {
-                                stats.derived += 1;
-                            }
+                                occurrences: 1,
+                            });
                         }
-                        Err(_) => stats.rejected += 1,
                     }
                 }
             }
+        }
+    }
+
+    // Phase 2 — emit and verify every candidate over the pool.
+    let pool = Pool::new(jobs);
+    let (outcomes, util) = pool.map_util(&candidates, |c| {
+        let Some(template) = emit_for(&c.key) else {
+            return Outcome::Rejected;
+        };
+        match verify_combo(&c.key, &template, check) {
+            Ok(flags) => {
+                // Without delegation a derived rule may not introduce
+                // flag effects that differ from exact host behaviour.
+                if !cfg.flag_delegation
+                    && flags
+                        .iter()
+                        .any(|(_, e)| *e != pdbt_symexec::FlagEquiv::Exact)
+                {
+                    return Outcome::Rejected;
+                }
+                Outcome::Accepted(Box::new(RuleEntry {
+                    template,
+                    flags,
+                    provenance: c.provenance,
+                    imm_constraint: None,
+                }))
+            }
+            Err(_) => Outcome::Rejected,
+        }
+    });
+    drop(pdbt_obs::span_with("derive_pool", || {
+        format!(
+            "jobs={} candidates={} tasks_per_worker={util:?}",
+            pool.jobs(),
+            candidates.len()
+        )
+    }));
+
+    // Phase 3 — merge in enumeration order.
+    for (c, outcome) in candidates.iter().zip(outcomes) {
+        match outcome {
+            Outcome::Accepted(entry) => {
+                if out.insert(c.key.clone(), *entry) {
+                    stats.derived += 1;
+                }
+            }
+            Outcome::Rejected => stats.rejected += c.occurrences,
         }
     }
     stats.instantiated = out.len();
@@ -460,6 +541,19 @@ mod tests {
         // cmp's immediate mode variant has inverted C → delegation only.
         assert!(without.lookup(&g::cmp(Reg::R4, O::Imm(3))).is_none());
         assert!(with.lookup(&g::cmp(Reg::R4, O::Imm(3))).is_some());
+    }
+
+    #[test]
+    fn parallel_derivation_matches_serial() {
+        let learned = learned_add_rule();
+        let opts = CheckOptions::default();
+        let (serial, s_stats) = derive_jobs(&learned, DeriveConfig::full(), opts, 1);
+        let (par, p_stats) = derive_jobs(&learned, DeriveConfig::full(), opts, 8);
+        assert_eq!(s_stats, p_stats, "stats must not depend on jobs");
+        assert_eq!(serial.len(), par.len());
+        for (k, e) in serial.iter() {
+            assert_eq!(par.get(k), Some(e), "entry for {k} differs");
+        }
     }
 
     #[test]

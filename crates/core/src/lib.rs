@@ -50,7 +50,7 @@ pub mod ruleset;
 pub mod store_io;
 pub mod template;
 
-pub use derive::{derive as parameterize_rules, DeriveConfig, DeriveStats};
+pub use derive::{derive as parameterize_rules, derive_jobs, DeriveConfig, DeriveStats};
 pub use key::{parameterize, ComboKey, Instantiation, ModeTag, Parameterized};
 pub use learning::{learn_all, learn_into, FunnelStats, LearnConfig, Reject};
 pub use ruleset::{Match, Provenance, RuleEntry, RuleSet};

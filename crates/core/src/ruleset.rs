@@ -9,7 +9,7 @@
 use crate::key::{self, ComboKey, Instantiation, ModeTag, Parameterized};
 use crate::template::{instantiate, HostLoc, Template};
 use pdbt_isa::Flag;
-use pdbt_isa_arm::{Inst as GInst, Reg as GReg};
+use pdbt_isa_arm::{Inst as GInst, Op as GOpc, Reg as GReg};
 use pdbt_isa_x86::{Inst as HInst, Reg as HReg};
 use pdbt_symexec::{check, CheckOptions, FlagEquiv, Mapping, Verdict};
 use std::collections::HashMap;
@@ -241,6 +241,16 @@ pub struct RuleSet {
     seq_entries: HashMap<Vec<ComboKey>, RuleEntry>,
     /// Longest sequence key, for the runtime's greedy matcher.
     max_seq: usize,
+    /// Dense `(opcode, s)`-indexed entry counts. Translation probes the
+    /// store once per guest instruction and most probes miss (every
+    /// QEMU-path body instruction); a zero bucket rejects the lookup
+    /// before the allocating `parameterize` call builds a `ComboKey`.
+    op_index: Vec<u32>,
+}
+
+/// The `op_index` bucket of an `(opcode, s)` pair.
+fn op_bucket(op: GOpc, s: bool) -> usize {
+    (op as usize) * 2 + usize::from(s)
 }
 
 impl RuleSet {
@@ -266,13 +276,28 @@ impl RuleSet {
     /// the key is already present — the merging step of §IV-D.
     pub fn insert(&mut self, key: ComboKey, entry: RuleEntry) -> bool {
         use std::collections::hash_map::Entry;
+        let bucket = op_bucket(key.op, key.s);
         match self.entries.entry(key) {
             Entry::Occupied(_) => false,
             Entry::Vacant(v) => {
                 v.insert(entry);
+                if self.op_index.is_empty() {
+                    self.op_index = vec![0; GOpc::ALL.len() * 2];
+                }
+                self.op_index[bucket] += 1;
                 true
             }
         }
+    }
+
+    /// Whether any rule exists for this `(opcode, s)` pair — the O(1)
+    /// probe the translator uses to skip parameterization on guaranteed
+    /// misses.
+    #[must_use]
+    pub fn op_present(&self, op: GOpc, s: bool) -> bool {
+        self.op_index
+            .get(op_bucket(op, s))
+            .is_some_and(|count| *count != 0)
     }
 
     /// Inserts a sequence rule (merging duplicates like [`RuleSet::insert`]).
@@ -354,6 +379,9 @@ impl RuleSet {
     /// constraints (paper §IV-D rule application).
     #[must_use]
     pub fn lookup(&self, inst: &GInst) -> Option<Match<'_>> {
+        if !self.op_present(inst.op, inst.s) {
+            return None;
+        }
         let Parameterized {
             key,
             inst: concrete,
@@ -516,6 +544,22 @@ mod tests {
         assert!(!rs.insert(key, entry), "second insert is a duplicate");
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.count_by_provenance(Provenance::Learned), 1);
+    }
+
+    #[test]
+    fn op_index_gates_lookup() {
+        let (key, entry) = rmw_add_rule();
+        let mut rs = RuleSet::new();
+        assert!(!rs.op_present(GOpc::Add, false), "empty set has no buckets");
+        rs.insert(key, entry);
+        assert!(rs.op_present(GOpc::Add, false));
+        assert!(!rs.op_present(GOpc::Add, true), "s-variant is distinct");
+        assert!(!rs.op_present(GOpc::Eor, false));
+        // The index survives clones and still admits real matches.
+        let cloned = rs.clone();
+        assert!(cloned
+            .lookup(&g::add(GReg::R1, GReg::R1, GOp::Imm(9)))
+            .is_some());
     }
 
     #[test]

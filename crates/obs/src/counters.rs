@@ -138,6 +138,142 @@ impl RuleCounters {
     }
 }
 
+/// Per-shard hit/miss counters for a sharded cache (the engine's code
+/// cache). Indexed by shard; recording grows the vectors on demand so a
+/// default-constructed instance can absorb any shard count, and
+/// [`ShardCounters::merge`] aligns lengths, so per-run counters fold
+/// into suite aggregates like the histograms do.
+#[derive(Clone, Debug, Default)]
+pub struct ShardCounters {
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+impl ShardCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A counter pre-sized to `n` shards, so exported per-shard rows
+    /// have a deterministic length even for shards never touched.
+    #[must_use]
+    pub fn with_shards(n: usize) -> Self {
+        ShardCounters {
+            hits: vec![0; n],
+            misses: vec![0; n],
+        }
+    }
+
+    fn ensure(&mut self, shard: usize) {
+        if shard >= self.hits.len() {
+            self.hits.resize(shard + 1, 0);
+            self.misses.resize(shard + 1, 0);
+        }
+    }
+
+    #[inline]
+    pub fn record_hit(&mut self, shard: usize) {
+        self.ensure(shard);
+        self.hits[shard] += 1;
+    }
+
+    #[inline]
+    pub fn record_miss(&mut self, shard: usize) {
+        self.ensure(shard);
+        self.misses[shard] += 1;
+    }
+
+    /// Number of shards observed (or pre-sized).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.hits.len()
+    }
+
+    pub fn hits(&self) -> &[u64] {
+        &self.hits
+    }
+
+    pub fn misses(&self) -> &[u64] {
+        &self.misses
+    }
+
+    pub fn total_hits(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Hit fraction over all shards (0.0 when nothing was recorded).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_hits() + self.total_misses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_hits() as f64 / total as f64
+    }
+
+    /// Folds `other` into `self`, aligning shard-vector lengths. An
+    /// empty `other` is a no-op (it must not pad `self` to one shard).
+    pub fn merge(&mut self, other: &ShardCounters) {
+        if other.hits.is_empty() {
+            return;
+        }
+        self.ensure(other.hits.len() - 1);
+        for (a, b) in self.hits.iter_mut().zip(&other.hits) {
+            *a += b;
+        }
+        for (a, b) in self.misses.iter_mut().zip(&other.misses) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-worker task counters for a worker pool (the parallel
+/// pre-translation and derivation stages). Worker `i` of a pool maps to
+/// slot `i`; merging is element-wise with length alignment.
+#[derive(Clone, Debug, Default)]
+pub struct PoolCounters {
+    tasks: Vec<u64>,
+}
+
+impl PoolCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one pool invocation's per-worker task counts.
+    pub fn record(&mut self, per_worker: &[u64]) {
+        if per_worker.len() > self.tasks.len() {
+            self.tasks.resize(per_worker.len(), 0);
+        }
+        for (a, b) in self.tasks.iter_mut().zip(per_worker) {
+            *a += b;
+        }
+    }
+
+    /// Worker slots observed.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn tasks(&self) -> &[u64] {
+        &self.tasks
+    }
+
+    pub fn total(&self) -> u64 {
+        self.tasks.iter().sum()
+    }
+
+    /// Folds `other` into `self`, aligning worker-vector lengths.
+    pub fn merge(&mut self, other: &PoolCounters) {
+        self.record(&other.tasks);
+    }
+}
+
 impl fmt::Display for RuleCounters {
     /// Human-readable table, heaviest coverage first.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -206,6 +342,39 @@ mod tests {
         assert_eq!(add.static_hits, 5);
         assert_eq!(add.dyn_covered, 50);
         assert_eq!(a.misses()[0], ("vadd", 2));
+    }
+
+    #[test]
+    fn shard_counters_grow_merge_and_rate() {
+        let mut a = ShardCounters::with_shards(4);
+        assert_eq!(a.shards(), 4);
+        a.record_hit(0);
+        a.record_hit(0);
+        a.record_miss(3);
+        assert_eq!(a.total_hits(), 2);
+        assert_eq!(a.total_misses(), 1);
+        assert!((a.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // A default-constructed counter grows on demand and merges in.
+        let mut b = ShardCounters::new();
+        b.record_hit(7);
+        a.merge(&b);
+        assert_eq!(a.shards(), 8);
+        assert_eq!(a.hits()[7], 1);
+        assert_eq!(a.total_hits(), 3);
+        assert_eq!(ShardCounters::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn pool_counters_accumulate_per_worker() {
+        let mut p = PoolCounters::new();
+        p.record(&[3, 1]);
+        p.record(&[2, 2, 4]);
+        assert_eq!(p.workers(), 3);
+        assert_eq!(p.tasks(), &[5, 3, 4]);
+        assert_eq!(p.total(), 12);
+        let mut q = PoolCounters::new();
+        q.merge(&p);
+        assert_eq!(q.tasks(), p.tasks());
     }
 
     #[test]

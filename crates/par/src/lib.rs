@@ -1,0 +1,225 @@
+//! A zero-dependency scoped worker pool for the embarrassingly parallel
+//! stages of the pipeline (derived-rule verification, block
+//! pre-translation).
+//!
+//! The build environment is offline, so this is a minimal in-tree
+//! substitute for the usual data-parallelism crates, built on
+//! [`std::thread::scope`]:
+//!
+//! * **Deterministic result ordering** — [`Pool::map`] returns results
+//!   in item order regardless of which worker ran which item, so a
+//!   parallel stage composes into a byte-identical pipeline as long as
+//!   the mapped function is pure.
+//! * **Work stealing by atomic index** — workers claim items from a
+//!   shared atomic counter, so skewed per-item costs (symbolic
+//!   verification ranges over orders of magnitude) still balance.
+//! * **Inline serial path** — `jobs <= 1` (or a single item) runs on
+//!   the calling thread with no spawn, keeping one code path for the
+//!   `jobs=1` baseline the determinism tests compare against.
+//!
+//! Scoped threads may borrow from the caller, so mapped closures can
+//! capture rule sets and programs by reference.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A worker pool of fixed width.
+///
+/// The pool spawns scoped threads per [`Pool::map`] call rather than
+/// keeping them parked: the mapped stages here are long (milliseconds
+/// to seconds), so spawn cost is noise, and scoped spawning is what
+/// lets closures borrow the caller's data without `Arc` plumbing.
+#[derive(Debug)]
+pub struct Pool {
+    jobs: usize,
+    /// Cumulative items completed per worker slot, across all `map`
+    /// calls — the utilization signal surfaced through `pdbt-obs`.
+    completed: Vec<AtomicU64>,
+}
+
+impl Pool {
+    /// Creates a pool of `jobs` workers; `0` and `1` both mean serial.
+    #[must_use]
+    pub fn new(jobs: usize) -> Pool {
+        let jobs = jobs.max(1);
+        Pool {
+            jobs,
+            completed: (0..jobs).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A pool as wide as the hardware reports.
+    #[must_use]
+    pub fn auto() -> Pool {
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Cumulative items completed per worker slot (index = worker).
+    /// Serial maps attribute everything to slot 0.
+    #[must_use]
+    pub fn utilization(&self) -> Vec<u64> {
+        self.completed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    ///
+    /// `f` must be pure for the ordering guarantee to make the output
+    /// deterministic. A panic in any worker propagates to the caller.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_util(items, f).0
+    }
+
+    /// Like [`Pool::map`], additionally returning this call's items
+    /// completed per worker slot (the utilization delta).
+    pub fn map_util<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, Vec<u64>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            let out: Vec<R> = items.iter().map(&f).collect();
+            let n = out.len() as u64;
+            self.completed[0].fetch_add(n, Ordering::Relaxed);
+            let mut util = vec![0u64; self.jobs];
+            util[0] = n;
+            return (out, util);
+        }
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        // Each worker claims items off the shared counter and collects
+        // `(index, result)` pairs locally; the merge below restores item
+        // order, making the output independent of scheduling.
+        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        let mut util = vec![0u64; self.jobs];
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (w, local) in per_worker.into_iter().enumerate() {
+            util[w] = local.len() as u64;
+            self.completed[w].fetch_add(util[w], Ordering::Relaxed);
+            for (i, r) in local {
+                slots[i] = Some(r);
+            }
+        }
+        let out = slots
+            .into_iter()
+            .map(|r| r.expect("every item claimed exactly once"))
+            .collect();
+        (out, util)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let pool = Pool::new(8);
+        let out = pool.map(&items, |&x| x * x);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_skewed_costs() {
+        let items: Vec<u64> = (0..100).collect();
+        // Skew per-item cost so slow items interleave with fast ones.
+        let work = |&x: &u64| {
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        };
+        let serial = Pool::new(1).map(&items, work);
+        let parallel = Pool::new(8).map(&items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.jobs(), 1);
+        let tid = std::thread::current().id();
+        let out = pool.map(&[1, 2, 3], |&x| {
+            assert_eq!(std::thread::current().id(), tid, "inline on the caller");
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.jobs(), 1);
+        assert_eq!(pool.map(&[5], |&x: &i32| x), vec![5]);
+    }
+
+    #[test]
+    fn utilization_sums_to_item_count() {
+        let items: Vec<u32> = (0..64).collect();
+        let pool = Pool::new(4);
+        let (_, util) = pool.map_util(&items, |&x| x);
+        assert_eq!(util.len(), 4);
+        assert_eq!(util.iter().sum::<u64>(), 64);
+        // Cumulative counters agree after a second call.
+        pool.map(&items, |&x| x);
+        assert_eq!(pool.utilization().iter().sum::<u64>(), 128);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = Pool::new(4);
+        let out: Vec<u8> = pool.map(&[] as &[u8], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_can_borrow_caller_state() {
+        let table: Vec<u64> = (0..32).map(|i| i * 10).collect();
+        let pool = Pool::new(4);
+        let idx: Vec<usize> = (0..32).collect();
+        let out = pool.map(&idx, |&i| table[i]);
+        assert_eq!(out, table);
+    }
+}

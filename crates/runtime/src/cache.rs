@@ -1,0 +1,194 @@
+//! The sharded code cache: translated blocks keyed by guest address
+//! (paper §V-B1), split across independently locked shards.
+//!
+//! The dispatcher's access pattern is read-mostly — every block is
+//! translated once and then fetched on each execution — so blocks live
+//! behind per-shard `RwLock`s and are handed out as [`Arc`]s: a fetch
+//! takes one shard's read lock for a hash probe and never blocks
+//! readers of other shards, which is what lets the prewarm fan
+//! translation out across workers while the dispatcher keeps running.
+
+use crate::translate::TranslatedBlock;
+use pdbt_isa::Addr;
+use pdbt_obs::RuleId;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One shard: a locked address → block map.
+type Shard = RwLock<HashMap<Addr, Arc<CachedBlock>>>;
+
+/// A translated block plus its pre-interned attribution ids: `(rule id,
+/// per-execution coverage)` pairs resolved once at insert time so block
+/// executions only bump dense counters.
+#[derive(Debug)]
+pub struct CachedBlock {
+    /// The translation.
+    pub block: TranslatedBlock,
+    /// Interned rule attributions.
+    pub attr_ids: Vec<(RuleId, u32)>,
+}
+
+/// A code cache of `N` independently locked shards (`N` is the
+/// requested count rounded up to a power of two).
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Box<[Shard]>,
+}
+
+impl ShardedCache {
+    /// Creates a cache with at least `shards` shards.
+    #[must_use]
+    pub fn new(shards: usize) -> ShardedCache {
+        let n = shards.max(1).next_power_of_two();
+        ShardedCache {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an address lands in. Block starts are word-aligned, so
+    /// the two always-zero bits are dropped to spread consecutive
+    /// blocks across shards.
+    #[must_use]
+    pub fn shard_of(&self, pc: Addr) -> usize {
+        ((pc >> 2) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Fetches the block at `pc` under its shard's read lock.
+    #[must_use]
+    pub fn get(&self, pc: Addr) -> Option<Arc<CachedBlock>> {
+        self.shards[self.shard_of(pc)]
+            .read()
+            .expect("cache shard poisoned")
+            .get(&pc)
+            .cloned()
+    }
+
+    /// Inserts a block, returning the cached `Arc` and whether it was
+    /// new. When another insert won the race the existing block is kept
+    /// — translation is deterministic, so the two are identical.
+    pub fn insert(&self, pc: Addr, block: CachedBlock) -> (Arc<CachedBlock>, bool) {
+        use std::collections::hash_map::Entry;
+        let mut shard = self.shards[self.shard_of(pc)]
+            .write()
+            .expect("cache shard poisoned");
+        match shard.entry(pc) {
+            Entry::Occupied(e) => (e.get().clone(), false),
+            Entry::Vacant(v) => (v.insert(Arc::new(block)).clone(), true),
+        }
+    }
+
+    /// Cached block count across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no blocks are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached block.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_block(start: Addr) -> CachedBlock {
+        CachedBlock {
+            block: TranslatedBlock {
+                start,
+                code: Vec::new(),
+                classes: Vec::new(),
+                guest_len: 1,
+                rule_covered: 0,
+                attributions: Vec::new(),
+                lookup_misses: Vec::new(),
+                deleg: None,
+            },
+            attr_ids: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ShardedCache::new(0).shard_count(), 1);
+        assert_eq!(ShardedCache::new(1).shard_count(), 1);
+        assert_eq!(ShardedCache::new(5).shard_count(), 8);
+        assert_eq!(ShardedCache::new(8).shard_count(), 8);
+    }
+
+    #[test]
+    fn word_aligned_addresses_spread_over_shards() {
+        let cache = ShardedCache::new(8);
+        let shards: Vec<usize> = (0..8u32).map(|i| cache.shard_of(0x1000 + i * 4)).collect();
+        let mut unique = shards.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            8,
+            "consecutive blocks land in distinct shards"
+        );
+    }
+
+    #[test]
+    fn insert_get_and_racing_insert() {
+        let cache = ShardedCache::new(4);
+        assert!(cache.get(0x1000).is_none());
+        let (a, new) = cache.insert(0x1000, dummy_block(0x1000));
+        assert!(new);
+        let (b, new) = cache.insert(0x1000, dummy_block(0x1000));
+        assert!(!new, "second insert keeps the first block");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &cache.get(0x1000).unwrap()));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_agree() {
+        // 8 threads hammer insert+get over 64 addresses; afterwards every
+        // address holds exactly one block with the right start field.
+        let cache = ShardedCache::new(8);
+        let addrs: Vec<Addr> = (0..64u32).map(|i| 0x2000 + i * 4).collect();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                let addrs = &addrs;
+                s.spawn(move || {
+                    for (i, &pc) in addrs.iter().enumerate() {
+                        if (i + t) % 2 == 0 {
+                            cache.insert(pc, dummy_block(pc));
+                        }
+                        if let Some(b) = cache.get(pc) {
+                            assert_eq!(b.block.start, pc);
+                        }
+                    }
+                });
+            }
+        });
+        for &pc in &addrs {
+            cache.insert(pc, dummy_block(pc));
+            assert_eq!(cache.get(pc).unwrap().block.start, pc);
+        }
+        assert_eq!(cache.len(), addrs.len());
+    }
+}

@@ -6,27 +6,46 @@
 //! attributed to their [`CodeClass`], which is the measurement behind
 //! Table II, Fig 13 and the instruction-count performance proxy.
 
+use crate::cache::{CachedBlock, ShardedCache};
 use crate::translate::{
-    translate_block, CodeClass, DelegOutcome, TranslateConfig, TranslateError, TranslatedBlock,
+    collect_block, translate_block, CodeClass, DelegOutcome, TranslateConfig, TranslateError,
+    TranslatedBlock,
 };
 use pdbt_core::RuleSet;
 use pdbt_ir::env;
-use pdbt_isa::{Addr, ExecError};
-use pdbt_isa_arm::{Program, Reg as GReg};
+use pdbt_isa::{Addr, Cond, ExecError};
+use pdbt_isa_arm::{Operand, Program, Reg as GReg, INST_SIZE};
 use pdbt_isa_x86::{exec_block_traced, BlockExit, Cpu as HostCpu, Reg as HReg};
 use pdbt_obs::json::Json;
-use pdbt_obs::{Histogram, RuleCounters, RuleId};
-use std::collections::HashMap;
+use pdbt_obs::{Histogram, PoolCounters, RuleCounters, RuleId, ShardCounters};
+use pdbt_par::Pool;
 use std::fmt;
+use std::sync::Arc;
 
 /// Base address of the guest environment block in host memory.
 pub const ENV_BASE: Addr = 0xE000_0000;
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Translation knobs.
     pub translate: TranslateConfig,
+    /// Worker threads for block pre-translation; `run` prewarms the
+    /// code cache in parallel when this exceeds 1. Translation output
+    /// and metrics are independent of the value (see [`Engine::prewarm`]).
+    pub jobs: usize,
+    /// Code-cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            translate: TranslateConfig::default(),
+            jobs: 1,
+            cache_shards: 8,
+        }
+    }
 }
 
 /// Guest memory layout and entry state for a run.
@@ -188,6 +207,10 @@ pub struct RunObs {
     /// Flag-delegation look-ahead depth per conditional-exit block
     /// execution; the catch-all bucket counts environment fallbacks.
     pub deleg_depth: Histogram,
+    /// Per-shard code-cache hits and misses.
+    pub cache: ShardCounters,
+    /// Prewarm pool task distribution per worker slot.
+    pub pool: PoolCounters,
 }
 
 impl Default for RunObs {
@@ -197,6 +220,8 @@ impl Default for RunObs {
             translate_ns: Histogram::latency_ns(),
             block_host_len: Histogram::block_len(),
             deleg_depth: Histogram::deleg_depth(),
+            cache: ShardCounters::new(),
+            pool: PoolCounters::new(),
         }
     }
 }
@@ -208,6 +233,8 @@ impl RunObs {
         self.translate_ns.merge(&other.translate_ns);
         self.block_host_len.merge(&other.block_host_len);
         self.deleg_depth.merge(&other.deleg_depth);
+        self.cache.merge(&other.cache);
+        self.pool.merge(&other.pool);
     }
 }
 
@@ -319,6 +346,34 @@ impl Report {
                 ]),
             ),
             (
+                "cache",
+                Json::obj([
+                    ("shards", Json::from(self.obs.cache.shards() as u64)),
+                    (
+                        "hits",
+                        Json::arr(self.obs.cache.hits().iter().map(|&n| Json::from(n))),
+                    ),
+                    (
+                        "misses",
+                        Json::arr(self.obs.cache.misses().iter().map(|&n| Json::from(n))),
+                    ),
+                    ("total_hits", Json::from(self.obs.cache.total_hits())),
+                    ("total_misses", Json::from(self.obs.cache.total_misses())),
+                    ("hit_rate", Json::from(self.obs.cache.hit_rate())),
+                ]),
+            ),
+            (
+                "pool",
+                Json::obj([
+                    ("workers", Json::from(self.obs.pool.workers() as u64)),
+                    (
+                        "tasks",
+                        Json::arr(self.obs.pool.tasks().iter().map(|&n| Json::from(n))),
+                    ),
+                    ("total", Json::from(self.obs.pool.total())),
+                ]),
+            ),
+            (
                 "output",
                 Json::arr(self.output.iter().map(|&w| Json::from(u64::from(w)))),
             ),
@@ -361,30 +416,70 @@ impl From<ExecError> for EngineError {
     }
 }
 
+/// Discovers every statically reachable block start from the program
+/// entry by following direct branch and fall-through edges. Indirect
+/// transfers (returns, computed jumps) contribute no static successors;
+/// the dispatcher translates those targets lazily when execution
+/// reaches them. The result is sorted (and so deterministic).
+fn discover_block_starts(prog: &Program, max_block: usize) -> Vec<Addr> {
+    use std::collections::BTreeSet;
+    let mut seen: BTreeSet<Addr> = BTreeSet::new();
+    let mut frontier = vec![prog.base()];
+    while let Some(pc) = frontier.pop() {
+        if !seen.insert(pc) {
+            continue;
+        }
+        let Ok(insts) = collect_block(prog, pc, max_block) else {
+            continue;
+        };
+        let (last_addr, last) = *insts.last().expect("non-empty block");
+        let fall = pc + insts.len() as u32 * INST_SIZE;
+        match last.op {
+            pdbt_isa_arm::Op::B | pdbt_isa_arm::Op::Bl => {
+                let Operand::Target(d) = last.operands[0] else {
+                    unreachable!()
+                };
+                frontier.push(last_addr.wrapping_add(d as u32));
+                if last.op == pdbt_isa_arm::Op::Bl || last.cond != Cond::Al {
+                    frontier.push(fall);
+                }
+            }
+            pdbt_isa_arm::Op::Svc if last.operands[0].as_imm() == Some(0) => {}
+            _ if last.is_branch() => {}
+            // Max-length block: falls through.
+            _ => frontier.push(fall),
+        }
+    }
+    seen.into_iter()
+        .filter(|pc| prog.fetch(*pc).is_ok())
+        .collect()
+}
+
 /// The dynamic binary translator.
 #[derive(Debug)]
 pub struct Engine {
     rules: Option<RuleSet>,
     cfg: EngineConfig,
-    cache: HashMap<Addr, TranslatedBlock>,
+    cache: ShardedCache,
     metrics: Metrics,
     obs: RunObs,
-    /// Per cached block: interned rule ids with their per-execution
-    /// coverage weight (avoids re-interning labels on the hot path).
-    attr_ids: HashMap<Addr, Vec<(RuleId, u32)>>,
 }
 
 impl Engine {
     /// Creates an engine. `rules = None` is the pure QEMU-path baseline.
     #[must_use]
     pub fn new(rules: Option<RuleSet>, cfg: EngineConfig) -> Engine {
+        let cache = ShardedCache::new(cfg.cache_shards);
+        let obs = RunObs {
+            cache: ShardCounters::with_shards(cache.shard_count()),
+            ..RunObs::default()
+        };
         Engine {
             rules,
             cfg,
-            cache: HashMap::new(),
+            cache,
             metrics: Metrics::default(),
-            obs: RunObs::default(),
-            attr_ids: HashMap::new(),
+            obs,
         }
     }
 
@@ -400,44 +495,97 @@ impl Engine {
         &self.obs
     }
 
+    /// The code cache.
+    #[must_use]
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
     /// Clears the code cache, metrics and observability state.
     pub fn reset(&mut self) {
         self.cache.clear();
         self.metrics = Metrics::default();
         self.obs = RunObs::default();
-        self.attr_ids.clear();
+        self.obs.cache = ShardCounters::with_shards(self.cache.shard_count());
     }
 
-    /// Translates (or fetches from cache) the block at `pc`.
-    fn block(&mut self, prog: &Program, pc: Addr) -> Result<&TranslatedBlock, EngineError> {
-        if !self.cache.contains_key(&pc) {
-            let t0 = pdbt_obs::now_ns();
-            let block = translate_block(prog, pc, self.rules.as_ref(), &self.cfg.translate)?;
-            if pdbt_obs::ENABLED {
-                self.obs
-                    .translate_ns
-                    .record(pdbt_obs::now_ns().saturating_sub(t0));
-            }
-            self.metrics.blocks_translated += 1;
-            self.metrics.host_generated += block.code.len() as u64;
-            // Intern this block's rule attributions once; executions
-            // only bump dense counters.
-            let ids: Vec<(RuleId, u32)> = block
-                .attributions
-                .iter()
-                .map(|a| {
-                    let id = self.obs.rules.intern(&a.label, &a.subgroup);
-                    self.obs.rules.hit(id, 1);
-                    (id, a.covered)
-                })
-                .collect();
-            for miss in &block.lookup_misses {
-                self.obs.rules.miss(miss);
-            }
-            self.attr_ids.insert(pc, ids);
-            self.cache.insert(pc, block);
+    /// Interns a freshly translated block — static metrics, attribution
+    /// ids, lookup misses — and inserts it into the cache.
+    fn intern_block(&mut self, pc: Addr, block: TranslatedBlock) -> Arc<CachedBlock> {
+        self.metrics.blocks_translated += 1;
+        self.metrics.host_generated += block.code.len() as u64;
+        // Intern this block's rule attributions once; executions only
+        // bump dense counters.
+        let attr_ids: Vec<(RuleId, u32)> = block
+            .attributions
+            .iter()
+            .map(|a| {
+                let id = self.obs.rules.intern(&a.label, &a.subgroup);
+                self.obs.rules.hit(id, 1);
+                (id, a.covered)
+            })
+            .collect();
+        for miss in &block.lookup_misses {
+            self.obs.rules.miss(miss);
         }
-        Ok(&self.cache[&pc])
+        let (cached, _new) = self.cache.insert(pc, CachedBlock { block, attr_ids });
+        cached
+    }
+
+    /// Translates (or fetches from cache) the block at `pc`, recording
+    /// the shard hit/miss.
+    fn block(&mut self, prog: &Program, pc: Addr) -> Result<Arc<CachedBlock>, EngineError> {
+        let shard = self.cache.shard_of(pc);
+        if let Some(cached) = self.cache.get(pc) {
+            self.obs.cache.record_hit(shard);
+            return Ok(cached);
+        }
+        self.obs.cache.record_miss(shard);
+        let t0 = pdbt_obs::now_ns();
+        let block = translate_block(prog, pc, self.rules.as_ref(), &self.cfg.translate)?;
+        if pdbt_obs::ENABLED {
+            self.obs
+                .translate_ns
+                .record(pdbt_obs::now_ns().saturating_sub(t0));
+        }
+        Ok(self.intern_block(pc, block))
+    }
+
+    /// Translates every statically reachable block up front, fanning
+    /// the translation work across [`EngineConfig::jobs`] workers.
+    /// Returns the number of blocks newly cached.
+    ///
+    /// Discovery is a serial walk of the static CFG, workers translate
+    /// independently (translation is pure), and the fold into the cache
+    /// and counters runs serially in address order — so the engine
+    /// state after a prewarm does not depend on the worker count or on
+    /// scheduling. Blocks that fail to translate are skipped; the run
+    /// path surfaces the error if execution actually reaches them.
+    pub fn prewarm(&mut self, prog: &Program) -> usize {
+        let pool = Pool::new(self.cfg.jobs);
+        let _span = pdbt_obs::span_with("prewarm", || format!("jobs={}", pool.jobs()));
+        let todo: Vec<Addr> = discover_block_starts(prog, self.cfg.translate.max_block)
+            .into_iter()
+            .filter(|pc| self.cache.get(*pc).is_none())
+            .collect();
+        let rules = self.rules.as_ref();
+        let tcfg = self.cfg.translate;
+        let (translated, util) = pool.map_util(&todo, |pc| {
+            let t0 = pdbt_obs::now_ns();
+            let block = translate_block(prog, *pc, rules, &tcfg).ok();
+            (block, pdbt_obs::now_ns().saturating_sub(t0))
+        });
+        self.obs.pool.record(&util);
+        let mut cached = 0usize;
+        for (pc, (block, ns)) in todo.into_iter().zip(translated) {
+            let Some(block) = block else { continue };
+            if pdbt_obs::ENABLED {
+                self.obs.translate_ns.record(ns);
+            }
+            self.intern_block(pc, block);
+            cached += 1;
+        }
+        cached
     }
 
     /// Runs a guest program under the DBT.
@@ -447,6 +595,9 @@ impl Engine {
     /// [`EngineError`] on translation or execution failures, or when the
     /// guest budget runs out.
     pub fn run(&mut self, prog: &Program, setup: &RunSetup) -> Result<Report, EngineError> {
+        if self.cfg.jobs > 1 {
+            self.prewarm(prog);
+        }
         let mut host = HostCpu::new();
         // The environment block.
         host.mem.map(ENV_BASE, env::ENV_SIZE);
@@ -472,14 +623,13 @@ impl Engine {
             if self.metrics.guest_retired >= setup.max_guest {
                 return Err(EngineError::Budget);
             }
-            let (code_len, exit, stats, counts) = {
-                let block = self.block(prog, pc)?;
+            let cached = self.block(prog, pc)?;
+            let block = &cached.block;
+            let (exit, stats, counts) = {
                 let _exec_span = pdbt_obs::span("exec_block");
-                let (exit, stats, counts) = exec_block_traced(&mut host, &block.code, 1_000_000)?;
-                (block.code.len(), exit, stats, counts)
+                exec_block_traced(&mut host, &block.code, 1_000_000)?
             };
-            let block = &self.cache[&pc];
-            debug_assert_eq!(code_len, block.classes.len());
+            debug_assert_eq!(block.code.len(), block.classes.len());
             for (i, c) in counts.iter().enumerate() {
                 self.metrics.host_by_class[block.classes[i].index()] += u64::from(*c);
             }
@@ -489,10 +639,8 @@ impl Engine {
             self.metrics.host_retired += stats.executed;
             // Dynamic coverage attribution: static per-block shares
             // weighted by this execution.
-            if let Some(ids) = self.attr_ids.get(&pc) {
-                for (id, covered) in ids {
-                    self.obs.rules.covered(*id, u64::from(*covered));
-                }
+            for (id, covered) in &cached.attr_ids {
+                self.obs.rules.covered(*id, u64::from(*covered));
             }
             self.obs.block_host_len.record(stats.executed);
             if let Some(d) = block.deleg {
@@ -781,6 +929,67 @@ mod engine_edge_tests {
         assert_eq!(
             doc.get("output").and_then(|o| o.as_arr()).map(|a| a.len()),
             Some(report.output.len())
+        );
+        let cache = doc.get("cache").expect("cache object");
+        assert_eq!(cache.get("shards").and_then(|v| v.as_u64()), Some(8));
+        assert_eq!(
+            cache.get("total_misses").and_then(|v| v.as_u64()),
+            Some(report.metrics.blocks_translated)
+        );
+        let pool = doc.get("pool").expect("pool object");
+        assert_eq!(
+            pool.get("total").and_then(|v| v.as_u64()),
+            Some(0),
+            "no prewarm ran"
+        );
+    }
+
+    #[test]
+    fn prewarm_populates_the_cache_deterministically() {
+        let prog = countdown_program();
+        let mut serial = Engine::new(None, EngineConfig::default());
+        let n1 = serial.prewarm(&prog);
+        assert!(n1 > 0, "the static CFG has blocks to discover");
+        let mut par = Engine::new(
+            None,
+            EngineConfig {
+                jobs: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let n4 = par.prewarm(&prog);
+        assert_eq!(n1, n4, "worker count cannot change what is discovered");
+        assert_eq!(serial.cache().len(), par.cache().len());
+        assert_eq!(serial.metrics(), par.metrics());
+        assert_eq!(par.obs().pool.total(), n4 as u64);
+        // Prewarm is idempotent: everything is already cached.
+        assert_eq!(par.prewarm(&prog), 0);
+    }
+
+    #[test]
+    fn parallel_engine_run_matches_serial() {
+        let prog = countdown_program();
+        let mut serial = Engine::new(None, EngineConfig::default());
+        let a = serial.run(&prog, &setup()).unwrap();
+        let mut par = Engine::new(
+            None,
+            EngineConfig {
+                jobs: 4,
+                cache_shards: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let b = par.run(&prog, &setup()).unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.metrics, b.metrics);
+        // The auto-prewarmed engine never misses at dispatch time…
+        assert_eq!(b.obs.cache.total_misses(), 0);
+        assert_eq!(b.obs.cache.total_hits(), b.metrics.blocks_executed);
+        // …while the lazy engine misses exactly once per translation.
+        assert_eq!(a.obs.cache.total_misses(), a.metrics.blocks_translated);
+        assert_eq!(
+            a.obs.cache.total_hits() + a.obs.cache.total_misses(),
+            a.metrics.blocks_executed
         );
     }
 

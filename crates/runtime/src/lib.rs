@@ -30,9 +30,11 @@
 //! assert_eq!(report.output, vec![42]);
 //! ```
 
+mod cache;
 mod engine;
 mod translate;
 
+pub use cache::{CachedBlock, ShardedCache};
 pub use engine::{Engine, EngineConfig, EngineError, Metrics, Report, RunObs, RunSetup, ENV_BASE};
 pub use translate::{
     collect_block, translate_block, CodeClass, DelegOutcome, RuleAttribution, TranslateConfig,

@@ -650,19 +650,23 @@ pub fn translate_block(
     let mut seg_of_guest: Vec<usize> = Vec::with_capacity(body_len);
     let mut cached_regs: Vec<GReg> = Vec::new();
     let mut cached_writes: Vec<GReg> = Vec::new();
+    // Single rule-lookup pass over the body: each probe starts with the
+    // store's O(1) opcode-presence check, and the match results are
+    // reused by both the caching heuristic below and the emission loop
+    // (which previously probed a second time).
+    let body_matches: Vec<Option<pdbt_core::Match<'_>>> = match rules {
+        Some(r) => insts
+            .iter()
+            .take(body_len)
+            .map(|(_, i)| r.lookup(i))
+            .collect(),
+        None => vec![None; body_len],
+    };
     // Register caching only pays off when enough of the block is
     // rule-translated to amortize the residency synchronization; short
     // or sparsely covered blocks instantiate rules directly on the
     // environment slots.
-    let rule_hits = rules
-        .map(|r| {
-            insts
-                .iter()
-                .take(body_len)
-                .filter(|(_, i)| r.lookup(i).is_some())
-                .count()
-        })
-        .unwrap_or(0);
+    let rule_hits = body_matches.iter().filter(|m| m.is_some()).count();
     let use_cache = rule_hits >= 3;
     let body_insts: Vec<&GInst> = insts.iter().take(body_len).map(|(_, i)| *i).collect();
     let mut i = 0usize;
@@ -760,7 +764,7 @@ pub fn translate_block(
         }
         // --- rule path ---
         if let Some(rules) = rules {
-            if let Some(m) = rules.lookup(inst) {
+            if let Some(m) = &body_matches[i] {
                 let report = m.entry.flags.clone();
                 let flags_ok = if live_defs.is_empty() {
                     true
@@ -789,12 +793,11 @@ pub fn translate_block(
                             .map(|g| HostLoc::Mem(env::reg_mem(*g)))
                             .collect()
                     };
-                    let code =
-                        rules
-                            .instantiate_match(&m, &locs)
-                            .map_err(|err| TranslateError {
-                                detail: format!("instantiation failed: {err}"),
-                            })?;
+                    let code = rules
+                        .instantiate_match(m, &locs)
+                        .map_err(|err| TranslateError {
+                            detail: format!("instantiation failed: {err}"),
+                        })?;
                     for g in inst.uses().into_iter().chain(inst.defs()) {
                         if !cached_regs.contains(&g) {
                             cached_regs.push(g);

@@ -31,12 +31,14 @@
 //! assert!(verdict.is_equivalent());
 //! ```
 
+pub mod batch;
 mod equiv;
 mod eval;
 pub mod machine;
 mod simplify;
 pub mod term;
 
+pub use batch::{check_batch, CheckCase};
 pub use equiv::{check, propose_mappings, CheckOptions, FlagEquiv, Mapping, Verdict};
 pub use eval::{eval, eval_mem_writes, Assignment};
 pub use machine::SymExecError;

@@ -2,14 +2,19 @@
 //! DBT.
 //!
 //! ```text
-//! pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] -o rules.txt
-//! pdbt run    prog.s [--rules rules.txt] [--no-delegation] [--stats]
+//! pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N] -o rules.txt
+//! pdbt run    prog.s [--rules rules.txt] [--no-delegation] [--stats] [--jobs N]
 //!             [--report-json FILE] [--trace-out FILE]
-//! pdbt stats  prog.s [--rules rules.txt] [--no-delegation]
+//! pdbt stats  prog.s [--rules rules.txt] [--no-delegation] [--jobs N]
 //!             [--report-json FILE] [--trace-out FILE]
 //! pdbt trace  prog.s [--rules rules.txt] [--addr HEX]
 //! pdbt bench  [--scale tiny|full] [BENCH]
 //! ```
+//!
+//! `--jobs N` fans derived-rule verification (`train`) or block
+//! pre-translation (`run`/`stats`) across `N` worker threads; results
+//! are identical to `--jobs 1` (see `tests/determinism.rs`). `--jobs 0`
+//! uses the hardware parallelism.
 //!
 //! `run --stats` prints the metrics table to stderr; `stats` prints the
 //! full observability report (metrics, per-rule attribution, timing
@@ -22,7 +27,7 @@
 //! `0x1000` with a data region at `0x100000` and a stack at `0x80000`.
 
 use pdbt::arm::{parse_listing, Program};
-use pdbt::core::derive::{derive, DeriveConfig};
+use pdbt::core::derive::{derive, derive_jobs, DeriveConfig};
 use pdbt::core::learning::LearnConfig;
 use pdbt::core::{load_rules, save_rules, RuleSet};
 use pdbt::obs::trace::export_chrome_trace;
@@ -37,9 +42,9 @@ const DATA_BASE: u32 = 0x10_0000;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] -o FILE\n  \
-         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--report-json FILE] [--trace-out FILE]\n  \
-         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N] -o FILE\n  \
+         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--jobs N] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
          pdbt bench  [--scale tiny|full] [BENCH]"
     );
@@ -96,6 +101,16 @@ fn bench_of(name: &str) -> Option<Benchmark> {
     Benchmark::ALL.into_iter().find(|b| b.name() == name)
 }
 
+/// The `--jobs N` worker count: absent = 1 (serial), `0` = hardware
+/// parallelism.
+fn jobs_of(args: &Args) -> Result<usize, String> {
+    match args.value("jobs") {
+        None => Ok(1),
+        Some("0") => Ok(pdbt_par::Pool::auto().jobs()),
+        Some(n) => n.parse::<usize>().map_err(|e| format!("bad --jobs: {e}")),
+    }
+}
+
 fn load_program(path: &str) -> Result<Program, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let insts = parse_listing(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -136,10 +151,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let rules = if args.has("no-param") {
         learned
     } else {
-        let (full, stats) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+        let jobs = jobs_of(args)?;
+        let (full, stats) = derive_jobs(
+            &learned,
+            DeriveConfig::full(),
+            CheckOptions::default(),
+            jobs,
+        );
         eprintln!(
-            "parameterized to {} applicable rules ({} derived, {} rejected)",
-            stats.instantiated, stats.derived, stats.rejected
+            "parameterized to {} applicable rules ({} derived, {} rejected, {} verification jobs)",
+            stats.instantiated, stats.derived, stats.rejected, jobs
         );
         full
     };
@@ -162,6 +183,7 @@ fn execute(args: &Args, verb: &str) -> Result<Report, String> {
     };
     let mut cfg = EngineConfig::default();
     cfg.translate.flag_delegation = !args.has("no-delegation");
+    cfg.jobs = jobs_of(args)?;
     let mut engine = Engine::new(rules, cfg);
     let setup = RunSetup::basic(DATA_BASE, 0x1000, 0x8_0000, 0x1000);
     engine.run(&prog, &setup).map_err(|e| e.to_string())
@@ -316,6 +338,7 @@ fn main() -> ExitCode {
             "exclude",
             "rules",
             "addr",
+            "jobs",
             "report-json",
             "trace-out",
         ],

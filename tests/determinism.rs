@@ -1,0 +1,102 @@
+//! Determinism lockdown for the parallel pipeline: `derive_jobs` must
+//! be bit-identical to serial derivation, and an engine fed either rule
+//! set must produce identical machine-readable reports.
+//!
+//! Three differently degraded training corpora guard against "it only
+//! happened to agree on one input": each seed re-degrades the suite's
+//! debug maps, so the learned sets — and therefore the candidate
+//! universes the worker pool fans over — differ per seed.
+//!
+//! The engine configuration is held fixed across the comparison (only
+//! the *derive* worker count varies): pool and cache counters are part
+//! of the report and legitimately differ between engine `jobs` values.
+//! The one wall-clock field, `histograms.translate_ns`, is stripped
+//! before comparing.
+
+use pdbt::compiler::{degrade, DegradeProfile};
+use pdbt::core::derive::{derive_jobs, DeriveConfig};
+use pdbt::core::learning::{learn_into, LearnConfig};
+use pdbt::core::{save_rules, RuleSet};
+use pdbt::obs::json::Json;
+use pdbt::runtime::{Engine, EngineConfig, Report};
+use pdbt::workloads::{suite, Scale};
+use pdbt_symexec::CheckOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEEDS: [u64; 3] = [0xDE7_001, 0xDE7_002, 0xDE7_003];
+
+/// A learned rule set over the tiny suite with seed-specific extra
+/// debug-map degradation, so each seed trains on a distinct corpus.
+fn learned_for(seed: u64) -> RuleSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profile = DegradeProfile {
+        drop: 0.15,
+        merge: 0.08,
+        skew: 0.05,
+    };
+    let mut learned = RuleSet::new();
+    for w in &suite(Scale::tiny()) {
+        let debug = degrade(&w.debug, profile, &mut rng);
+        let mut r = RuleSet::new();
+        learn_into(&mut r, &w.pair, &debug, LearnConfig::default());
+        learned.merge(r);
+    }
+    learned
+}
+
+/// A fixed-configuration engine run over one of the suite's workloads.
+fn run_fixed(rules: &RuleSet) -> Report {
+    let workloads = suite(Scale::tiny());
+    let w = &workloads[0];
+    let mut engine = Engine::new(Some(rules.clone()), EngineConfig::default());
+    engine.run(&w.pair.guest.program, &w.setup()).expect("run")
+}
+
+/// The report JSON with the wall-clock histogram removed.
+fn comparable_json(report: &Report) -> String {
+    let mut doc = report.to_json();
+    if let Json::Obj(top) = &mut doc {
+        if let Some(Json::Obj(hists)) = top.get_mut("histograms") {
+            hists.remove("translate_ns");
+        }
+    }
+    doc.to_string()
+}
+
+#[test]
+fn parallel_derive_is_bit_identical_to_serial() {
+    for seed in SEEDS {
+        let learned = learned_for(seed);
+        let (serial, serial_stats) =
+            derive_jobs(&learned, DeriveConfig::full(), CheckOptions::default(), 1);
+        let (parallel, parallel_stats) =
+            derive_jobs(&learned, DeriveConfig::full(), CheckOptions::default(), 8);
+        assert_eq!(
+            serial_stats, parallel_stats,
+            "seed {seed:#x}: derive stats diverged"
+        );
+        assert_eq!(
+            save_rules(&serial),
+            save_rules(&parallel),
+            "seed {seed:#x}: serialized rule sets diverged"
+        );
+    }
+}
+
+#[test]
+fn reports_from_parallel_and_serial_rules_are_identical() {
+    for seed in SEEDS {
+        let learned = learned_for(seed);
+        let (serial, _) = derive_jobs(&learned, DeriveConfig::full(), CheckOptions::default(), 1);
+        let (parallel, _) = derive_jobs(&learned, DeriveConfig::full(), CheckOptions::default(), 8);
+        let a = run_fixed(&serial);
+        let b = run_fixed(&parallel);
+        assert_eq!(a.output, b.output, "seed {seed:#x}: guest output diverged");
+        assert_eq!(
+            comparable_json(&a),
+            comparable_json(&b),
+            "seed {seed:#x}: run reports diverged"
+        );
+    }
+}

@@ -144,6 +144,31 @@ fn body_inst(rng: &mut StdRng) -> Inst {
     }
 }
 
+/// A body engineered to defeat condition-flag delegation: one flag
+/// producer, then more intervening ALU instructions than the
+/// delegation window tolerates before the conditional consumer. Non-S
+/// guest ALU ops still lower to flag-clobbering host arithmetic, so
+/// the translator must fall back to flags materialized in the
+/// environment — the path the plain samplers rarely reach.
+fn flag_fallback_body(rng: &mut StdRng) -> Vec<Inst> {
+    let mut body = vec![match rng.gen_range(0..4) {
+        0 => g::cmp(body_reg(rng), op2(rng)),
+        1 => g::tst(body_reg(rng), op2(rng)),
+        2 => g::sub(body_reg(rng), body_reg(rng), op2(rng)).with_s(),
+        _ => g::add(body_reg(rng), body_reg(rng), op2(rng)).with_s(),
+    }];
+    type B = fn(Reg, Reg, Operand) -> Inst;
+    const CLOBBER: [B; 6] = [g::add, g::sub, g::and, g::orr, g::eor, g::bic];
+    for _ in 0..rng.gen_range(4..9) {
+        body.push(CLOBBER[rng.gen_range(0..6)](
+            body_reg(rng),
+            body_reg(rng),
+            op2(rng),
+        ));
+    }
+    body
+}
+
 /// A program: base-pointer setup, seeded registers, a body with an
 /// optional conditional forward skip, then every body register emitted.
 fn program(body: Vec<Inst>, seeds: Vec<u32>, branch_at: Option<(usize, u8)>) -> Program {
@@ -231,6 +256,40 @@ fn random_programs_agree_across_translators() {
         let para = run_engine(&prog, Some(rules().clone()));
         assert_eq!(&para, &golden, "parameterized path diverged");
     }
+}
+
+#[test]
+fn flag_fallback_blocks_agree_across_translators() {
+    use pdbt::runtime::{translate_block, DelegOutcome, TranslateConfig};
+    let mut rng = StdRng::seed_from_u64(0xD1FF03);
+    let mut fallbacks = 0usize;
+    for _ in 0..cases() {
+        let mut body = flag_fallback_body(&mut rng);
+        let branch_at = body.len();
+        for _ in 0..3 {
+            body.push(body_inst(&mut rng));
+        }
+        let seeds: Vec<u32> = (0..8).map(|_| rng.gen_range(0u32..2048)).collect();
+        let cond_idx = rng.gen_range(0..=u8::MAX);
+        let prog = program(body, seeds, Some((branch_at, cond_idx)));
+        let block = translate_block(&prog, 0x1000, Some(rules()), &TranslateConfig::default())
+            .expect("block translates");
+        if block.deleg == Some(DelegOutcome::EnvFallback) {
+            fallbacks += 1;
+        }
+        let golden = run_reference(&prog);
+        let qemu = run_engine(&prog, None);
+        assert_eq!(&qemu, &golden, "qemu path diverged");
+        let para = run_engine(&prog, Some(rules().clone()));
+        assert_eq!(&para, &golden, "parameterized path diverged");
+    }
+    // The bias must actually land on the fallback path, not merely be
+    // named after it.
+    assert!(
+        fallbacks * 2 > cases(),
+        "sampler missed the delegation fallback: {fallbacks}/{} cases",
+        cases()
+    );
 }
 
 #[test]
