@@ -90,6 +90,16 @@ pub struct DeriveStats {
     pub derived: usize,
     /// Derivation attempts rejected by verification.
     pub rejected: usize,
+    /// Candidates quarantined because their worker panicked or an
+    /// injected fault (`emit`/`pool` sites) failed them — a subset of
+    /// `rejected` (each quarantined candidate also counts its
+    /// occurrences there), counted per candidate. Zero in a healthy,
+    /// fault-free run.
+    pub quarantined: usize,
+    /// Candidates whose verification ran out of fuel
+    /// ([`CheckOptions::fuel`]) — also a subset of `rejected`, counted
+    /// per candidate. Zero under the default budget.
+    pub fuel_exhausted: usize,
     /// Total applicable (instantiable) rules in the output store.
     pub instantiated: usize,
 }
@@ -217,6 +227,12 @@ struct Candidate {
 enum Outcome {
     Accepted(Box<RuleEntry>),
     Rejected,
+    /// Rejected because the checker ran out of fuel — tracked apart so
+    /// a starved run is distinguishable from genuine non-equivalence.
+    RejectedFuel,
+    /// Failed by an injected `emit`-site fault; merged like a panicking
+    /// worker (which surfaces as `None` from the catching map).
+    Quarantined,
 }
 
 /// Runs parameterization over a learned rule set, returning the expanded
@@ -238,6 +254,13 @@ pub fn derive(learned: &RuleSet, cfg: DeriveConfig, check: CheckOptions) -> (Rul
 /// enumeration order. The resulting `RuleSet` and `DeriveStats` are
 /// therefore **identical for every `jobs` value** — `jobs` buys
 /// wall-clock time only. `tests/determinism.rs` pins this down.
+///
+/// Verification workers are panic-isolated ([`Pool::map_catch_util`]):
+/// a candidate whose worker panics — organically or via the `pool`
+/// fault site — is quarantined as a counted rejection
+/// ([`DeriveStats::quarantined`]) instead of aborting the whole
+/// derivation. Injected faults are keyed on the candidate's combo key,
+/// so the serial-vs-parallel identity holds under fault injection too.
 #[must_use]
 pub fn derive_jobs(
     learned: &RuleSet,
@@ -350,9 +373,21 @@ pub fn derive_jobs(
         }
     }
 
-    // Phase 2 — emit and verify every candidate over the pool.
+    // Phase 2 — emit and verify every candidate over the pool, with
+    // panic isolation so one poisoned candidate degrades to a
+    // quarantine instead of killing the run.
     let pool = Pool::new(jobs);
-    let (outcomes, util) = pool.map_util(&candidates, |c| {
+    let (outcomes, util) = pool.map_catch_util(&candidates, |c| {
+        if pdbt_faults::hit_with(pdbt_faults::Site::Pool, || {
+            pdbt_faults::key_of(format!("{}", c.key).as_bytes())
+        }) {
+            panic!("injected fault: pool worker");
+        }
+        if pdbt_faults::hit_with(pdbt_faults::Site::Emit, || {
+            pdbt_faults::key_of(format!("{}", c.key).as_bytes())
+        }) {
+            return Outcome::Quarantined;
+        }
         let Some(template) = emit_for(&c.key) else {
             return Outcome::Rejected;
         };
@@ -374,6 +409,9 @@ pub fn derive_jobs(
                     imm_constraint: None,
                 }))
             }
+            Err(reason) if reason.starts_with(pdbt_symexec::FUEL_EXHAUSTED) => {
+                Outcome::RejectedFuel
+            }
             Err(_) => Outcome::Rejected,
         }
     });
@@ -385,15 +423,26 @@ pub fn derive_jobs(
         )
     }));
 
-    // Phase 3 — merge in enumeration order.
+    // Phase 3 — merge in enumeration order. A `None` outcome is a
+    // panicked (quarantined) worker; quarantines and fuel exhaustions
+    // fold into `rejected` (so totals are stable) and are additionally
+    // counted in their own fields.
     for (c, outcome) in candidates.iter().zip(outcomes) {
         match outcome {
-            Outcome::Accepted(entry) => {
+            Some(Outcome::Accepted(entry)) => {
                 if out.insert(c.key.clone(), *entry) {
                     stats.derived += 1;
                 }
             }
-            Outcome::Rejected => stats.rejected += c.occurrences,
+            Some(Outcome::Rejected) => stats.rejected += c.occurrences,
+            Some(Outcome::RejectedFuel) => {
+                stats.rejected += c.occurrences;
+                stats.fuel_exhausted += 1;
+            }
+            Some(Outcome::Quarantined) | None => {
+                stats.rejected += c.occurrences;
+                stats.quarantined += 1;
+            }
         }
     }
     stats.instantiated = out.len();

@@ -434,6 +434,104 @@ pub fn load_rules(text: &str) -> Result<RuleSet, StoreError> {
     Ok(out)
 }
 
+/// One rule block (or stray line) rejected by [`load_rules_salvage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRule {
+    /// 1-based line of the offending content (the block header for
+    /// block-level failures, the exact line for parse errors).
+    pub line: usize,
+    /// Why the block was dropped.
+    pub reason: String,
+}
+
+/// Parses a rule set in **salvage mode**: instead of failing the whole
+/// store on the first malformed line, each `rule`/`seq` block is parsed
+/// independently — a block that fails (malformed, truncated, or failed
+/// by the `store` fault site) is quarantined with its line and reason
+/// while every healthy block still loads. On a well-formed store this
+/// returns exactly what [`load_rules`] returns, with no quarantines.
+///
+/// This is the production loading path (`pdbt run`/`stats` surface the
+/// quarantine count in the `resilience` report section); the strict
+/// [`load_rules`] remains for contexts where a corrupt store should be
+/// a hard error.
+#[must_use]
+pub fn load_rules_salvage(text: &str) -> (RuleSet, Vec<QuarantinedRule>) {
+    let mut out = RuleSet::new();
+    let mut quarantined = Vec::new();
+    // Block collector: `start` is the 0-based header line of the block
+    // being collected, `block` its raw lines (header included).
+    let mut start: Option<usize> = None;
+    let mut block: Vec<&str> = Vec::new();
+    let finish = |start: usize,
+                  block: &[&str],
+                  out: &mut RuleSet,
+                  quarantined: &mut Vec<QuarantinedRule>| {
+        if pdbt_faults::hit_with(pdbt_faults::Site::Store, || start as u64 + 1) {
+            quarantined.push(QuarantinedRule {
+                line: start + 1,
+                reason: "injected fault: store entry corrupted".into(),
+            });
+            return;
+        }
+        // Each block reuses the strict parser, so salvage and strict
+        // semantics can never drift; error lines are block-relative and
+        // rebased onto the block's position in the file.
+        match load_rules(&block.join("\n")) {
+            Ok(rules) => {
+                out.merge(rules);
+            }
+            Err(e) => quarantined.push(QuarantinedRule {
+                line: start + e.line,
+                reason: e.detail,
+            }),
+        }
+    };
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let is_header = line.starts_with("rule ") || line.starts_with("seq ");
+        match start {
+            Some(s) if is_header => {
+                // A new header before `end`: the open block is
+                // unterminated. Quarantine it and start fresh.
+                quarantined.push(QuarantinedRule {
+                    line: s + 1,
+                    reason: "rule block not closed with `end`".into(),
+                });
+                start = Some(no);
+                block = vec![raw];
+            }
+            Some(s) => {
+                block.push(raw);
+                if line == "end" {
+                    finish(s, &block, &mut out, &mut quarantined);
+                    start = None;
+                    block.clear();
+                }
+            }
+            None if is_header => {
+                start = Some(no);
+                block = vec![raw];
+            }
+            None => {
+                if !line.is_empty() && !line.starts_with('#') {
+                    quarantined.push(QuarantinedRule {
+                        line: no + 1,
+                        reason: format!("unexpected line `{line}`"),
+                    });
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        quarantined.push(QuarantinedRule {
+            line: s + 1,
+            reason: "unterminated rule".into(),
+        });
+    }
+    (out, quarantined)
+}
+
 fn parse_entry_meta(text: &str, line: usize) -> Result<RuleEntry, StoreError> {
     let err = |detail: String| StoreError {
         line: line + 1,
@@ -662,6 +760,73 @@ mod tests {
             "reloaded sequence rule matches"
         );
         assert_eq!(save_rules(&back), text, "canonical reserialization");
+    }
+
+    #[test]
+    fn salvage_matches_strict_on_healthy_stores() {
+        let rules = sample_rules();
+        let text = save_rules(&rules);
+        let (back, quarantined) = load_rules_salvage(&text);
+        assert!(quarantined.is_empty(), "{quarantined:?}");
+        assert_eq!(save_rules(&back), text);
+    }
+
+    #[test]
+    fn salvage_quarantines_only_the_corrupt_block() {
+        let rules = sample_rules();
+        let text = save_rules(&rules);
+        // Corrupt the template line of the *second* rule block.
+        let target_header = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.starts_with("rule "))
+            .nth(1)
+            .expect("second rule block")
+            .0;
+        let mutated: Vec<String> = text
+            .lines()
+            .enumerate()
+            .map(|(no, l)| {
+                if no == target_header + 1 {
+                    "  zorkl S0, S1".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        let (back, quarantined) = load_rules_salvage(&mutated.join("\n"));
+        assert_eq!(back.len(), rules.len() - 1, "one block lost, rest loaded");
+        assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+        assert_eq!(quarantined[0].line, target_header + 2, "1-based bad line");
+        assert!(
+            quarantined[0].reason.contains("bad template instruction"),
+            "{quarantined:?}"
+        );
+    }
+
+    #[test]
+    fn salvage_handles_unterminated_and_stray_lines() {
+        let rules = sample_rules();
+        let mut text = String::from("stray garbage\n");
+        text.push_str(&save_rules(&rules));
+        // Truncate the final `end`, leaving the last block open.
+        let text = text.trim_end().strip_suffix("end").unwrap().to_string();
+        let (back, quarantined) = load_rules_salvage(&text);
+        assert_eq!(back.len(), rules.len() - 1);
+        assert_eq!(quarantined.len(), 2, "{quarantined:?}");
+        assert!(quarantined[0].reason.contains("unexpected line"));
+        assert!(quarantined[1].reason.contains("unterminated"));
+        // A header opening before the previous block closed quarantines
+        // the open block, not the new one.
+        let (back, quarantined) = load_rules_salvage(
+            "rule add|s=0|modes=reg,reg,imm|pat=0,0,1|prov=L|flags=|imms=*\n\
+             rule eor|s=0|modes=reg,reg,reg|pat=0,1,2|prov=L|flags=|imms=*\n  \
+             movl S0, S1\n  xorl S0, S2\nend\n",
+        );
+        assert_eq!(back.len(), 1, "the well-formed eor block loads");
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].line, 1);
+        assert!(quarantined[0].reason.contains("not closed"));
     }
 
     #[test]

@@ -19,7 +19,27 @@
 //!
 //! Scoped threads may borrow from the caller, so mapped closures can
 //! capture rule sets and programs by reference.
+//!
+//! # Panic semantics
+//!
+//! Two disciplines are offered, and the choice is part of each call
+//! site's failure model:
+//!
+//! * **Fail-fast** — [`Pool::map`] / [`Pool::map_util`]: a panic in any
+//!   worker propagates to the caller (workers are joined, so no work is
+//!   leaked, but the whole map is lost). Right for stages where a panic
+//!   means the pipeline's own invariants are broken.
+//! * **Panic isolation** — [`Pool::map_catch`] / [`Pool::map_catch_util`]:
+//!   each item runs under [`std::panic::catch_unwind`]; a panicking item
+//!   yields `None` in its output slot while every other item completes,
+//!   and utilization counters still count the panicked item as claimed
+//!   work. Right for stages mapping over *untrusted or fault-injected*
+//!   inputs (rule-combo verification), where one bad item must degrade
+//!   to a counted quarantine, not an abort. The serial path catches
+//!   identically, so `jobs=1` and `jobs=N` stay bit-identical even in
+//!   the presence of panics.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A worker pool of fixed width.
@@ -37,7 +57,10 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Creates a pool of `jobs` workers; `0` and `1` both mean serial.
+    /// Creates a pool of `jobs` workers; `0` and `1` both mean serial
+    /// (`0` is clamped to `1` rather than treated as "auto" — use
+    /// [`Pool::auto`] for hardware-width pools), so `Pool::new(n)` for
+    /// any `n` yields a usable pool with `jobs() >= 1`.
     #[must_use]
     pub fn new(jobs: usize) -> Pool {
         let jobs = jobs.max(1);
@@ -145,6 +168,37 @@ impl Pool {
             .collect();
         (out, util)
     }
+
+    /// Maps `f` over `items` with per-item panic isolation: a panicking
+    /// item yields `None` in its slot, every other item completes. See
+    /// the crate docs' *Panic semantics* for when to prefer this over
+    /// the fail-fast [`Pool::map`].
+    pub fn map_catch<T, R, F>(&self, items: &[T], f: F) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_catch_util(items, f).0
+    }
+
+    /// Like [`Pool::map_catch`], additionally returning this call's
+    /// items completed per worker slot. A panicked item still counts as
+    /// completed work for its worker — the worker claimed and finished
+    /// it, just without a usable result.
+    pub fn map_catch_util<T, R, F>(&self, items: &[T], f: F) -> (Vec<Option<R>>, Vec<u64>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        // Delegating keeps one scheduling implementation: the serial
+        // inline path catches exactly like the threaded path, which is
+        // what preserves jobs=1 vs jobs=N bit-identity under panics.
+        self.map_util(items, |item| {
+            catch_unwind(AssertUnwindSafe(|| f(item))).ok()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +266,51 @@ mod tests {
         let pool = Pool::new(4);
         let out: Vec<u8> = pool.map(&[] as &[u8], |&x| x);
         assert!(out.is_empty());
+    }
+
+    /// Runs `f` with the default panic-to-stderr hook silenced, so
+    /// intentional panics don't pollute test output.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn panicking_worker_is_quarantined_not_fatal() {
+        let items: Vec<u32> = (0..64).collect();
+        let pool = Pool::new(4);
+        let (out, util) = quiet_panics(|| {
+            pool.map_catch_util(&items, |&x| {
+                assert!(x % 9 != 0, "injected");
+                x * 2
+            })
+        });
+        for (i, slot) in out.iter().enumerate() {
+            if i % 9 == 0 {
+                assert_eq!(*slot, None, "item {i} should be quarantined");
+            } else {
+                assert_eq!(*slot, Some(i as u32 * 2));
+            }
+        }
+        // Panicked items still count as claimed work: utilization
+        // deltas and cumulative counters cover all 64 items.
+        assert_eq!(util.iter().sum::<u64>(), 64);
+        assert_eq!(pool.utilization().iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn catch_variant_is_identical_serial_and_parallel() {
+        let items: Vec<u32> = (0..100).collect();
+        let f = |&x: &u32| {
+            assert!(x % 7 != 3, "injected");
+            x + 1
+        };
+        let serial = quiet_panics(|| Pool::new(1).map_catch(&items, f));
+        let parallel = quiet_panics(|| Pool::new(8).map_catch(&items, f));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::translate::{
 };
 use pdbt_core::RuleSet;
 use pdbt_ir::env;
-use pdbt_isa::{Addr, Cond, ExecError};
-use pdbt_isa_arm::{Operand, Program, Reg as GReg, INST_SIZE};
+use pdbt_isa::{Addr, Cond, Control, ExecError, Flag};
+use pdbt_isa_arm::{step, Cpu as GuestCpu, FReg, Operand, Program, Reg as GReg, INST_SIZE};
 use pdbt_isa_x86::{exec_block_traced, BlockExit, Cpu as HostCpu, Reg as HReg};
 use pdbt_obs::json::Json;
 use pdbt_obs::{Histogram, PoolCounters, RuleCounters, RuleId, ShardCounters};
@@ -256,6 +256,74 @@ fn hist_json(h: &Histogram) -> Json {
     ])
 }
 
+/// How a run ended. Anything other than [`Outcome::Completed`] means
+/// the [`Report`] is *partial*: the metrics, output and observability
+/// state cover everything that ran up to the stop point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Outcome {
+    /// The guest halted normally.
+    #[default]
+    Completed,
+    /// The guest instruction budget ran out.
+    Budget,
+    /// Guest or host execution faulted.
+    Exec(ExecError),
+}
+
+impl Outcome {
+    /// Stable machine-readable label for the report JSON.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::Budget => "budget",
+            Outcome::Exec(_) => "exec",
+        }
+    }
+}
+
+/// Degraded-mode counters for one run: how often the engine fell back
+/// instead of failing, plus the fault-injection snapshot. All zeros in
+/// a healthy, fault-free run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Resilience {
+    /// Blocks that failed to translate and were interpreted instead.
+    pub degraded_blocks: u64,
+    /// Guest instructions retired on the interpreter fallback (a subset
+    /// of `Metrics::guest_retired`).
+    pub interpreted_guest: u64,
+    /// Rule-store entries quarantined by salvage loading
+    /// (`load_rules_salvage`); folded in by the CLI via
+    /// [`Engine::resilience_mut`].
+    pub quarantined_rules: u64,
+    /// Derivation candidates quarantined by panic isolation
+    /// (`DeriveStats::quarantined`); folded in by the CLI.
+    pub quarantined_combos: u64,
+    /// Verifications that ran out of fuel (`DeriveStats::fuel_exhausted`);
+    /// folded in by the CLI.
+    pub fuel_exhausted: u64,
+    /// Per-site injected fault counts ([`pdbt_faults::injected`]),
+    /// snapshotted when the report is built. All zeros unless a fault
+    /// plan is active.
+    pub injected: [u64; pdbt_faults::SITE_COUNT],
+}
+
+impl Resilience {
+    /// Folds another run's counters into this one (suite aggregation).
+    /// The injected-fault snapshot is process-wide, so it is maxed, not
+    /// summed.
+    pub fn merge(&mut self, other: &Resilience) {
+        self.degraded_blocks += other.degraded_blocks;
+        self.interpreted_guest += other.interpreted_guest;
+        self.quarantined_rules += other.quarantined_rules;
+        self.quarantined_combos += other.quarantined_combos;
+        self.fuel_exhausted += other.fuel_exhausted;
+        for (a, b) in self.injected.iter_mut().zip(&other.injected) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
 /// The result of one run.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -265,6 +333,11 @@ pub struct Report {
     pub output: Vec<u32>,
     /// Observability snapshot: per-rule attribution and histograms.
     pub obs: RunObs,
+    /// How the run ended; anything but `Completed` marks the rest of
+    /// the report as partial.
+    pub outcome: Outcome,
+    /// Degraded-mode counters.
+    pub resilience: Resilience,
 }
 
 impl Report {
@@ -272,7 +345,9 @@ impl Report {
     #[must_use]
     pub fn to_json(&self) -> Json {
         let m = &self.metrics;
+        let r = &self.resilience;
         Json::obj([
+            ("outcome", Json::str(self.outcome.label())),
             (
                 "metrics",
                 Json::obj([
@@ -374,6 +449,24 @@ impl Report {
                 ]),
             ),
             (
+                "resilience",
+                Json::obj([
+                    ("degraded_blocks", Json::from(r.degraded_blocks)),
+                    ("interpreted_guest", Json::from(r.interpreted_guest)),
+                    ("quarantined_rules", Json::from(r.quarantined_rules)),
+                    ("quarantined_combos", Json::from(r.quarantined_combos)),
+                    ("fuel_exhausted", Json::from(r.fuel_exhausted)),
+                    (
+                        "injected",
+                        Json::obj(
+                            pdbt_faults::Site::ALL
+                                .iter()
+                                .map(|s| (s.name(), Json::from(r.injected[s.index()]))),
+                        ),
+                    ),
+                ]),
+            ),
+            (
                 "output",
                 Json::arr(self.output.iter().map(|&w| Json::from(u64::from(w)))),
             ),
@@ -463,6 +556,7 @@ pub struct Engine {
     cache: ShardedCache,
     metrics: Metrics,
     obs: RunObs,
+    resilience: Resilience,
 }
 
 impl Engine {
@@ -480,6 +574,7 @@ impl Engine {
             cache,
             metrics: Metrics::default(),
             obs,
+            resilience: Resilience::default(),
         }
     }
 
@@ -501,12 +596,26 @@ impl Engine {
         &self.cache
     }
 
+    /// The accumulated degraded-mode counters.
+    #[must_use]
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
+    /// Mutable degraded-mode counters, so the pipeline driver can fold
+    /// in counts produced outside the engine (salvage loading,
+    /// derivation quarantines).
+    pub fn resilience_mut(&mut self) -> &mut Resilience {
+        &mut self.resilience
+    }
+
     /// Clears the code cache, metrics and observability state.
     pub fn reset(&mut self) {
         self.cache.clear();
         self.metrics = Metrics::default();
         self.obs = RunObs::default();
         self.obs.cache = ShardCounters::with_shards(self.cache.shard_count());
+        self.resilience = Resilience::default();
     }
 
     /// Interns a freshly translated block — static metrics, attribution
@@ -535,6 +644,15 @@ impl Engine {
     /// Translates (or fetches from cache) the block at `pc`, recording
     /// the shard hit/miss.
     fn block(&mut self, prog: &Program, pc: Addr) -> Result<Arc<CachedBlock>, EngineError> {
+        // Fault site `cache`: keyed by pc so the same blocks fail on
+        // every run with the same plan, cached or not. `run` degrades a
+        // translation failure to the interpreter, so this exercises the
+        // per-block fallback path.
+        if pdbt_faults::hit(pdbt_faults::Site::Cache, u64::from(pc)) {
+            return Err(EngineError::Translate(TranslateError {
+                detail: format!("injected fault: cache/translation failed at {pc:#x}"),
+            }));
+        }
         let shard = self.cache.shard_of(pc);
         if let Some(cached) = self.cache.get(pc) {
             self.obs.cache.record_hit(shard);
@@ -590,10 +708,17 @@ impl Engine {
 
     /// Runs a guest program under the DBT.
     ///
+    /// Runtime failures degrade instead of erroring: a block that fails
+    /// to translate is interpreted ([`Resilience::degraded_blocks`]),
+    /// and budget exhaustion or an execution fault ends the run with a
+    /// *partial* [`Report`] whose [`Report::outcome`] says why — the
+    /// metrics and observability state accumulated so far are never
+    /// dropped.
+    ///
     /// # Errors
     ///
-    /// [`EngineError`] on translation or execution failures, or when the
-    /// guest budget runs out.
+    /// [`EngineError`] only on setup failures (mapping or seeding the
+    /// environment), before any guest instruction runs.
     pub fn run(&mut self, prog: &Program, setup: &RunSetup) -> Result<Report, EngineError> {
         if self.cfg.jobs > 1 {
             self.prewarm(prog);
@@ -619,15 +744,35 @@ impl Engine {
             )?;
         }
         let mut pc = prog.base();
-        loop {
+        let outcome = loop {
             if self.metrics.guest_retired >= setup.max_guest {
-                return Err(EngineError::Budget);
+                break Outcome::Budget;
             }
-            let cached = self.block(prog, pc)?;
+            let cached = match self.block(prog, pc) {
+                Ok(cached) => cached,
+                Err(EngineError::Translate(_)) => {
+                    // Degraded mode: interpret this one block and keep
+                    // translating from the next one.
+                    match self.interpret_block(prog, pc, &mut host) {
+                        Ok(Some(next)) => {
+                            pc = next;
+                            continue;
+                        }
+                        Ok(None) => break Outcome::Completed,
+                        Err(e) => break Outcome::Exec(e),
+                    }
+                }
+                Err(EngineError::Exec(e)) => break Outcome::Exec(e),
+                Err(EngineError::Budget) => break Outcome::Budget,
+            };
             let block = &cached.block;
-            let (exit, stats, counts) = {
+            let exec = {
                 let _exec_span = pdbt_obs::span("exec_block");
-                exec_block_traced(&mut host, &block.code, 1_000_000)?
+                exec_block_traced(&mut host, &block.code, 1_000_000)
+            };
+            let (exit, stats, counts) = match exec {
+                Ok(res) => res,
+                Err(e) => break Outcome::Exec(e),
             };
             debug_assert_eq!(block.code.len(), block.classes.len());
             for (i, c) in counts.iter().enumerate() {
@@ -651,17 +796,137 @@ impl Engine {
             }
             match exit {
                 BlockExit::Jumped(next) => pc = next,
-                BlockExit::Halted => break,
-                BlockExit::Fell => {
-                    return Err(EngineError::Exec(ExecError::BadPc { pc }));
-                }
+                BlockExit::Halted => break Outcome::Completed,
+                BlockExit::Fell => break Outcome::Exec(ExecError::BadPc { pc }),
             }
-        }
+        };
+        self.resilience.injected = pdbt_faults::injected();
         Ok(Report {
             metrics: self.metrics.clone(),
             output: host.output,
             obs: self.obs.clone(),
+            outcome,
+            resilience: self.resilience.clone(),
         })
+    }
+
+    /// Interprets the guest block starting at `pc` directly against the
+    /// environment state — the graceful-degradation path for blocks the
+    /// translator cannot handle (or that an injected `cache` fault
+    /// poisoned). Architectural state (registers, flags, float
+    /// registers, icount, guest memory, output) round-trips through the
+    /// environment block so translated and interpreted blocks compose
+    /// transparently.
+    ///
+    /// Returns the next guest pc, or `None` when the guest halted.
+    fn interpret_block(
+        &mut self,
+        prog: &Program,
+        pc: Addr,
+        host: &mut HostCpu,
+    ) -> Result<Option<Addr>, ExecError> {
+        let mut gc = GuestCpu::new();
+        // Guest memory is identity-mapped in the host, so the host
+        // memory *is* the guest memory (plus the env block, which the
+        // guest never touches). Borrow it wholesale for the block.
+        std::mem::swap(&mut gc.mem, &mut host.mem);
+        let env = |off: i32| ENV_BASE.wrapping_add(off as u32);
+        // Load the architectural state out of the environment.
+        let mut load = || -> Result<(), ExecError> {
+            for r in GReg::ALL {
+                if r != GReg::Pc {
+                    gc.regs[r.index()] = gc.mem.load32(env(env::reg_offset(r)))?;
+                }
+            }
+            for f in Flag::ALL {
+                let v = gc.mem.load32(env(env::flag_offset(f)))? != 0;
+                gc.flags.set(f, v);
+            }
+            for i in 0..16u8 {
+                let s = FReg::new(i);
+                let bits = gc.mem.load32(env(env::freg_offset(s)))?;
+                gc.fregs[s.index()] = f32::from_bits(bits);
+            }
+            Ok(())
+        };
+        if let Err(e) = load() {
+            std::mem::swap(&mut gc.mem, &mut host.mem);
+            return Err(e);
+        }
+        let (stepped, executed) = interpret_steps(&mut gc, prog, pc, self.cfg.translate.max_block);
+        // Write the state back even when stepping faulted, so the
+        // partial report reflects everything that retired.
+        let mut store = || -> Result<(), ExecError> {
+            for r in GReg::ALL {
+                if r != GReg::Pc {
+                    gc.mem
+                        .store32(env(env::reg_offset(r)), gc.regs[r.index()])?;
+                }
+            }
+            for f in Flag::ALL {
+                gc.mem
+                    .store32(env(env::flag_offset(f)), u32::from(gc.flags.get(f)))?;
+            }
+            for i in 0..16u8 {
+                let s = FReg::new(i);
+                gc.mem
+                    .store32(env(env::freg_offset(s)), gc.fregs[s.index()].to_bits())?;
+            }
+            let icount = gc.mem.load32(env(env::ICOUNT_OFFSET))?;
+            gc.mem.store32(
+                env(env::ICOUNT_OFFSET),
+                icount.wrapping_add(executed as u32),
+            )?;
+            Ok(())
+        };
+        let store_res = store();
+        std::mem::swap(&mut gc.mem, &mut host.mem);
+        host.output.extend(gc.output);
+        self.metrics.blocks_executed += 1;
+        self.metrics.guest_retired += executed;
+        self.obs.block_host_len.record(0);
+        self.resilience.degraded_blocks += 1;
+        self.resilience.interpreted_guest += executed;
+        store_res?;
+        stepped
+    }
+}
+
+/// Steps the interpreter from `pc` until the end of the basic block: a
+/// control transfer, a halt, at most `max_block` straight-line
+/// instructions, or a fault. Returns the stepping result (next pc, halt
+/// or error) plus how many instructions retired.
+fn interpret_steps(
+    gc: &mut GuestCpu,
+    prog: &Program,
+    mut pc: Addr,
+    max_block: usize,
+) -> (Result<Option<Addr>, ExecError>, u64) {
+    let mut executed = 0u64;
+    loop {
+        let inst = match prog.fetch(pc) {
+            Ok(inst) => inst,
+            Err(e) => return (Err(e), executed),
+        };
+        gc.set_pc(pc);
+        match step(gc, inst) {
+            Ok(Control::Next) => {
+                executed += 1;
+                pc = pc.wrapping_add(INST_SIZE);
+                if executed >= max_block as u64 {
+                    return (Ok(Some(pc)), executed);
+                }
+            }
+            Ok(Control::Jump(target)) | Ok(Control::Call { target, .. }) => {
+                executed += 1;
+                return (Ok(Some(target)), executed);
+            }
+            Ok(Control::Halt) => {
+                executed += 1;
+                return (Ok(None), executed);
+            }
+            Err(e) => return (Err(e), executed),
+        }
     }
 }
 
@@ -731,7 +996,71 @@ mod tests {
         let mut engine = Engine::new(None, EngineConfig::default());
         let mut s = setup();
         s.max_guest = 100;
-        assert!(matches!(engine.run(&prog, &s), Err(EngineError::Budget)));
+        let report = engine.run(&prog, &s).expect("partial report");
+        assert_eq!(report.outcome, Outcome::Budget);
+        assert!(report.metrics.guest_retired >= 100);
+    }
+
+    /// The interpreter fallback must be architecturally transparent:
+    /// driving a program block-by-block through `interpret_block` has
+    /// to produce the same observable output as the translated run,
+    /// with the degradation counted.
+    #[test]
+    fn interpreter_fallback_matches_translated_run() {
+        let prog = countdown_program();
+        let s = setup();
+        let reference = Engine::new(None, EngineConfig::default())
+            .run(&prog, &s)
+            .expect("runs")
+            .output;
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let mut host = HostCpu::new();
+        host.mem.map(ENV_BASE, env::ENV_SIZE);
+        host.write(HReg::Ebp, ENV_BASE);
+        for (base, size) in &s.maps {
+            host.mem.map(*base, *size);
+        }
+        for r in GReg::ALL {
+            host.mem
+                .store32(
+                    ENV_BASE.wrapping_add(env::reg_offset(r) as u32),
+                    s.regs[r.index()],
+                )
+                .unwrap();
+        }
+        let mut pc = prog.base();
+        while let Some(next) = engine.interpret_block(&prog, pc, &mut host).expect("steps") {
+            pc = next;
+        }
+        assert_eq!(host.output, reference);
+        assert!(engine.resilience().degraded_blocks > 0);
+        assert_eq!(
+            engine.resilience().interpreted_guest,
+            engine.metrics().guest_retired,
+            "every retired instruction came from the interpreter"
+        );
+    }
+
+    /// Satellite regression: a budget-exhausted run must still carry
+    /// the metrics and histograms accumulated up to the stop point —
+    /// the partial report is the whole point of degrading instead of
+    /// erroring.
+    #[test]
+    fn partial_report_survives_budget_exhaustion() {
+        let prog = Program::new(0, vec![g::b(Cond::Al, 0)]);
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let mut s = setup();
+        s.max_guest = 100;
+        let report = engine.run(&prog, &s).expect("partial report");
+        assert_eq!(report.outcome, Outcome::Budget);
+        assert!(report.metrics.host_retired > 0, "host work retained");
+        assert!(report.metrics.blocks_executed > 0);
+        assert!(
+            report.obs.block_host_len.count() > 0,
+            "histograms survive the abort"
+        );
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"outcome\":\"budget\""), "{json}");
     }
 }
 
@@ -818,10 +1147,8 @@ mod engine_edge_tests {
         );
         let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
         let mut engine = Engine::new(None, EngineConfig::default());
-        assert!(matches!(
-            engine.run(&prog, &setup),
-            Err(EngineError::Exec(_))
-        ));
+        let report = engine.run(&prog, &setup).expect("partial report");
+        assert!(matches!(report.outcome, Outcome::Exec(_)));
     }
 
     #[test]

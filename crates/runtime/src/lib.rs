@@ -35,7 +35,10 @@ mod engine;
 mod translate;
 
 pub use cache::{CachedBlock, ShardedCache};
-pub use engine::{Engine, EngineConfig, EngineError, Metrics, Report, RunObs, RunSetup, ENV_BASE};
+pub use engine::{
+    Engine, EngineConfig, EngineError, Metrics, Outcome, Report, Resilience, RunObs, RunSetup,
+    ENV_BASE,
+};
 pub use translate::{
     collect_block, translate_block, CodeClass, DelegOutcome, RuleAttribution, TranslateConfig,
     TranslateError, TranslatedBlock,

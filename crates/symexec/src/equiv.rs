@@ -106,6 +106,16 @@ pub struct CheckOptions {
     pub trials: u32,
     /// RNG seed for the trials.
     pub seed: u64,
+    /// Work budget for one `check` call, in abstract steps (symbolic
+    /// instructions, term nodes visited by normalization, differential
+    /// trials). On exhaustion the checker stops and returns
+    /// [`Verdict::Unproven`] with a reason starting with
+    /// [`FUEL_EXHAUSTED`] — a conservative *rejection*, never a wrong
+    /// acceptance, so a starved checker costs coverage but not
+    /// soundness. The default is far above what any in-tree rule
+    /// needs; it exists so pathological candidates (or fault-injection
+    /// harnesses) bound the checker instead of hanging derivation.
+    pub fuel: u64,
 }
 
 impl Default for CheckOptions {
@@ -113,8 +123,60 @@ impl Default for CheckOptions {
         CheckOptions {
             trials: 48,
             seed: 0x5eed_cafe,
+            fuel: 1_000_000,
         }
     }
+}
+
+/// Prefix of the [`Verdict::Unproven`] reason produced when a check
+/// runs out of fuel; callers (derivation statistics) match on it to
+/// count fuel exhaustions separately from ordinary rejections.
+pub const FUEL_EXHAUSTED: &str = "fuel exhausted";
+
+/// The checker's work meter. Every unit of work is charged before it
+/// happens, so a `false` return means "stop now" with the expensive
+/// step not yet taken.
+struct Fuel {
+    left: u64,
+}
+
+impl Fuel {
+    fn charge(&mut self, n: u64) -> bool {
+        if n > self.left {
+            self.left = 0;
+            return false;
+        }
+        self.left -= n;
+        true
+    }
+}
+
+/// Term size with a cap: counts nodes but stops descending once `cap`
+/// is reached. The cap matters beyond saving time — terms are
+/// `Rc`-shared DAGs, so an uncapped tree walk could be exponential in
+/// the DAG depth.
+fn term_size(t: &Term, cap: u64) -> u64 {
+    if cap == 0 {
+        return 0;
+    }
+    let mut n = 1;
+    let kids: &[&TermRef] = match t {
+        Term::Const(_) | Term::Sym(_) => &[],
+        Term::Un(_, a) | Term::Read(_, a, _) => &[a],
+        Term::Bin(_, a, b) | Term::Pred(_, a, b) => &[a, b],
+        Term::CarryAdd(a, b, c)
+        | Term::BorrowSub(a, b, c)
+        | Term::OverflowAdd(a, b, c)
+        | Term::OverflowSub(a, b, c)
+        | Term::Ite(a, b, c) => &[a, b, c],
+    };
+    for k in kids {
+        if n >= cap {
+            break;
+        }
+        n += term_size(k, cap - n);
+    }
+    n
 }
 
 fn sym_env(mapping: &Mapping) -> (guest::State, host::State) {
@@ -153,6 +215,13 @@ fn diff_classify(a: &TermRef, b: &TermRef, opts: CheckOptions) -> (bool, bool) {
 
 /// Checks semantic equivalence of a guest sequence and a host sequence
 /// under a register mapping.
+///
+/// Work is bounded by [`CheckOptions::fuel`]; exhaustion degrades to a
+/// conservative [`Verdict::Unproven`] whose reason starts with
+/// [`FUEL_EXHAUSTED`]. Under an active fault plan (see `pdbt-faults`),
+/// the `symexec` site may deterministically degrade a check to
+/// `Unproven` the same way; the decision is keyed on the sequences and
+/// mapping, not call order, so injection is schedule-independent.
 #[must_use]
 pub fn check(
     guest_seq: &[GInst],
@@ -160,6 +229,32 @@ pub fn check(
     mapping: &Mapping,
     opts: CheckOptions,
 ) -> Verdict {
+    if pdbt_faults::hit_with(pdbt_faults::Site::Symexec, || {
+        pdbt_faults::key_of(format!("{guest_seq:?}|{host_seq:?}|{mapping:?}").as_bytes())
+    }) {
+        return Verdict::Unproven {
+            reason: "injected fault: symexec checker degraded".into(),
+        };
+    }
+    let mut fuel = Fuel { left: opts.fuel };
+    let fuel_out = |stage: &str| Verdict::Unproven {
+        reason: format!("{FUEL_EXHAUSTED} during {stage}"),
+    };
+    /// Charges for normalizing a term (by its capped node count), then
+    /// simplifies it; bails out of `check` with an `Unproven` fuel
+    /// verdict if the budget is spent.
+    macro_rules! simp {
+        ($stage:expr, $t:expr) => {{
+            let t = $t;
+            if !fuel.charge(term_size(t, fuel.left.saturating_add(1))) {
+                return fuel_out($stage);
+            }
+            simplify(t)
+        }};
+    }
+    if !fuel.charge((guest_seq.len() + host_seq.len()) as u64) {
+        return fuel_out("symbolic execution");
+    }
     let (mut gst, mut hst) = sym_env(mapping);
     if let Err(SymExecError { detail }) = guest::run(&mut gst, guest_seq) {
         return Verdict::Unsupported {
@@ -176,9 +271,12 @@ pub fn check(
     //    a differential mismatch is a definite rejection, a differential
     //    match without structural equality is rejected as unproven.
     for (i, (g, h)) in mapping.pairs.iter().enumerate() {
-        let ng = simplify(&gst.regs[g.index()]);
-        let nh = simplify(&hst.regs[h.index()]);
+        let ng = simp!("mapped-register normalization", &gst.regs[g.index()]);
+        let nh = simp!("mapped-register normalization", &hst.regs[h.index()]);
         if ng != nh {
+            if !fuel.charge(u64::from(opts.trials)) {
+                return fuel_out("differential trials");
+            }
             let (equal, _) = diff_classify(&ng, &nh, opts);
             if !equal {
                 return Verdict::NotEquivalent {
@@ -196,7 +294,7 @@ pub fn check(
         if r == GReg::Pc || mapping.param_of_guest(r).is_some() {
             continue;
         }
-        let ng = simplify(&gst.regs[r.index()]);
+        let ng = simp!("unmapped-register normalization", &gst.regs[r.index()]);
         if *ng != Term::Sym(Sym::GuestReg(r.index() as u8)) {
             return Verdict::NotEquivalent {
                 reason: format!("guest register {r} modified but not mapped"),
@@ -211,7 +309,9 @@ pub fn check(
         };
     }
     for (a, b) in gst.output.iter().zip(&hst.output) {
-        if simplify(a) != simplify(b) {
+        let na = simp!("output normalization", a);
+        let nb = simp!("output normalization", b);
+        if na != nb {
             return Verdict::NotEquivalent {
                 reason: "output value differs".into(),
             };
@@ -223,6 +323,9 @@ pub fn check(
     let gmem = simplify_mem(&gst.mem);
     let hmem = simplify_mem(&hst.mem);
     if gmem != hmem {
+        if !fuel.charge(u64::from(opts.trials)) {
+            return fuel_out("memory differential trials");
+        }
         for trial in 0..opts.trials {
             let asg = Assignment::new(opts.seed.wrapping_add(u64::from(trial) * 0x51d7));
             if eval_mem_writes(&gmem, &asg) != eval_mem_writes(&hmem, &asg) {
@@ -243,13 +346,21 @@ pub fn check(
     }
     let mut flags = Vec::new();
     for f in flag_defs.iter() {
-        let ng = simplify(&gst.flag(f));
-        let nh = simplify(&hst.flag(f));
+        let ng = simp!("flag normalization", &gst.flag(f));
+        let nh = simp!("flag normalization", &hst.flag(f));
         let verdict = if ng == nh {
             FlagEquiv::Exact
-        } else if ng == simplify(&Term::bin(BinOp::Xor, nh.clone(), Term::c(1))) {
+        } else if ng
+            == simp!(
+                "flag normalization",
+                &Term::bin(BinOp::Xor, nh.clone(), Term::c(1))
+            )
+        {
             FlagEquiv::Inverted
         } else {
+            if !fuel.charge(u64::from(opts.trials)) {
+                return fuel_out("flag differential trials");
+            }
             match diff_classify(&ng, &nh, opts) {
                 (true, _) => FlagEquiv::Exact,
                 (_, true) => FlagEquiv::Inverted,
@@ -696,6 +807,44 @@ mod tests {
             opts(),
         );
         assert!(verdict.is_equivalent(), "{verdict:?}");
+    }
+
+    #[test]
+    fn fuel_exhaustion_degrades_to_unproven() {
+        let guest_seq = [g::add(GReg::R0, GReg::R0, GOp::Reg(GReg::R1))];
+        let host_seq = [h::add(HReg::Ecx.into(), HReg::Ebx.into())];
+        let mapping = m(&[(GReg::R0, HReg::Ecx), (GReg::R1, HReg::Ebx)]);
+        // Zero fuel exhausts before symbolic execution even starts.
+        let verdict = check(
+            &guest_seq,
+            &host_seq,
+            &mapping,
+            CheckOptions {
+                fuel: 0,
+                ..CheckOptions::default()
+            },
+        );
+        let Verdict::Unproven { reason } = &verdict else {
+            panic!("{verdict:?}");
+        };
+        assert!(reason.starts_with(FUEL_EXHAUSTED), "{reason}");
+        // A budget that survives execution but not normalization still
+        // degrades conservatively rather than mis-verdicting.
+        let verdict = check(
+            &guest_seq,
+            &host_seq,
+            &mapping,
+            CheckOptions {
+                fuel: 3,
+                ..CheckOptions::default()
+            },
+        );
+        assert!(
+            matches!(&verdict, Verdict::Unproven { reason } if reason.starts_with(FUEL_EXHAUSTED)),
+            "{verdict:?}"
+        );
+        // Default fuel is ample: the same inputs verify.
+        assert!(check(&guest_seq, &host_seq, &mapping, opts()).is_equivalent());
     }
 
     #[test]

@@ -39,7 +39,9 @@ mod simplify;
 pub mod term;
 
 pub use batch::{check_batch, CheckCase};
-pub use equiv::{check, propose_mappings, CheckOptions, FlagEquiv, Mapping, Verdict};
+pub use equiv::{
+    check, propose_mappings, CheckOptions, FlagEquiv, Mapping, Verdict, FUEL_EXHAUSTED,
+};
 pub use eval::{eval, eval_mem_writes, Assignment};
 pub use machine::SymExecError;
 pub use simplify::{simplify, simplify_mem};

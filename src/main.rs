@@ -2,11 +2,12 @@
 //! DBT.
 //!
 //! ```text
-//! pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N] -o rules.txt
+//! pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N]
+//!             [--faults SPEC] -o rules.txt
 //! pdbt run    prog.s [--rules rules.txt] [--no-delegation] [--stats] [--jobs N]
-//!             [--report-json FILE] [--trace-out FILE]
+//!             [--faults SPEC] [--report-json FILE] [--trace-out FILE]
 //! pdbt stats  prog.s [--rules rules.txt] [--no-delegation] [--jobs N]
-//!             [--report-json FILE] [--trace-out FILE]
+//!             [--faults SPEC] [--report-json FILE] [--trace-out FILE]
 //! pdbt trace  prog.s [--rules rules.txt] [--addr HEX]
 //! pdbt bench  [--scale tiny|full] [BENCH]
 //! ```
@@ -22,6 +23,15 @@
 //! run report and `--trace-out` writes a Chrome `trace_event` file
 //! loadable in `chrome://tracing` / Perfetto.
 //!
+//! `--faults SPEC` (or the `PDBT_FAULTS` env var) installs a
+//! deterministic fault-injection plan, e.g.
+//! `seed=7,rate=0.01,sites=symexec,emit,store,pool,cache`; it needs a
+//! binary built with `--features faults` (a plain build warns and runs
+//! fault-free). Rule files load in salvage mode: malformed entries are
+//! quarantined with a warning and the rest are used, with the count
+//! reported in the `resilience` section of `pdbt stats` and the JSON
+//! report.
+//!
 //! Guest programs are assembly listings in the syntax the disassembler
 //! prints (see `pdbt_isa_arm::parse_listing`); they are loaded at
 //! `0x1000` with a data region at `0x100000` and a stack at `0x80000`.
@@ -29,10 +39,10 @@
 use pdbt::arm::{parse_listing, Program};
 use pdbt::core::derive::{derive, derive_jobs, DeriveConfig};
 use pdbt::core::learning::LearnConfig;
-use pdbt::core::{load_rules, save_rules, RuleSet};
+use pdbt::core::{load_rules_salvage, save_rules, RuleSet};
 use pdbt::obs::trace::export_chrome_trace;
-use pdbt::runtime::Report;
 use pdbt::runtime::{translate_block, CodeClass, Engine, EngineConfig, RunSetup, TranslateConfig};
+use pdbt::runtime::{Outcome, Report, Resilience};
 use pdbt::workloads::{run_dbt, run_reference, train_excluding, Benchmark, Scale};
 use pdbt_symexec::CheckOptions;
 use std::process::ExitCode;
@@ -42,9 +52,9 @@ const DATA_BASE: u32 = 0x10_0000;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N] -o FILE\n  \
-         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--jobs N] [--report-json FILE] [--trace-out FILE]\n  \
-         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N] [--faults SPEC] -o FILE\n  \
+         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--jobs N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
          pdbt bench  [--scale tiny|full] [BENCH]"
     );
@@ -117,13 +127,53 @@ fn load_program(path: &str) -> Result<Program, String> {
     Ok(Program::new(0x1000, insts))
 }
 
-fn load_rules_file(path: &str) -> Result<RuleSet, String> {
+/// Installs the fault-injection plan from `--faults SPEC` or the
+/// `PDBT_FAULTS` env var (flag wins). A plan on a binary built without
+/// the `faults` feature warns and stays inert.
+fn configure_faults(args: &Args) -> Result<(), String> {
+    let active = match args.value("faults") {
+        Some(spec) => {
+            let plan = pdbt_faults::Plan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?;
+            pdbt_faults::configure(Some(plan));
+            true
+        }
+        None => pdbt_faults::configure_from_env().map_err(|e| format!("bad PDBT_FAULTS: {e}"))?,
+    };
+    if active && !pdbt_faults::ENABLED {
+        eprintln!(
+            "warning: fault plan given, but this binary was built without the `faults` \
+             feature; no faults will be injected"
+        );
+    }
+    Ok(())
+}
+
+/// Loads a rule store in salvage mode: malformed (or fault-corrupted)
+/// entries are quarantined with a warning instead of failing the load.
+/// Returns the surviving rules plus the quarantine count.
+fn load_rules_file(path: &str) -> Result<(RuleSet, u64), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    load_rules(&text).map_err(|e| format!("{path}: {e}"))
+    let (rules, quarantined) = load_rules_salvage(&text);
+    for q in &quarantined {
+        eprintln!(
+            "warning: {path}:{}: quarantined rule entry: {}",
+            q.line, q.reason
+        );
+    }
+    if !quarantined.is_empty() {
+        eprintln!(
+            "warning: {path}: salvage mode kept {} rules (+{} sequences), quarantined {} entries",
+            rules.len(),
+            rules.seq_len(),
+            quarantined.len()
+        );
+    }
+    Ok((rules, quarantined.len() as u64))
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
     let out = args.value("out").ok_or("train needs -o FILE")?;
+    configure_faults(args)?;
     let scale = scale_of(args);
     let exclude = match args.value("exclude") {
         Some(name) => Some(bench_of(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?),
@@ -162,6 +212,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             "parameterized to {} applicable rules ({} derived, {} rejected, {} verification jobs)",
             stats.instantiated, stats.derived, stats.rejected, jobs
         );
+        if stats.quarantined > 0 || stats.fuel_exhausted > 0 {
+            eprintln!(
+                "degraded: {} candidates quarantined, {} verifications fuel-exhausted",
+                stats.quarantined, stats.fuel_exhausted
+            );
+        }
         full
     };
     std::fs::write(out, save_rules(&rules)).map_err(|e| format!("{out}: {e}"))?;
@@ -177,16 +233,33 @@ fn execute(args: &Args, verb: &str) -> Result<Report, String> {
         .first()
         .ok_or_else(|| format!("{verb} needs a program file"))?;
     let prog = load_program(path)?;
-    let rules = match args.value("rules") {
-        Some(p) => Some(load_rules_file(p)?),
-        None => None,
+    configure_faults(args)?;
+    let (rules, quarantined_rules) = match args.value("rules") {
+        Some(p) => {
+            let (r, q) = load_rules_file(p)?;
+            (Some(r), q)
+        }
+        None => (None, 0),
     };
     let mut cfg = EngineConfig::default();
     cfg.translate.flag_delegation = !args.has("no-delegation");
     cfg.jobs = jobs_of(args)?;
     let mut engine = Engine::new(rules, cfg);
+    engine.resilience_mut().quarantined_rules = quarantined_rules;
     let setup = RunSetup::basic(DATA_BASE, 0x1000, 0x8_0000, 0x1000);
     engine.run(&prog, &setup).map_err(|e| e.to_string())
+}
+
+/// Maps a non-`Completed` outcome to a process-level error *after* the
+/// partial report has been printed and exported.
+fn outcome_err(report: &Report) -> Result<(), String> {
+    match &report.outcome {
+        Outcome::Completed => Ok(()),
+        Outcome::Budget => {
+            Err("guest instruction budget exhausted (partial report emitted)".into())
+        }
+        Outcome::Exec(e) => Err(format!("execution fault: {e} (partial report emitted)")),
+    }
 }
 
 /// Handles `--report-json FILE` and `--trace-out FILE`.
@@ -217,7 +290,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if args.has("stats") {
         eprintln!("{}", report.metrics);
     }
-    export_report(args, &report)
+    export_report(args, &report)?;
+    outcome_err(&report)
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
@@ -254,7 +328,26 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         "\nflag-delegation window depth (catch-all = env fallback)\n{}",
         report.obs.deleg_depth
     );
-    export_report(args, &report)
+    let res = &report.resilience;
+    if *res != Resilience::default() || report.outcome != Outcome::Completed {
+        println!("\nresilience (outcome: {})", report.outcome.label());
+        println!("  degraded blocks        {:>12}", res.degraded_blocks);
+        println!("  interpreted guest      {:>12}", res.interpreted_guest);
+        println!("  quarantined rules      {:>12}", res.quarantined_rules);
+        println!("  quarantined combos     {:>12}", res.quarantined_combos);
+        println!("  fuel exhausted         {:>12}", res.fuel_exhausted);
+        for s in pdbt_faults::Site::ALL {
+            if res.injected[s.index()] > 0 {
+                println!(
+                    "  injected[{:<7}]      {:>12}",
+                    s.name(),
+                    res.injected[s.index()]
+                );
+            }
+        }
+    }
+    export_report(args, &report)?;
+    outcome_err(&report)
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
@@ -264,7 +357,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         .ok_or("trace needs a program file")?;
     let prog = load_program(path)?;
     let rules = match args.value("rules") {
-        Some(p) => Some(load_rules_file(p)?),
+        Some(p) => Some(load_rules_file(p)?.0),
         None => None,
     };
     let addr = match args.value("addr") {
@@ -339,6 +432,7 @@ fn main() -> ExitCode {
             "rules",
             "addr",
             "jobs",
+            "faults",
             "report-json",
             "trace-out",
         ],

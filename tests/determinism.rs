@@ -84,6 +84,35 @@ fn parallel_derive_is_bit_identical_to_serial() {
     }
 }
 
+/// Degraded derivation must stay deterministic too: with a starvation
+/// fuel budget, some verifications exhaust and their candidates are
+/// rejected — identically whether the pool runs 1 worker or 8.
+#[test]
+fn fuel_exhausted_derivation_is_bit_identical_to_serial() {
+    let opts = CheckOptions {
+        fuel: 60,
+        ..CheckOptions::default()
+    };
+    for seed in SEEDS {
+        let learned = learned_for(seed);
+        let (serial, serial_stats) = derive_jobs(&learned, DeriveConfig::full(), opts, 1);
+        let (parallel, parallel_stats) = derive_jobs(&learned, DeriveConfig::full(), opts, 8);
+        assert_eq!(
+            serial_stats, parallel_stats,
+            "seed {seed:#x}: degraded derive stats diverged"
+        );
+        assert!(
+            serial_stats.fuel_exhausted > 0,
+            "seed {seed:#x}: the starvation budget exhausted nothing — test is vacuous"
+        );
+        assert_eq!(
+            save_rules(&serial),
+            save_rules(&parallel),
+            "seed {seed:#x}: degraded rule sets diverged"
+        );
+    }
+}
+
 #[test]
 fn reports_from_parallel_and_serial_rules_are_identical() {
     for seed in SEEDS {

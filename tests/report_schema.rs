@@ -97,6 +97,27 @@ fn report_json_schema_matches_golden() {
     let doc = Json::parse(&text).expect("report is valid JSON");
     let mut paths = BTreeSet::new();
     schema_paths(&doc, "", &mut paths);
+    // The degraded-mode interface must always be present, even in a
+    // healthy run: consumers poll `outcome` and the `resilience`
+    // counters to tell a complete report from a partial one.
+    for required in [
+        "outcome",
+        "resilience.degraded_blocks",
+        "resilience.interpreted_guest",
+        "resilience.quarantined_rules",
+        "resilience.quarantined_combos",
+        "resilience.fuel_exhausted",
+        "resilience.injected.symexec",
+        "resilience.injected.emit",
+        "resilience.injected.store",
+        "resilience.injected.pool",
+        "resilience.injected.cache",
+    ] {
+        assert!(
+            paths.contains(required),
+            "report is missing the `{required}` field"
+        );
+    }
     let got = paths.into_iter().collect::<Vec<_>>().join("\n") + "\n";
 
     let golden_path = concat!(

@@ -1,0 +1,191 @@
+//! Fuzzes the rule-store loaders against corrupted inputs: seeded
+//! truncations, bit flips and line splices of real `save_rules` output.
+//! Neither loader may ever panic — `load_rules` may reject, and
+//! `load_rules_salvage` must keep every healthy block while
+//! quarantining exactly the entries the mutation destroyed.
+//!
+//! Hand-rolled seeded fuzz loops over the in-tree PRNG (`pdbt-rng`,
+//! aliased as `rand`) — the offline build has no proptest.
+
+use pdbt::core::learning::{learn_into, LearnConfig};
+use pdbt::core::{load_rules, load_rules_salvage, save_rules, RuleSet};
+use pdbt::workloads::{suite, Scale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fuzz iterations per mutation class; FUZZ_CASES scales the file.
+fn cases() -> usize {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// A realistic store: everything learnable from the tiny suite.
+fn healthy_store() -> String {
+    let mut rules = RuleSet::new();
+    for w in &suite(Scale::tiny()) {
+        let mut r = RuleSet::new();
+        learn_into(&mut r, &w.pair, &w.debug, LearnConfig::default());
+        rules.merge(r);
+    }
+    let text = save_rules(&rules);
+    assert!(
+        text.is_ascii(),
+        "store format is ASCII; mutations slice bytes"
+    );
+    assert!(
+        text.lines().count() > 20,
+        "store too small to fuzz usefully"
+    );
+    text
+}
+
+/// Neither loader panics on arbitrary prefixes of a valid store.
+#[test]
+fn truncation_never_panics() {
+    let text = healthy_store();
+    let mut rng = StdRng::seed_from_u64(0x57_0e_01);
+    for _ in 0..cases() {
+        let cut = rng.gen_range(0..text.len());
+        let mutated = &text[..cut];
+        let _ = load_rules(mutated);
+        let (rules, quarantined) = load_rules_salvage(mutated);
+        // Salvage of a prefix keeps only complete blocks; whatever the
+        // cut destroyed is quarantined, never silently dropped, unless
+        // the cut fell cleanly on a block boundary.
+        let complete = load_rules(&blocks_before(&text, cut)).expect("prefix of valid store");
+        assert_eq!(save_rules(&rules), save_rules(&complete));
+        assert!(quarantined.len() <= 1, "a cut destroys at most one block");
+    }
+}
+
+/// The longest prefix of `text` made of whole blocks ending before
+/// byte `cut`.
+fn blocks_before(text: &str, cut: usize) -> String {
+    let mut out = String::new();
+    let mut block = String::new();
+    let mut pos = 0;
+    for line in text.lines() {
+        let end = pos + line.len() + 1; // '\n'
+        if end > cut {
+            break;
+        }
+        block.push_str(line);
+        block.push('\n');
+        if line.trim_end() == "end" || line.starts_with('#') || line.trim().is_empty() {
+            out.push_str(&block);
+            block.clear();
+        }
+        pos = end;
+    }
+    out
+}
+
+/// Neither loader panics on single-bit corruption, and salvage always
+/// returns a loadable subset.
+#[test]
+fn bit_flips_never_panic() {
+    let text = healthy_store();
+    let mut rng = StdRng::seed_from_u64(0x57_0e_02);
+    for _ in 0..cases() {
+        let mut bytes = text.as_bytes().to_vec();
+        for _ in 0..rng.gen_range(1..4u8) {
+            let i = rng.gen_range(0..bytes.len());
+            let bit = rng.gen_range(0..8u8);
+            bytes[i] ^= 1 << bit;
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = load_rules(&mutated);
+        let (rules, _) = load_rules_salvage(&mutated);
+        // The salvaged subset must itself round-trip.
+        let text2 = save_rules(&rules);
+        let (again, quarantined2) = load_rules_salvage(&text2);
+        assert!(quarantined2.is_empty(), "salvaged output must be clean");
+        assert_eq!(save_rules(&again), text2);
+    }
+}
+
+/// Neither loader panics when whole lines are duplicated, dropped or
+/// swapped.
+#[test]
+fn line_splices_never_panic() {
+    let text = healthy_store();
+    let mut rng = StdRng::seed_from_u64(0x57_0e_03);
+    for _ in 0..cases() {
+        let mut lines: Vec<&str> = text.lines().collect();
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let i = rng.gen_range(0..lines.len());
+                let l = lines[i];
+                lines.insert(i, l);
+            }
+            1 => {
+                let i = rng.gen_range(0..lines.len());
+                lines.remove(i);
+            }
+            _ => {
+                let i = rng.gen_range(0..lines.len());
+                let j = rng.gen_range(0..lines.len());
+                lines.swap(i, j);
+            }
+        }
+        let mutated = lines.join("\n");
+        let _ = load_rules(&mutated);
+        let (rules, _) = load_rules_salvage(&mutated);
+        let _ = save_rules(&rules);
+    }
+}
+
+/// Targeted corruption: poisoning one interior line of one block must
+/// quarantine exactly that block, and the salvaged set must equal a
+/// strict load of the store with that block deleted.
+#[test]
+fn targeted_corruption_quarantines_exactly_the_mutated_entry() {
+    let text = healthy_store();
+    let mut rng = StdRng::seed_from_u64(0x57_0e_04);
+    let lines: Vec<&str> = text.lines().collect();
+    // (header, end) line-index ranges of every block.
+    let mut blocks = Vec::new();
+    let mut start = None;
+    for (i, line) in lines.iter().enumerate() {
+        if line.starts_with("rule ") || line.starts_with("seq ") {
+            start = Some(i);
+        } else if line.trim_end() == "end" {
+            if let Some(s) = start.take() {
+                blocks.push((s, i));
+            }
+        }
+    }
+    assert!(!blocks.is_empty());
+    for _ in 0..cases() {
+        let &(s, e) = &blocks[rng.gen_range(0..blocks.len())];
+        assert!(e > s + 1, "blocks have at least one body line");
+        let victim = s + 1 + rng.gen_range(0..(e - s - 1));
+        let mut mutated: Vec<String> = lines.iter().map(|l| (*l).to_string()).collect();
+        mutated[victim] = "?? corrupted ??".to_string();
+        let (rules, quarantined) = load_rules_salvage(&mutated.join("\n"));
+        assert_eq!(
+            quarantined.len(),
+            1,
+            "exactly the mutated block is quarantined"
+        );
+        let q = &quarantined[0];
+        assert!(
+            q.line > s && q.line <= e + 1,
+            "quarantine points into the mutated block: line {} not in ({}, {}]",
+            q.line,
+            s,
+            e + 1
+        );
+        // Deleting the block entirely gives the same surviving set.
+        let without: Vec<&str> = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i < s || *i > e)
+            .map(|(_, l)| *l)
+            .collect();
+        let expect = load_rules(&without.join("\n")).expect("remainder is valid");
+        assert_eq!(save_rules(&rules), save_rules(&expect));
+    }
+}
