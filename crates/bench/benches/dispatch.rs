@@ -1,0 +1,173 @@
+//! Dispatch hot-path wall-clock: chained dispatch (direct-mapped jump
+//! cache + block chaining + hot-trace superblocks) versus unchained
+//! dispatch versus the pure reference interpreter, over a hot-loop
+//! guest whose blocks are short enough that dispatch overhead matters.
+//!
+//! Unlike the figure/table harnesses this one measures *wall-clock*,
+//! not the host-instruction proxy: chaining does not change how many
+//! host instructions retire per guest instruction, it removes the
+//! dispatcher's per-block hash probe, lock, and metric folding between
+//! them. Correctness is asserted, not sampled: both engine
+//! configurations must produce identical guest output and identical
+//! `guest_retired`, and both must match the reference interpreter.
+//!
+//! Emits `BENCH_dispatch.json` (machine-readable) next to the printed
+//! table. `PDBT_BENCH_SMOKE=1` shrinks the workload for CI smoke runs.
+
+use pdbt_isa_arm::{builders as g, Cpu as GuestCpu, Operand as O, Program, Reg};
+use pdbt_obs::json::Json;
+use pdbt_runtime::{Engine, EngineConfig, Report, RunSetup};
+use std::time::Instant;
+
+/// Timed batches per configuration; the fastest is reported.
+const BATCHES: usize = 5;
+
+/// A two-level loop whose inner body spans three short chained blocks
+/// (the unconditional branch splits the body), so steady-state
+/// execution crosses a block boundary on every handful of guest
+/// instructions — the worst case for dispatcher overhead and the best
+/// case for chaining and trace promotion.
+fn hot_loop_program(base: u32, shift: u32) -> Program {
+    Program::new(
+        0x1000,
+        vec![
+            // r0 = outer counter (base << shift — the immediate field
+            // is byte-sized), r2 = accumulator.
+            g::mov(Reg::R0, O::Imm(base)),
+            g::lsl(Reg::R0, Reg::R0, O::Imm(shift)),
+            g::mov(Reg::R2, O::Imm(0)),
+            // outer head: r1 = inner counter.
+            g::mov(Reg::R1, O::Imm(50)),
+            // inner head (block 1): accumulate, then a block-splitting jump.
+            g::add(Reg::R2, Reg::R2, O::Reg(Reg::R1)),
+            g::b(pdbt_isa::Cond::Al, 4),
+            // block 2: mix in more ALU work, then fall into the latch.
+            g::eor(Reg::R3, Reg::R2, O::Imm(0x55)),
+            g::add(Reg::R2, Reg::R2, O::Imm(1)),
+            g::b(pdbt_isa::Cond::Al, 4),
+            // block 3 (latch): count down and loop.
+            g::sub(Reg::R1, Reg::R1, O::Imm(1)).with_s(),
+            g::b(pdbt_isa::Cond::Ne, -24),
+            // outer latch.
+            g::sub(Reg::R0, Reg::R0, O::Imm(1)).with_s(),
+            g::b(pdbt_isa::Cond::Ne, -36),
+            g::mov(Reg::R0, O::Reg(Reg::R2)),
+            g::svc(1),
+            g::svc(0),
+        ],
+    )
+}
+
+fn setup() -> RunSetup {
+    RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000)
+}
+
+/// Best-of-batches wall clock for one engine configuration, plus the
+/// last run's report. A fresh engine per run: translation cost is part
+/// of dispatch reality, and the jump cache / trace table must be cold.
+fn time_engine(prog: &Program, chaining: bool, traces: bool) -> (u128, Report) {
+    let cfg = EngineConfig {
+        chaining,
+        traces,
+        ..EngineConfig::default()
+    };
+    let mut best = u128::MAX;
+    let mut report = None;
+    for _ in 0..BATCHES {
+        let mut engine = Engine::new(None, cfg);
+        let start = Instant::now();
+        let r = engine.run(prog, &setup()).expect("hot loop runs");
+        best = best.min(start.elapsed().as_nanos());
+        report = Some(r);
+    }
+    (best, report.unwrap())
+}
+
+/// Best-of-batches wall clock for the reference interpreter, plus its
+/// output and retired-instruction count.
+fn time_interp(prog: &Program) -> (u128, Vec<u32>, u64) {
+    let mut best = u128::MAX;
+    let mut out = (Vec::new(), 0);
+    for _ in 0..BATCHES {
+        let mut cpu = GuestCpu::new();
+        let start = Instant::now();
+        let stats = pdbt_isa_arm::run(&mut cpu, prog, u64::MAX).expect("reference runs");
+        best = best.min(start.elapsed().as_nanos());
+        out = (cpu.output, stats.executed);
+    }
+    (best, out.0, out.1)
+}
+
+fn main() {
+    let smoke = std::env::var("PDBT_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let (base, shift) = if smoke { (200, 0) } else { (250, 4) };
+    let outer = base << shift;
+    let prog = hot_loop_program(base, shift);
+
+    let (interp_ns, interp_out, interp_retired) = time_interp(&prog);
+    let (unchained_ns, unchained) = time_engine(&prog, false, false);
+    let (chained_ns, chained) = time_engine(&prog, true, true);
+
+    // Correctness gates: bit-identical architectural results across all
+    // three executions.
+    assert_eq!(chained.output, unchained.output, "guest output diverged");
+    assert_eq!(chained.output, interp_out, "DBT diverged from reference");
+    assert_eq!(
+        chained.metrics.guest_retired, unchained.metrics.guest_retired,
+        "guest_retired diverged"
+    );
+    assert_eq!(
+        chained.metrics.guest_retired, interp_retired,
+        "guest_retired diverged from reference"
+    );
+    let d = &chained.obs.dispatch;
+    assert!(d.chain_followed > 0, "chaining never engaged");
+    assert!(d.traces_formed > 0, "no superblock formed");
+    assert!(d.trace_execs > 0, "superblock never executed");
+
+    let reduction = 1.0 - chained_ns as f64 / unchained_ns as f64;
+    println!("\n=== Dispatch hot path: wall-clock (hot loop, outer={outer}) ===");
+    println!("{:<24}{:>14}  notes", "config", "ns (best)");
+    println!("{:<24}{:>14}", "interpreter", interp_ns);
+    println!("{:<24}{:>14}", "dbt/unchained", unchained_ns);
+    println!(
+        "{:<24}{:>14}  {:.1}% faster, {} chains followed, {} traces, {} superblock execs",
+        "dbt/chained",
+        chained_ns,
+        reduction * 100.0,
+        d.chain_followed,
+        d.traces_formed,
+        d.trace_execs
+    );
+
+    let json = Json::obj([
+        ("bench", Json::str("dispatch")),
+        ("smoke", Json::from(u64::from(smoke))),
+        ("outer_iters", Json::from(u64::from(outer))),
+        ("guest_retired", Json::from(chained.metrics.guest_retired)),
+        ("interp_ns", Json::from(interp_ns as u64)),
+        ("unchained_ns", Json::from(unchained_ns as u64)),
+        ("chained_ns", Json::from(chained_ns as u64)),
+        ("reduction", Json::from(reduction)),
+        (
+            "outputs_identical",
+            Json::from(u64::from(chained.output == unchained.output)),
+        ),
+        ("jump_cache_hits", Json::from(d.jump_cache_hits)),
+        ("chain_followed", Json::from(d.chain_followed)),
+        ("traces_formed", Json::from(d.traces_formed)),
+        ("trace_execs", Json::from(d.trace_execs)),
+    ]);
+    std::fs::write("BENCH_dispatch.json", format!("{json}\n")).expect("write BENCH_dispatch.json");
+    println!("\nwrote BENCH_dispatch.json");
+
+    // The acceptance gate: ≥ 20% wall-clock reduction. Smoke mode still
+    // requires a win but tolerates CI timer noise on the tiny workload.
+    let floor = if smoke { 0.0 } else { 0.20 };
+    assert!(
+        reduction >= floor,
+        "chained dispatch reduced wall-clock by {:.1}% (< {:.0}% floor)",
+        reduction * 100.0,
+        floor * 100.0
+    );
+}

@@ -510,6 +510,113 @@ pub fn parameterize_seq(insts: &[Inst]) -> Option<(Vec<ComboKey>, Instantiation)
     ))
 }
 
+/// A single-pass incremental [`parameterize_seq`]: scans the longest
+/// clean prefix of a window once, recording per-length checkpoints so a
+/// caller probing every candidate length (longest-first sequence
+/// lookup) can slice the key/immediate prefix instead of re-running the
+/// whole parameterization per length.
+///
+/// This is sound because sequence parameterization is prefix-stable:
+/// slots are numbered by first appearance and immediates appended in
+/// scan order, so the keys and instantiation of `insts[..len]` are
+/// literal prefixes of those of the full window; and every rejection
+/// (predication, banned opcode, opaque operand, PC slot) is pinned to
+/// the instruction that introduces it, so validity is monotone in the
+/// prefix length.
+#[derive(Debug)]
+pub struct SeqScan {
+    keys: Vec<ComboKey>,
+    slots: Vec<Reg>,
+    imms: Vec<u32>,
+    /// `slot_marks[i]` / `imm_marks[i]`: slot / immediate counts after
+    /// the first `i + 1` instructions.
+    slot_marks: Vec<usize>,
+    imm_marks: Vec<usize>,
+}
+
+impl SeqScan {
+    /// Scans at most `max_len` instructions, stopping at the first one
+    /// that would make the prefix unparameterizable.
+    #[must_use]
+    pub fn scan(insts: &[Inst], max_len: usize) -> SeqScan {
+        let n = insts.len().min(max_len);
+        let mut b = Builder::new();
+        let mut out = SeqScan {
+            keys: Vec::with_capacity(n),
+            slots: Vec::new(),
+            imms: Vec::new(),
+            slot_marks: Vec::with_capacity(n),
+            imm_marks: Vec::with_capacity(n),
+        };
+        for inst in &insts[..n] {
+            if inst.cond != pdbt_isa::Cond::Al
+                || matches!(
+                    inst.op,
+                    Op::B | Op::Bl | Op::Bx | Op::Push | Op::Pop | Op::Svc
+                )
+            {
+                break;
+            }
+            let modes_start = b.modes.len();
+            let pattern_start = b.reg_pattern.len();
+            let slots_start = b.slots.len();
+            for o in &inst.operands {
+                b.operand(o);
+            }
+            // Opaque operands and PC slots invalidate the prefix from
+            // the instruction that introduces them (a PC slot seen
+            // earlier would already have stopped the scan).
+            if b.opaque || b.slots[slots_start..].iter().any(|r| r.is_pc()) {
+                break;
+            }
+            out.keys.push(ComboKey {
+                op: inst.op,
+                s: inst.s,
+                modes: b.modes[modes_start..].to_vec(),
+                reg_pattern: b.reg_pattern[pattern_start..].to_vec(),
+            });
+            out.slot_marks.push(b.slots.len());
+            out.imm_marks.push(b.imms.len());
+        }
+        out.slots = b.slots;
+        out.imms = b.imms;
+        out.slots
+            .truncate(out.slot_marks.last().copied().unwrap_or(0));
+        out.imms
+            .truncate(out.imm_marks.last().copied().unwrap_or(0));
+        out
+    }
+
+    /// Longest prefix length that parameterizes cleanly.
+    #[must_use]
+    pub fn valid_len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The sequence key of the first `len` instructions
+    /// (`len <= valid_len`).
+    #[must_use]
+    pub fn keys(&self, len: usize) -> &[ComboKey] {
+        &self.keys[..len]
+    }
+
+    /// The immediates consumed by the first `len` instructions.
+    #[must_use]
+    pub fn imms(&self, len: usize) -> &[u32] {
+        &self.imms[..self.imm_marks[len - 1]]
+    }
+
+    /// The concrete instantiation of the first `len` instructions —
+    /// identical to what `parameterize_seq(&insts[..len])` returns.
+    #[must_use]
+    pub fn instantiation(&self, len: usize) -> Instantiation {
+        Instantiation {
+            slots: self.slots[..self.slot_marks[len - 1]].to_vec(),
+            imms: self.imms(len).to_vec(),
+        }
+    }
+}
+
 /// Reconstructs a concrete instruction sequence from a sequence key —
 /// the inverse of [`parameterize_seq`].
 #[must_use]

@@ -326,22 +326,29 @@ impl RuleSet {
     }
 
     /// Greedy longest-first sequence lookup starting at `insts[0]`.
+    ///
+    /// The window is parameterized once ([`key::SeqScan`]) and each
+    /// candidate length probes a sliced key prefix — `Vec<ComboKey>`
+    /// hashes as its slice, so `seq_entries` is queried through
+    /// `Borrow<[ComboKey]>` without re-scanning per length.
     #[must_use]
     pub fn lookup_seq(&self, insts: &[GInst]) -> Option<SeqMatch<'_>> {
-        for len in (2..=self.max_seq.min(insts.len())).rev() {
-            let Some((keys, concrete)) = key::parameterize_seq(&insts[..len]) else {
-                continue;
-            };
-            if let Some(entry) = self.seq_entries.get(&keys) {
+        let max = self.max_seq.min(insts.len());
+        if max < 2 {
+            return None;
+        }
+        let scan = key::SeqScan::scan(insts, max);
+        for len in (2..=max.min(scan.valid_len())).rev() {
+            if let Some(entry) = self.seq_entries.get(scan.keys(len)) {
                 if let Some(required) = &entry.imm_constraint {
-                    if *required != concrete.imms {
+                    if required[..] != *scan.imms(len) {
                         continue;
                     }
                 }
                 return Some(SeqMatch {
-                    keys,
+                    keys: scan.keys(len).to_vec(),
                     entry,
-                    inst: concrete,
+                    inst: scan.instantiation(len),
                     len,
                 });
             }

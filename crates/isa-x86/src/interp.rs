@@ -403,9 +403,27 @@ pub fn exec_block_traced(
     insts: &[Inst],
     budget: u64,
 ) -> Result<(BlockExit, ExecStats, Vec<u32>), ExecError> {
-    let mut counts = vec![0u32; insts.len()];
-    let (exit, stats) = exec_block_impl(cpu, insts, budget, &mut |ip| counts[ip] += 1)?;
+    let mut counts = Vec::new();
+    let (exit, stats) = exec_block_traced_into(cpu, insts, budget, &mut counts)?;
     Ok((exit, stats, counts))
+}
+
+/// Like [`exec_block_traced`], but writes retire counts into a
+/// caller-owned buffer (cleared and resized to `insts.len()`) so a
+/// dispatch loop executing millions of blocks reuses one allocation.
+///
+/// # Errors
+///
+/// See [`exec_block`].
+pub fn exec_block_traced_into(
+    cpu: &mut Cpu,
+    insts: &[Inst],
+    budget: u64,
+    counts: &mut Vec<u32>,
+) -> Result<(BlockExit, ExecStats), ExecError> {
+    counts.clear();
+    counts.resize(insts.len(), 0);
+    exec_block_impl(cpu, insts, budget, &mut |ip| counts[ip] += 1)
 }
 
 fn exec_block_impl(

@@ -34,6 +34,8 @@ mod reg;
 
 pub use encode::{decode, decode_block, encode, encode_block, DecodeError, EncodeError};
 pub use inst::{Inst, Op, Shape};
-pub use interp::{exec_block, exec_block_traced, BlockExit, Cpu, ExecStats};
+pub use interp::{
+    exec_block, exec_block_traced, exec_block_traced_into, BlockExit, Cpu, ExecStats,
+};
 pub use operand::{CarrySense, Cc, Mem, Operand};
 pub use reg::{Reg, Xmm};

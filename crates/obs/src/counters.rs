@@ -274,6 +274,47 @@ impl PoolCounters {
     }
 }
 
+/// Dispatch hot-path counters: how block transitions were resolved
+/// (direct-mapped jump cache, inline chain links, or the full
+/// dispatcher) and how many hot traces were promoted to superblocks.
+#[derive(Clone, Debug, Default)]
+pub struct DispatchCounters {
+    /// Direct-mapped jump-cache probes that hit.
+    pub jump_cache_hits: u64,
+    /// Jump-cache probes that missed (fell through to the dispatcher).
+    pub jump_cache_misses: u64,
+    /// Block transitions followed through an inline chain link without
+    /// re-entering the dispatcher.
+    pub chain_followed: u64,
+    /// Chain links lazily resolved (first follow, or re-resolved after
+    /// an epoch bump).
+    pub links_resolved: u64,
+    /// Hot traces promoted to superblocks.
+    pub traces_formed: u64,
+    /// Superblock executions.
+    pub trace_execs: u64,
+    /// Chain/jump-cache invalidation epochs (trace formation or a
+    /// member block degrading).
+    pub invalidations: u64,
+}
+
+impl DispatchCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `other` into `self` field-wise.
+    pub fn merge(&mut self, other: &DispatchCounters) {
+        self.jump_cache_hits += other.jump_cache_hits;
+        self.jump_cache_misses += other.jump_cache_misses;
+        self.chain_followed += other.chain_followed;
+        self.links_resolved += other.links_resolved;
+        self.traces_formed += other.traces_formed;
+        self.trace_execs += other.trace_execs;
+        self.invalidations += other.invalidations;
+    }
+}
+
 impl fmt::Display for RuleCounters {
     /// Human-readable table, heaviest coverage first.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

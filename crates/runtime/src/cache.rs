@@ -12,20 +12,76 @@ use crate::translate::TranslatedBlock;
 use pdbt_isa::Addr;
 use pdbt_obs::RuleId;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::AtomicU32;
+use std::sync::{Arc, Mutex, RwLock, Weak};
 
 /// One shard: a locked address → block map.
 type Shard = RwLock<HashMap<Addr, Arc<CachedBlock>>>;
 
+/// A lazily resolved chain link to a successor block. The target is
+/// held weakly — links never keep a block alive (the cache and the
+/// engine's trace table hold the strong references), and loops chain
+/// back to themselves without creating `Arc` cycles. The epoch stamps
+/// when the link was resolved: the engine bumps its epoch on every
+/// invalidation, staling all links at once without walking them.
+#[derive(Debug, Default)]
+pub struct LinkSlot {
+    /// The engine epoch the link was resolved in; stale links resolve
+    /// again.
+    pub epoch: u32,
+    /// The linked successor, if resolved.
+    pub target: Option<Weak<CachedBlock>>,
+}
+
+/// The chain links of a block's direct-branch exits: `taken` doubles as
+/// the single link of one-successor exits (unconditional branches,
+/// calls, fall-throughs).
+#[derive(Debug, Default)]
+pub struct ChainLinks {
+    /// Link for the branch-taken (or only) successor.
+    pub taken: Mutex<LinkSlot>,
+    /// Link for the fall-through successor of a conditional branch.
+    pub fall: Mutex<LinkSlot>,
+}
+
 /// A translated block plus its pre-interned attribution ids: `(rule id,
 /// per-execution coverage)` pairs resolved once at insert time so block
-/// executions only bump dense counters.
+/// executions only bump dense counters. Carries the mutable dispatch
+/// state of the hot path: chain links for its direct-branch exits, an
+/// execution counter for hot-trace promotion, and per-edge counters
+/// that pick the hotter side of a conditional when a trace is formed.
+/// All counters use relaxed ordering — they are heuristics, and the
+/// executor is single-threaded; `Sync` is only needed because prewarm
+/// shares blocks across worker threads.
 #[derive(Debug)]
 pub struct CachedBlock {
     /// The translation.
     pub block: TranslatedBlock,
     /// Interned rule attributions.
     pub attr_ids: Vec<(RuleId, u32)>,
+    /// Chain links to successor blocks.
+    pub links: ChainLinks,
+    /// Completed executions, for hot-trace promotion.
+    pub hotness: AtomicU32,
+    /// Times the taken edge was followed.
+    pub taken_count: AtomicU32,
+    /// Times the fall-through edge was followed.
+    pub fall_count: AtomicU32,
+}
+
+impl CachedBlock {
+    /// Wraps a translation with fresh (unresolved, cold) dispatch state.
+    #[must_use]
+    pub fn new(block: TranslatedBlock, attr_ids: Vec<(RuleId, u32)>) -> CachedBlock {
+        CachedBlock {
+            block,
+            attr_ids,
+            links: ChainLinks::default(),
+            hotness: AtomicU32::new(0),
+            taken_count: AtomicU32::new(0),
+            fall_count: AtomicU32::new(0),
+        }
+    }
 }
 
 /// A code cache of `N` independently locked shards (`N` is the
@@ -111,8 +167,8 @@ mod tests {
     use super::*;
 
     fn dummy_block(start: Addr) -> CachedBlock {
-        CachedBlock {
-            block: TranslatedBlock {
+        CachedBlock::new(
+            TranslatedBlock {
                 start,
                 code: Vec::new(),
                 classes: Vec::new(),
@@ -121,9 +177,11 @@ mod tests {
                 attributions: Vec::new(),
                 lookup_misses: Vec::new(),
                 deleg: None,
+                succ: crate::translate::BlockSuccs::None,
+                member_marks: Vec::new(),
             },
-            attr_ids: Vec::new(),
-        }
+            Vec::new(),
+        )
     }
 
     #[test]

@@ -8,18 +8,20 @@
 
 use crate::cache::{CachedBlock, ShardedCache};
 use crate::translate::{
-    collect_block, translate_block, CodeClass, DelegOutcome, TranslateConfig, TranslateError,
-    TranslatedBlock,
+    collect_block, translate_block, translate_trace, BlockSuccs, CodeClass, DelegOutcome,
+    TranslateConfig, TranslateError, TranslatedBlock,
 };
 use pdbt_core::RuleSet;
 use pdbt_ir::env;
 use pdbt_isa::{Addr, Cond, Control, ExecError, Flag};
 use pdbt_isa_arm::{step, Cpu as GuestCpu, FReg, Operand, Program, Reg as GReg, INST_SIZE};
-use pdbt_isa_x86::{exec_block_traced, BlockExit, Cpu as HostCpu, Reg as HReg};
+use pdbt_isa_x86::{exec_block_traced_into, BlockExit, Cpu as HostCpu, Reg as HReg};
 use pdbt_obs::json::Json;
-use pdbt_obs::{Histogram, PoolCounters, RuleCounters, RuleId, ShardCounters};
+use pdbt_obs::{DispatchCounters, Histogram, PoolCounters, RuleCounters, RuleId, ShardCounters};
 use pdbt_par::Pool;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Base address of the guest environment block in host memory.
@@ -36,6 +38,16 @@ pub struct EngineConfig {
     pub jobs: usize,
     /// Code-cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Dispatch fast path: probe the direct-mapped jump cache before
+    /// the sharded cache, and follow chain links between blocks without
+    /// re-entering the dispatcher. Off reproduces the pre-chaining
+    /// engine exactly.
+    pub chaining: bool,
+    /// Promote hot chains to single-translation superblocks.
+    pub traces: bool,
+    /// Executions of a block before the chain it heads is considered
+    /// hot and promoted to a superblock (`--trace-threshold`).
+    pub trace_threshold: u32,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +56,9 @@ impl Default for EngineConfig {
             translate: TranslateConfig::default(),
             jobs: 1,
             cache_shards: 8,
+            chaining: true,
+            traces: true,
+            trace_threshold: 50,
         }
     }
 }
@@ -211,6 +226,8 @@ pub struct RunObs {
     pub cache: ShardCounters,
     /// Prewarm pool task distribution per worker slot.
     pub pool: PoolCounters,
+    /// Dispatch hot-path counters: jump cache, chaining, traces.
+    pub dispatch: DispatchCounters,
 }
 
 impl Default for RunObs {
@@ -222,6 +239,7 @@ impl Default for RunObs {
             deleg_depth: Histogram::deleg_depth(),
             cache: ShardCounters::new(),
             pool: PoolCounters::new(),
+            dispatch: DispatchCounters::new(),
         }
     }
 }
@@ -235,6 +253,7 @@ impl RunObs {
         self.deleg_depth.merge(&other.deleg_depth);
         self.cache.merge(&other.cache);
         self.pool.merge(&other.pool);
+        self.dispatch.merge(&other.dispatch);
     }
 }
 
@@ -449,6 +468,30 @@ impl Report {
                 ]),
             ),
             (
+                "dispatch",
+                Json::obj([
+                    (
+                        "jump_cache_hits",
+                        Json::from(self.obs.dispatch.jump_cache_hits),
+                    ),
+                    (
+                        "jump_cache_misses",
+                        Json::from(self.obs.dispatch.jump_cache_misses),
+                    ),
+                    (
+                        "chain_followed",
+                        Json::from(self.obs.dispatch.chain_followed),
+                    ),
+                    (
+                        "links_resolved",
+                        Json::from(self.obs.dispatch.links_resolved),
+                    ),
+                    ("traces_formed", Json::from(self.obs.dispatch.traces_formed)),
+                    ("trace_execs", Json::from(self.obs.dispatch.trace_execs)),
+                    ("invalidations", Json::from(self.obs.dispatch.invalidations)),
+                ]),
+            ),
+            (
                 "resilience",
                 Json::obj([
                     ("degraded_blocks", Json::from(r.degraded_blocks)),
@@ -548,6 +591,57 @@ fn discover_block_starts(prog: &Program, max_block: usize) -> Vec<Addr> {
         .collect()
 }
 
+/// Direct-mapped jump cache size (power of two). At ~16 bytes a slot
+/// this is a few KiB — small enough to stay cache-resident, large
+/// enough that the workloads' working sets don't thrash it.
+const JC_SIZE: usize = 1024;
+
+/// One jump-cache slot: the full pc (distinct pcs alias a slot) plus
+/// the cached block.
+type JumpSlot = Option<(Addr, Arc<CachedBlock>)>;
+
+/// The jump-cache slot an address maps to. Block starts are
+/// word-aligned, so the two always-zero bits are dropped (same trick as
+/// [`ShardedCache::shard_of`]).
+fn jc_slot(pc: Addr) -> usize {
+    ((pc >> 2) as usize) & (JC_SIZE - 1)
+}
+
+/// Mutable dispatch-fast-path state: the direct-mapped jump cache, the
+/// superblock table, and the invalidation epoch. All single-threaded —
+/// only the dispatcher touches it.
+#[derive(Debug)]
+struct DispatchState {
+    /// Direct-mapped `pc → block` cache probed before the sharded
+    /// cache: one array index, no hashing, no locks. A slot holds the
+    /// full key because distinct pcs alias the same slot.
+    jump_cache: Box<[JumpSlot]>,
+    /// Current invalidation epoch; chain links resolved under an older
+    /// epoch are stale and re-resolve.
+    epoch: u32,
+    /// Hot-trace superblocks keyed by head pc. Preferred over the
+    /// per-block cache by the dispatcher once formed.
+    traces: HashMap<Addr, Arc<CachedBlock>>,
+    /// Heads a trace formation was already attempted for (successful or
+    /// not) — each head is tried once.
+    trace_attempted: HashSet<Addr>,
+    /// Blocks that degraded to the interpreter (translation fault):
+    /// never chained through, and traces containing them are dropped.
+    poisoned: HashSet<Addr>,
+}
+
+impl Default for DispatchState {
+    fn default() -> DispatchState {
+        DispatchState {
+            jump_cache: (0..JC_SIZE).map(|_| None).collect(),
+            epoch: 0,
+            traces: HashMap::new(),
+            trace_attempted: HashSet::new(),
+            poisoned: HashSet::new(),
+        }
+    }
+}
+
 /// The dynamic binary translator.
 #[derive(Debug)]
 pub struct Engine {
@@ -557,6 +651,7 @@ pub struct Engine {
     metrics: Metrics,
     obs: RunObs,
     resilience: Resilience,
+    dispatch: DispatchState,
 }
 
 impl Engine {
@@ -575,6 +670,7 @@ impl Engine {
             metrics: Metrics::default(),
             obs,
             resilience: Resilience::default(),
+            dispatch: DispatchState::default(),
         }
     }
 
@@ -609,13 +705,15 @@ impl Engine {
         &mut self.resilience
     }
 
-    /// Clears the code cache, metrics and observability state.
+    /// Clears the code cache, metrics, observability state and the
+    /// dispatch fast-path state (jump cache, superblocks, epoch).
     pub fn reset(&mut self) {
         self.cache.clear();
         self.metrics = Metrics::default();
         self.obs = RunObs::default();
         self.obs.cache = ShardCounters::with_shards(self.cache.shard_count());
         self.resilience = Resilience::default();
+        self.dispatch = DispatchState::default();
     }
 
     /// Interns a freshly translated block — static metrics, attribution
@@ -637,7 +735,7 @@ impl Engine {
         for miss in &block.lookup_misses {
             self.obs.rules.miss(miss);
         }
-        let (cached, _new) = self.cache.insert(pc, CachedBlock { block, attr_ids });
+        let (cached, _new) = self.cache.insert(pc, CachedBlock::new(block, attr_ids));
         cached
     }
 
@@ -667,6 +765,208 @@ impl Engine {
                 .record(pdbt_obs::now_ns().saturating_sub(t0));
         }
         Ok(self.intern_block(pc, block))
+    }
+
+    /// Whether executing `b` in full keeps the run within the guest
+    /// budget. Plain blocks always qualify — the dispatcher's per-block
+    /// budget check already ran, and a partial final block is fine
+    /// (matches the unchained engine). Superblocks retire in member
+    /// granularity, so they only run when the *whole* trace fits: that
+    /// implies every intermediate per-member budget check of the
+    /// unchained engine would have passed, keeping `guest_retired`
+    /// identical. Otherwise the dispatcher falls back to plain blocks.
+    fn budget_ok(b: &CachedBlock, retired: u64, max_guest: u64) -> bool {
+        b.block.member_marks.is_empty() || retired + u64::from(b.block.guest_len) <= max_guest
+    }
+
+    /// The dispatcher's slow path: superblock table (budget allowing),
+    /// then the sharded cache / translator.
+    fn resolve_slow(
+        &mut self,
+        prog: &Program,
+        pc: Addr,
+        retired: u64,
+        max_guest: u64,
+    ) -> Result<Arc<CachedBlock>, EngineError> {
+        if self.cfg.traces {
+            if let Some(t) = self.dispatch.traces.get(&pc) {
+                if Self::budget_ok(t, retired, max_guest) {
+                    return Ok(t.clone());
+                }
+            }
+        }
+        self.block(prog, pc)
+    }
+
+    /// Resolves the block to execute at `pc`: the direct-mapped jump
+    /// cache first (hash-free, lock-free), then the slow path. The jump
+    /// cache is refilled on miss — except when the slow path had to
+    /// bypass a budget-blocked superblock, which must not evict the
+    /// trace's jump-cache entry semantics (the plain block is a
+    /// one-off near the budget edge).
+    fn resolve_entry(
+        &mut self,
+        prog: &Program,
+        pc: Addr,
+        retired: u64,
+        max_guest: u64,
+    ) -> Result<Arc<CachedBlock>, EngineError> {
+        if !self.cfg.chaining {
+            return self.resolve_slow(prog, pc, retired, max_guest);
+        }
+        let slot = jc_slot(pc);
+        if let Some((key, b)) = &self.dispatch.jump_cache[slot] {
+            if *key == pc && Self::budget_ok(b, retired, max_guest) {
+                self.obs.dispatch.jump_cache_hits += 1;
+                return Ok(b.clone());
+            }
+        }
+        self.obs.dispatch.jump_cache_misses += 1;
+        let b = self.resolve_slow(prog, pc, retired, max_guest)?;
+        let bypassed_trace = b.block.member_marks.is_empty()
+            && self.cfg.traces
+            && self.dispatch.traces.contains_key(&pc);
+        if !bypassed_trace {
+            self.dispatch.jump_cache[slot] = Some((pc, b.clone()));
+        }
+        Ok(b)
+    }
+
+    /// Follows (resolving lazily) the chain link of `cur` for the
+    /// observed exit to `next`. Returns `None` when the edge is not a
+    /// direct-branch successor, resolution fails (the dispatcher's
+    /// degradation path handles it), or the budget guard rejects a
+    /// superblock — the caller re-enters the dispatcher.
+    fn follow_link(
+        &mut self,
+        prog: &Program,
+        cur: &CachedBlock,
+        next: Addr,
+        retired: u64,
+        max_guest: u64,
+    ) -> Option<Arc<CachedBlock>> {
+        let slot = match cur.block.succ {
+            BlockSuccs::One(t) if t == next => &cur.links.taken,
+            BlockSuccs::Two { taken, .. } if taken == next => {
+                cur.taken_count.fetch_add(1, Ordering::Relaxed);
+                &cur.links.taken
+            }
+            BlockSuccs::Two { fall, .. } if fall == next => {
+                cur.fall_count.fetch_add(1, Ordering::Relaxed);
+                &cur.links.fall
+            }
+            _ => return None,
+        };
+        {
+            let guard = slot.lock().expect("link poisoned");
+            if guard.epoch == self.dispatch.epoch {
+                if let Some(target) = guard.target.as_ref().and_then(std::sync::Weak::upgrade) {
+                    if !Self::budget_ok(&target, retired, max_guest) {
+                        return None;
+                    }
+                    self.obs.dispatch.chain_followed += 1;
+                    return Some(target);
+                }
+            }
+        }
+        // Stale or unresolved: resolve through the dispatcher's slow
+        // path and install the link. Resolution failure (an injected
+        // translation fault) leaves the link empty; the dispatcher's
+        // own attempt at `next` handles degradation.
+        let resolved = self.resolve_slow(prog, next, retired, max_guest).ok()?;
+        let mut guard = slot.lock().expect("link poisoned");
+        guard.epoch = self.dispatch.epoch;
+        guard.target = Some(Arc::downgrade(&resolved));
+        self.obs.dispatch.links_resolved += 1;
+        drop(guard);
+        if !Self::budget_ok(&resolved, retired, max_guest) {
+            return None;
+        }
+        self.obs.dispatch.chain_followed += 1;
+        Some(resolved)
+    }
+
+    /// Attempts to promote the hot chain headed at `head` into a
+    /// superblock: walks the static successor links (picking the hotter
+    /// edge of conditionals), retranslates the member sequence as one
+    /// trace, and installs it in the trace table. Each head is
+    /// attempted once; failures (short chains, indirect exits,
+    /// unsupported shapes) are permanent no-ops.
+    fn form_trace(&mut self, prog: &Program, head: &Arc<CachedBlock>) {
+        const MAX_MEMBERS: usize = 8;
+        let head_pc = head.block.start;
+        self.dispatch.trace_attempted.insert(head_pc);
+        let mut members = vec![head_pc];
+        let mut cur = head.clone();
+        while members.len() < MAX_MEMBERS {
+            let next = match cur.block.succ {
+                BlockSuccs::One(t) => t,
+                BlockSuccs::Two { taken, fall } => {
+                    let t = cur.taken_count.load(Ordering::Relaxed);
+                    let f = cur.fall_count.load(Ordering::Relaxed);
+                    if t >= f {
+                        taken
+                    } else {
+                        fall
+                    }
+                }
+                BlockSuccs::None => break,
+            };
+            // Loop closure: stop extending when the trace would revisit
+            // a member (the backedge exits to the trace head, which the
+            // jump cache catches).
+            if members.contains(&next) || self.dispatch.poisoned.contains(&next) {
+                break;
+            }
+            let Ok(b) = self.block(prog, next) else { break };
+            members.push(next);
+            cur = b;
+        }
+        if members.len() < 2 {
+            return;
+        }
+        let Ok(tb) = translate_trace(prog, &members, self.rules.as_ref(), &self.cfg.translate)
+        else {
+            return;
+        };
+        // Intern attribution ids only — no static `hit` and no miss
+        // recording: the members' own translations already counted
+        // them, and a superblock must not perturb the static rule
+        // counters relative to the unchained engine.
+        let attr_ids: Vec<(RuleId, u32)> = tb
+            .attributions
+            .iter()
+            .map(|a| (self.obs.rules.intern(&a.label, &a.subgroup), a.covered))
+            .collect();
+        self.dispatch
+            .traces
+            .insert(head_pc, Arc::new(CachedBlock::new(tb, attr_ids)));
+        self.obs.dispatch.traces_formed += 1;
+        // Links into the old head block must re-route through the
+        // dispatcher to pick the trace up.
+        self.bump_epoch();
+    }
+
+    /// Advances the invalidation epoch: every chain link goes stale at
+    /// once and the jump cache empties.
+    fn bump_epoch(&mut self) {
+        self.dispatch.epoch = self.dispatch.epoch.wrapping_add(1);
+        self.dispatch.jump_cache.iter_mut().for_each(|s| *s = None);
+        self.obs.dispatch.invalidations += 1;
+    }
+
+    /// Conservative invalidation when the block at `pc` degrades to the
+    /// interpreter: drop every superblock containing it, bar it from
+    /// future traces, and stale all chain links so no chain re-enters
+    /// it without the dispatcher (and its fault check) in the loop.
+    fn invalidate_for(&mut self, pc: Addr) {
+        if !(self.cfg.chaining || self.cfg.traces) || !self.dispatch.poisoned.insert(pc) {
+            return;
+        }
+        self.dispatch
+            .traces
+            .retain(|_, t| t.block.member_marks.iter().all(|m| m.start != pc));
+        self.bump_epoch();
     }
 
     /// Translates every statically reachable block up front, fanning
@@ -744,60 +1044,132 @@ impl Engine {
             )?;
         }
         let mut pc = prog.base();
+        // Reused per-instruction execution-count buffer: chained
+        // dispatch executes many blocks per dispatcher entry, so the
+        // allocation is hoisted out of the hot loop entirely.
+        let mut counts: Vec<u32> = Vec::new();
         let outcome = loop {
             if self.metrics.guest_retired >= setup.max_guest {
                 break Outcome::Budget;
             }
-            let cached = match self.block(prog, pc) {
-                Ok(cached) => cached,
-                Err(EngineError::Translate(_)) => {
-                    // Degraded mode: interpret this one block and keep
-                    // translating from the next one.
-                    match self.interpret_block(prog, pc, &mut host) {
-                        Ok(Some(next)) => {
-                            pc = next;
-                            continue;
+            let mut cur =
+                match self.resolve_entry(prog, pc, self.metrics.guest_retired, setup.max_guest) {
+                    Ok(cached) => cached,
+                    Err(EngineError::Translate(_)) => {
+                        // Degraded mode: interpret this one block and keep
+                        // translating from the next one. The block is
+                        // poisoned for chaining first, so no chain or
+                        // trace can re-enter it behind the dispatcher's
+                        // back.
+                        self.invalidate_for(pc);
+                        match self.interpret_block(prog, pc, &mut host) {
+                            Ok(Some(next)) => {
+                                pc = next;
+                                continue;
+                            }
+                            Ok(None) => break Outcome::Completed,
+                            Err(e) => break Outcome::Exec(e),
                         }
-                        Ok(None) => break Outcome::Completed,
-                        Err(e) => break Outcome::Exec(e),
+                    }
+                    Err(EngineError::Exec(e)) => break Outcome::Exec(e),
+                    Err(EngineError::Budget) => break Outcome::Budget,
+                };
+            // Chain segment: execute the resolved block, then follow
+            // chain links inline for as long as they resolve. The
+            // per-block scalar folds batch into locals and land in the
+            // metrics once per segment.
+            let mut seg_guest = 0u64;
+            let mut seg_rule = 0u64;
+            let mut seg_host = 0u64;
+            let mut seg_blocks = 0u64;
+            let seg_outcome = loop {
+                let block = &cur.block;
+                let exec = {
+                    let _exec_span = pdbt_obs::span("exec_block");
+                    exec_block_traced_into(&mut host, &block.code, 1_000_000, &mut counts)
+                };
+                let (exit, stats) = match exec {
+                    Ok(res) => res,
+                    Err(e) => break Some(Outcome::Exec(e)),
+                };
+                debug_assert_eq!(block.code.len(), block.classes.len());
+                for (i, c) in counts.iter().enumerate() {
+                    self.metrics.host_by_class[block.classes[i].index()] += u64::from(*c);
+                }
+                seg_blocks += 1;
+                seg_host += stats.executed;
+                self.obs.block_host_len.record(stats.executed);
+                if block.member_marks.is_empty() {
+                    // A plain block retires wholesale.
+                    seg_guest += u64::from(block.guest_len);
+                    seg_rule += u64::from(block.rule_covered);
+                    // Dynamic coverage attribution: static per-block
+                    // shares weighted by this execution.
+                    for (id, covered) in &cur.attr_ids {
+                        self.obs.rules.covered(*id, u64::from(*covered));
+                    }
+                    if let Some(d) = block.deleg {
+                        self.obs.deleg_depth.record(match d {
+                            DelegOutcome::Delegated(depth) => u64::from(depth),
+                            DelegOutcome::EnvFallback => Histogram::FALLBACK,
+                        });
+                    }
+                    if self.cfg.traces {
+                        let hot = cur.hotness.fetch_add(1, Ordering::Relaxed) + 1;
+                        if hot == self.cfg.trace_threshold.max(1)
+                            && !self.dispatch.trace_attempted.contains(&block.start)
+                        {
+                            let head = cur.clone();
+                            self.form_trace(prog, &head);
+                        }
+                    }
+                } else {
+                    // A superblock retires the member prefix that
+                    // actually ran: a member retired iff its first host
+                    // instruction executed (side exits leave through a
+                    // member's own trampoline, so retired members always
+                    // form a prefix).
+                    self.obs.dispatch.trace_execs += 1;
+                    for m in &block.member_marks {
+                        if counts[m.anchor] == 0 {
+                            break;
+                        }
+                        seg_guest += u64::from(m.guest_len);
+                        seg_rule += u64::from(m.rule_covered);
+                        for (id, covered) in &cur.attr_ids[m.attr_range.0..m.attr_range.1] {
+                            self.obs.rules.covered(*id, u64::from(*covered));
+                        }
+                        if let Some(d) = m.deleg {
+                            self.obs.deleg_depth.record(match d {
+                                DelegOutcome::Delegated(depth) => u64::from(depth),
+                                DelegOutcome::EnvFallback => Histogram::FALLBACK,
+                            });
+                        }
                     }
                 }
-                Err(EngineError::Exec(e)) => break Outcome::Exec(e),
-                Err(EngineError::Budget) => break Outcome::Budget,
+                match exit {
+                    BlockExit::Jumped(next) => pc = next,
+                    BlockExit::Halted => break Some(Outcome::Completed),
+                    BlockExit::Fell => break Some(Outcome::Exec(ExecError::BadPc { pc })),
+                }
+                if !self.cfg.chaining {
+                    break None;
+                }
+                let retired = self.metrics.guest_retired + seg_guest;
+                if retired >= setup.max_guest {
+                    break Some(Outcome::Budget);
+                }
+                match self.follow_link(prog, &cur, pc, retired, setup.max_guest) {
+                    Some(next_b) => cur = next_b,
+                    None => break None,
+                }
             };
-            let block = &cached.block;
-            let exec = {
-                let _exec_span = pdbt_obs::span("exec_block");
-                exec_block_traced(&mut host, &block.code, 1_000_000)
-            };
-            let (exit, stats, counts) = match exec {
-                Ok(res) => res,
-                Err(e) => break Outcome::Exec(e),
-            };
-            debug_assert_eq!(block.code.len(), block.classes.len());
-            for (i, c) in counts.iter().enumerate() {
-                self.metrics.host_by_class[block.classes[i].index()] += u64::from(*c);
-            }
-            self.metrics.blocks_executed += 1;
-            self.metrics.guest_retired += u64::from(block.guest_len);
-            self.metrics.rule_covered += u64::from(block.rule_covered);
-            self.metrics.host_retired += stats.executed;
-            // Dynamic coverage attribution: static per-block shares
-            // weighted by this execution.
-            for (id, covered) in &cached.attr_ids {
-                self.obs.rules.covered(*id, u64::from(*covered));
-            }
-            self.obs.block_host_len.record(stats.executed);
-            if let Some(d) = block.deleg {
-                self.obs.deleg_depth.record(match d {
-                    DelegOutcome::Delegated(depth) => u64::from(depth),
-                    DelegOutcome::EnvFallback => Histogram::FALLBACK,
-                });
-            }
-            match exit {
-                BlockExit::Jumped(next) => pc = next,
-                BlockExit::Halted => break Outcome::Completed,
-                BlockExit::Fell => break Outcome::Exec(ExecError::BadPc { pc }),
+            self.metrics.guest_retired += seg_guest;
+            self.metrics.rule_covered += seg_rule;
+            self.metrics.host_retired += seg_host;
+            self.metrics.blocks_executed += seg_blocks;
+            if let Some(outcome) = seg_outcome {
+                break outcome;
             }
         };
         self.resilience.injected = pdbt_faults::injected();
@@ -1309,15 +1681,17 @@ mod engine_edge_tests {
         let b = par.run(&prog, &setup()).unwrap();
         assert_eq!(a.output, b.output);
         assert_eq!(a.metrics, b.metrics);
+        // Dispatch behaviour (jump cache, chaining, traces) only
+        // depends on execution order, which is identical.
+        assert_eq!(a.obs.dispatch.chain_followed, b.obs.dispatch.chain_followed);
+        assert_eq!(
+            a.obs.dispatch.jump_cache_hits,
+            b.obs.dispatch.jump_cache_hits
+        );
         // The auto-prewarmed engine never misses at dispatch time…
         assert_eq!(b.obs.cache.total_misses(), 0);
-        assert_eq!(b.obs.cache.total_hits(), b.metrics.blocks_executed);
         // …while the lazy engine misses exactly once per translation.
         assert_eq!(a.obs.cache.total_misses(), a.metrics.blocks_translated);
-        assert_eq!(
-            a.obs.cache.total_hits() + a.obs.cache.total_misses(),
-            a.metrics.blocks_executed
-        );
     }
 
     #[test]

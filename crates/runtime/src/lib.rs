@@ -34,12 +34,12 @@ mod cache;
 mod engine;
 mod translate;
 
-pub use cache::{CachedBlock, ShardedCache};
+pub use cache::{CachedBlock, ChainLinks, LinkSlot, ShardedCache};
 pub use engine::{
     Engine, EngineConfig, EngineError, Metrics, Outcome, Report, Resilience, RunObs, RunSetup,
     ENV_BASE,
 };
 pub use translate::{
-    collect_block, translate_block, CodeClass, DelegOutcome, RuleAttribution, TranslateConfig,
-    TranslateError, TranslatedBlock,
+    collect_block, translate_block, translate_trace, BlockSuccs, CodeClass, DelegOutcome,
+    MemberMark, RuleAttribution, TranslateConfig, TranslateError, TranslatedBlock,
 };

@@ -121,6 +121,52 @@ pub enum DelegOutcome {
     EnvFallback,
 }
 
+/// Static successors of a translated block's exit, for block chaining:
+/// which guest addresses the exit stub can jump to. Indirect transfers
+/// and halts have no static successors and always return to the
+/// dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockSuccs {
+    /// No statically known successor (indirect branch, halt).
+    None,
+    /// A single successor (unconditional branch, call, fall-through).
+    One(Addr),
+    /// A conditional branch's two successors.
+    Two {
+        /// The branch-taken target.
+        taken: Addr,
+        /// The fall-through address.
+        fall: Addr,
+    },
+}
+
+/// Per-member accounting for a hot-trace superblock
+/// ([`translate_trace`]): the engine folds guest/coverage metrics for
+/// exactly the members an execution retired, identified by whether each
+/// member's anchor host instruction executed. Superblocks are
+/// straight-line (side exits only), so the retired members of one
+/// execution always form a prefix.
+#[derive(Debug, Clone)]
+pub struct MemberMark {
+    /// The member block's guest start address (trace invalidation keys
+    /// off this).
+    pub start: Addr,
+    /// Index of the first host instruction at or after the member's
+    /// region start. A member with no host code of its own shares the
+    /// next member's anchor, which is exact for straight-line code.
+    pub anchor: usize,
+    /// Guest instructions this member covers.
+    pub guest_len: u32,
+    /// How many of them were rule-translated (including a delegated
+    /// branch).
+    pub rule_covered: u32,
+    /// This member's half-open range in
+    /// [`TranslatedBlock::attributions`].
+    pub attr_range: (usize, usize),
+    /// Flag handling of this member's conditional branch, if any.
+    pub deleg: Option<DelegOutcome>,
+}
+
 /// One translated basic block.
 #[derive(Debug, Clone)]
 pub struct TranslatedBlock {
@@ -142,8 +188,13 @@ pub struct TranslatedBlock {
     /// QEMU path while a rule set was installed.
     pub lookup_misses: Vec<String>,
     /// Terminal-branch flag handling, when the block ends in a
-    /// conditional branch.
+    /// conditional branch. `None` for superblocks, whose branches are
+    /// reported per member.
     pub deleg: Option<DelegOutcome>,
+    /// Static successors of the exit stub, for chaining.
+    pub succ: BlockSuccs,
+    /// Superblock member accounting; empty for ordinary blocks.
+    pub member_marks: Vec<MemberMark>,
 }
 
 struct Emitter {
@@ -498,53 +549,48 @@ fn one_sided_exit(e: &mut Emitter, target: HOperand, guest_len: u32) {
     e.push(hb::jmp_exit(target), CodeClass::Control);
 }
 
-/// Translates the basic block starting at `start`.
-///
-/// # Errors
-///
-/// [`TranslateError`] on fetch failures or unliftable instructions.
-pub fn translate_block(
-    prog: &Program,
-    start: Addr,
-    rules: Option<&RuleSet>,
-    cfg: &TranslateConfig,
-) -> Result<TranslatedBlock, TranslateError> {
-    let _span = pdbt_obs::span_with("translate_block", || format!("{start:#x}"));
-    let insts = collect_block(prog, start, cfg.max_block)?;
-    let guest_len = insts.len() as u32;
-
-    // Register allocation: most-frequent guest registers first.
-    let mut freq: Vec<(GReg, usize)> = Vec::new();
-    for (_, inst) in &insts {
+/// Guest registers in most-frequent-first order across `insts`, ties
+/// broken by first appearance. Counting goes through a fixed array
+/// indexed by [`GReg::index`] so the scan is O(operands), not
+/// O(operands × distinct regs).
+fn reg_frequency_order<'a>(insts: impl Iterator<Item = &'a GInst>) -> Vec<GReg> {
+    let mut counts = [0usize; 16];
+    let mut order: Vec<GReg> = Vec::new();
+    for inst in insts {
         for r in inst.uses().into_iter().chain(inst.defs()) {
-            match freq.iter_mut().find(|(g, _)| *g == r) {
-                Some((_, n)) => *n += 1,
-                None => freq.push((r, 1)),
+            if counts[r.index()] == 0 {
+                order.push(r);
             }
+            counts[r.index()] += 1;
         }
     }
-    freq.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-    let ordered: Vec<GReg> = freq.iter().map(|(g, _)| *g).collect();
-    let map = RegMap::allocate(&ordered);
+    // Stable: ties keep first-appearance order, matching the previous
+    // linear-probe implementation exactly (register allocation — and so
+    // emitted host code — is unchanged).
+    order.sort_by_key(|r| std::cmp::Reverse(counts[r.index()]));
+    order
+}
 
-    // Flag liveness (backwards), including the terminal branch's needs.
-    let terminal_cond: Option<Cond> = match insts.last() {
-        Some((_, i)) if i.op == pdbt_isa_arm::Op::B && i.cond != Cond::Al => Some(i.cond),
-        _ => None,
-    };
-    let n = insts.len();
-    // Flags live into the block's successors (cross-block liveness).
-    let liveins = flag_liveins(prog);
-    let idx_of = |addr: Addr| -> Option<usize> {
-        if addr < prog.base() || !(addr - prog.base()).is_multiple_of(INST_SIZE) {
-            return None;
-        }
-        let i = ((addr - prog.base()) / INST_SIZE) as usize;
-        (i < liveins.len()).then_some(i)
-    };
-    let at = |addr: Addr| idx_of(addr).map(|i| liveins[i]).unwrap_or(FlagSet::NZCV);
-    let (last_addr, last_inst) = *insts.last().expect("non-empty block");
-    let exit_live: FlagSet = match last_inst.op {
+/// The flag live-in set at a guest address — the conservative NZCV join
+/// for addresses outside the program (unknown continuations).
+fn livein_at(prog: &Program, liveins: &[FlagSet], addr: Addr) -> FlagSet {
+    if addr < prog.base() || !(addr - prog.base()).is_multiple_of(INST_SIZE) {
+        return FlagSet::NZCV;
+    }
+    let i = ((addr - prog.base()) / INST_SIZE) as usize;
+    liveins.get(i).copied().unwrap_or(FlagSet::NZCV)
+}
+
+/// Flags live out of a block ending in `last_inst` at `last_addr`: the
+/// join over the successors' live-ins (cross-block flag liveness).
+fn block_exit_live(
+    prog: &Program,
+    liveins: &[FlagSet],
+    last_addr: Addr,
+    last_inst: &GInst,
+) -> FlagSet {
+    let at = |addr: Addr| livein_at(prog, liveins, addr);
+    match last_inst.op {
         pdbt_isa_arm::Op::B => {
             let Operand::Target(d) = last_inst.operands[0] else {
                 unreachable!()
@@ -566,12 +612,7 @@ pub fn translate_block(
         _ if last_inst.is_branch() => {
             // Indirect transfer (return): join over call continuations.
             let mut ret_live = FlagSet::EMPTY;
-            for (i, (_, inst)) in prog
-                .insts()
-                .iter()
-                .enumerate()
-                .map(|(i, inst)| (i, (prog.addr_of(i), inst)))
-            {
+            for (i, inst) in prog.insts().iter().enumerate() {
                 if inst.op == pdbt_isa_arm::Op::Bl && i + 1 < liveins.len() {
                     ret_live |= liveins[i + 1];
                 }
@@ -580,113 +621,82 @@ pub fn translate_block(
         }
         // Max-length block: falls through to the next instruction.
         _ => at(last_addr + INST_SIZE),
-    };
-    let mut live_after = vec![FlagSet::EMPTY; n];
-    let mut live = exit_live;
-    for i in (0..n).rev() {
-        let inst = insts[i].1;
-        live_after[i] = live;
-        // Conditional branches read exactly their condition's flags.
-        let uses = if inst.op == pdbt_isa_arm::Op::B && inst.cond != Cond::Al {
-            cond_flag_uses(inst.cond)
-        } else {
-            inst.flag_uses()
-        };
-        live = (live - inst.flag_defs()) | uses;
     }
+}
 
-    // The body excludes the final instruction iff it terminates control
-    // flow (it is handled by the stub); a max-length block keeps all.
-    let last_terminates = insts.last().is_some_and(|(_, i)| i.ends_block());
-    let body_len = if last_terminates { n - 1 } else { n };
+/// A host-code segment for one guest instruction (or one sequence-rule
+/// application). Flag materialization is deferred so the delegation
+/// decision can run with every segment's host code in hand.
+struct Segment {
+    code: Vec<HInst>,
+    class: CodeClass,
+    /// Guest instructions this segment rule-covers.
+    covered: u32,
+    /// Host-flag relationship at the segment's end, when its flag
+    /// materialization was deferred.
+    report: Option<Vec<(Flag, FlagEquiv)>>,
+    needs_mat: FlagSet,
+    kind: ProducerKind,
+    /// Whether the segment works on the block's cached registers
+    /// (rule path) or on the in-environment state (TCG path) — the
+    /// register-residency split whose synchronization cost makes
+    /// low coverage expensive.
+    cached: bool,
+}
 
-    // Identify the flag producer feeding the terminal branch.
-    let branch_flag_uses = terminal_cond.map(cond_flag_uses).unwrap_or(FlagSet::EMPTY);
-    let mut producer: Option<usize> = None;
-    if !branch_flag_uses.is_empty() {
-        for i in (0..body_len).rev() {
-            if insts[i].1.flag_defs().intersects(branch_flag_uses) {
-                producer = Some(i);
-                break;
-            }
-        }
-    }
+/// Segment accumulation shared by the per-block and per-trace
+/// translators. `seg_of_guest` is indexed by *global* guest position —
+/// for traces, across all members including their terminals — so the
+/// delegation pass can map a producer position to its segment
+/// (`usize::MAX` marks positions with no segment of their own).
+#[derive(Default)]
+struct BodyState {
+    segments: Vec<Segment>,
+    seg_of_guest: Vec<usize>,
+    cached_regs: Vec<GReg>,
+    cached_writes: Vec<GReg>,
+    attributions: Vec<RuleAttribution>,
+    lookup_misses: Vec<String>,
+}
 
-    let mut e = Emitter {
-        code: Vec::new(),
-        classes: Vec::new(),
-    };
-    let mut rule_covered: u32 = 0;
-    let mut attributions: Vec<RuleAttribution> = Vec::new();
-    let mut lookup_misses: Vec<String> = Vec::new();
-
-    // -------- Phase 1: generate per-instruction segments -----------------
-    //
-    // Materialization of live flags is deferred to phase 2, which decides
-    // — with the generated host code of every segment in hand — whether
-    // the terminal branch can consume the producer's live host flags
-    // directly (delegation / TCG compare-branch folding) or whether the
-    // flags must be stored into the environment.
-    struct Segment {
-        code: Vec<HInst>,
-        class: CodeClass,
-        /// Guest instructions this segment rule-covers.
-        covered: u32,
-        /// Host-flag relationship at the segment's end, when its flag
-        /// materialization was deferred.
-        report: Option<Vec<(Flag, FlagEquiv)>>,
-        needs_mat: FlagSet,
-        kind: ProducerKind,
-        /// Whether the segment works on the block's cached registers
-        /// (rule path) or on the in-environment state (TCG path) — the
-        /// register-residency split whose synchronization cost makes
-        /// low coverage expensive.
-        cached: bool,
-    }
+/// Phase 1 of translation: generates per-instruction host segments for
+/// a run of body instructions. `base` is the global guest position of
+/// `insts[0]`; `live_after` is indexed and `producers` expressed in
+/// global positions, so the same builder serves single blocks (base 0)
+/// and the members of a hot trace.
+#[allow(clippy::too_many_arguments)]
+fn build_body_segments(
+    insts: &[(Addr, &GInst)],
+    base: usize,
+    live_after: &[FlagSet],
+    producers: &[usize],
+    rules: Option<&RuleSet>,
+    cfg: &TranslateConfig,
+    map: &RegMap,
+    use_cache: bool,
+    body_matches: &[Option<pdbt_core::Match<'_>>],
+    st: &mut BodyState,
+) -> Result<(), TranslateError> {
     let env_map = RegMap::all_env();
-    let mut segments: Vec<Segment> = Vec::with_capacity(body_len);
-    // Guest instruction index → segment index (sequence rules make the
-    // relationship many-to-one).
-    let mut seg_of_guest: Vec<usize> = Vec::with_capacity(body_len);
-    let mut cached_regs: Vec<GReg> = Vec::new();
-    let mut cached_writes: Vec<GReg> = Vec::new();
-    // Single rule-lookup pass over the body: each probe starts with the
-    // store's O(1) opcode-presence check, and the match results are
-    // reused by both the caching heuristic below and the emission loop
-    // (which previously probed a second time).
-    let body_matches: Vec<Option<pdbt_core::Match<'_>>> = match rules {
-        Some(r) => insts
-            .iter()
-            .take(body_len)
-            .map(|(_, i)| r.lookup(i))
-            .collect(),
-        None => vec![None; body_len],
-    };
-    // Register caching only pays off when enough of the block is
-    // rule-translated to amortize the residency synchronization; short
-    // or sparsely covered blocks instantiate rules directly on the
-    // environment slots.
-    let rule_hits = body_matches.iter().filter(|m| m.is_some()).count();
-    let use_cache = rule_hits >= 3;
-    let body_insts: Vec<&GInst> = insts.iter().take(body_len).map(|(_, i)| *i).collect();
+    let body_len = insts.len();
     let mut i = 0usize;
     while i < body_len {
         let (addr, inst) = (&insts[i].0, insts[i].1);
-        let live_defs = inst.flag_defs() & live_after[i];
+        let live_defs = inst.flag_defs() & live_after[base + i];
         // --- learned sequence rules (longest-first, §V-D) ---
         if let Some(rules) = rules {
             if rules.max_seq_len() >= 2 {
-                let tail: Vec<GInst> = body_insts[i..].iter().map(|x| (*x).clone()).collect();
+                let tail: Vec<GInst> = insts[i..].iter().map(|(_, x)| (*x).clone()).collect();
                 if let Some(sm) = rules.lookup_seq(&tail) {
                     // Flag policy: no instruction inside the sequence may
                     // define live flags except the last, which follows
-                    // the single-instruction policy; and the branch
+                    // the single-instruction policy; and a branch
                     // producer may not sit strictly inside.
                     let last = i + sm.len - 1;
-                    let mut ok = !producer.is_some_and(|p| p >= i && p < last);
+                    let mut ok = !producers.iter().any(|&p| p >= base + i && p < base + last);
                     let mut last_live = FlagSet::EMPTY;
                     for j in i..=last {
-                        let ld = insts[j].1.flag_defs() & live_after[j];
+                        let ld = insts[j].1.flag_defs() & live_after[base + j];
                         if !ld.is_empty() {
                             if j != last {
                                 ok = false;
@@ -709,7 +719,7 @@ pub fn translate_block(
                     }
                     if ok {
                         let locs: Vec<HostLoc> = if use_cache {
-                            sm.inst.slots.iter().map(|g| slot_loc(&map, *g)).collect()
+                            sm.inst.slots.iter().map(|g| slot_loc(map, *g)).collect()
                         } else {
                             sm.inst
                                 .slots
@@ -720,18 +730,18 @@ pub fn translate_block(
                         if let Ok(code) = rules.instantiate_seq_match(&sm, &locs) {
                             for (_, seq_inst) in &insts[i..=last] {
                                 for g in seq_inst.uses().into_iter().chain(seq_inst.defs()) {
-                                    if !cached_regs.contains(&g) {
-                                        cached_regs.push(g);
+                                    if !st.cached_regs.contains(&g) {
+                                        st.cached_regs.push(g);
                                     }
                                 }
                                 for g in seq_inst.defs() {
-                                    if !cached_writes.contains(&g) {
-                                        cached_writes.push(g);
+                                    if !st.cached_writes.contains(&g) {
+                                        st.cached_writes.push(g);
                                     }
                                 }
                             }
                             let report = sm.entry.flags.clone();
-                            attributions.push(RuleAttribution {
+                            st.attributions.push(RuleAttribution {
                                 label: format!(
                                     "seq[{}]",
                                     sm.keys
@@ -744,9 +754,9 @@ pub fn translate_block(
                                 covered: sm.len as u32,
                             });
                             for _ in 0..sm.len {
-                                seg_of_guest.push(segments.len());
+                                st.seg_of_guest.push(st.segments.len());
                             }
-                            segments.push(Segment {
+                            st.segments.push(Segment {
                                 code,
                                 class: CodeClass::RuleCore,
                                 covered: sm.len as u32,
@@ -785,7 +795,7 @@ pub fn translate_block(
                 };
                 if flags_ok {
                     let locs: Vec<HostLoc> = if use_cache {
-                        m.inst.slots.iter().map(|g| slot_loc(&map, *g)).collect()
+                        m.inst.slots.iter().map(|g| slot_loc(map, *g)).collect()
                     } else {
                         m.inst
                             .slots
@@ -799,22 +809,22 @@ pub fn translate_block(
                             detail: format!("instantiation failed: {err}"),
                         })?;
                     for g in inst.uses().into_iter().chain(inst.defs()) {
-                        if !cached_regs.contains(&g) {
-                            cached_regs.push(g);
+                        if !st.cached_regs.contains(&g) {
+                            st.cached_regs.push(g);
                         }
                     }
                     for g in inst.defs() {
-                        if !cached_writes.contains(&g) {
-                            cached_writes.push(g);
+                        if !st.cached_writes.contains(&g) {
+                            st.cached_writes.push(g);
                         }
                     }
-                    attributions.push(RuleAttribution {
+                    st.attributions.push(RuleAttribution {
                         label: m.key.to_string(),
                         subgroup: subgroup_of(m.key.op).to_string(),
                         covered: 1,
                     });
-                    seg_of_guest.push(segments.len());
-                    segments.push(Segment {
+                    st.seg_of_guest.push(st.segments.len());
+                    st.segments.push(Segment {
                         code,
                         class: CodeClass::RuleCore,
                         covered: 1,
@@ -833,7 +843,7 @@ pub fn translate_block(
         // and a producer whose live flags are recoverable from the host
         // ALU flags defers materialization (compare/branch folding).
         if rules.is_some() {
-            lookup_misses.push(
+            st.lookup_misses.push(
                 rkey::parameterize(inst)
                     .map(|p| p.key.to_string())
                     .unwrap_or_else(|| inst.op.to_string()),
@@ -850,8 +860,8 @@ pub fn translate_block(
                 })
         };
         if let Some((code, report)) = folded {
-            seg_of_guest.push(segments.len());
-            segments.push(Segment {
+            st.seg_of_guest.push(st.segments.len());
+            st.segments.push(Segment {
                 code,
                 class: CodeClass::QemuCore,
                 covered: 0,
@@ -865,8 +875,8 @@ pub fn translate_block(
                 detail: format!("{inst}: {err}"),
             })?;
             let code = tcg_legalize(lower_ops(&lifted.body, &env_map));
-            seg_of_guest.push(segments.len());
-            segments.push(Segment {
+            st.seg_of_guest.push(st.segments.len());
+            st.segments.push(Segment {
                 code,
                 class: CodeClass::QemuCore,
                 covered: 0,
@@ -878,6 +888,282 @@ pub fn translate_block(
         }
         i += 1;
     }
+    Ok(())
+}
+
+/// Loads the block's cached registers from the environment when
+/// entering cached residency (flag-preserving moves).
+fn enter_cached(e: &mut Emitter, cached_mode: &mut bool, sync_loads: &[(GReg, HReg)]) {
+    if !*cached_mode {
+        for (g, h) in sync_loads {
+            e.push(
+                hb::mov(HOperand::Reg(*h), HOperand::Mem(env::reg_mem(*g))),
+                CodeClass::DataTransfer,
+            );
+        }
+        *cached_mode = true;
+    }
+}
+
+/// Stores the written cached registers back to the environment when
+/// leaving cached residency (flag-preserving moves).
+fn enter_env(e: &mut Emitter, cached_mode: &mut bool, sync_stores: &[(GReg, HReg)]) {
+    if *cached_mode {
+        for (g, h) in sync_stores {
+            e.push(
+                hb::mov(HOperand::Mem(env::reg_mem(*g)), HOperand::Reg(*h)),
+                CodeClass::DataTransfer,
+            );
+        }
+        *cached_mode = false;
+    }
+}
+
+/// How a block's exit stubs transfer control.
+enum StubPlan {
+    FallThrough,
+    Uncond(Addr),
+    Cond(pdbt_isa_x86::Cc, Addr, Addr),
+    Indirect,
+    Exit,
+}
+
+/// Emits the terminal instruction's guest work (link-register writes,
+/// pop loads, condition evaluation) BEFORE the epilogue so its register
+/// effects are stored back, and returns the exit-stub plan; the caller
+/// emits the epilogue and the exit stubs.
+fn emit_terminal(
+    e: &mut Emitter,
+    addr: Addr,
+    inst: &GInst,
+    direct_cc: Option<pdbt_isa_x86::Cc>,
+    env_map: &RegMap,
+    sync_stores: &[(GReg, HReg)],
+    cached_mode: &mut bool,
+) -> Result<StubPlan, TranslateError> {
+    let lifted = lift(inst, addr).map_err(|err| TranslateError {
+        detail: format!("{inst}: {err}"),
+    })?;
+    let mode = match direct_cc {
+        Some(cc) => BranchMode::Direct(cc),
+        None => BranchMode::Env,
+    };
+    Ok(match (&lifted.term, mode) {
+        (
+            Some(Terminator::Br {
+                cond: Some(_),
+                taken,
+                fallthrough,
+            }),
+            BranchMode::Direct(cc),
+        ) => {
+            // Direct branch on live host flags: delegation (rule
+            // producer, Fig 10) or TCG folding (QEMU producer). The
+            // coverage accounting happened in the delegation phase. The
+            // cached registers are stored by the epilogue.
+            StubPlan::Cond(cc, *taken, *fallthrough)
+        }
+        (
+            Some(Terminator::Br {
+                cond: Some((icc, a, b)),
+                taken,
+                fallthrough,
+            }),
+            BranchMode::Env,
+        ) => {
+            enter_env(e, cached_mode, sync_stores);
+            let host = tcg_legalize(lower_ops(&lifted.body, env_map));
+            e.extend(host, CodeClass::QemuCore);
+            let (cmp, hcc) = lower_branch_cond(*icc, *a, *b, env_map);
+            e.extend(tcg_legalize(cmp), CodeClass::QemuCore);
+            StubPlan::Cond(hcc, *taken, *fallthrough)
+        }
+        (
+            Some(Terminator::Br {
+                cond: None, taken, ..
+            }),
+            _,
+        ) => {
+            enter_env(e, cached_mode, sync_stores);
+            let host = tcg_legalize(lower_ops(&lifted.body, env_map));
+            e.extend(host, CodeClass::QemuCore);
+            StubPlan::Uncond(*taken)
+        }
+        (Some(Terminator::BrInd { target }), _) => {
+            enter_env(e, cached_mode, sync_stores);
+            let host = tcg_legalize(lower_ops(&lifted.body, env_map));
+            e.extend(host, CodeClass::QemuCore);
+            let src = match target {
+                pdbt_ir::Val::Reg(g) => HOperand::Mem(env::reg_mem(*g)),
+                pdbt_ir::Val::Tmp(t) => HOperand::Mem(env::spill_mem(t.0 as usize)),
+                pdbt_ir::Val::Const(c) => HOperand::Imm(*c as i32),
+            };
+            e.push(hb::mov(HOperand::Reg(HReg::Eax), src), CodeClass::QemuCore);
+            StubPlan::Indirect
+        }
+        (Some(Terminator::Exit), _) => {
+            enter_env(e, cached_mode, sync_stores);
+            let host = tcg_legalize(lower_ops(&lifted.body, env_map));
+            e.extend(host, CodeClass::QemuCore);
+            StubPlan::Exit
+        }
+        (None, _) => {
+            enter_env(e, cached_mode, sync_stores);
+            let host = tcg_legalize(lower_ops(&lifted.body, env_map));
+            e.extend(host, CodeClass::QemuCore);
+            StubPlan::FallThrough
+        }
+    })
+}
+
+/// The static successors a plan's exit stubs can reach.
+fn succ_of_plan(plan: &StubPlan, fall: Addr) -> BlockSuccs {
+    match plan {
+        StubPlan::FallThrough => BlockSuccs::One(fall),
+        StubPlan::Uncond(taken) => BlockSuccs::One(*taken),
+        StubPlan::Cond(_, taken, fallthrough) => BlockSuccs::Two {
+            taken: *taken,
+            fall: *fallthrough,
+        },
+        StubPlan::Indirect | StubPlan::Exit => BlockSuccs::None,
+    }
+}
+
+/// Emits a plan's exit stubs.
+fn emit_exit_stubs(e: &mut Emitter, plan: &StubPlan, fall: Addr, guest_len: u32) {
+    match plan {
+        StubPlan::FallThrough => {
+            one_sided_exit(e, HOperand::Imm(fall as i32), guest_len);
+        }
+        StubPlan::Uncond(taken) => {
+            one_sided_exit(e, HOperand::Imm(*taken as i32), guest_len);
+        }
+        StubPlan::Cond(cc, taken, fallthrough) => {
+            two_sided_exit(e, *cc, *taken, *fallthrough, guest_len);
+        }
+        StubPlan::Indirect => {
+            one_sided_exit(e, HOperand::Reg(HReg::Eax), guest_len);
+        }
+        StubPlan::Exit => {
+            bookkeeping(e, guest_len);
+            e.push(hb::hlt(), CodeClass::Control);
+        }
+    }
+}
+
+/// Translates the basic block starting at `start`.
+///
+/// # Errors
+///
+/// [`TranslateError`] on fetch failures or unliftable instructions.
+pub fn translate_block(
+    prog: &Program,
+    start: Addr,
+    rules: Option<&RuleSet>,
+    cfg: &TranslateConfig,
+) -> Result<TranslatedBlock, TranslateError> {
+    let _span = pdbt_obs::span_with("translate_block", || format!("{start:#x}"));
+    let insts = collect_block(prog, start, cfg.max_block)?;
+    let guest_len = insts.len() as u32;
+
+    let ordered = reg_frequency_order(insts.iter().map(|(_, i)| *i));
+    let map = RegMap::allocate(&ordered);
+
+    // Flag liveness (backwards), including the terminal branch's needs.
+    let terminal_cond: Option<Cond> = match insts.last() {
+        Some((_, i)) if i.op == pdbt_isa_arm::Op::B && i.cond != Cond::Al => Some(i.cond),
+        _ => None,
+    };
+    let n = insts.len();
+    // Flags live into the block's successors (cross-block liveness).
+    let liveins = flag_liveins(prog);
+    let (last_addr, last_inst) = *insts.last().expect("non-empty block");
+    let exit_live = block_exit_live(prog, &liveins, last_addr, last_inst);
+    let mut live_after = vec![FlagSet::EMPTY; n];
+    let mut live = exit_live;
+    for i in (0..n).rev() {
+        let inst = insts[i].1;
+        live_after[i] = live;
+        // Conditional branches read exactly their condition's flags.
+        let uses = if inst.op == pdbt_isa_arm::Op::B && inst.cond != Cond::Al {
+            cond_flag_uses(inst.cond)
+        } else {
+            inst.flag_uses()
+        };
+        live = (live - inst.flag_defs()) | uses;
+    }
+
+    // The body excludes the final instruction iff it terminates control
+    // flow (it is handled by the stub); a max-length block keeps all.
+    let last_terminates = insts.last().is_some_and(|(_, i)| i.ends_block());
+    let body_len = if last_terminates { n - 1 } else { n };
+
+    // Identify the flag producer feeding the terminal branch.
+    let branch_flag_uses = terminal_cond.map(cond_flag_uses).unwrap_or(FlagSet::EMPTY);
+    let mut producer: Option<usize> = None;
+    if !branch_flag_uses.is_empty() {
+        for i in (0..body_len).rev() {
+            if insts[i].1.flag_defs().intersects(branch_flag_uses) {
+                producer = Some(i);
+                break;
+            }
+        }
+    }
+
+    let mut e = Emitter {
+        code: Vec::new(),
+        classes: Vec::new(),
+    };
+    let mut rule_covered: u32 = 0;
+
+    // -------- Phase 1: generate per-instruction segments -----------------
+    //
+    // Materialization of live flags is deferred to phase 2, which decides
+    // — with the generated host code of every segment in hand — whether
+    // the terminal branch can consume the producer's live host flags
+    // directly (delegation / TCG compare-branch folding) or whether the
+    // flags must be stored into the environment.
+    let env_map = RegMap::all_env();
+    // Single rule-lookup pass over the body: each probe starts with the
+    // store's O(1) opcode-presence check, and the match results are
+    // reused by both the caching heuristic below and the segment builder
+    // (which previously probed a second time).
+    let body_matches: Vec<Option<pdbt_core::Match<'_>>> = match rules {
+        Some(r) => insts
+            .iter()
+            .take(body_len)
+            .map(|(_, i)| r.lookup(i))
+            .collect(),
+        None => vec![None; body_len],
+    };
+    // Register caching only pays off when enough of the block is
+    // rule-translated to amortize the residency synchronization; short
+    // or sparsely covered blocks instantiate rules directly on the
+    // environment slots.
+    let rule_hits = body_matches.iter().filter(|m| m.is_some()).count();
+    let use_cache = rule_hits >= 3;
+    let producers: Vec<usize> = producer.into_iter().collect();
+    let mut st = BodyState::default();
+    build_body_segments(
+        &insts[..body_len],
+        0,
+        &live_after,
+        &producers,
+        rules,
+        cfg,
+        &map,
+        use_cache,
+        &body_matches,
+        &mut st,
+    )?;
+    let BodyState {
+        mut segments,
+        seg_of_guest,
+        cached_regs,
+        cached_writes,
+        mut attributions,
+        lookup_misses,
+    } = st;
 
     // -------- Phase 2: delegation decision --------------------------------
     let mut direct_cc: Option<pdbt_isa_x86::Cc> = None;
@@ -944,33 +1230,11 @@ pub fn translate_block(
         .copied()
         .filter(|(g, _)| cached_writes.contains(g))
         .collect();
-    let enter_cached = |e: &mut Emitter, cached_mode: &mut bool| {
-        if !*cached_mode {
-            for (g, h) in &sync_loads {
-                e.push(
-                    hb::mov(HOperand::Reg(*h), HOperand::Mem(env::reg_mem(*g))),
-                    CodeClass::DataTransfer,
-                );
-            }
-            *cached_mode = true;
-        }
-    };
-    let enter_env = |e: &mut Emitter, cached_mode: &mut bool| {
-        if *cached_mode {
-            for (g, h) in &sync_stores {
-                e.push(
-                    hb::mov(HOperand::Mem(env::reg_mem(*g)), HOperand::Reg(*h)),
-                    CodeClass::DataTransfer,
-                );
-            }
-            *cached_mode = false;
-        }
-    };
     for seg in &segments {
         if seg.cached {
-            enter_cached(&mut e, &mut cached_mode);
+            enter_cached(&mut e, &mut cached_mode, &sync_loads);
         } else {
-            enter_env(&mut e, &mut cached_mode);
+            enter_env(&mut e, &mut cached_mode, &sync_stores);
         }
         e.extend(seg.code.clone(), seg.class);
         rule_covered += seg.covered;
@@ -1005,115 +1269,28 @@ pub fn translate_block(
     // Terminal instruction: emit its guest work (link-register writes,
     // pop loads, condition evaluation) BEFORE the epilogue so its
     // register effects are stored back; the exit jumps come after.
-    enum StubPlan {
-        FallThrough,
-        Uncond(Addr),
-        Cond(pdbt_isa_x86::Cc, Addr, Addr),
-        Indirect,
-        Exit,
-    }
     let fall = start + guest_len * INST_SIZE;
     let plan: StubPlan = if last_terminates {
         let (addr, inst) = insts[n - 1];
-        let lifted = lift(inst, addr).map_err(|err| TranslateError {
-            detail: format!("{inst}: {err}"),
-        })?;
-        let mode = match direct_cc {
-            Some(cc) => BranchMode::Direct(cc),
-            None => BranchMode::Env,
-        };
-        match (&lifted.term, mode) {
-            (
-                Some(Terminator::Br {
-                    cond: Some(_),
-                    taken,
-                    fallthrough,
-                }),
-                BranchMode::Direct(cc),
-            ) => {
-                // Direct branch on live host flags: delegation (rule
-                // producer, Fig 10) or TCG folding (QEMU producer). The
-                // coverage accounting happened in phase 2. The cached
-                // registers are stored by the epilogue below.
-                StubPlan::Cond(cc, *taken, *fallthrough)
-            }
-            (
-                Some(Terminator::Br {
-                    cond: Some((icc, a, b)),
-                    taken,
-                    fallthrough,
-                }),
-                BranchMode::Env,
-            ) => {
-                enter_env(&mut e, &mut cached_mode);
-                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
-                e.extend(host, CodeClass::QemuCore);
-                let (cmp, hcc) = lower_branch_cond(*icc, *a, *b, &env_map);
-                e.extend(tcg_legalize(cmp), CodeClass::QemuCore);
-                StubPlan::Cond(hcc, *taken, *fallthrough)
-            }
-            (
-                Some(Terminator::Br {
-                    cond: None, taken, ..
-                }),
-                _,
-            ) => {
-                enter_env(&mut e, &mut cached_mode);
-                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
-                e.extend(host, CodeClass::QemuCore);
-                StubPlan::Uncond(*taken)
-            }
-            (Some(Terminator::BrInd { target }), _) => {
-                enter_env(&mut e, &mut cached_mode);
-                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
-                e.extend(host, CodeClass::QemuCore);
-                let src = match target {
-                    pdbt_ir::Val::Reg(g) => HOperand::Mem(env::reg_mem(*g)),
-                    pdbt_ir::Val::Tmp(t) => HOperand::Mem(env::spill_mem(t.0 as usize)),
-                    pdbt_ir::Val::Const(c) => HOperand::Imm(*c as i32),
-                };
-                e.push(hb::mov(HOperand::Reg(HReg::Eax), src), CodeClass::QemuCore);
-                StubPlan::Indirect
-            }
-            (Some(Terminator::Exit), _) => {
-                enter_env(&mut e, &mut cached_mode);
-                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
-                e.extend(host, CodeClass::QemuCore);
-                StubPlan::Exit
-            }
-            (None, _) => {
-                enter_env(&mut e, &mut cached_mode);
-                let host = tcg_legalize(lower_ops(&lifted.body, &env_map));
-                e.extend(host, CodeClass::QemuCore);
-                StubPlan::FallThrough
-            }
-        }
+        emit_terminal(
+            &mut e,
+            addr,
+            inst,
+            direct_cc,
+            &env_map,
+            &sync_stores,
+            &mut cached_mode,
+        )?
     } else {
         StubPlan::FallThrough
     };
+    let succ = succ_of_plan(&plan, fall);
 
     // Epilogue: leave the environment canonical (flag-preserving moves).
-    enter_env(&mut e, &mut cached_mode);
+    enter_env(&mut e, &mut cached_mode, &sync_stores);
 
     // Exit stubs.
-    match plan {
-        StubPlan::FallThrough => {
-            one_sided_exit(&mut e, HOperand::Imm(fall as i32), guest_len);
-        }
-        StubPlan::Uncond(taken) => {
-            one_sided_exit(&mut e, HOperand::Imm(taken as i32), guest_len);
-        }
-        StubPlan::Cond(cc, taken, fallthrough) => {
-            two_sided_exit(&mut e, cc, taken, fallthrough, guest_len);
-        }
-        StubPlan::Indirect => {
-            one_sided_exit(&mut e, HOperand::Reg(HReg::Eax), guest_len);
-        }
-        StubPlan::Exit => {
-            bookkeeping(&mut e, guest_len);
-            e.push(hb::hlt(), CodeClass::Control);
-        }
-    }
+    emit_exit_stubs(&mut e, &plan, fall, guest_len);
 
     debug_assert_eq!(
         attributions.iter().map(|a| a.covered).sum::<u32>(),
@@ -1129,6 +1306,536 @@ pub fn translate_block(
         attributions,
         lookup_misses,
         deleg,
+        succ,
+        member_marks: Vec::new(),
+    })
+}
+
+/// A recorded conditional branch inside a trace.
+struct BranchSite {
+    /// Global position of the branch instruction.
+    t: usize,
+    cond: Cond,
+    /// Global position of the last instruction defining any of the
+    /// branch's condition flags (may sit in an earlier member — the
+    /// cross-block delegation case).
+    producer: Option<usize>,
+}
+
+/// Decides condition-flag delegation for the branch at `bs`, adjusting
+/// the producer segment's deferred materialization set on success.
+/// Returns the host condition, whether the branch counts as
+/// rule-covered, and the delegation depth.
+///
+/// `la_t` is the flag set live after the branch (for interior branches
+/// this already joins the off-trace side's live-ins); `off_live` is the
+/// off-trace exit's live-in set, retained for *later* branches sharing
+/// this producer — flags a side exit may leave unread must still reach
+/// the environment even if a later consumer would let them die.
+fn decide_delegation(
+    st: &mut BodyState,
+    deleg_off: &mut Vec<(usize, FlagSet)>,
+    bs: &BranchSite,
+    la_t: FlagSet,
+    off_live: FlagSet,
+    cfg: &TranslateConfig,
+) -> Option<(pdbt_isa_x86::Cc, bool, u32)> {
+    let p = bs.producer?;
+    if bs.t - p > cfg.window {
+        return None;
+    }
+    let sp = *st.seg_of_guest.get(p)?;
+    if sp == usize::MAX {
+        return None;
+    }
+    let report = st.segments.get(sp).and_then(|s| s.report.clone())?;
+    let cc = delegated_cc(bs.cond, &report)?;
+    // The host flags must survive every later segment on the on-trace
+    // path (the paper's "killed within the window" check; residency
+    // syncs and materialization code are flag-preserving moves).
+    let clean = st.segments[sp + 1..]
+        .iter()
+        .flat_map(|s| &s.code)
+        .all(|h| h.flag_defs().is_empty());
+    if !clean {
+        return None;
+    }
+    let uses = cond_flag_uses(bs.cond);
+    let protected = deleg_off
+        .iter()
+        .find(|(s, _)| *s == sp)
+        .map(|(_, f)| *f)
+        .unwrap_or(FlagSet::EMPTY);
+    // Flags the branch consumes can skip the environment — unless a
+    // successor, an earlier side exit, or another consumer reads them.
+    st.segments[sp].needs_mat = st.segments[sp].needs_mat - (uses - (la_t | protected));
+    match deleg_off.iter_mut().find(|(s, _)| *s == sp) {
+        Some((_, f)) => *f |= off_live,
+        None => deleg_off.push((sp, off_live)),
+    }
+    let covered = st.segments[sp].kind == ProducerKind::Rule && cfg.flag_delegation;
+    Some((cc, covered, (bs.t - p) as u32))
+}
+
+/// How control flows from an interior trace member to the next.
+#[derive(Clone, Copy)]
+enum Trans {
+    /// Straight-line (fall-through, unconditional branch, call): no
+    /// branch code at all.
+    Seamless,
+    /// Conditional: `jcc cc` continues on-trace, otherwise a trampoline
+    /// syncs state and side-exits to `off`.
+    Cond { cc: pdbt_isa_x86::Cc, off: Addr },
+}
+
+/// Translates a straight-line hot trace spanning `members` (basic-block
+/// start addresses in execution order; repeated members model loop
+/// unrolling) into a single superblock.
+///
+/// The trace reuses [`translate_block`]'s machinery end to end:
+/// register-frequency allocation runs over the whole trace, flag
+/// liveness is solved across member boundaries — so condition-flag
+/// delegation extends across former block boundaries — and every
+/// interior direct branch becomes an inline conditional with a
+/// side-exit trampoline instead of a block exit. Architectural effects
+/// are identical to executing the members individually: every exit
+/// synchronizes the cached registers, advances the environment icount
+/// to exactly the guest instructions retired so far, and leaves the
+/// environment canonical. Per-member accounting lands in
+/// [`TranslatedBlock::member_marks`].
+///
+/// # Errors
+///
+/// [`TranslateError`] if the members do not form a connected
+/// straight-line trace (each interior member's on-trace successor must
+/// be the next member), or on any translation failure.
+pub fn translate_trace(
+    prog: &Program,
+    members: &[Addr],
+    rules: Option<&RuleSet>,
+    cfg: &TranslateConfig,
+) -> Result<TranslatedBlock, TranslateError> {
+    let _span = pdbt_obs::span_with("translate_trace", || {
+        format!("{:#x} ({} members)", members[0], members.len())
+    });
+    let k = members.len();
+    if k < 2 {
+        return Err(TranslateError {
+            detail: "a trace needs at least two members".into(),
+        });
+    }
+    let mut mems: Vec<Vec<(Addr, &GInst)>> = Vec::with_capacity(k);
+    for &start in members {
+        mems.push(collect_block(prog, start, cfg.max_block)?);
+    }
+
+    // Validate connectivity and find each interior member's on-trace
+    // branch direction.
+    let mut on_trace_taken: Vec<bool> = vec![false; k];
+    for m in 0..k - 1 {
+        let (last_addr, last_inst) = *mems[m].last().expect("non-empty block");
+        let next = members[m + 1];
+        let fall = last_addr + INST_SIZE;
+        let connected = match last_inst.op {
+            pdbt_isa_arm::Op::B => {
+                let Operand::Target(d) = last_inst.operands[0] else {
+                    unreachable!()
+                };
+                let taken = last_addr.wrapping_add(d as u32);
+                if last_inst.cond == Cond::Al {
+                    next == taken
+                } else {
+                    on_trace_taken[m] = next == taken;
+                    next == taken || next == fall
+                }
+            }
+            pdbt_isa_arm::Op::Bl => {
+                let Operand::Target(d) = last_inst.operands[0] else {
+                    unreachable!()
+                };
+                next == last_addr.wrapping_add(d as u32)
+            }
+            // Indirect transfers and halts have no static successor.
+            _ if last_inst.ends_block() => false,
+            // Max-length member: falls through.
+            _ => next == fall,
+        };
+        if !connected {
+            return Err(TranslateError {
+                detail: format!("trace member {m} does not continue at {next:#x}"),
+            });
+        }
+    }
+
+    // Global instruction sequence and per-member position ranges.
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(k);
+    let mut global: Vec<(Addr, &GInst)> = Vec::new();
+    for insts in &mems {
+        let b = global.len();
+        global.extend(insts.iter().copied());
+        ranges.push((b, global.len()));
+    }
+    let total_n = global.len();
+    let body_lens: Vec<usize> = mems
+        .iter()
+        .map(|insts| {
+            let lt = insts.last().is_some_and(|(_, i)| i.ends_block());
+            if lt {
+                insts.len() - 1
+            } else {
+                insts.len()
+            }
+        })
+        .collect();
+
+    // Trace-wide register-frequency allocation.
+    let ordered = reg_frequency_order(global.iter().map(|(_, i)| *i));
+    let map = RegMap::allocate(&ordered);
+    let env_map = RegMap::all_env();
+
+    // Flag liveness, solved backwards over the whole trace: interior
+    // conditional branches join their off-trace side's live-ins, so a
+    // producer's flags stay live exactly as long as any on- or off-trace
+    // consumer can still read them.
+    let liveins = flag_liveins(prog);
+    let (final_last_addr, final_last_inst) = *mems[k - 1].last().expect("non-empty block");
+    let exit_live = block_exit_live(prog, &liveins, final_last_addr, final_last_inst);
+    let mut live_after = vec![FlagSet::EMPTY; total_n];
+    {
+        let mut live = exit_live;
+        let mut m = k - 1;
+        for t in (0..total_n).rev() {
+            while t < ranges[m].0 {
+                m -= 1;
+            }
+            let (addr, inst) = global[t];
+            if m < k - 1 && t + 1 == ranges[m].1 {
+                // Interior terminal: join what the off-trace side reads.
+                match inst.op {
+                    pdbt_isa_arm::Op::B if inst.cond != Cond::Al => {
+                        let Operand::Target(d) = inst.operands[0] else {
+                            unreachable!()
+                        };
+                        let taken = addr.wrapping_add(d as u32);
+                        let off = if on_trace_taken[m] {
+                            addr + INST_SIZE
+                        } else {
+                            taken
+                        };
+                        live |= livein_at(prog, &liveins, off);
+                    }
+                    // A call's return continuation is off-trace.
+                    pdbt_isa_arm::Op::Bl => {
+                        live |= livein_at(prog, &liveins, addr + INST_SIZE);
+                    }
+                    _ => {}
+                }
+            }
+            live_after[t] = live;
+            let uses = if inst.op == pdbt_isa_arm::Op::B && inst.cond != Cond::Al {
+                cond_flag_uses(inst.cond)
+            } else {
+                inst.flag_uses()
+            };
+            live = (live - inst.flag_defs()) | uses;
+        }
+    }
+
+    // Conditional branches and their flag producers (which may sit in an
+    // earlier member — interior terminals define no flags, so the
+    // backward scan crosses them transparently).
+    let mut branches: Vec<BranchSite> = Vec::new();
+    for (_, er) in &ranges {
+        let t = er - 1;
+        let (_, last_inst) = global[t];
+        if last_inst.op == pdbt_isa_arm::Op::B && last_inst.cond != Cond::Al {
+            let uses = cond_flag_uses(last_inst.cond);
+            let producer = (0..t)
+                .rev()
+                .find(|&p| global[p].1.flag_defs().intersects(uses));
+            branches.push(BranchSite {
+                t,
+                cond: last_inst.cond,
+                producer,
+            });
+        }
+    }
+    let producers: Vec<usize> = branches.iter().filter_map(|bs| bs.producer).collect();
+
+    // Rule matches per member body; the caching heuristic counts hits
+    // across the whole trace.
+    let mut all_matches: Vec<Vec<Option<pdbt_core::Match<'_>>>> = Vec::with_capacity(k);
+    let mut rule_hits = 0usize;
+    for (m, insts) in mems.iter().enumerate() {
+        let matches: Vec<Option<pdbt_core::Match<'_>>> = match rules {
+            Some(r) => insts
+                .iter()
+                .take(body_lens[m])
+                .map(|(_, i)| r.lookup(i))
+                .collect(),
+            None => vec![None; body_lens[m]],
+        };
+        rule_hits += matches.iter().filter(|x| x.is_some()).count();
+        all_matches.push(matches);
+    }
+    let use_cache = rule_hits >= 3;
+
+    // Phase 1 + delegation, member by member in trace order: a branch's
+    // decision runs as soon as its member's segments exist, so the clean
+    // check always sees exactly the on-trace code between producer and
+    // branch (including earlier members' transition segments).
+    let mut st = BodyState::default();
+    let mut deleg_off: Vec<(usize, FlagSet)> = Vec::new();
+    let mut seg_ranges: Vec<(usize, usize)> = Vec::with_capacity(k);
+    let mut attr_ranges: Vec<(usize, usize)> = Vec::with_capacity(k);
+    let mut member_deleg: Vec<Option<DelegOutcome>> = vec![None; k];
+    let mut member_branch_cov: Vec<bool> = vec![false; k];
+    let mut trans: Vec<Trans> = vec![Trans::Seamless; k];
+    let mut final_direct_cc: Option<pdbt_isa_x86::Cc> = None;
+    for m in 0..k {
+        let seg_b = st.segments.len();
+        let attr_b = st.attributions.len();
+        build_body_segments(
+            &mems[m][..body_lens[m]],
+            ranges[m].0,
+            &live_after,
+            &producers,
+            rules,
+            cfg,
+            &map,
+            use_cache,
+            &all_matches[m],
+            &mut st,
+        )?;
+        let has_term = body_lens[m] < mems[m].len();
+        if has_term {
+            let t = ranges[m].1 - 1;
+            let (taddr, tinst) = global[t];
+            if tinst.op == pdbt_isa_arm::Op::B && tinst.cond != Cond::Al {
+                let bs = branches
+                    .iter()
+                    .find(|b| b.t == t)
+                    .expect("conditional branch was recorded");
+                let interior = m < k - 1;
+                let Operand::Target(d) = tinst.operands[0] else {
+                    unreachable!()
+                };
+                let taken = taddr.wrapping_add(d as u32);
+                let off = if on_trace_taken[m] {
+                    taddr + INST_SIZE
+                } else {
+                    taken
+                };
+                let off_live = if interior {
+                    livein_at(prog, &liveins, off)
+                } else {
+                    FlagSet::EMPTY
+                };
+                let decided =
+                    decide_delegation(&mut st, &mut deleg_off, bs, live_after[t], off_live, cfg);
+                if let Some((_, covered, depth)) = decided {
+                    member_deleg[m] = Some(DelegOutcome::Delegated(depth));
+                    member_branch_cov[m] = covered;
+                    if covered {
+                        st.attributions.push(RuleAttribution {
+                            label: format!("b{} (delegated)", bs.cond),
+                            subgroup: subgroup_of(pdbt_isa_arm::Op::B).to_string(),
+                            covered: 1,
+                        });
+                    }
+                } else {
+                    member_deleg[m] = Some(DelegOutcome::EnvFallback);
+                }
+                if interior {
+                    let hcc = match decided {
+                        Some((cc, _, _)) => {
+                            st.seg_of_guest.push(usize::MAX);
+                            if on_trace_taken[m] {
+                                cc
+                            } else {
+                                cc.invert()
+                            }
+                        }
+                        None => {
+                            // Evaluate the guest condition from the
+                            // environment flags in a transition segment.
+                            let lifted = lift(tinst, taddr).map_err(|err| TranslateError {
+                                detail: format!("{tinst}: {err}"),
+                            })?;
+                            let Some(Terminator::Br {
+                                cond: Some((icc, a, b)),
+                                ..
+                            }) = lifted.term
+                            else {
+                                return Err(TranslateError {
+                                    detail: format!("{tinst}: expected a conditional terminator"),
+                                });
+                            };
+                            let mut code = tcg_legalize(lower_ops(&lifted.body, &env_map));
+                            let (cmp, hcc0) = lower_branch_cond(icc, a, b, &env_map);
+                            code.extend(tcg_legalize(cmp));
+                            st.seg_of_guest.push(st.segments.len());
+                            st.segments.push(Segment {
+                                code,
+                                class: CodeClass::QemuCore,
+                                covered: 0,
+                                report: None,
+                                needs_mat: FlagSet::EMPTY,
+                                kind: ProducerKind::Qemu,
+                                cached: false,
+                            });
+                            if on_trace_taken[m] {
+                                hcc0
+                            } else {
+                                hcc0.invert()
+                            }
+                        }
+                    };
+                    trans[m] = Trans::Cond { cc: hcc, off };
+                } else {
+                    final_direct_cc = decided.map(|(cc, _, _)| cc);
+                }
+            } else if m < k - 1 {
+                // Unconditional b/bl: emit its guest work (link-register
+                // writes) as a transition segment; a plain `b` has none
+                // and the trace flows seamlessly through it.
+                let lifted = lift(tinst, taddr).map_err(|err| TranslateError {
+                    detail: format!("{tinst}: {err}"),
+                })?;
+                let code = tcg_legalize(lower_ops(&lifted.body, &env_map));
+                if code.is_empty() {
+                    st.seg_of_guest.push(usize::MAX);
+                } else {
+                    st.seg_of_guest.push(st.segments.len());
+                    st.segments.push(Segment {
+                        code,
+                        class: CodeClass::QemuCore,
+                        covered: 0,
+                        report: None,
+                        needs_mat: FlagSet::EMPTY,
+                        kind: ProducerKind::Qemu,
+                        cached: false,
+                    });
+                }
+            }
+        }
+        seg_ranges.push((seg_b, st.segments.len()));
+        attr_ranges.push((attr_b, st.attributions.len()));
+    }
+
+    // Emission: members in order, side-exit trampolines between them,
+    // per-block terminal machinery for the final member.
+    let mut e = Emitter {
+        code: Vec::new(),
+        classes: Vec::new(),
+    };
+    let mut cached_mode = false;
+    let sync_loads: Vec<(GReg, HReg)> = map
+        .allocated()
+        .iter()
+        .copied()
+        .filter(|(g, _)| st.cached_regs.contains(g))
+        .collect();
+    let sync_stores: Vec<(GReg, HReg)> = map
+        .allocated()
+        .iter()
+        .copied()
+        .filter(|(g, _)| st.cached_writes.contains(g))
+        .collect();
+    let mut member_marks: Vec<MemberMark> = Vec::with_capacity(k);
+    let mut rule_covered: u32 = 0;
+    let mut cum_guest: u32 = 0;
+    let mut succ = BlockSuccs::None;
+    for m in 0..k {
+        let anchor = e.code.len();
+        cum_guest += mems[m].len() as u32;
+        let mut member_rc: u32 = 0;
+        for seg in &st.segments[seg_ranges[m].0..seg_ranges[m].1] {
+            if seg.cached {
+                enter_cached(&mut e, &mut cached_mode, &sync_loads);
+            } else {
+                enter_env(&mut e, &mut cached_mode, &sync_stores);
+            }
+            e.extend(seg.code.clone(), seg.class);
+            member_rc += seg.covered;
+            if !seg.needs_mat.is_empty() {
+                let report = seg.report.as_ref().expect("deferred flags carry a report");
+                if !materialize_flags(&mut e, seg.needs_mat, report) {
+                    return Err(TranslateError {
+                        detail: "phase 1 admitted an unmaterializable producer".into(),
+                    });
+                }
+            }
+        }
+        if member_branch_cov[m] {
+            member_rc += 1;
+        }
+        if m < k - 1 {
+            if let Trans::Cond { cc, off } = trans[m] {
+                // Side exit: `jcc` continues on-trace (keeping the cached
+                // registers live), otherwise the trampoline syncs state,
+                // advances icount to exactly the members retired so far,
+                // and leaves through a block exit.
+                let stores: &[(GReg, HReg)] = if cached_mode { &sync_stores } else { &[] };
+                e.push(hb::jcc(cc, stores.len() as i32 + 3), CodeClass::Control);
+                for (g, h) in stores {
+                    e.push(
+                        hb::mov(HOperand::Mem(env::reg_mem(*g)), HOperand::Reg(*h)),
+                        CodeClass::DataTransfer,
+                    );
+                }
+                bookkeeping(&mut e, cum_guest);
+                e.push(hb::jmp_exit(HOperand::Imm(off as i32)), CodeClass::Control);
+            }
+        } else {
+            let has_term = body_lens[m] < mems[m].len();
+            let plan = if has_term {
+                let (taddr, tinst) = *mems[m].last().expect("non-empty block");
+                emit_terminal(
+                    &mut e,
+                    taddr,
+                    tinst,
+                    final_direct_cc,
+                    &env_map,
+                    &sync_stores,
+                    &mut cached_mode,
+                )?
+            } else {
+                StubPlan::FallThrough
+            };
+            let fall = members[m] + mems[m].len() as u32 * INST_SIZE;
+            succ = succ_of_plan(&plan, fall);
+            // Epilogue: leave the environment canonical.
+            enter_env(&mut e, &mut cached_mode, &sync_stores);
+            emit_exit_stubs(&mut e, &plan, fall, cum_guest);
+        }
+        rule_covered += member_rc;
+        member_marks.push(MemberMark {
+            start: members[m],
+            anchor,
+            guest_len: mems[m].len() as u32,
+            rule_covered: member_rc,
+            attr_range: attr_ranges[m],
+            deleg: member_deleg[m],
+        });
+    }
+
+    debug_assert_eq!(
+        st.attributions.iter().map(|a| a.covered).sum::<u32>(),
+        rule_covered,
+        "attribution must decompose coverage exactly"
+    );
+    Ok(TranslatedBlock {
+        start: members[0],
+        code: e.code,
+        classes: e.classes,
+        guest_len: total_n as u32,
+        rule_covered,
+        attributions: st.attributions,
+        lookup_misses: st.lookup_misses,
+        deleg: None,
+        succ,
+        member_marks,
     })
 }
 

@@ -5,12 +5,20 @@
 //! pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N]
 //!             [--faults SPEC] -o rules.txt
 //! pdbt run    prog.s [--rules rules.txt] [--no-delegation] [--stats] [--jobs N]
+//!             [--no-chain] [--no-trace] [--trace-threshold N]
 //!             [--faults SPEC] [--report-json FILE] [--trace-out FILE]
 //! pdbt stats  prog.s [--rules rules.txt] [--no-delegation] [--jobs N]
+//!             [--no-chain] [--no-trace] [--trace-threshold N]
 //!             [--faults SPEC] [--report-json FILE] [--trace-out FILE]
 //! pdbt trace  prog.s [--rules rules.txt] [--addr HEX]
 //! pdbt bench  [--scale tiny|full] [BENCH]
 //! ```
+//!
+//! `--no-chain` disables the dispatch fast path (direct-mapped jump
+//! cache + block chaining), `--no-trace` disables hot-trace superblock
+//! promotion, and `--trace-threshold N` sets how many executions make a
+//! block hot (default 50). Architectural output and `guest_retired` are
+//! identical either way; only dispatch overhead changes.
 //!
 //! `--jobs N` fans derived-rule verification (`train`) or block
 //! pre-translation (`run`/`stats`) across `N` worker threads; results
@@ -53,8 +61,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N] [--faults SPEC] -o FILE\n  \
-         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--jobs N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
-         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
          pdbt bench  [--scale tiny|full] [BENCH]"
     );
@@ -244,6 +252,13 @@ fn execute(args: &Args, verb: &str) -> Result<Report, String> {
     let mut cfg = EngineConfig::default();
     cfg.translate.flag_delegation = !args.has("no-delegation");
     cfg.jobs = jobs_of(args)?;
+    cfg.chaining = !args.has("no-chain");
+    cfg.traces = !args.has("no-trace");
+    if let Some(n) = args.value("trace-threshold") {
+        cfg.trace_threshold = n
+            .parse::<u32>()
+            .map_err(|e| format!("bad --trace-threshold: {e}"))?;
+    }
     let mut engine = Engine::new(rules, cfg);
     engine.resilience_mut().quarantined_rules = quarantined_rules;
     let setup = RunSetup::basic(DATA_BASE, 0x1000, 0x8_0000, 0x1000);
@@ -328,6 +343,21 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         "\nflag-delegation window depth (catch-all = env fallback)\n{}",
         report.obs.deleg_depth
     );
+    let d = &report.obs.dispatch;
+    println!("\ndispatch");
+    println!(
+        "  jump cache        {:>12} hits, {} misses",
+        d.jump_cache_hits, d.jump_cache_misses
+    );
+    println!(
+        "  chaining          {:>12} followed, {} links resolved",
+        d.chain_followed, d.links_resolved
+    );
+    println!(
+        "  traces            {:>12} formed, {} superblock executions",
+        d.traces_formed, d.trace_execs
+    );
+    println!("  invalidations     {:>12}", d.invalidations);
     let res = &report.resilience;
     if *res != Resilience::default() || report.outcome != Outcome::Completed {
         println!("\nresilience (outcome: {})", report.outcome.label());
@@ -435,6 +465,7 @@ fn main() -> ExitCode {
             "faults",
             "report-json",
             "trace-out",
+            "trace-threshold",
         ],
     );
     let result = match cmd {

@@ -1,0 +1,225 @@
+//! Dispatch hot-path lockdown: block chaining, the direct-mapped jump
+//! cache, and hot-trace superblocks are *transparent* optimizations —
+//! architectural output and `guest_retired` must be bit-identical to
+//! the unchained engine and to the pure reference interpreter, on every
+//! workload, at every worker count, and across budget truncation.
+
+use pdbt::core::derive::{derive, DeriveConfig};
+use pdbt::core::learning::{learn_into, LearnConfig};
+use pdbt::core::RuleSet;
+use pdbt::obs::json::Json;
+use pdbt::runtime::{Engine, EngineConfig, Outcome, Report, RunSetup};
+use pdbt::workloads::{run_reference, suite, Scale, Workload};
+use pdbt_isa_arm::{builders as g, Operand as O, Program, Reg};
+use pdbt_symexec::CheckOptions;
+
+/// An engine config with the dispatch fast path fully on and a low
+/// promotion threshold, so the tiny-suite loops actually form traces.
+fn chained_cfg() -> EngineConfig {
+    EngineConfig {
+        trace_threshold: 4,
+        ..EngineConfig::default()
+    }
+}
+
+/// The pre-chaining engine: no jump cache, no links, no traces.
+fn unchained_cfg() -> EngineConfig {
+    EngineConfig {
+        chaining: false,
+        traces: false,
+        ..EngineConfig::default()
+    }
+}
+
+fn run_with(w: &Workload, rules: Option<&RuleSet>, cfg: EngineConfig) -> Report {
+    let mut engine = Engine::new(rules.cloned(), cfg);
+    engine.run(&w.pair.guest.program, &w.setup()).expect("runs")
+}
+
+/// The paper's full rule set over the tiny suite (learned from all
+/// benchmarks — this file tests dispatch, not the training protocol).
+fn tiny_rules() -> RuleSet {
+    let mut learned = RuleSet::new();
+    for w in &suite(Scale::tiny()) {
+        learn_into(&mut learned, &w.pair, &w.debug, LearnConfig::default());
+    }
+    let (full, _) = derive(&learned, DeriveConfig::full(), CheckOptions::default());
+    full
+}
+
+/// A two-level hot loop spanning three short blocks per inner
+/// iteration — the shape the chaining fast path exists for.
+fn hot_loop_program() -> Program {
+    Program::new(
+        0x1000,
+        vec![
+            g::mov(Reg::R0, O::Imm(40)),
+            g::mov(Reg::R2, O::Imm(0)),
+            g::mov(Reg::R1, O::Imm(25)),
+            g::add(Reg::R2, Reg::R2, O::Reg(Reg::R1)),
+            g::b(pdbt_isa::Cond::Al, 4),
+            g::eor(Reg::R3, Reg::R2, O::Imm(0x55)),
+            g::add(Reg::R2, Reg::R2, O::Imm(1)),
+            g::b(pdbt_isa::Cond::Al, 4),
+            g::sub(Reg::R1, Reg::R1, O::Imm(1)).with_s(),
+            g::b(pdbt_isa::Cond::Ne, -24),
+            g::sub(Reg::R0, Reg::R0, O::Imm(1)).with_s(),
+            g::b(pdbt_isa::Cond::Ne, -36),
+            g::mov(Reg::R0, O::Reg(Reg::R2)),
+            g::svc(1),
+            g::svc(0),
+        ],
+    )
+}
+
+/// Chained and superblock dispatch must be invisible in the
+/// architectural results across the whole workload suite, with and
+/// without rules, against both the unchained engine and the reference
+/// interpreter.
+#[test]
+fn chained_dispatch_is_architecturally_transparent_across_the_suite() {
+    let rules = tiny_rules();
+    let mut any_traces = false;
+    for w in &suite(Scale::tiny()) {
+        let golden = run_reference(w).expect("reference runs");
+        for rules in [None, Some(&rules)] {
+            let chained = run_with(w, rules, chained_cfg());
+            let unchained = run_with(w, rules, unchained_cfg());
+            let tag = format!(
+                "{} ({})",
+                w.bench,
+                if rules.is_some() { "rules" } else { "qemu" }
+            );
+            assert_eq!(chained.output, golden, "{tag}: chained output diverged");
+            assert_eq!(unchained.output, golden, "{tag}: unchained output diverged");
+            assert_eq!(
+                chained.metrics.guest_retired, unchained.metrics.guest_retired,
+                "{tag}: guest_retired diverged"
+            );
+            assert_eq!(
+                chained.metrics.rule_covered, unchained.metrics.rule_covered,
+                "{tag}: rule_covered diverged"
+            );
+            assert_eq!(
+                chained.metrics.host_retired,
+                chained.metrics.host_executed(),
+                "{tag}: class attribution lost host instructions"
+            );
+            assert_eq!(
+                chained.obs.rules.total_covered(),
+                chained.metrics.rule_covered,
+                "{tag}: attribution no longer decomposes coverage"
+            );
+            let d = &chained.obs.dispatch;
+            assert!(d.chain_followed > 0, "{tag}: chaining never engaged");
+            any_traces |= d.traces_formed > 0;
+            let u = &unchained.obs.dispatch;
+            assert_eq!(
+                (u.jump_cache_hits, u.chain_followed, u.traces_formed),
+                (0, 0, 0),
+                "{tag}: unchained engine used the fast path"
+            );
+        }
+    }
+    assert!(
+        any_traces,
+        "no workload formed a superblock — test is vacuous"
+    );
+}
+
+/// Superblocks must form on a hot multi-block loop and keep output and
+/// retirement identical, including partial (side-exit) executions.
+#[test]
+fn superblocks_form_and_preserve_architectural_results() {
+    let prog = hot_loop_program();
+    let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+    let mut chained = Engine::new(None, chained_cfg());
+    let a = chained.run(&prog, &setup).expect("runs");
+    let mut unchained = Engine::new(None, unchained_cfg());
+    let b = unchained.run(&prog, &setup).expect("runs");
+    assert_eq!(a.outcome, Outcome::Completed);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.metrics.guest_retired, b.metrics.guest_retired);
+    assert_eq!(a.metrics.host_retired, a.metrics.host_executed());
+    let d = &a.obs.dispatch;
+    assert!(d.traces_formed > 0, "hot loop never promoted");
+    assert!(d.trace_execs > 0, "superblock never executed");
+    assert!(d.jump_cache_hits > 0, "jump cache never hit");
+    // The reference interpreter agrees on output and retirement.
+    let mut cpu = pdbt_isa_arm::Cpu::new();
+    let stats = pdbt_isa_arm::run(&mut cpu, &prog, u64::MAX).expect("reference runs");
+    assert_eq!(a.output, cpu.output);
+    assert_eq!(a.metrics.guest_retired, stats.executed);
+}
+
+/// The budget guard: superblocks retire several blocks per execution,
+/// so near the guest budget they must stand down — `guest_retired` at
+/// the truncation point has to match the unchained engine exactly.
+#[test]
+fn budget_truncation_is_identical_chained_and_unchained() {
+    let prog = hot_loop_program();
+    for max_guest in [1, 7, 100, 1234, 2000] {
+        let mut setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        setup.max_guest = max_guest;
+        let mut chained = Engine::new(None, chained_cfg());
+        let a = chained.run(&prog, &setup).expect("partial report");
+        let mut unchained = Engine::new(None, unchained_cfg());
+        let b = unchained.run(&prog, &setup).expect("partial report");
+        assert_eq!(a.outcome, Outcome::Budget, "budget {max_guest}");
+        assert_eq!(a.outcome, b.outcome, "budget {max_guest}");
+        assert_eq!(
+            a.metrics.guest_retired, b.metrics.guest_retired,
+            "budget {max_guest}: retirement diverged"
+        );
+        assert_eq!(a.output, b.output, "budget {max_guest}: output diverged");
+    }
+}
+
+/// The report JSON with the fields that legitimately depend on the
+/// worker count removed: wall-clock timing, which engine translated a
+/// block (lazy dispatch vs. prewarm changes static translation counts
+/// and cache/pool traffic) — everything *dynamic* must be bit-identical.
+fn strip_jobs_dependent(report: &Report) -> String {
+    let mut doc = report.to_json();
+    if let Json::Obj(top) = &mut doc {
+        if let Some(Json::Obj(hists)) = top.get_mut("histograms") {
+            hists.remove("translate_ns");
+        }
+        top.remove("cache");
+        top.remove("pool");
+        top.remove("rules");
+        top.remove("lookup_misses");
+        if let Some(Json::Obj(metrics)) = top.get_mut("metrics") {
+            metrics.remove("blocks_translated");
+            metrics.remove("host_generated");
+        }
+    }
+    doc.to_string()
+}
+
+/// Chaining and trace promotion are driven purely by execution order,
+/// which the prewarm worker count cannot change: with the fast path
+/// fully on, `--jobs 1` and `--jobs 4` produce bit-identical stripped
+/// reports — including every `dispatch` counter.
+#[test]
+fn chained_dispatch_is_deterministic_across_jobs() {
+    let rules = tiny_rules();
+    let workloads = suite(Scale::tiny());
+    for w in workloads.iter().take(3) {
+        let serial = run_with(w, Some(&rules), chained_cfg());
+        let parallel = run_with(
+            w,
+            Some(&rules),
+            EngineConfig {
+                jobs: 4,
+                ..chained_cfg()
+            },
+        );
+        assert_eq!(
+            strip_jobs_dependent(&serial),
+            strip_jobs_dependent(&parallel),
+            "{}: stripped reports diverged between jobs=1 and jobs=4",
+            w.bench
+        );
+    }
+}

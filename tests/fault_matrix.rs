@@ -175,6 +175,78 @@ fn mixed_fault_run_still_matches_reference() {
     });
 }
 
+/// Cache faults interleaved with the chained dispatch fast path: a pc
+/// that degrades to the interpreter must be poisoned out of the jump
+/// cache, de-chained from every predecessor, and evicted from any
+/// superblock containing it — and the run must still complete with the
+/// reference output. The unchained engine under the *same* plan retires
+/// the same guest instruction count: injection is keyed purely by pc,
+/// so the extra probe calls the fast path makes cannot shift decisions.
+#[test]
+fn poisoned_block_breaks_its_chain_and_the_run_completes() {
+    let _guard = PLAN.lock().unwrap();
+    let workloads = suite(Scale::tiny());
+    let w = &workloads[0];
+    let golden = run_reference(w).expect("reference runs");
+    let learned = learn_tiny();
+    let (clean, _) = derive_jobs(&learned, DeriveConfig::full(), CheckOptions::default(), 4);
+    // 0.3 leaves translated and interpreted blocks interleaved, so
+    // chains form around the poisoned pcs instead of vanishing wholesale.
+    let plan = |seed| Plan::single(Site::Cache, seed, 0.3);
+    let chained_cfg = EngineConfig {
+        trace_threshold: 2,
+        ..EngineConfig::default()
+    };
+    let unchained_cfg = EngineConfig {
+        chaining: false,
+        traces: false,
+        ..EngineConfig::default()
+    };
+    quiet_panics(|| {
+        for seed in SEEDS {
+            pdbt_faults::configure(Some(plan(seed)));
+            let mut engine = Engine::new(Some(clean.clone()), chained_cfg);
+            let report = engine
+                .run(&w.pair.guest.program, &w.setup())
+                .expect("setup never fails");
+            assert_eq!(
+                report.outcome,
+                Outcome::Completed,
+                "seed {seed:#x}: chained run did not complete"
+            );
+            assert_eq!(
+                report.output, golden,
+                "seed {seed:#x}: chained degraded run diverged from the reference"
+            );
+            assert!(
+                report.resilience.degraded_blocks > 0,
+                "seed {seed:#x}: no block degraded — test is vacuous"
+            );
+            assert!(
+                report.obs.dispatch.invalidations > 0,
+                "seed {seed:#x}: degradation never invalidated the jump cache"
+            );
+            assert!(
+                report.obs.dispatch.chain_followed > 0,
+                "seed {seed:#x}: no chain survived around the poisoned blocks"
+            );
+            // Same plan, dispatch fast path off: pc-keyed injection makes
+            // the same per-block decisions, so retirement is identical.
+            pdbt_faults::configure(Some(plan(seed)));
+            let mut engine = Engine::new(Some(clean.clone()), unchained_cfg);
+            let unchained = engine
+                .run(&w.pair.guest.program, &w.setup())
+                .expect("setup never fails");
+            assert_eq!(unchained.output, golden, "seed {seed:#x}");
+            assert_eq!(
+                report.metrics.guest_retired, unchained.metrics.guest_retired,
+                "seed {seed:#x}: chaining changed retirement under faults"
+            );
+            pdbt_faults::configure(None);
+        }
+    });
+}
+
 /// Serial and parallel derivation must stay bit-identical even while
 /// workers are being panicked and candidates quarantined: injection is
 /// keyed by candidate identity, never by scheduling.

@@ -112,6 +112,16 @@ fn report_json_schema_matches_golden() {
         "resilience.injected.store",
         "resilience.injected.pool",
         "resilience.injected.cache",
+        // The dispatch hot-path counters: dashboards distinguish a run
+        // where chaining/traces never engaged from one where the flags
+        // were off by these being present-and-zero vs. absent.
+        "dispatch.jump_cache_hits",
+        "dispatch.jump_cache_misses",
+        "dispatch.chain_followed",
+        "dispatch.links_resolved",
+        "dispatch.traces_formed",
+        "dispatch.trace_execs",
+        "dispatch.invalidations",
     ] {
         assert!(
             paths.contains(required),
