@@ -200,6 +200,7 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 #[cfg(feature = "enabled")]
 mod imp {
     use super::{Plan, Site, SITE_COUNT};
+    use std::cell::{Cell, RefCell};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Mutex;
 
@@ -212,6 +213,16 @@ mod imp {
         sites: u8,
     }
 
+    impl State {
+        fn of(p: Plan) -> State {
+            State {
+                seed: p.seed,
+                threshold: (p.rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64,
+                sites: p.sites,
+            }
+        }
+    }
+
     static ACTIVE: AtomicBool = AtomicBool::new(false);
     static STATE: Mutex<Option<State>> = Mutex::new(None);
     static COUNTS: [AtomicU64; SITE_COUNT] = [
@@ -222,6 +233,17 @@ mod imp {
         AtomicU64::new(0),
     ];
 
+    thread_local! {
+        /// Request-scoped overlay: `Some(Some(state))` = a scoped plan
+        /// shadows the process plan on this thread, `Some(None)` = the
+        /// thread is explicitly shielded (no faults at all, even with a
+        /// process plan installed), `None` = fall through to the
+        /// process plan.
+        static SCOPED: Cell<Option<Option<State>>> = const { Cell::new(None) };
+        /// Per-site injection counts of the innermost scoped plan.
+        static SCOPED_COUNTS: RefCell<[u64; SITE_COUNT]> = const { RefCell::new([0; SITE_COUNT]) };
+    }
+
     fn splitmix(mut z: u64) -> u64 {
         z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -230,11 +252,7 @@ mod imp {
     }
 
     pub fn configure(plan: Option<Plan>) {
-        let state = plan.map(|p| State {
-            seed: p.seed,
-            threshold: (p.rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64,
-            sites: p.sites,
-        });
+        let state = plan.map(State::of);
         for c in &COUNTS {
             c.store(0, Ordering::SeqCst);
         }
@@ -244,16 +262,13 @@ mod imp {
     }
 
     pub fn active() -> bool {
-        ACTIVE.load(Ordering::Relaxed)
+        SCOPED.with(|s| match s.get() {
+            Some(over) => over.is_some(),
+            None => ACTIVE.load(Ordering::Relaxed),
+        })
     }
 
-    pub fn hit_with(site: Site, key: impl FnOnce() -> u64) -> bool {
-        if !active() {
-            return false;
-        }
-        let Some(state) = *STATE.lock().expect("fault plan lock") else {
-            return false;
-        };
+    fn decide(state: State, site: Site, key: impl FnOnce() -> u64) -> bool {
         if state.sites & (1 << site.index()) == 0 {
             return false;
         }
@@ -262,7 +277,27 @@ mod imp {
                 .seed
                 .wrapping_add(splitmix(site.index() as u64 ^ splitmix(key()))),
         );
-        if decision < state.threshold {
+        decision < state.threshold
+    }
+
+    pub fn hit_with(site: Site, key: impl FnOnce() -> u64) -> bool {
+        // The scoped overlay wins: it both arms per-request plans and
+        // shields scoped threads from the process-wide plan.
+        if let Some(over) = SCOPED.with(Cell::get) {
+            let Some(state) = over else { return false };
+            if decide(state, site, key) {
+                SCOPED_COUNTS.with(|c| c.borrow_mut()[site.index()] += 1);
+                return true;
+            }
+            return false;
+        }
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return false;
+        }
+        let Some(state) = *STATE.lock().expect("fault plan lock") else {
+            return false;
+        };
+        if decide(state, site, key) {
             COUNTS[site.index()].fetch_add(1, Ordering::Relaxed);
             return true;
         }
@@ -275,6 +310,35 @@ mod imp {
             *o = c.load(Ordering::Relaxed);
         }
         out
+    }
+
+    /// RAII state for a scoped plan on this thread: the previous
+    /// overlay and counts, restored on drop.
+    pub struct ScopedGuard {
+        prev: Option<Option<State>>,
+        prev_counts: [u64; SITE_COUNT],
+    }
+
+    pub fn scoped(plan: Option<Plan>) -> ScopedGuard {
+        let prev = SCOPED.with(|s| s.replace(Some(plan.map(State::of))));
+        let prev_counts =
+            SCOPED_COUNTS.with(|c| std::mem::replace(&mut *c.borrow_mut(), [0; SITE_COUNT]));
+        ScopedGuard { prev, prev_counts }
+    }
+
+    pub fn scoped_active() -> bool {
+        SCOPED.with(|s| s.get().is_some())
+    }
+
+    pub fn scoped_injected() -> [u64; SITE_COUNT] {
+        SCOPED_COUNTS.with(|c| *c.borrow())
+    }
+
+    impl Drop for ScopedGuard {
+        fn drop(&mut self) {
+            SCOPED.with(|s| s.set(self.prev));
+            SCOPED_COUNTS.with(|c| *c.borrow_mut() = self.prev_counts);
+        }
     }
 }
 
@@ -297,6 +361,24 @@ mod imp {
 
     #[inline(always)]
     pub fn injected() -> [u64; SITE_COUNT] {
+        [0; SITE_COUNT]
+    }
+
+    /// Inert scoped-plan guard for disabled builds.
+    pub struct ScopedGuard;
+
+    #[inline(always)]
+    pub fn scoped(_plan: Option<Plan>) -> ScopedGuard {
+        ScopedGuard
+    }
+
+    #[inline(always)]
+    pub fn scoped_active() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn scoped_injected() -> [u64; SITE_COUNT] {
         [0; SITE_COUNT]
     }
 }
@@ -358,6 +440,55 @@ pub fn injected() -> [u64; SITE_COUNT] {
     imp::injected()
 }
 
+/// RAII guard for a request-scoped fault plan (see [`scoped`]).
+pub use imp::ScopedGuard;
+
+/// Installs a *request-scoped* fault plan on the current thread,
+/// shadowing the process-wide plan until the returned guard drops.
+///
+/// `Some(plan)` arms the plan for this thread only, with its own
+/// injection counters ([`scoped_injected`]); `None` explicitly
+/// *shields* the thread — no faults fire even when a process-wide plan
+/// is installed. Either way the process-wide plan and its counters are
+/// untouched, so concurrent sessions of a translation server can arm
+/// per-request plans without cross-talk.
+///
+/// Scoped plans do not propagate to threads spawned inside the scope
+/// (worker pools see the process-wide plan); serve sessions run
+/// single-threaded, which is what makes the scope airtight there.
+/// Guards nest: dropping restores the previous overlay and counts.
+#[must_use]
+pub fn scoped(plan: Option<Plan>) -> ScopedGuard {
+    imp::scoped(plan)
+}
+
+/// Whether a scoped overlay (armed or shielding) is installed on the
+/// current thread.
+#[must_use]
+pub fn scoped_active() -> bool {
+    imp::scoped_active()
+}
+
+/// Per-site injection counts of the current thread's scoped plan
+/// (zeros when none is installed).
+#[must_use]
+pub fn scoped_injected() -> [u64; SITE_COUNT] {
+    imp::scoped_injected()
+}
+
+/// The injection counters that describe *this context*: the scoped
+/// plan's counts when one is installed on the current thread, the
+/// process-wide counts otherwise. Run reports snapshot through this so
+/// a request-scoped session reports only its own faults.
+#[must_use]
+pub fn snapshot() -> [u64; SITE_COUNT] {
+    if scoped_active() {
+        scoped_injected()
+    } else {
+        injected()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,9 +530,15 @@ mod tests {
         assert_ne!(key_of(b"abc"), key_of(b"abd"));
     }
 
+    /// The process-wide plan is global; tests that configure it take
+    /// this lock.
+    #[cfg(feature = "enabled")]
+    static PLAN: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[cfg(feature = "enabled")]
     #[test]
     fn decisions_are_keyed_and_counted() {
+        let _lock = PLAN.lock().unwrap();
         configure(Some(Plan::all_sites(42, 0.5)));
         let a: Vec<bool> = (0..256).map(|k| hit(Site::Emit, k)).collect();
         let b: Vec<bool> = (0..256).map(|k| hit(Site::Emit, k)).collect();
@@ -418,6 +555,58 @@ mod tests {
         assert_eq!(injected(), [0; SITE_COUNT]);
     }
 
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn scoped_plans_shadow_and_shield() {
+        let _lock = PLAN.lock().unwrap();
+        configure(Some(Plan::single(Site::Store, 42, 1.0)));
+        assert!(hit(Site::Store, 1));
+        let global_before = injected()[Site::Store.index()];
+        {
+            // A scoped plan arms a different site and counts locally.
+            let _g = scoped(Some(Plan::single(Site::Cache, 7, 1.0)));
+            assert!(scoped_active());
+            assert!(active());
+            assert!(hit(Site::Cache, 9));
+            assert!(
+                !hit(Site::Store, 1),
+                "the process plan is shadowed inside the scope"
+            );
+            assert_eq!(scoped_injected()[Site::Cache.index()], 1);
+            assert_eq!(snapshot(), scoped_injected());
+            // Nested shield: no faults at all.
+            {
+                let _inner = scoped(None);
+                assert!(!active());
+                assert!(!hit(Site::Cache, 9));
+            }
+            // Back in the armed scope after the shield drops.
+            assert!(hit(Site::Cache, 9));
+            assert_eq!(scoped_injected()[Site::Cache.index()], 2);
+        }
+        // The scope is gone: process plan visible again, its counters
+        // untouched by the scoped firings.
+        assert!(!scoped_active());
+        assert_eq!(injected()[Site::Store.index()], global_before);
+        assert_eq!(injected()[Site::Cache.index()], 0);
+        assert!(hit(Site::Store, 1));
+        assert_eq!(snapshot(), injected());
+        // Scoped decisions are deterministic per (seed, site, key),
+        // independent of the thread that evaluates them.
+        let on_main: Vec<bool> = {
+            let _g = scoped(Some(Plan::all_sites(11, 0.5)));
+            (0..64).map(|k| hit(Site::Emit, k)).collect()
+        };
+        let on_thread: Vec<bool> = std::thread::spawn(|| {
+            let _g = scoped(Some(Plan::all_sites(11, 0.5)));
+            (0..64).map(|k| hit(Site::Emit, k)).collect()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(on_main, on_thread);
+        configure(None);
+    }
+
     #[cfg(not(feature = "enabled"))]
     #[test]
     fn disabled_build_is_inert() {
@@ -428,5 +617,9 @@ mod tests {
             "key must stay lazy"
         )));
         assert_eq!(injected(), [0; SITE_COUNT]);
+        let _g = scoped(Some(Plan::all_sites(1, 1.0)));
+        assert!(!scoped_active());
+        assert!(!hit(Site::Cache, 0));
+        assert_eq!(snapshot(), [0; SITE_COUNT]);
     }
 }

@@ -244,6 +244,15 @@ impl PoolCounters {
         Self::default()
     }
 
+    /// A counter pre-sized to `n` worker slots, so `workers()` reports
+    /// the *effective* pool width even before (or without) any pool
+    /// invocation being recorded — a `jobs: 0` CLI request that clamps
+    /// to one worker must surface as `workers: 1`, not `workers: 0`.
+    #[must_use]
+    pub fn with_workers(n: usize) -> Self {
+        PoolCounters { tasks: vec![0; n] }
+    }
+
     /// Adds one pool invocation's per-worker task counts.
     pub fn record(&mut self, per_worker: &[u64]) {
         if per_worker.len() > self.tasks.len() {
@@ -312,6 +321,108 @@ impl DispatchCounters {
         self.traces_formed += other.traces_formed;
         self.trace_execs += other.trace_execs;
         self.invalidations += other.invalidations;
+    }
+}
+
+/// Server-lifetime shared-translation counters, updated concurrently
+/// by every session attached to one `SharedTranslationState` (atomics;
+/// a session holds the state behind an `Arc`).
+///
+/// The invariant that keeps these *deterministic* under concurrency:
+/// `probes` counts each session's first sight of a block address (one
+/// probe per distinct pc per session), and `inserted` counts the
+/// translations that actually entered the shared cache (the insert
+/// dedups, so exactly one per distinct pc server-wide). `hits` is
+/// *derived* as `probes - inserted`: a session that raced another to
+/// translate the same block and lost counts as a hit — its duplicate
+/// work shows up only in `translate_calls`, the one field that may
+/// legitimately exceed `inserted` under concurrency.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    probes: std::sync::atomic::AtomicU64,
+    inserted: std::sync::atomic::AtomicU64,
+    translate_calls: std::sync::atomic::AtomicU64,
+    sessions: std::sync::atomic::AtomicU64,
+}
+
+impl ServerCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one session-first-sight probe of the shared cache.
+    #[inline]
+    pub fn record_probe(&self) {
+        self.probes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records a translation that won the insert race (a new block
+    /// entered the shared cache).
+    #[inline]
+    pub fn record_insert(&self) {
+        self.inserted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records one `translate_block` invocation (including race losers
+    /// whose result was discarded).
+    #[inline]
+    pub fn record_translate(&self) {
+        self.translate_calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records a session attaching to the shared state.
+    #[inline]
+    pub fn record_session(&self) {
+        self.sessions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> ServerSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        let probes = self.probes.load(Relaxed);
+        let inserted = self.inserted.load(Relaxed);
+        ServerSnapshot {
+            probes,
+            inserted,
+            hits: probes.saturating_sub(inserted),
+            translate_calls: self.translate_calls.load(Relaxed),
+            sessions: self.sessions.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerCounters`], embedded in run reports
+/// as the `server` section.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// Session-first-sight probes of the shared cache.
+    pub probes: u64,
+    /// Distinct blocks translated into the shared cache.
+    pub inserted: u64,
+    /// Probes served without a new translation entering the cache
+    /// (`probes - inserted`).
+    pub hits: u64,
+    /// Actual `translate_block` invocations (≥ `inserted`; the excess
+    /// is duplicate work from insert races).
+    pub translate_calls: u64,
+    /// Sessions that attached to the shared state.
+    pub sessions: u64,
+}
+
+impl ServerSnapshot {
+    /// Fraction of probes served from the warm cache (0.0 when nothing
+    /// was probed).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.probes as f64
     }
 }
 
@@ -416,6 +527,57 @@ mod tests {
         let mut q = PoolCounters::new();
         q.merge(&p);
         assert_eq!(q.tasks(), p.tasks());
+    }
+
+    #[test]
+    fn pool_counters_presized_report_effective_workers() {
+        let p = PoolCounters::with_workers(4);
+        assert_eq!(p.workers(), 4);
+        assert_eq!(p.total(), 0);
+        let mut p = PoolCounters::with_workers(1);
+        // Recording a wider invocation still grows the vector.
+        p.record(&[1, 2]);
+        assert_eq!(p.workers(), 2);
+        assert_eq!(p.tasks(), &[1, 2]);
+    }
+
+    #[test]
+    fn server_counters_derive_hits_from_probes_and_inserts() {
+        let c = ServerCounters::new();
+        for _ in 0..3 {
+            c.record_session();
+        }
+        // 3 sessions × 4 blocks probed; only the first session's 4
+        // translations entered the cache, but one race loser also
+        // called the translator.
+        for _ in 0..12 {
+            c.record_probe();
+        }
+        for _ in 0..4 {
+            c.record_insert();
+        }
+        for _ in 0..5 {
+            c.record_translate();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.sessions, 3);
+        assert_eq!(s.probes, 12);
+        assert_eq!(s.inserted, 4);
+        assert_eq!(s.hits, 8, "hits = probes - inserted");
+        assert_eq!(s.translate_calls, 5);
+        assert!((s.hit_rate() - 8.0 / 12.0).abs() < 1e-12);
+        assert_eq!(ServerSnapshot::default().hit_rate(), 0.0);
+        // Concurrent recording keeps the derived totals exact.
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                sc.spawn(|| {
+                    for _ in 0..100 {
+                        c.record_probe();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().probes, 412);
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub mod hist;
 pub mod json;
 pub mod trace;
 
-pub use counters::{DispatchCounters, PoolCounters, RuleCounters, RuleId, RuleRow, ShardCounters};
+pub use counters::{
+    DispatchCounters, PoolCounters, RuleCounters, RuleId, RuleRow, ServerCounters, ServerSnapshot,
+    ShardCounters,
+};
 pub use hist::Histogram;
 pub use trace::{drain_events, span, Event, SpanGuard};
 

@@ -1,12 +1,22 @@
 //! The sharded code cache: translated blocks keyed by guest address
 //! (paper §V-B1), split across independently locked shards.
 //!
-//! The dispatcher's access pattern is read-mostly — every block is
-//! translated once and then fetched on each execution — so blocks live
-//! behind per-shard `RwLock`s and are handed out as [`Arc`]s: a fetch
-//! takes one shard's read lock for a hash probe and never blocks
-//! readers of other shards, which is what lets the prewarm fan
-//! translation out across workers while the dispatcher keeps running.
+//! The cache stores *pure translations* (`Arc<TranslatedBlock>`): the
+//! immutable, session-independent product of `translate_block`. The
+//! mutable dispatch state a session layers on top — chain links,
+//! hotness, edge counters, interned attribution ids — lives in
+//! [`CachedBlock`], which each session builds privately around the
+//! shared translation. That split is what lets one warm cache serve
+//! many concurrent sessions (`pdbt serve`) while every session's
+//! dispatch behaviour and report stay bit-identical to a run against a
+//! cold, exclusively owned engine.
+//!
+//! The access pattern is read-mostly — every block is translated once
+//! and then fetched on each session's first sight — so translations
+//! live behind per-shard `RwLock`s and are handed out as [`Arc`]s: a
+//! fetch takes one shard's read lock for a hash probe and never blocks
+//! readers of other shards, which is what lets prewarm fan translation
+//! out across workers while dispatchers keep running.
 
 use crate::translate::TranslatedBlock;
 use pdbt_isa::Addr;
@@ -15,8 +25,8 @@ use std::collections::HashMap;
 use std::sync::atomic::AtomicU32;
 use std::sync::{Arc, Mutex, RwLock, Weak};
 
-/// One shard: a locked address → block map.
-type Shard = RwLock<HashMap<Addr, Arc<CachedBlock>>>;
+/// One shard: a locked address → translation map.
+type Shard = RwLock<HashMap<Addr, Arc<TranslatedBlock>>>;
 
 /// A lazily resolved chain link to a successor block. The target is
 /// held weakly — links never keep a block alive (the cache and the
@@ -44,20 +54,22 @@ pub struct ChainLinks {
     pub fall: Mutex<LinkSlot>,
 }
 
-/// A translated block plus its pre-interned attribution ids: `(rule id,
-/// per-execution coverage)` pairs resolved once at insert time so block
-/// executions only bump dense counters. Carries the mutable dispatch
+/// A session's view of one translated block: the shared translation
+/// plus the session's pre-interned attribution ids — `(rule id,
+/// per-execution coverage)` pairs resolved once at adoption time so
+/// block executions only bump dense counters — and the mutable dispatch
 /// state of the hot path: chain links for its direct-branch exits, an
 /// execution counter for hot-trace promotion, and per-edge counters
 /// that pick the hotter side of a conditional when a trace is formed.
-/// All counters use relaxed ordering — they are heuristics, and the
-/// executor is single-threaded; `Sync` is only needed because prewarm
-/// shares blocks across worker threads.
+/// All of this is per-session (two sessions sharing a translation never
+/// share chain state), so the counters use relaxed ordering — they are
+/// heuristics, and each session's executor is single-threaded; `Sync`
+/// is only needed because prewarm shares blocks across worker threads.
 #[derive(Debug)]
 pub struct CachedBlock {
-    /// The translation.
-    pub block: TranslatedBlock,
-    /// Interned rule attributions.
+    /// The shared, immutable translation.
+    pub block: Arc<TranslatedBlock>,
+    /// Interned rule attributions (session-local ids).
     pub attr_ids: Vec<(RuleId, u32)>,
     /// Chain links to successor blocks.
     pub links: ChainLinks,
@@ -72,7 +84,7 @@ pub struct CachedBlock {
 impl CachedBlock {
     /// Wraps a translation with fresh (unresolved, cold) dispatch state.
     #[must_use]
-    pub fn new(block: TranslatedBlock, attr_ids: Vec<(RuleId, u32)>) -> CachedBlock {
+    pub fn new(block: Arc<TranslatedBlock>, attr_ids: Vec<(RuleId, u32)>) -> CachedBlock {
         CachedBlock {
             block,
             attr_ids,
@@ -85,7 +97,8 @@ impl CachedBlock {
 }
 
 /// A code cache of `N` independently locked shards (`N` is the
-/// requested count rounded up to a power of two).
+/// requested count rounded up to a power of two), storing shared
+/// translations.
 #[derive(Debug)]
 pub struct ShardedCache {
     shards: Box<[Shard]>,
@@ -115,9 +128,9 @@ impl ShardedCache {
         ((pc >> 2) as usize) & (self.shards.len() - 1)
     }
 
-    /// Fetches the block at `pc` under its shard's read lock.
+    /// Fetches the translation at `pc` under its shard's read lock.
     #[must_use]
-    pub fn get(&self, pc: Addr) -> Option<Arc<CachedBlock>> {
+    pub fn get(&self, pc: Addr) -> Option<Arc<TranslatedBlock>> {
         self.shards[self.shard_of(pc)]
             .read()
             .expect("cache shard poisoned")
@@ -125,10 +138,12 @@ impl ShardedCache {
             .cloned()
     }
 
-    /// Inserts a block, returning the cached `Arc` and whether it was
-    /// new. When another insert won the race the existing block is kept
-    /// — translation is deterministic, so the two are identical.
-    pub fn insert(&self, pc: Addr, block: CachedBlock) -> (Arc<CachedBlock>, bool) {
+    /// Inserts a translation, returning the cached `Arc` and whether it
+    /// was new. When another insert won the race the existing
+    /// translation is kept — translation is deterministic, so the two
+    /// are identical (the loser's duplicate work is visible only as an
+    /// extra `translate_calls` tick in the server counters).
+    pub fn insert(&self, pc: Addr, block: TranslatedBlock) -> (Arc<TranslatedBlock>, bool) {
         use std::collections::hash_map::Entry;
         let mut shard = self.shards[self.shard_of(pc)]
             .write()
@@ -166,22 +181,19 @@ impl ShardedCache {
 mod tests {
     use super::*;
 
-    fn dummy_block(start: Addr) -> CachedBlock {
-        CachedBlock::new(
-            TranslatedBlock {
-                start,
-                code: Vec::new(),
-                classes: Vec::new(),
-                guest_len: 1,
-                rule_covered: 0,
-                attributions: Vec::new(),
-                lookup_misses: Vec::new(),
-                deleg: None,
-                succ: crate::translate::BlockSuccs::None,
-                member_marks: Vec::new(),
-            },
-            Vec::new(),
-        )
+    fn dummy_block(start: Addr) -> TranslatedBlock {
+        TranslatedBlock {
+            start,
+            code: Vec::new(),
+            classes: Vec::new(),
+            guest_len: 1,
+            rule_covered: 0,
+            attributions: Vec::new(),
+            lookup_misses: Vec::new(),
+            deleg: None,
+            succ: crate::translate::BlockSuccs::None,
+            member_marks: Vec::new(),
+        }
     }
 
     #[test]
@@ -237,7 +249,7 @@ mod tests {
                             cache.insert(pc, dummy_block(pc));
                         }
                         if let Some(b) = cache.get(pc) {
-                            assert_eq!(b.block.start, pc);
+                            assert_eq!(b.start, pc);
                         }
                     }
                 });
@@ -245,7 +257,7 @@ mod tests {
         });
         for &pc in &addrs {
             cache.insert(pc, dummy_block(pc));
-            assert_eq!(cache.get(pc).unwrap().block.start, pc);
+            assert_eq!(cache.get(pc).unwrap().start, pc);
         }
         assert_eq!(cache.len(), addrs.len());
     }

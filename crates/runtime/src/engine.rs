@@ -7,6 +7,7 @@
 //! Table II, Fig 13 and the instruction-count performance proxy.
 
 use crate::cache::{CachedBlock, ShardedCache};
+use crate::shared::SharedTranslationState;
 use crate::translate::{
     collect_block, translate_block, translate_trace, BlockSuccs, CodeClass, DelegOutcome,
     TranslateConfig, TranslateError, TranslatedBlock,
@@ -17,12 +18,15 @@ use pdbt_isa::{Addr, Cond, Control, ExecError, Flag};
 use pdbt_isa_arm::{step, Cpu as GuestCpu, FReg, Operand, Program, Reg as GReg, INST_SIZE};
 use pdbt_isa_x86::{exec_block_traced_into, BlockExit, Cpu as HostCpu, Reg as HReg};
 use pdbt_obs::json::Json;
-use pdbt_obs::{DispatchCounters, Histogram, PoolCounters, RuleCounters, RuleId, ShardCounters};
+use pdbt_obs::{
+    DispatchCounters, Histogram, PoolCounters, RuleCounters, RuleId, ServerSnapshot, ShardCounters,
+};
 use pdbt_par::Pool;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Base address of the guest environment block in host memory.
 pub const ENV_BASE: Addr = 0xE000_0000;
@@ -75,6 +79,11 @@ pub struct RunSetup {
     pub init_words: Vec<(Addr, Vec<u32>)>,
     /// Guest instruction budget.
     pub max_guest: u64,
+    /// Optional wall-clock deadline (`--deadline-ms` on a serve
+    /// request): a run past it stops with a partial report and
+    /// [`Outcome::Deadline`]. `None` (the default) never checks the
+    /// clock, so deterministic runs stay clock-free.
+    pub deadline: Option<Instant>,
 }
 
 impl RunSetup {
@@ -89,6 +98,7 @@ impl RunSetup {
             regs,
             init_words: Vec::new(),
             max_guest: 50_000_000,
+            deadline: None,
         }
     }
 }
@@ -285,6 +295,8 @@ pub enum Outcome {
     Completed,
     /// The guest instruction budget ran out.
     Budget,
+    /// The wall-clock deadline ([`RunSetup::deadline`]) passed.
+    Deadline,
     /// Guest or host execution faulted.
     Exec(ExecError),
 }
@@ -296,6 +308,7 @@ impl Outcome {
         match self {
             Outcome::Completed => "completed",
             Outcome::Budget => "budget",
+            Outcome::Deadline => "deadline",
             Outcome::Exec(_) => "exec",
         }
     }
@@ -357,6 +370,14 @@ pub struct Report {
     pub outcome: Outcome,
     /// Degraded-mode counters.
     pub resilience: Resilience,
+    /// Server-lifetime shared-translation counters, snapshotted when
+    /// the report was built. For a standalone engine this describes its
+    /// own private state (`sessions: 1`, `hits: 0`); under `pdbt serve`
+    /// it shows the cross-session sharing this run benefited from. The
+    /// snapshot point is wall-clock-dependent under concurrency, so
+    /// determinism comparisons strip this section (like
+    /// `histograms.translate_ns`).
+    pub server: ServerSnapshot,
 }
 
 impl Report {
@@ -489,6 +510,17 @@ impl Report {
                     ("traces_formed", Json::from(self.obs.dispatch.traces_formed)),
                     ("trace_execs", Json::from(self.obs.dispatch.trace_execs)),
                     ("invalidations", Json::from(self.obs.dispatch.invalidations)),
+                ]),
+            ),
+            (
+                "server",
+                Json::obj([
+                    ("probes", Json::from(self.server.probes)),
+                    ("inserted", Json::from(self.server.inserted)),
+                    ("hits", Json::from(self.server.hits)),
+                    ("translate_calls", Json::from(self.server.translate_calls)),
+                    ("sessions", Json::from(self.server.sessions)),
+                    ("hit_rate", Json::from(self.server.hit_rate())),
                 ]),
             ),
             (
@@ -642,12 +674,26 @@ impl Default for DispatchState {
     }
 }
 
-/// The dynamic binary translator.
+/// The dynamic binary translator: one *session* over a (possibly
+/// shared) translation state.
+///
+/// The engine no longer owns its rule set or code cache — those live in
+/// an [`SharedTranslationState`] it holds behind an `Arc`, so `pdbt
+/// serve` can run many concurrent sessions against one warm cache.
+/// Everything mutable — metrics, report counters, the jump cache, chain
+/// links, superblocks — is session-private: a session folds a shared
+/// translation's static footprint (blocks translated, host generated,
+/// attribution, lookup misses) into its own counters at first
+/// session-local sight, which keeps its report bit-identical to a cold
+/// single-engine run while the translation work is shared.
 #[derive(Debug)]
 pub struct Engine {
-    rules: Option<RuleSet>,
+    shared: Arc<SharedTranslationState>,
     cfg: EngineConfig,
-    cache: ShardedCache,
+    /// The session block table: this session's adopted view (chain
+    /// links, hotness, interned attribution ids) of each shared
+    /// translation, keyed by guest pc.
+    session: HashMap<Addr, Arc<CachedBlock>>,
     metrics: Metrics,
     obs: RunObs,
     resilience: Resilience,
@@ -655,18 +701,33 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine. `rules = None` is the pure QEMU-path baseline.
+    /// Creates a standalone engine owning a private translation state.
+    /// `rules = None` is the pure QEMU-path baseline.
     #[must_use]
     pub fn new(rules: Option<RuleSet>, cfg: EngineConfig) -> Engine {
-        let cache = ShardedCache::new(cfg.cache_shards);
+        let shards = cfg.cache_shards;
+        Engine::with_shared(Arc::new(SharedTranslationState::new(rules, shards)), cfg)
+    }
+
+    /// Creates a session engine over an existing shared translation
+    /// state (the `pdbt serve` path). `cfg.cache_shards` is ignored —
+    /// the shared cache already has its geometry. `cfg.jobs` is
+    /// normalized to the effective worker count (`0` would be clamped
+    /// to 1 by the pool anyway, and the report must say what actually
+    /// ran).
+    #[must_use]
+    pub fn with_shared(shared: Arc<SharedTranslationState>, mut cfg: EngineConfig) -> Engine {
+        cfg.jobs = cfg.jobs.max(1);
         let obs = RunObs {
-            cache: ShardCounters::with_shards(cache.shard_count()),
+            cache: ShardCounters::with_shards(shared.cache().shard_count()),
+            pool: PoolCounters::with_workers(cfg.jobs),
             ..RunObs::default()
         };
+        shared.server().record_session();
         Engine {
-            rules,
+            shared,
             cfg,
-            cache,
+            session: HashMap::new(),
             metrics: Metrics::default(),
             obs,
             resilience: Resilience::default(),
@@ -686,10 +747,16 @@ impl Engine {
         &self.obs
     }
 
-    /// The code cache.
+    /// The (shared) code cache.
     #[must_use]
     pub fn cache(&self) -> &ShardedCache {
-        &self.cache
+        self.shared.cache()
+    }
+
+    /// The shared translation state this session runs against.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<SharedTranslationState> {
+        &self.shared
     }
 
     /// The accumulated degraded-mode counters.
@@ -705,20 +772,29 @@ impl Engine {
         &mut self.resilience
     }
 
-    /// Clears the code cache, metrics, observability state and the
-    /// dispatch fast-path state (jump cache, superblocks, epoch).
+    /// Clears the session state (block table, metrics, observability,
+    /// dispatch fast path) *and* the shared code cache. Meant for
+    /// exclusively owned engines — a serve session never resets; the
+    /// server's warm cache outlives every session.
     pub fn reset(&mut self) {
-        self.cache.clear();
+        self.shared.cache().clear();
+        self.session.clear();
         self.metrics = Metrics::default();
         self.obs = RunObs::default();
-        self.obs.cache = ShardCounters::with_shards(self.cache.shard_count());
+        self.obs.cache = ShardCounters::with_shards(self.shared.cache().shard_count());
+        self.obs.pool = PoolCounters::with_workers(self.cfg.jobs);
         self.resilience = Resilience::default();
         self.dispatch = DispatchState::default();
     }
 
-    /// Interns a freshly translated block — static metrics, attribution
-    /// ids, lookup misses — and inserts it into the cache.
-    fn intern_block(&mut self, pc: Addr, block: TranslatedBlock) -> Arc<CachedBlock> {
+    /// Adopts a shared translation into this session at first
+    /// session-local sight: folds its static footprint — block/host
+    /// counts, attribution interning and static hits, lookup misses —
+    /// into the session counters and wraps it with fresh per-session
+    /// dispatch state. The fold happens whether or not *this* session
+    /// produced the translation; that is the invariant that keeps a
+    /// warm-cache session's report bit-identical to a cold run.
+    fn adopt(&mut self, pc: Addr, block: Arc<TranslatedBlock>) -> Arc<CachedBlock> {
         self.metrics.blocks_translated += 1;
         self.metrics.host_generated += block.code.len() as u64;
         // Intern this block's rule attributions once; executions only
@@ -735,12 +811,17 @@ impl Engine {
         for miss in &block.lookup_misses {
             self.obs.rules.miss(miss);
         }
-        let (cached, _new) = self.cache.insert(pc, CachedBlock::new(block, attr_ids));
+        let cached = Arc::new(CachedBlock::new(block, attr_ids));
+        self.session.insert(pc, cached.clone());
         cached
     }
 
-    /// Translates (or fetches from cache) the block at `pc`, recording
-    /// the shard hit/miss.
+    /// Resolves the block at `pc` for this session: session block
+    /// table, then the shared cache, then the translator. The shard
+    /// hit/miss counters record *session-local* sights (hit = seen
+    /// before in this session), so they are identical for a cold and a
+    /// warm shared cache; the cross-session sharing shows up only in
+    /// the server-lifetime counters.
     fn block(&mut self, prog: &Program, pc: Addr) -> Result<Arc<CachedBlock>, EngineError> {
         // Fault site `cache`: keyed by pc so the same blocks fail on
         // every run with the same plan, cached or not. `run` degrades a
@@ -751,20 +832,35 @@ impl Engine {
                 detail: format!("injected fault: cache/translation failed at {pc:#x}"),
             }));
         }
-        let shard = self.cache.shard_of(pc);
-        if let Some(cached) = self.cache.get(pc) {
+        let shard = self.shared.cache().shard_of(pc);
+        if let Some(cached) = self.session.get(&pc) {
             self.obs.cache.record_hit(shard);
-            return Ok(cached);
+            return Ok(cached.clone());
         }
         self.obs.cache.record_miss(shard);
-        let t0 = pdbt_obs::now_ns();
-        let block = translate_block(prog, pc, self.rules.as_ref(), &self.cfg.translate)?;
-        if pdbt_obs::ENABLED {
-            self.obs
-                .translate_ns
-                .record(pdbt_obs::now_ns().saturating_sub(t0));
-        }
-        Ok(self.intern_block(pc, block))
+        let translation = match self.shared.cache().get(pc) {
+            Some(t) => t,
+            None => {
+                let t0 = pdbt_obs::now_ns();
+                let block = translate_block(prog, pc, self.shared.rules(), &self.cfg.translate)?;
+                if pdbt_obs::ENABLED {
+                    self.obs
+                        .translate_ns
+                        .record(pdbt_obs::now_ns().saturating_sub(t0));
+                }
+                self.shared.server().record_translate();
+                let (t, new) = self.shared.cache().insert(pc, block);
+                if new {
+                    self.shared.server().record_insert();
+                }
+                t
+            }
+        };
+        // One probe per distinct pc per session, counted only for
+        // successful resolutions — so the server counters stay
+        // schedule-independent (see `ServerCounters`).
+        self.shared.server().record_probe();
+        Ok(self.adopt(pc, translation))
     }
 
     /// Whether executing `b` in full keeps the run within the guest
@@ -925,14 +1021,16 @@ impl Engine {
         if members.len() < 2 {
             return;
         }
-        let Ok(tb) = translate_trace(prog, &members, self.rules.as_ref(), &self.cfg.translate)
+        let Ok(tb) = translate_trace(prog, &members, self.shared.rules(), &self.cfg.translate)
         else {
             return;
         };
         // Intern attribution ids only — no static `hit` and no miss
         // recording: the members' own translations already counted
         // them, and a superblock must not perturb the static rule
-        // counters relative to the unchained engine.
+        // counters relative to the unchained engine. Superblocks are
+        // session-local (member choice follows session edge counters),
+        // so the trace translation stays out of the shared cache.
         let attr_ids: Vec<(RuleId, u32)> = tb
             .attributions
             .iter()
@@ -940,7 +1038,7 @@ impl Engine {
             .collect();
         self.dispatch
             .traces
-            .insert(head_pc, Arc::new(CachedBlock::new(tb, attr_ids)));
+            .insert(head_pc, Arc::new(CachedBlock::new(Arc::new(tb), attr_ids)));
         self.obs.dispatch.traces_formed += 1;
         // Links into the old head block must re-route through the
         // dispatcher to pick the trace up.
@@ -955,52 +1053,108 @@ impl Engine {
         self.obs.dispatch.invalidations += 1;
     }
 
-    /// Conservative invalidation when the block at `pc` degrades to the
-    /// interpreter: drop every superblock containing it, bar it from
-    /// future traces, and stale all chain links so no chain re-enters
-    /// it without the dispatcher (and its fault check) in the loop.
+    /// Scoped invalidation when the block at `pc` degrades to the
+    /// interpreter: drop only the superblocks actually containing it,
+    /// scrub only the jump-cache slots holding it (or a dropped trace),
+    /// stale only the chain links whose successor is `pc`, and bar it
+    /// from future traces. Unrelated chains, traces and jump-cache
+    /// entries survive — a poisoned pc in one corner of the program (or
+    /// one session of a shared server) must not cold-start everything
+    /// else. Links *into* a dropped trace self-stale without an epoch
+    /// bump: the trace table and jump cache held the only strong
+    /// references, so the links' weak upgrades fail and the next follow
+    /// re-resolves through the dispatcher.
     fn invalidate_for(&mut self, pc: Addr) {
         if !(self.cfg.chaining || self.cfg.traces) || !self.dispatch.poisoned.insert(pc) {
             return;
         }
-        self.dispatch
+        let dropped: Vec<Addr> = self
+            .dispatch
             .traces
-            .retain(|_, t| t.block.member_marks.iter().all(|m| m.start != pc));
-        self.bump_epoch();
+            .iter()
+            .filter(|(_, t)| t.block.member_marks.iter().any(|m| m.start == pc))
+            .map(|(head, _)| *head)
+            .collect();
+        for head in &dropped {
+            self.dispatch.traces.remove(head);
+        }
+        for slot in self.dispatch.jump_cache.iter_mut() {
+            if let Some((key, _)) = slot {
+                if *key == pc || dropped.contains(key) {
+                    *slot = None;
+                }
+            }
+        }
+        // The poisoned pc's plain block is still strongly held by the
+        // session table, so links targeting it are cleared explicitly:
+        // the next follow goes through the dispatcher and its fault
+        // check.
+        for b in self.session.values() {
+            let targets_pc = match b.block.succ {
+                BlockSuccs::One(t) => t == pc,
+                BlockSuccs::Two { taken, fall } => taken == pc || fall == pc,
+                BlockSuccs::None => false,
+            };
+            if targets_pc {
+                b.links.taken.lock().expect("link poisoned").target = None;
+                b.links.fall.lock().expect("link poisoned").target = None;
+            }
+        }
+        self.obs.dispatch.invalidations += 1;
     }
 
-    /// Translates every statically reachable block up front, fanning
-    /// the translation work across [`EngineConfig::jobs`] workers.
-    /// Returns the number of blocks newly cached.
+    /// Adopts every statically reachable block up front, fanning the
+    /// translation work across [`EngineConfig::jobs`] workers. Returns
+    /// the number of blocks newly adopted into the session.
     ///
-    /// Discovery is a serial walk of the static CFG, workers translate
-    /// independently (translation is pure), and the fold into the cache
-    /// and counters runs serially in address order — so the engine
-    /// state after a prewarm does not depend on the worker count or on
-    /// scheduling. Blocks that fail to translate are skipped; the run
-    /// path surfaces the error if execution actually reaches them.
+    /// Discovery is a serial walk of the static CFG, workers fetch from
+    /// the shared cache or translate independently (translation is
+    /// pure) and publish through the deduplicating insert, and the fold
+    /// into the session counters runs serially in address order — so
+    /// the session state after a prewarm does not depend on the worker
+    /// count, on scheduling, or on how warm the shared cache already
+    /// was. Blocks that fail to translate are skipped; the run path
+    /// surfaces the error if execution actually reaches them.
     pub fn prewarm(&mut self, prog: &Program) -> usize {
         let pool = Pool::new(self.cfg.jobs);
         let _span = pdbt_obs::span_with("prewarm", || format!("jobs={}", pool.jobs()));
         let todo: Vec<Addr> = discover_block_starts(prog, self.cfg.translate.max_block)
             .into_iter()
-            .filter(|pc| self.cache.get(*pc).is_none())
+            .filter(|pc| !self.session.contains_key(pc))
             .collect();
-        let rules = self.rules.as_ref();
+        let shared = Arc::clone(&self.shared);
         let tcfg = self.cfg.translate;
-        let (translated, util) = pool.map_util(&todo, |pc| {
+        let (resolved, util) = pool.map_util(&todo, |pc| {
+            if let Some(t) = shared.cache().get(*pc) {
+                return (Some(t), None);
+            }
             let t0 = pdbt_obs::now_ns();
-            let block = translate_block(prog, *pc, rules, &tcfg).ok();
-            (block, pdbt_obs::now_ns().saturating_sub(t0))
+            match translate_block(prog, *pc, shared.rules(), &tcfg) {
+                Ok(block) => {
+                    let ns = pdbt_obs::now_ns().saturating_sub(t0);
+                    shared.server().record_translate();
+                    let (t, new) = shared.cache().insert(*pc, block);
+                    if new {
+                        shared.server().record_insert();
+                    }
+                    (Some(t), Some(ns))
+                }
+                Err(_) => (None, None),
+            }
         });
         self.obs.pool.record(&util);
         let mut cached = 0usize;
-        for (pc, (block, ns)) in todo.into_iter().zip(translated) {
-            let Some(block) = block else { continue };
+        for (pc, (translation, ns)) in todo.into_iter().zip(resolved) {
+            let Some(translation) = translation else {
+                continue;
+            };
             if pdbt_obs::ENABLED {
-                self.obs.translate_ns.record(ns);
+                if let Some(ns) = ns {
+                    self.obs.translate_ns.record(ns);
+                }
             }
-            self.intern_block(pc, block);
+            self.shared.server().record_probe();
+            self.adopt(pc, translation);
             cached += 1;
         }
         cached
@@ -1051,6 +1205,11 @@ impl Engine {
         let outcome = loop {
             if self.metrics.guest_retired >= setup.max_guest {
                 break Outcome::Budget;
+            }
+            if let Some(d) = setup.deadline {
+                if Instant::now() >= d {
+                    break Outcome::Deadline;
+                }
             }
             let mut cur =
                 match self.resolve_entry(prog, pc, self.metrics.guest_retired, setup.max_guest) {
@@ -1159,6 +1318,18 @@ impl Engine {
                 if retired >= setup.max_guest {
                     break Some(Outcome::Budget);
                 }
+                // A chain segment can loop indefinitely (a self-loop
+                // chains to itself without re-entering the dispatcher),
+                // so the deadline is also polled inside the segment —
+                // throttled, since `Instant::now` is not free. No
+                // deadline, no clock reads: determinism is unaffected.
+                if seg_blocks.is_multiple_of(64) {
+                    if let Some(d) = setup.deadline {
+                        if Instant::now() >= d {
+                            break Some(Outcome::Deadline);
+                        }
+                    }
+                }
                 match self.follow_link(prog, &cur, pc, retired, setup.max_guest) {
                     Some(next_b) => cur = next_b,
                     None => break None,
@@ -1172,13 +1343,17 @@ impl Engine {
                 break outcome;
             }
         };
-        self.resilience.injected = pdbt_faults::injected();
+        // `snapshot` is scope-aware: inside a request-scoped fault
+        // guard (`pdbt serve`) it reads the request's own counters, so
+        // concurrent sessions never see each other's injections.
+        self.resilience.injected = pdbt_faults::snapshot();
         Ok(Report {
             metrics: self.metrics.clone(),
             output: host.output,
             obs: self.obs.clone(),
             outcome,
             resilience: self.resilience.clone(),
+            server: self.shared.server().snapshot(),
         })
     }
 
@@ -1692,6 +1867,193 @@ mod engine_edge_tests {
         assert_eq!(b.obs.cache.total_misses(), 0);
         // …while the lazy engine misses exactly once per translation.
         assert_eq!(a.obs.cache.total_misses(), a.metrics.blocks_translated);
+    }
+
+    /// Two independent two-block loops (each body split by an
+    /// unconditional branch, so hot chains span multiple members and
+    /// superblocks can form).
+    fn two_loop_program() -> Program {
+        Program::new(
+            0x1000,
+            vec![
+                g::mov(Reg::R0, O::Imm(80)),                  // 0x1000
+                g::sub(Reg::R0, Reg::R0, O::Imm(1)).with_s(), // 0x1004: A1
+                g::b(pdbt_isa::Cond::Al, 8),                  // 0x1008 -> 0x1010
+                g::svc(0),                                    // 0x100c (dead)
+                g::add(Reg::R1, Reg::R1, O::Imm(1)),          // 0x1010: A2
+                g::b(pdbt_isa::Cond::Ne, -16),                // 0x1014 -> 0x1004
+                g::mov(Reg::R2, O::Imm(80)),                  // 0x1018
+                g::sub(Reg::R2, Reg::R2, O::Imm(1)).with_s(), // 0x101c: B1
+                g::b(pdbt_isa::Cond::Al, 8),                  // 0x1020 -> 0x1028
+                g::svc(0),                                    // 0x1024 (dead)
+                g::add(Reg::R3, Reg::R3, O::Imm(1)),          // 0x1028: B2
+                g::b(pdbt_isa::Cond::Ne, -16),                // 0x102c -> 0x101c
+                g::svc(0),                                    // 0x1030
+            ],
+        )
+    }
+
+    /// Two independent hot loops promote to superblocks; poisoning a pc
+    /// inside the first must drop only the traces containing it — the
+    /// other loop keeps its superblocks and its chains (satellite
+    /// regression for the formerly global epoch bump).
+    #[test]
+    fn invalidation_is_scoped_to_traces_containing_the_pc() {
+        let prog = two_loop_program();
+        let cfg = EngineConfig {
+            trace_threshold: 5,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(None, cfg);
+        let report = engine.run(&prog, &setup()).unwrap();
+        assert_eq!(report.outcome, Outcome::Completed);
+        assert!(
+            engine.dispatch.traces.len() >= 2,
+            "both loops promoted: {} traces",
+            engine.dispatch.traces.len()
+        );
+        let traces_before = engine.dispatch.traces.len();
+        let heads_before: Vec<Addr> = engine.dispatch.traces.keys().copied().collect();
+        // Poison a pc inside loop A's trace.
+        let poisoned_pc = 0x1004;
+        let containing: Vec<Addr> = engine
+            .dispatch
+            .traces
+            .iter()
+            .filter(|(_, t)| t.block.member_marks.iter().any(|m| m.start == poisoned_pc))
+            .map(|(h, _)| *h)
+            .collect();
+        assert!(!containing.is_empty(), "a trace contains {poisoned_pc:#x}");
+        engine.invalidate_for(poisoned_pc);
+        assert_eq!(
+            engine.dispatch.traces.len(),
+            traces_before - containing.len(),
+            "only the traces containing the pc were dropped"
+        );
+        for h in heads_before {
+            assert_eq!(
+                engine.dispatch.traces.contains_key(&h),
+                !containing.contains(&h),
+                "trace at {h:#x}"
+            );
+        }
+        // Unrelated jump-cache entries survive (scoped scrub).
+        let survivors = engine
+            .dispatch
+            .jump_cache
+            .iter()
+            .flatten()
+            .filter(|(key, _)| *key != poisoned_pc && !containing.contains(key))
+            .count();
+        assert!(survivors > 0, "unrelated jump-cache entries kept");
+        // Links *into* the poisoned pc are cleared; everything else
+        // keeps its chains: a rerun needs no link re-resolution for the
+        // surviving loop.
+        for (pc, b) in &engine.session {
+            let targets = match b.block.succ {
+                BlockSuccs::One(t) => t == poisoned_pc,
+                BlockSuccs::Two { taken, fall } => taken == poisoned_pc || fall == poisoned_pc,
+                BlockSuccs::None => false,
+            };
+            if targets {
+                assert!(
+                    b.links.taken.lock().unwrap().target.is_none(),
+                    "{pc:#x}: link into poisoned pc cleared"
+                );
+            }
+        }
+    }
+
+    /// Two sessions over one shared state: invalidating in one session
+    /// leaves the other's superblocks and chains untouched (dispatch
+    /// state is session-private by construction).
+    #[test]
+    fn invalidation_in_one_session_spares_the_other() {
+        let prog = two_loop_program();
+        let cfg = EngineConfig {
+            trace_threshold: 5,
+            ..EngineConfig::default()
+        };
+        let shared = Arc::new(SharedTranslationState::new(None, cfg.cache_shards));
+        let mut a = Engine::with_shared(shared.clone(), cfg);
+        let mut b = Engine::with_shared(shared.clone(), cfg);
+        a.run(&prog, &setup()).unwrap();
+        b.run(&prog, &setup()).unwrap();
+        assert!(!b.dispatch.traces.is_empty(), "session B formed traces");
+        let b_traces = b.dispatch.traces.len();
+        let poisoned = *a
+            .dispatch
+            .traces
+            .keys()
+            .next()
+            .expect("session A has traces");
+        a.invalidate_for(poisoned);
+        assert_eq!(
+            b.dispatch.traces.len(),
+            b_traces,
+            "session B's superblocks survive session A's invalidation"
+        );
+        assert!(b.dispatch.poisoned.is_empty());
+    }
+
+    /// A run past its wall-clock deadline stops with a partial report
+    /// and the `deadline` outcome; an already-expired deadline stops
+    /// before any guest instruction retires.
+    #[test]
+    fn deadline_stops_the_run_with_a_partial_report() {
+        let prog = Program::new(0, vec![g::b(pdbt_isa::Cond::Al, 0)]);
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let mut s = setup();
+        s.max_guest = u64::MAX;
+        s.deadline = Some(Instant::now() + std::time::Duration::from_millis(30));
+        let report = engine.run(&prog, &s).expect("partial report");
+        assert_eq!(report.outcome, Outcome::Deadline);
+        assert!(report.metrics.guest_retired > 0, "work before the deadline");
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"outcome\":\"deadline\""), "{json}");
+        // Expired before the first block: nothing retires.
+        let mut engine = Engine::new(None, EngineConfig::default());
+        let mut s2 = setup();
+        s2.deadline = Some(Instant::now());
+        let r2 = engine.run(&countdown_program(), &s2).expect("report");
+        assert_eq!(r2.outcome, Outcome::Deadline);
+        assert_eq!(r2.metrics.guest_retired, 0);
+    }
+
+    /// The warm-cache session invariant: a second session over a shared
+    /// state translates nothing, yet its metrics and counters are
+    /// identical to the cold session's (per-session static folding).
+    #[test]
+    fn warm_session_reports_match_cold_without_translating() {
+        let prog = countdown_program();
+        let cfg = EngineConfig::default();
+        let shared = Arc::new(SharedTranslationState::new(None, cfg.cache_shards));
+        let mut cold = Engine::with_shared(shared.clone(), cfg);
+        let a = cold.run(&prog, &setup()).unwrap();
+        let translates_after_cold = shared.server().snapshot().translate_calls;
+        let mut warm = Engine::with_shared(shared.clone(), cfg);
+        let b = warm.run(&prog, &setup()).unwrap();
+        let snap = shared.server().snapshot();
+        assert_eq!(
+            snap.translate_calls, translates_after_cold,
+            "the warm session translated nothing"
+        );
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.metrics, b.metrics, "static folds identical warm or cold");
+        assert_eq!(
+            a.obs.cache.total_misses(),
+            b.obs.cache.total_misses(),
+            "session-local sight counting is cache-warmth-independent"
+        );
+        assert_eq!(snap.sessions, 2);
+        assert_eq!(snap.inserted, a.metrics.blocks_translated);
+        assert_eq!(snap.probes, 2 * a.metrics.blocks_translated);
+        assert_eq!(snap.hits, a.metrics.blocks_translated);
+        // The report carries the server section.
+        let doc = pdbt_obs::json::Json::parse(&b.to_json().to_string()).unwrap();
+        let server = doc.get("server").expect("server section");
+        assert_eq!(server.get("sessions").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(server.get("hits").and_then(|v| v.as_u64()), Some(snap.hits));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 mod cache;
 mod engine;
+mod shared;
 mod translate;
 
 pub use cache::{CachedBlock, ChainLinks, LinkSlot, ShardedCache};
@@ -39,6 +40,7 @@ pub use engine::{
     Engine, EngineConfig, EngineError, Metrics, Outcome, Report, Resilience, RunObs, RunSetup,
     ENV_BASE,
 };
+pub use shared::SharedTranslationState;
 pub use translate::{
     collect_block, translate_block, translate_trace, BlockSuccs, CodeClass, DelegOutcome,
     MemberMark, RuleAttribution, TranslateConfig, TranslateError, TranslatedBlock,

@@ -1,0 +1,75 @@
+//! Cross-session translation state: the ruleset, the sharded code
+//! cache of pure translations, and the server-lifetime counters, held
+//! behind one `Arc` so many engines (sessions) can share them.
+//!
+//! This is the ownership split behind `pdbt serve`: translating a block
+//! is the expensive, *session-independent* work — the paper's
+//! amortization argument (training cost spread over all future
+//! translations) only pays off at scale if translations are likewise
+//! amortized across runs. An [`Engine`](crate::Engine) therefore no
+//! longer owns its `RuleSet` and `ShardedCache`; it borrows them from
+//! here, keeps all *mutable* dispatch state (jump cache, chain links,
+//! superblocks, metrics, report counters) session-private, and folds a
+//! shared translation's static footprint into its own counters at first
+//! session-local sight. The result: the first session translates a
+//! block and every later session reuses it, while each session's
+//! stripped report stays bit-identical to a cold single-engine run
+//! (locked down in `tests/determinism.rs`).
+//!
+//! One shared state serves one guest image: translations are keyed by
+//! guest pc, so sessions running *different* programs must use
+//! different states (`pdbt-serve` partitions them by an image
+//! fingerprint) or a session would execute another image's code.
+
+use crate::cache::ShardedCache;
+use pdbt_core::RuleSet;
+use pdbt_obs::ServerCounters;
+
+/// The translation state shared by every session of one server (or
+/// owned exclusively by a standalone engine — `Engine::new` wraps one
+/// privately, so the single-process CLI path is the one-session special
+/// case of the same machinery).
+#[derive(Debug)]
+pub struct SharedTranslationState {
+    /// The rule set every session translates with (`None` = pure
+    /// QEMU-path baseline). Immutable for the state's lifetime: rule
+    /// reloads are a new state, not a mutation.
+    rules: Option<RuleSet>,
+    /// The warm code cache of pure translations.
+    cache: ShardedCache,
+    /// Server-lifetime counters: probes, inserts, translate calls,
+    /// sessions. See `pdbt_obs::ServerCounters` for the determinism
+    /// discipline (`hits` is derived, not raced).
+    server: ServerCounters,
+}
+
+impl SharedTranslationState {
+    /// Creates a shared state with the given rules and cache shard
+    /// count (rounded up to a power of two).
+    #[must_use]
+    pub fn new(rules: Option<RuleSet>, cache_shards: usize) -> SharedTranslationState {
+        SharedTranslationState {
+            rules,
+            cache: ShardedCache::new(cache_shards),
+            server: ServerCounters::new(),
+        }
+    }
+
+    /// The shared rule set.
+    #[must_use]
+    pub fn rules(&self) -> Option<&RuleSet> {
+        self.rules.as_ref()
+    }
+
+    /// The shared code cache.
+    #[must_use]
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// The server-lifetime counters.
+    #[must_use]
+    pub fn server(&self) -> &ServerCounters {
+        &self.server
+    }
+}

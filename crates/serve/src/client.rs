@@ -1,0 +1,129 @@
+//! The client side: connect, send one request frame, read one response
+//! frame. Used by `pdbt submit` and by the integration tests; kept
+//! symmetrical with the server so the protocol has exactly one
+//! implementation of each direction.
+
+use crate::proto::{self, op, FrameError};
+use pdbt_obs::json::Json;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or socket i/o failed.
+    Io(io::Error),
+    /// The response frame was malformed.
+    Frame(FrameError),
+    /// The peer answered with an unexpected opcode or payload shape.
+    Protocol(String),
+    /// The server processed the request and reported an error.
+    Remote(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol frame error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+/// One request/response exchange on a fresh connection.
+fn roundtrip(
+    addr: impl ToSocketAddrs,
+    opcode: u8,
+    payload: &[u8],
+    timeout: Duration,
+) -> Result<proto::Frame, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    proto::write_frame(&mut stream, opcode, payload)?;
+    Ok(proto::read_frame(&mut stream)?)
+}
+
+/// Parses a response frame that must be `want` with a JSON payload;
+/// turns `ERROR` frames into [`ClientError::Remote`].
+fn expect_json(frame: proto::Frame, want: u8) -> Result<Json, ClientError> {
+    let text = frame
+        .payload_str()
+        .map_err(|_| ClientError::Protocol("response payload is not UTF-8".into()))?;
+    let json = Json::parse(text)
+        .map_err(|e| ClientError::Protocol(format!("response payload is not JSON: {e}")))?;
+    if frame.opcode == op::ERROR {
+        let msg = json
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error");
+        return Err(ClientError::Remote(msg.to_string()));
+    }
+    if frame.opcode != want {
+        return Err(ClientError::Protocol(format!(
+            "unexpected response opcode {:#04x}",
+            frame.opcode
+        )));
+    }
+    Ok(json)
+}
+
+/// Submits a run request and returns the RESULT payload (`id`,
+/// `workload`, `outcome`, `report`).
+///
+/// The timeout bounds each socket operation; pick one comfortably
+/// above the request's `deadline_ms` or the session will outlive the
+/// client waiting for it.
+///
+/// # Errors
+///
+/// See [`ClientError`].
+pub fn submit(
+    addr: impl ToSocketAddrs,
+    request: &Json,
+    timeout: Duration,
+) -> Result<Json, ClientError> {
+    let frame = roundtrip(addr, op::SUBMIT, request.to_string().as_bytes(), timeout)?;
+    expect_json(frame, op::RESULT)
+}
+
+/// Pings the server, returning its status payload (protocol version,
+/// queue occupancy, server-lifetime counters).
+///
+/// # Errors
+///
+/// See [`ClientError`].
+pub fn ping(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Json, ClientError> {
+    let frame = roundtrip(addr, op::PING, b"", timeout)?;
+    expect_json(frame, op::PONG)
+}
+
+/// Asks the server to stop accepting and drain; returns the
+/// acknowledgement payload. In-flight sessions still complete after
+/// this returns.
+///
+/// # Errors
+///
+/// See [`ClientError`].
+pub fn shutdown(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Json, ClientError> {
+    let frame = roundtrip(addr, op::SHUTDOWN, b"", timeout)?;
+    expect_json(frame, op::PONG)
+}

@@ -1,0 +1,547 @@
+//! The daemon: a `std::net` TCP accept loop multiplexing guest-run
+//! requests onto a [`pdbt_par::TaskQueue`] of session workers, with
+//! translations shared through [`SharedTranslationState`].
+//!
+//! # Connection model
+//!
+//! One request frame per connection, answered by one response frame.
+//! The accept loop itself only parses the request; the expensive work —
+//! building the workload, translating, running — happens on a queue
+//! worker, so slow sessions never block new connections. `PING` and
+//! `SHUTDOWN` are answered inline (they must work even when every
+//! worker is busy).
+//!
+//! # Shared-state partitioning
+//!
+//! The code cache is keyed by guest pc, so two *different* guest
+//! programs (both loaded at `0x1000`) must never share one cache: a
+//! session would execute the other program's translation. The server
+//! therefore keeps one [`SharedTranslationState`] per distinct guest
+//! image (fingerprint of base address + instruction listing): sessions
+//! running the same image share its warm cache, while an unrelated
+//! image gets a fresh partition with a clone of the server's ruleset.
+//! Status counters aggregate across partitions.
+//!
+//! # Session isolation
+//!
+//! Each request runs a fresh [`Engine`] borrowing its image's shared
+//! state with `jobs = 1`: concurrency comes from running many
+//! single-threaded sessions, not from fanning one session out. That
+//! keeps every per-request report bit-identical to a standalone
+//! single-engine run (the shared cache only removes duplicate
+//! *translation work*, never changes what a session observes — see
+//! `tests/determinism.rs` at the workspace root).
+//!
+//! Fault plans are request-scoped: a request carrying a `faults` spec
+//! arms injection on its worker thread only, and every other request is
+//! explicitly shielded, so one caller's chaos run cannot degrade a
+//! neighbour's session.
+//!
+//! # Drain semantics
+//!
+//! `SHUTDOWN` is acknowledged immediately, then the accept loop stops
+//! and the queue is drained: already-accepted requests finish and send
+//! their responses; connections arriving after the acknowledgement are
+//! refused by the closed listener.
+
+use crate::proto::{self, op};
+use pdbt_core::RuleSet;
+use pdbt_obs::json::Json;
+use pdbt_par::TaskQueue;
+use pdbt_runtime::{Engine, EngineConfig, RunSetup, SharedTranslationState};
+use pdbt_workloads::{build, Benchmark, Scale, Workload};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-connection socket timeout: a wedged or malicious peer can stall
+/// one read/write for at most this long, never the whole server.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server construction knobs.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// The rule set sessions translate with (`None` = pure QEMU-path
+    /// baseline). Cloned into each guest-image partition.
+    pub rules: Option<RuleSet>,
+    /// Session worker count: how many requests run concurrently.
+    pub jobs: usize,
+    /// Shard count of each partition's code cache.
+    pub cache_shards: usize,
+    /// Deadline applied to requests that don't carry their own
+    /// `deadline_ms`.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            rules: None,
+            jobs: 4,
+            cache_shards: EngineConfig::default().cache_shards,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// What a finished server saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// `SUBMIT` requests accepted (including ones that later failed).
+    pub requests: u64,
+    /// Sessions that panicked on a worker (isolated per-task; see
+    /// `pdbt_par::TaskQueue`).
+    pub panicked: u64,
+}
+
+/// State shared between the accept loop and the session workers.
+#[derive(Debug)]
+struct ServerCtx {
+    /// One translation-state partition per guest-image fingerprint
+    /// (see the module docs on why images must not share a cache).
+    states: Mutex<HashMap<u64, Arc<SharedTranslationState>>>,
+    /// Memoized workload builds, keyed by `(benchmark, scale)`.
+    /// Building a benchmark is deterministic but not cheap, so the
+    /// first request for a corpus pays for it and later requests reuse
+    /// the `Arc`. The build runs under the map lock: concurrent first
+    /// requests for the *same* corpus would otherwise duplicate it.
+    workloads: Mutex<HashMap<(String, String), Arc<Workload>>>,
+    /// The ruleset cloned into each new partition.
+    rules: Option<RuleSet>,
+    /// Shard count for each new partition's cache.
+    cache_shards: usize,
+    /// Fallback deadline for requests without `deadline_ms`.
+    default_deadline_ms: Option<u64>,
+}
+
+impl ServerCtx {
+    /// The partition for a guest image, created on first sight.
+    fn state_for(&self, image: u64) -> Arc<SharedTranslationState> {
+        let mut map = self.states.lock().expect("state map poisoned");
+        Arc::clone(map.entry(image).or_insert_with(|| {
+            Arc::new(SharedTranslationState::new(
+                self.rules.clone(),
+                self.cache_shards,
+            ))
+        }))
+    }
+}
+
+/// A bound, not-yet-serving daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    queue: TaskQueue,
+    ctx: Arc<ServerCtx>,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port) and builds
+    /// the worker queue.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded bind errors.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            queue: TaskQueue::new(cfg.jobs),
+            ctx: Arc::new(ServerCtx {
+                states: Mutex::new(HashMap::new()),
+                workloads: Mutex::new(HashMap::new()),
+                rules: cfg.rules,
+                cache_shards: cfg.cache_shards,
+                default_deadline_ms: cfg.default_deadline_ms,
+            }),
+        })
+    }
+
+    /// The bound address (the real port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Forwarded socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Effective session worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.queue.jobs()
+    }
+
+    /// Runs the accept loop until a `SHUTDOWN` frame arrives, then
+    /// drains in-flight sessions and returns the summary.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors; per-connection errors are answered on
+    /// that connection and do not stop the server.
+    pub fn serve(self) -> io::Result<ServeSummary> {
+        let Server {
+            listener,
+            queue,
+            ctx,
+        } = self;
+        let mut requests = 0u64;
+        for conn in listener.incoming() {
+            let mut stream = match conn {
+                Ok(s) => s,
+                // Transient accept failures (peer gone before accept)
+                // are not fatal.
+                Err(_) => continue,
+            };
+            let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+            let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+            let frame = match proto::read_frame(&mut stream) {
+                Ok(f) => f,
+                Err(e) => {
+                    respond_error(&mut stream, None, &format!("bad frame: {e}"));
+                    continue;
+                }
+            };
+            match frame.opcode {
+                op::PING => {
+                    respond(&mut stream, op::PONG, &status(&ctx, &queue));
+                }
+                op::SHUTDOWN => {
+                    let ack = Json::obj([
+                        ("draining", Json::from(queue.outstanding())),
+                        ("ok", Json::from(true)),
+                    ]);
+                    respond(&mut stream, op::PONG, &ack);
+                    break;
+                }
+                op::SUBMIT => {
+                    requests += 1;
+                    let req = match frame.payload_str().ok().and_then(|s| Json::parse(s).ok()) {
+                        Some(j) => j,
+                        None => {
+                            respond_error(&mut stream, None, "request payload is not valid JSON");
+                            continue;
+                        }
+                    };
+                    let ctx = Arc::clone(&ctx);
+                    let submit = queue.submit(move || {
+                        let id = req.get("id").and_then(Json::as_u64);
+                        match run_request(&ctx, &req) {
+                            Ok(resp) => respond(&mut stream, op::RESULT, &resp),
+                            Err(e) => respond_error(&mut stream, id, &e),
+                        }
+                    });
+                    if let Err(pdbt_par::QueueClosed(task)) = submit {
+                        // Unreachable while the queue is owned here (it
+                        // only closes on drain), but never drop a
+                        // request silently: run it inline.
+                        task();
+                    }
+                }
+                other => {
+                    respond_error(&mut stream, None, &format!("unknown opcode {other:#04x}"));
+                }
+            }
+        }
+        let panicked = queue.drain();
+        Ok(ServeSummary { requests, panicked })
+    }
+}
+
+/// The PONG status payload: protocol version, queue occupancy, and the
+/// server-lifetime counters summed across guest-image partitions.
+fn status(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
+    let (mut probes, mut inserted, mut hits) = (0u64, 0u64, 0u64);
+    let (mut translate_calls, mut sessions) = (0u64, 0u64);
+    let (mut cached_blocks, mut images) = (0usize, 0usize);
+    for state in ctx.states.lock().expect("state map poisoned").values() {
+        let snap = state.server().snapshot();
+        probes += snap.probes;
+        inserted += snap.inserted;
+        hits += snap.hits;
+        translate_calls += snap.translate_calls;
+        sessions += snap.sessions;
+        cached_blocks += state.cache().len();
+        images += 1;
+    }
+    Json::obj([
+        ("version", Json::from(u64::from(proto::VERSION))),
+        ("jobs", Json::from(queue.jobs())),
+        ("outstanding", Json::from(queue.outstanding())),
+        ("faults_enabled", Json::from(pdbt_faults::ENABLED)),
+        ("images", Json::from(images)),
+        ("cached_blocks", Json::from(cached_blocks)),
+        (
+            "server",
+            Json::obj([
+                ("probes", Json::from(probes)),
+                ("inserted", Json::from(inserted)),
+                ("hits", Json::from(hits)),
+                ("translate_calls", Json::from(translate_calls)),
+                ("sessions", Json::from(sessions)),
+            ]),
+        ),
+    ])
+}
+
+/// Writes a response frame; send failures are the client's loss, not
+/// the server's problem (the session already ran).
+fn respond(stream: &mut TcpStream, opcode: u8, payload: &Json) {
+    let _ = proto::write_frame(stream, opcode, payload.to_string().as_bytes());
+}
+
+fn respond_error(stream: &mut TcpStream, id: Option<u64>, msg: &str) {
+    let mut pairs = vec![("error".to_string(), Json::str(msg))];
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), Json::from(id)));
+    }
+    respond(stream, op::ERROR, &Json::Obj(pairs.into_iter().collect()));
+}
+
+/// The guest a request resolved to: a memoized benchmark corpus or an
+/// inline assembly listing.
+enum Guest {
+    Workload(Arc<Workload>),
+    Inline(pdbt_isa_arm::Program),
+}
+
+impl Guest {
+    fn program(&self) -> &pdbt_isa_arm::Program {
+        match self {
+            Guest::Workload(w) => &w.pair.guest.program,
+            Guest::Inline(p) => p,
+        }
+    }
+}
+
+/// Fingerprints a guest image (base address + instruction listing) to
+/// pick its translation-state partition. Process-local only — never
+/// persisted, so `DefaultHasher`'s stability caveat doesn't matter.
+fn image_fingerprint(prog: &pdbt_isa_arm::Program) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    prog.base().hash(&mut h);
+    for inst in prog.insts() {
+        inst.to_string().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Resolves the request's guest program, base run setup, and label.
+fn resolve_guest(ctx: &ServerCtx, req: &Json) -> Result<(Guest, RunSetup, String), String> {
+    if let Some(name) = req.get("workload").and_then(Json::as_str) {
+        let bench = Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| format!("unknown workload `{name}`"))?;
+        let scale_name = req.get("scale").and_then(Json::as_str).unwrap_or("tiny");
+        let scale = match scale_name {
+            "tiny" => Scale::tiny(),
+            "full" => Scale::full(),
+            other => return Err(format!("unknown scale `{other}` (want tiny|full)")),
+        };
+        let key = (name.to_string(), scale_name.to_string());
+        let w = {
+            let mut map = ctx.workloads.lock().expect("workload cache poisoned");
+            Arc::clone(
+                map.entry(key)
+                    .or_insert_with(|| Arc::new(build(bench, scale))),
+            )
+        };
+        let setup = w.setup();
+        Ok((Guest::Workload(w), setup, format!("{name}/{scale_name}")))
+    } else if let Some(text) = req.get("program").and_then(Json::as_str) {
+        let insts = pdbt_isa_arm::parse_listing(text).map_err(|e| format!("program: {e}"))?;
+        let prog = pdbt_isa_arm::Program::new(0x1000, insts);
+        // The CLI `run` memory layout: data at 0x100000, stack at
+        // 0x80000.
+        let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        Ok((Guest::Inline(prog), setup, "inline".to_string()))
+    } else {
+        Err("request needs a `workload` name or an inline `program` listing".to_string())
+    }
+}
+
+/// Runs one request on the calling (worker) thread and builds the
+/// RESULT payload.
+fn run_request(ctx: &ServerCtx, req: &Json) -> Result<Json, String> {
+    let id = req.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let (guest, mut setup, label) = resolve_guest(ctx, req)?;
+    if let Some(mg) = req.get("max_guest").and_then(Json::as_u64) {
+        setup.max_guest = mg;
+    }
+    let deadline_ms = req
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .or(ctx.default_deadline_ms);
+    if let Some(ms) = deadline_ms {
+        setup.deadline = Some(Instant::now() + Duration::from_millis(ms));
+    }
+    let plan = match req.get("faults").and_then(Json::as_str) {
+        Some(spec) => {
+            Some(pdbt_faults::Plan::parse(spec).map_err(|e| format!("bad faults spec: {e}"))?)
+        }
+        None => None,
+    };
+    // Sessions are single-threaded; concurrency comes from the queue.
+    let mut cfg = EngineConfig {
+        jobs: 1,
+        ..EngineConfig::default()
+    };
+    cfg.translate.flag_delegation = !req
+        .get("no_delegation")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let shared = ctx.state_for(image_fingerprint(guest.program()));
+    // Request-scoped fault arming: armed with this request's plan, or
+    // explicitly shielded from any process-global plan. Installed after
+    // workload resolution so corpus builds are never degraded.
+    let _guard = pdbt_faults::scoped(plan);
+    let mut engine = Engine::with_shared(shared, cfg);
+    let report = engine
+        .run(guest.program(), &setup)
+        .map_err(|e| e.to_string())?;
+    Ok(Json::obj([
+        ("id", Json::from(id)),
+        ("workload", Json::str(label)),
+        ("outcome", Json::str(report.outcome.label())),
+        ("faults_enabled", Json::from(pdbt_faults::ENABLED)),
+        ("report", report.to_json()),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    /// One guest both unit tests run: prints 42, exits.
+    const GUEST: &str = "mov r0, #41\nadd r0, r0, #1\nsvc #1\nsvc #0\n";
+
+    fn spawn_server(cfg: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<ServeSummary>) {
+        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().expect("serve"));
+        (addr, handle)
+    }
+
+    fn output_of(resp: &Json) -> Vec<u64> {
+        resp.get("report")
+            .and_then(|r| r.get("output"))
+            .and_then(Json::as_arr)
+            .expect("report.output")
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect()
+    }
+
+    #[test]
+    fn ping_submit_and_shutdown_roundtrip() {
+        let (addr, handle) = spawn_server(ServeConfig::default());
+        let t = Duration::from_secs(30);
+
+        let pong = client::ping(addr, t).expect("ping");
+        assert_eq!(pong.get("version").and_then(Json::as_u64), Some(1));
+
+        let req = Json::obj([("id", Json::from(7u64)), ("program", Json::str(GUEST))]);
+        let resp = client::submit(addr, &req, t).expect("submit");
+        assert_eq!(resp.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            resp.get("outcome").and_then(Json::as_str),
+            Some("completed")
+        );
+        assert_eq!(output_of(&resp), [42]);
+
+        client::shutdown(addr, t).expect("shutdown");
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.requests, 1);
+        assert_eq!(summary.panicked, 0);
+    }
+
+    #[test]
+    fn distinct_guest_images_never_share_translations() {
+        // Two different programs, both loaded at 0x1000: the second
+        // must not execute the first one's cached block (regression for
+        // pc-keyed cache collisions across images).
+        let (addr, handle) = spawn_server(ServeConfig::default());
+        let t = Duration::from_secs(30);
+
+        let a = Json::obj([("program", Json::str(GUEST))]);
+        let b = Json::obj([(
+            "program",
+            Json::str("mov r0, #9\nmul r0, r0, r0\nsvc #1\nsvc #0\n"),
+        )]);
+        let ra = client::submit(addr, &a, t).expect("submit a");
+        let rb = client::submit(addr, &b, t).expect("submit b");
+        assert_eq!(output_of(&ra), [42]);
+        assert_eq!(output_of(&rb), [81]);
+
+        // Two partitions, no cross-image cache hits.
+        let pong = client::ping(addr, t).expect("ping");
+        assert_eq!(pong.get("images").and_then(Json::as_u64), Some(2));
+        let server = pong.get("server").expect("server section");
+        assert_eq!(server.get("hits").and_then(Json::as_u64), Some(0));
+
+        // The same image again *does* share: one more probe, no insert.
+        let ra2 = client::submit(addr, &a, t).expect("submit a again");
+        assert_eq!(output_of(&ra2), [42]);
+        let pong = client::ping(addr, t).expect("ping");
+        let server = pong.get("server").expect("server section");
+        assert_eq!(server.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(pong.get("images").and_then(Json::as_u64), Some(2));
+
+        client::shutdown(addr, t).expect("shutdown");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses_and_the_server_survives() {
+        let (addr, handle) = spawn_server(ServeConfig::default());
+        let t = Duration::from_secs(30);
+
+        // Unknown workload.
+        let req = Json::obj([("workload", Json::str("nosuch"))]);
+        let err = client::submit(addr, &req, t).unwrap_err();
+        assert!(matches!(err, client::ClientError::Remote(_)), "{err}");
+
+        // Neither workload nor program.
+        let err = client::submit(addr, &Json::obj([("id", Json::from(1u64))]), t).unwrap_err();
+        assert!(matches!(err, client::ClientError::Remote(_)), "{err}");
+
+        // Malformed fault spec.
+        let req = Json::obj([
+            ("program", Json::str(GUEST)),
+            ("faults", Json::str("rate=not-a-number")),
+        ]);
+        let err = client::submit(addr, &req, t).unwrap_err();
+        assert!(matches!(err, client::ClientError::Remote(_)), "{err}");
+
+        // A good request still works afterwards.
+        let req = Json::obj([("program", Json::str(GUEST))]);
+        let resp = client::submit(addr, &req, t).expect("submit after errors");
+        assert_eq!(
+            resp.get("outcome").and_then(Json::as_str),
+            Some("completed")
+        );
+
+        client::shutdown(addr, t).expect("shutdown");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_reports_a_deadline_outcome() {
+        let (addr, handle) = spawn_server(ServeConfig::default());
+        let t = Duration::from_secs(30);
+        // An infinite loop, bounded only by the deadline.
+        let req = Json::obj([
+            ("program", Json::str("mov r0, #1\nb .+0\nsvc #0\n")),
+            ("deadline_ms", Json::from(0u64)),
+        ]);
+        let resp = client::submit(addr, &req, t).expect("submit");
+        assert_eq!(resp.get("outcome").and_then(Json::as_str), Some("deadline"));
+        client::shutdown(addr, t).expect("shutdown");
+        handle.join().unwrap();
+    }
+}

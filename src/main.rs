@@ -12,7 +12,20 @@
 //!             [--faults SPEC] [--report-json FILE] [--trace-out FILE]
 //! pdbt trace  prog.s [--rules rules.txt] [--addr HEX]
 //! pdbt bench  [--scale tiny|full] [BENCH]
+//! pdbt serve  [--addr HOST:PORT] [--rules rules.txt] [--jobs N] [--deadline-ms N]
+//! pdbt submit [prog.s] [--addr HOST:PORT] [--workload BENCH --scale tiny|full]
+//!             [--max-guest N] [--deadline-ms N] [--faults SPEC] [--no-delegation]
+//!             [--timeout-s N] [--report-json FILE] [--ping] [--shutdown]
 //! ```
+//!
+//! `serve` starts the multi-session translation daemon: every submitted
+//! run borrows one shared ruleset and warm code cache (see
+//! `pdbt_serve`), so repeated guests skip re-translation while each
+//! request still gets its own isolated metrics/report. `submit` sends
+//! one request — either a program file or a named synthetic `--workload`
+//! — prints the guest output, and exits non-zero unless the outcome is
+//! `completed`; `--ping` probes server status and `--shutdown` drains
+//! and stops the daemon.
 //!
 //! `--no-chain` disables the dispatch fast path (direct-mapped jump
 //! cache + block chaining), `--no-trace` disables hot-trace superblock
@@ -48,6 +61,7 @@ use pdbt::arm::{parse_listing, Program};
 use pdbt::core::derive::{derive, derive_jobs, DeriveConfig};
 use pdbt::core::learning::LearnConfig;
 use pdbt::core::{load_rules_salvage, save_rules, RuleSet};
+use pdbt::obs::json::Json;
 use pdbt::obs::trace::export_chrome_trace;
 use pdbt::runtime::{translate_block, CodeClass, Engine, EngineConfig, RunSetup, TranslateConfig};
 use pdbt::runtime::{Outcome, Report, Resilience};
@@ -64,7 +78,9 @@ fn usage() -> ExitCode {
          pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
-         pdbt bench  [--scale tiny|full] [BENCH]"
+         pdbt bench  [--scale tiny|full] [BENCH]\n  \
+         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--deadline-ms N]\n  \
+         pdbt submit [PROG.s] [--addr HOST:PORT] [--workload BENCH --scale tiny|full] [--max-guest N] [--deadline-ms N] [--faults SPEC] [--no-delegation] [--timeout-s N] [--report-json FILE] [--ping] [--shutdown]"
     );
     ExitCode::from(2)
 }
@@ -273,6 +289,7 @@ fn outcome_err(report: &Report) -> Result<(), String> {
         Outcome::Budget => {
             Err("guest instruction budget exhausted (partial report emitted)".into())
         }
+        Outcome::Deadline => Err("deadline exceeded (partial report emitted)".into()),
         Outcome::Exec(e) => Err(format!("execution fault: {e} (partial report emitted)")),
     }
 }
@@ -449,6 +466,108 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Default daemon address shared by `serve` and `submit`.
+const SERVE_ADDR: &str = "127.0.0.1:7411";
+
+fn parse_u64_flag(args: &Args, name: &str) -> Result<Option<u64>, String> {
+    match args.value(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("bad --{name}: {e}")),
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.value("addr").unwrap_or(SERVE_ADDR);
+    let mut cfg = pdbt_serve::ServeConfig::default();
+    if let Some(p) = args.value("rules") {
+        cfg.rules = Some(load_rules_file(p)?.0);
+    }
+    if args.has("jobs") {
+        cfg.jobs = jobs_of(args)?;
+    }
+    cfg.default_deadline_ms = parse_u64_flag(args, "deadline-ms")?;
+    let server = pdbt_serve::Server::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts scrape this line for the real port when binding to :0.
+    println!(
+        "pdbt-serve listening on {local} ({} session workers)",
+        server.jobs()
+    );
+    let summary = server.serve().map_err(|e| e.to_string())?;
+    eprintln!(
+        "drained: served {} requests, {} panicked sessions",
+        summary.requests, summary.panicked
+    );
+    if summary.panicked > 0 {
+        return Err(format!("{} sessions panicked", summary.panicked));
+    }
+    Ok(())
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let addr = args.value("addr").unwrap_or(SERVE_ADDR).to_string();
+    let timeout = std::time::Duration::from_secs(parse_u64_flag(args, "timeout-s")?.unwrap_or(120));
+    if args.has("ping") {
+        let pong = pdbt_serve::ping(&addr, timeout).map_err(|e| e.to_string())?;
+        println!("{pong}");
+        return Ok(());
+    }
+    if args.has("shutdown") {
+        let ack = pdbt_serve::shutdown(&addr, timeout).map_err(|e| e.to_string())?;
+        println!("{ack}");
+        return Ok(());
+    }
+
+    let mut req = vec![("id".to_string(), Json::from(std::process::id() as u64))];
+    if let Some(name) = args.value("workload") {
+        req.push(("workload".to_string(), Json::str(name)));
+        req.push((
+            "scale".to_string(),
+            Json::str(args.value("scale").unwrap_or("tiny")),
+        ));
+    } else if let Some(path) = args.positional.first() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        req.push(("program".to_string(), Json::str(text)));
+    } else {
+        return Err("submit needs a PROG.s file or --workload BENCH".into());
+    }
+    if let Some(n) = parse_u64_flag(args, "max-guest")? {
+        req.push(("max_guest".to_string(), Json::from(n)));
+    }
+    if let Some(n) = parse_u64_flag(args, "deadline-ms")? {
+        req.push(("deadline_ms".to_string(), Json::from(n)));
+    }
+    if let Some(spec) = args.value("faults") {
+        req.push(("faults".to_string(), Json::str(spec)));
+    }
+    if args.has("no-delegation") {
+        req.push(("no_delegation".to_string(), Json::from(true)));
+    }
+    let request = Json::Obj(req.into_iter().collect());
+    let resp = pdbt_serve::submit(&addr, &request, timeout).map_err(|e| e.to_string())?;
+
+    let report = resp.get("report").ok_or("response carried no report")?;
+    if let Some(out) = report.get("output").and_then(Json::as_arr) {
+        for v in out {
+            println!("{v}");
+        }
+    }
+    if let Some(path) = args.value("report-json") {
+        std::fs::write(path, format!("{report}\n")).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    match resp.get("outcome").and_then(Json::as_str) {
+        Some("completed") => Ok(()),
+        Some(other) => Err(format!(
+            "run ended early: {other} (partial report received)"
+        )),
+        None => Err("response carried no outcome".into()),
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().map(String::as_str) else {
@@ -466,6 +585,10 @@ fn main() -> ExitCode {
             "report-json",
             "trace-out",
             "trace-threshold",
+            "workload",
+            "max-guest",
+            "deadline-ms",
+            "timeout-s",
         ],
     );
     let result = match cmd {
@@ -474,6 +597,8 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "bench" => cmd_bench(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
         _ => return usage(),
     };
     match result {

@@ -53,10 +53,17 @@ fn run_fixed(rules: &RuleSet) -> Report {
     engine.run(&w.pair.guest.program, &w.setup()).expect("run")
 }
 
-/// The report JSON with the wall-clock histogram removed.
+/// The report JSON with the wall-clock histogram and the
+/// server-lifetime counters removed: `translate_ns` is the one clock
+/// field, and the `server` section describes the shared state a
+/// session ran against (sessions, warm hits), which legitimately
+/// differs between a cold standalone run and a warm shared session.
+/// Everything else — metrics, attribution, dispatch, resilience — must
+/// be bit-identical.
 fn comparable_json(report: &Report) -> String {
     let mut doc = report.to_json();
     if let Json::Obj(top) = &mut doc {
+        top.remove("server");
         if let Some(Json::Obj(hists)) = top.get_mut("histograms") {
             hists.remove("translate_ns");
         }
@@ -109,6 +116,87 @@ fn fuel_exhausted_derivation_is_bit_identical_to_serial() {
             save_rules(&serial),
             save_rules(&parallel),
             "seed {seed:#x}: degraded rule sets diverged"
+        );
+    }
+}
+
+/// Shared-cache determinism: N sessions borrowing one
+/// `SharedTranslationState` — run *concurrently*, racing on the warm
+/// cache — produce stripped reports bit-identical to N sequential cold
+/// single-engine runs, and the state's server-lifetime counters add up
+/// to exactly the sequential sum: every session probes each block once,
+/// the block is inserted once server-wide, and the remaining
+/// `N·blocks − blocks` probes are warm hits. Repeated per degraded
+/// corpus so the sharing machinery is exercised over three distinct
+/// rule sets, not one lucky input.
+#[test]
+fn concurrent_shared_sessions_match_sequential_cold_runs() {
+    use pdbt::runtime::SharedTranslationState;
+    use std::sync::Arc;
+
+    const SESSIONS: usize = 4;
+    let workloads = suite(Scale::tiny());
+    let w = &workloads[0];
+    for seed in SEEDS {
+        let learned = learned_for(seed);
+        let cold: Vec<Report> = (0..SESSIONS)
+            .map(|_| {
+                let mut e = Engine::new(Some(learned.clone()), EngineConfig::default());
+                e.run(&w.pair.guest.program, &w.setup()).expect("cold run")
+            })
+            .collect();
+
+        let shared = Arc::new(SharedTranslationState::new(
+            Some(learned.clone()),
+            EngineConfig::default().cache_shards,
+        ));
+        let concurrent: Vec<Report> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..SESSIONS)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    s.spawn(move || {
+                        let mut e = Engine::with_shared(shared, EngineConfig::default());
+                        e.run(&w.pair.guest.program, &w.setup())
+                            .expect("shared run")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("session thread"))
+                .collect()
+        });
+
+        for (i, r) in concurrent.iter().enumerate() {
+            assert_eq!(
+                r.output, cold[i].output,
+                "seed {seed:#x}: session {i} output diverged"
+            );
+            assert_eq!(
+                comparable_json(r),
+                comparable_json(&cold[i]),
+                "seed {seed:#x}: session {i} report diverged from its cold run"
+            );
+        }
+
+        let blocks = cold[0].metrics.blocks_translated;
+        assert!(blocks > 0, "seed {seed:#x}: vacuous — nothing translated");
+        let snap = shared.server().snapshot();
+        let n = SESSIONS as u64;
+        assert_eq!(snap.sessions, n, "seed {seed:#x}");
+        assert_eq!(
+            snap.inserted, blocks,
+            "seed {seed:#x}: every block inserted exactly once server-wide"
+        );
+        assert_eq!(
+            snap.probes,
+            blocks * n,
+            "seed {seed:#x}: each session probes each block once"
+        );
+        assert_eq!(
+            snap.hits,
+            blocks * (n - 1),
+            "seed {seed:#x}: warm hits must equal the sequential sum"
         );
     }
 }

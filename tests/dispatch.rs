@@ -187,6 +187,7 @@ fn strip_jobs_dependent(report: &Report) -> String {
         }
         top.remove("cache");
         top.remove("pool");
+        top.remove("server");
         top.remove("rules");
         top.remove("lookup_misses");
         if let Some(Json::Obj(metrics)) = top.get_mut("metrics") {

@@ -122,6 +122,16 @@ fn report_json_schema_matches_golden() {
         "dispatch.traces_formed",
         "dispatch.trace_execs",
         "dispatch.invalidations",
+        // The serving-model counters: every report names the shared
+        // translation state it ran against, so a `pdbt serve` response
+        // and a standalone `pdbt run` expose the same interface (the
+        // standalone case is simply a one-session server).
+        "server.probes",
+        "server.inserted",
+        "server.hits",
+        "server.translate_calls",
+        "server.sessions",
+        "server.hit_rate",
     ] {
         assert!(
             paths.contains(required),

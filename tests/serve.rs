@@ -1,0 +1,187 @@
+//! End-to-end lockdown of the `pdbt-serve` daemon over loopback TCP:
+//! concurrent sessions sharing one warm code cache must be
+//! *observationally indistinguishable* from sequential cold
+//! single-engine runs — same output, same stripped report, byte for
+//! byte — while the server-lifetime counters prove the sharing
+//! actually happened.
+
+use pdbt::obs::json::Json;
+use pdbt::runtime::{Engine, EngineConfig, Report};
+use pdbt::workloads::{build, Benchmark, Scale};
+use pdbt_serve::{ping, shutdown, submit, ServeConfig, ServeSummary, Server};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Socket timeout for every client call; far above any tiny-scale run.
+const T: Duration = Duration::from_secs(120);
+
+fn spawn_server(cfg: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<ServeSummary>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+/// A cold standalone run of the same corpus and configuration the
+/// server uses per session (`EngineConfig::default()`, one thread).
+fn oracle_run() -> Report {
+    let w = build(Benchmark::Mcf, Scale::tiny());
+    let mut engine = Engine::new(None, EngineConfig::default());
+    engine
+        .run(&w.pair.guest.program, &w.setup())
+        .expect("oracle run")
+}
+
+/// Serializes a report with the two session-environment fields removed:
+/// `histograms.translate_ns` (wall clock) and `server` (describes the
+/// shared state, not the session). Everything else must match a cold
+/// run exactly.
+fn stripped(report: &Json) -> String {
+    let mut doc = report.clone();
+    if let Json::Obj(top) = &mut doc {
+        top.remove("server");
+        if let Some(Json::Obj(hists)) = top.get_mut("histograms") {
+            hists.remove("translate_ns");
+        }
+    }
+    doc.to_string()
+}
+
+fn mcf_request(id: u64) -> Json {
+    Json::obj([
+        ("id", Json::from(id)),
+        ("workload", Json::str("mcf")),
+        ("scale", Json::str("tiny")),
+    ])
+}
+
+fn report_of(resp: &Json) -> &Json {
+    resp.get("report").expect("response carries a report")
+}
+
+#[test]
+fn eight_concurrent_sessions_are_bit_identical_to_sequential_runs() {
+    let oracle = oracle_run();
+    let oracle_json = oracle.to_json();
+    let blocks = oracle.metrics.blocks_translated;
+    assert!(blocks > 0, "vacuous oracle");
+
+    let (addr, handle) = spawn_server(ServeConfig {
+        jobs: 8,
+        ..ServeConfig::default()
+    });
+    let responses: Vec<Json> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| s.spawn(move || submit(addr, &mcf_request(i), T).expect("submit")))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    for resp in &responses {
+        assert_eq!(
+            resp.get("outcome").and_then(Json::as_str),
+            Some("completed"),
+            "session did not complete: {resp}"
+        );
+        assert_eq!(
+            stripped(report_of(resp)),
+            stripped(&oracle_json),
+            "a warm concurrent session's report diverged from the cold oracle"
+        );
+    }
+
+    // The server-lifetime counters equal the sequential sum: each of
+    // the 8 sessions probed each block once; blocks entered the shared
+    // cache exactly once; everything else was a warm hit.
+    let pong = ping(addr, T).expect("ping");
+    let srv = pong.get("server").expect("server section");
+    let field = |name: &str| srv.get(name).and_then(Json::as_u64).expect(name);
+    assert_eq!(field("sessions"), 8);
+    assert_eq!(field("inserted"), blocks);
+    assert_eq!(field("probes"), 8 * blocks);
+    assert_eq!(field("hits"), 7 * blocks);
+
+    shutdown(addr, T).expect("shutdown");
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.requests, 8);
+    assert_eq!(summary.panicked, 0);
+}
+
+#[test]
+fn fault_armed_and_deadline_requests_leave_neighbours_untouched() {
+    let oracle = oracle_run();
+    let oracle_json = oracle.to_json();
+
+    let (addr, handle) = spawn_server(ServeConfig {
+        jobs: 4,
+        ..ServeConfig::default()
+    });
+    let (clean_a, clean_b, armed, expired) = std::thread::scope(|s| {
+        let clean_a = s.spawn(move || submit(addr, &mcf_request(1), T).expect("clean a"));
+        let clean_b = s.spawn(move || submit(addr, &mcf_request(2), T).expect("clean b"));
+        let armed = s.spawn(move || {
+            let mut req = mcf_request(3);
+            if let Json::Obj(m) = &mut req {
+                m.insert("faults".into(), Json::str("seed=7,rate=0.3,sites=cache"));
+            }
+            submit(addr, &req, T).expect("armed")
+        });
+        let expired = s.spawn(move || {
+            let req = Json::obj([
+                ("id", Json::from(4u64)),
+                ("program", Json::str("mov r0, #1\nb .+0\nsvc #0\n")),
+                ("deadline_ms", Json::from(0u64)),
+            ]);
+            submit(addr, &req, T).expect("expired")
+        });
+        (
+            clean_a.join().unwrap(),
+            clean_b.join().unwrap(),
+            armed.join().unwrap(),
+            expired.join().unwrap(),
+        )
+    });
+
+    // The clean sessions must be untouched by the armed neighbour: no
+    // injections, reports bit-identical to the cold oracle.
+    for resp in [&clean_a, &clean_b] {
+        assert_eq!(
+            resp.get("outcome").and_then(Json::as_str),
+            Some("completed")
+        );
+        assert_eq!(
+            stripped(report_of(resp)),
+            stripped(&oracle_json),
+            "a clean session was perturbed by a fault-armed neighbour"
+        );
+    }
+
+    // The armed session degrades gracefully: same guest output, run to
+    // completion. (With the `faults` feature compiled out the plan is
+    // inert and the report matches the oracle exactly.)
+    assert_eq!(
+        armed.get("outcome").and_then(Json::as_str),
+        Some("completed")
+    );
+    assert_eq!(
+        report_of(&armed).get("output"),
+        oracle_json.get("output"),
+        "fault-armed session corrupted guest output"
+    );
+
+    // The expired-deadline session reports `deadline`, with its partial
+    // report delivered rather than an error.
+    assert_eq!(
+        expired.get("outcome").and_then(Json::as_str),
+        Some("deadline")
+    );
+    assert!(report_of(&expired).get("metrics").is_some());
+
+    shutdown(addr, T).expect("shutdown");
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.requests, 4);
+    assert_eq!(summary.panicked, 0);
+}
