@@ -6,12 +6,53 @@
 //! merging is element-wise, so per-shard histograms can be folded into
 //! a run-level one.
 
+use crate::json::Json;
 use std::fmt;
 
 /// Upper bounds (ns, inclusive) for translate-latency style
 /// distributions: 1us .. 16ms in powers of four.
 pub const LATENCY_NS_BOUNDS: &[u64] = &[
     1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000, 4_096_000, 16_384_000,
+];
+
+/// Upper bounds (ns, inclusive) for end-to-end request latency:
+/// 16us .. ~4s in powers of four. Requests cover accept through reply,
+/// so the range sits well above the per-block translate buckets.
+pub const REQUEST_NS_BOUNDS: &[u64] = &[
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+];
+
+/// Upper bounds (ns, inclusive) for queue-wait time: 1us .. ~1s in
+/// powers of four. An idle worker dequeues within microseconds; a
+/// saturated queue pushes waits toward the top buckets.
+pub const QUEUE_WAIT_NS_BOUNDS: &[u64] = &[
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+];
+
+/// Upper bounds (bytes, inclusive) for reply payload sizes: 256 B ..
+/// 4 MiB in powers of four (the frame codec caps payloads at 16 MiB,
+/// the catch-all).
+pub const REPLY_BYTES_BOUNDS: &[u64] = &[
+    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
 ];
 
 /// Upper bounds for block-length style distributions (instruction
@@ -60,6 +101,18 @@ impl Histogram {
 
     pub fn deleg_depth() -> Self {
         Self::new(DELEG_DEPTH_BOUNDS)
+    }
+
+    pub fn request_ns() -> Self {
+        Self::new(REQUEST_NS_BOUNDS)
+    }
+
+    pub fn queue_wait_ns() -> Self {
+        Self::new(QUEUE_WAIT_NS_BOUNDS)
+    }
+
+    pub fn reply_bytes() -> Self {
+        Self::new(REPLY_BYTES_BOUNDS)
     }
 
     /// Index of the bucket `v` falls into.
@@ -121,21 +174,67 @@ impl Histogram {
         self.max
     }
 
-    /// Upper-bound estimate of the `p`-th percentile (0.0..=1.0): the
-    /// bound of the first bucket whose cumulative count reaches it.
+    /// Estimate of the `p`-th percentile (0.0..=1.0): linear
+    /// interpolation within the bucket whose cumulative count reaches
+    /// the rank, clamped to the observed `[min, max]` so a sparse
+    /// bucket can't report a value outside the recorded range. The
+    /// catch-all bucket interpolates toward the observed max.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
-        let mut cum = 0;
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
-            cum += c;
-            if cum >= target.max(1) {
-                return self.bounds.get(i).copied().unwrap_or(self.max);
+            if *c == 0 {
+                continue;
             }
+            if cum + c >= target {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = self.bounds.get(i).copied().unwrap_or(self.max).max(lo);
+                let frac = (target - cum) as f64 / *c as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+            cum += c;
         }
         self.max
+    }
+
+    /// Median request estimate; see [`Histogram::percentile`].
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// The report-ready JSON object: bucket shape, totals, and the
+    /// interpolated p50/p95/p99 quantiles.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "bounds",
+                Json::Arr(self.bounds.iter().map(|&b| Json::from(b)).collect()),
+            ),
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::from(c)).collect()),
+            ),
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("min", Json::from(self.min())),
+            ("max", Json::from(self.max)),
+            ("mean", Json::from(self.mean())),
+            ("p50", Json::from(self.p50())),
+            ("p95", Json::from(self.p95())),
+            ("p99", Json::from(self.p99())),
+        ])
     }
 
     /// Bucket rows as `(label, count)`, catch-all last.
@@ -224,7 +323,7 @@ mod tests {
     }
 
     #[test]
-    fn percentile_reports_bucket_upper_bounds() {
+    fn percentile_interpolates_within_buckets() {
         let mut h = Histogram::new(&[10, 100, 1000]);
         for _ in 0..90 {
             h.record(7);
@@ -232,8 +331,42 @@ mod tests {
         for _ in 0..10 {
             h.record(700);
         }
-        assert_eq!(h.percentile(0.5), 10);
-        assert_eq!(h.percentile(0.99), 1000);
+        // Rank 50 of 100 lands 50/90 into bucket 0..=10 → ~5.6, clamped
+        // up to the observed min of 7.
+        assert_eq!(h.percentile(0.5), 7);
+        // Rank 99 lands 9/10 into bucket 101..=1000 → 910, clamped down
+        // to the observed max of 700.
+        assert_eq!(h.percentile(0.99), 700);
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p99(), 700);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p_and_bounded_by_extrema() {
+        let mut h = Histogram::request_ns();
+        for v in [20_000u64, 70_000, 70_000, 300_000, 5_000_000] {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let q = h.percentile(p);
+            assert!(q >= prev, "percentile must be monotone in p");
+            assert!((h.min()..=h.max()).contains(&q));
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn to_json_carries_quantiles() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(50);
+        let doc = h.to_json();
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(2));
+        assert!(doc.get("p50").is_some());
+        assert!(doc.get("p95").is_some());
+        assert!(doc.get("p99").is_some());
     }
 
     #[test]

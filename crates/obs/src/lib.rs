@@ -20,6 +20,7 @@
 pub mod counters;
 pub mod hist;
 pub mod json;
+pub mod telemetry;
 pub mod trace;
 
 pub use counters::{
@@ -27,7 +28,11 @@ pub use counters::{
     ShardCounters,
 };
 pub use hist::Histogram;
-pub use trace::{drain_events, span, Event, SpanGuard};
+pub use telemetry::{
+    FlightRecorder, LatencyHists, LatencyRecorder, PhaseNs, RequestSummary, Telemetry,
+    TelemetrySnapshot,
+};
+pub use trace::{drain_events, scoped, span, Event, ScopeGuard, SpanGuard};
 
 /// Whether timing/tracing capture is compiled in.
 pub const ENABLED: bool = cfg!(feature = "enabled");

@@ -21,6 +21,9 @@ pub struct Event {
     pub dur_ns: u64,
     /// Optional free-form argument (e.g. the block address or rule key).
     pub detail: Option<Box<str>>,
+    /// Session/request scope the span ran under (see [`scoped`]); 0
+    /// when no scope was active.
+    pub scope: u64,
 }
 
 /// Ring capacity in events.
@@ -51,6 +54,29 @@ mod imp {
             head: 0,
             dropped: 0,
         }) };
+        static SCOPE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    /// Tags every span opened on this thread until the guard drops with
+    /// `id` (a session or request identifier). Nested scopes restore
+    /// the outer id on drop.
+    pub fn scoped(id: u64) -> ScopeGuard {
+        let prev = SCOPE.with(|s| s.replace(id));
+        ScopeGuard { prev }
+    }
+
+    pub struct ScopeGuard {
+        prev: u64,
+    }
+
+    impl Drop for ScopeGuard {
+        fn drop(&mut self) {
+            SCOPE.with(|s| s.set(self.prev));
+        }
+    }
+
+    fn current_scope() -> u64 {
+        SCOPE.with(|s| s.get())
     }
 
     pub struct SpanGuard {
@@ -75,6 +101,7 @@ mod imp {
                 start_ns: self.start_ns,
                 dur_ns,
                 detail: self.detail.take(),
+                scope: current_scope(),
             };
             RING.with(|r| {
                 let mut r = r.borrow_mut();
@@ -142,12 +169,23 @@ mod imp {
     pub fn drain_events() -> (Vec<Event>, u64) {
         (Vec::new(), 0)
     }
+
+    /// Inert zero-sized scope guard.
+    pub struct ScopeGuard;
+
+    #[inline(always)]
+    pub fn scoped(_id: u64) -> ScopeGuard {
+        ScopeGuard
+    }
 }
 
-pub use imp::{drain_events, now_ns, span, SpanGuard};
+pub use imp::{drain_events, now_ns, scoped, span, ScopeGuard, SpanGuard};
 
 /// Serializes events as a Chrome `trace_event` JSON document (load in
-/// `chrome://tracing` or Perfetto). Timestamps are microseconds.
+/// `chrome://tracing` or Perfetto). Timestamps are microseconds. Each
+/// distinct event scope (session/request id) becomes its own `pid`
+/// track — unscoped events land on pid 1 — so multi-session daemon
+/// traces no longer interleave on a single row.
 pub fn export_chrome_trace(events: &[Event]) -> String {
     use crate::json::esc;
     let mut out = String::with_capacity(events.len() * 96 + 32);
@@ -156,8 +194,9 @@ pub fn export_chrome_trace(events: &[Event]) -> String {
         if i > 0 {
             out.push(',');
         }
+        let pid = if e.scope == 0 { 1 } else { e.scope };
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{}.{:03},\"dur\":{}.{:03}",
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{pid},\"ts\":{}.{:03},\"dur\":{}.{:03}",
             esc(e.name),
             e.start_ns / 1_000,
             e.start_ns % 1_000,
@@ -207,6 +246,30 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "enabled")]
+    fn scoped_spans_carry_the_session_id() {
+        let _ = drain_events();
+        {
+            let _outer = scoped(7);
+            let _a = span("in_scope");
+            drop(_a);
+            {
+                let _inner = scoped(9);
+                let _b = span("nested_scope");
+            }
+            let _c = span("back_in_outer");
+        }
+        let _d = span("unscoped");
+        drop(_d);
+        let (evs, _) = drain_events();
+        let scope_of = |name: &str| evs.iter().find(|e| e.name == name).unwrap().scope;
+        assert_eq!(scope_of("in_scope"), 7);
+        assert_eq!(scope_of("nested_scope"), 9);
+        assert_eq!(scope_of("back_in_outer"), 7);
+        assert_eq!(scope_of("unscoped"), 0);
+    }
+
+    #[test]
     fn chrome_export_is_wellformed_json() {
         let evs = vec![
             Event {
@@ -214,12 +277,14 @@ mod tests {
                 start_ns: 1_500,
                 dur_ns: 2_000,
                 detail: Some("addr=0x1000".into()),
+                scope: 0,
             },
             Event {
                 name: "exec_block",
                 start_ns: 4_000,
                 dur_ns: 10,
                 detail: None,
+                scope: 42,
             },
         ];
         let s = export_chrome_trace(&evs);
@@ -231,5 +296,9 @@ mod tests {
             Some("translate_block")
         );
         assert_eq!(arr[1].get("ph").and_then(|v| v.as_str()), Some("X"));
+        // Unscoped events fall on pid 1; scoped events get their own.
+        assert_eq!(arr[0].get("pid").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(arr[1].get("pid").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(arr[1].get("tid").and_then(|v| v.as_u64()), Some(42));
     }
 }

@@ -213,6 +213,9 @@ struct QueueState {
     open: bool,
     /// Tasks currently executing on workers.
     active: usize,
+    /// Largest `tasks.len() + active` ever observed at submit time —
+    /// the queue's high-water depth, a saturation signal.
+    high_water: usize,
 }
 
 struct QueueInner {
@@ -222,9 +225,27 @@ struct QueueInner {
     cv: Condvar,
     /// Tasks completed per worker slot (utilization, like [`Pool`]).
     completed: Vec<AtomicU64>,
+    /// Wall-clock nanoseconds each worker slot spent executing tasks
+    /// (busy ticks; the complement of time parked on the condvar).
+    busy_ns: Vec<AtomicU64>,
     /// Tasks that panicked; the panic is caught and counted, never
     /// propagated — one poisoned request must not take the queue down.
     panicked: AtomicU64,
+}
+
+thread_local! {
+    /// The [`TaskQueue`] worker slot the current thread runs as, if
+    /// any; lets task closures attribute work (e.g. per-worker
+    /// telemetry slots) without threading an index through every call.
+    static WORKER_SLOT: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The [`TaskQueue`] worker slot of the calling thread, or `None` when
+/// not running inside a queue worker.
+#[must_use]
+pub fn current_worker_slot() -> Option<usize> {
+    WORKER_SLOT.with(|s| s.get())
 }
 
 /// A long-lived task queue: `jobs` parked worker threads pulling
@@ -285,9 +306,11 @@ impl TaskQueue {
                 tasks: VecDeque::new(),
                 open: true,
                 active: 0,
+                high_water: 0,
             }),
             cv: Condvar::new(),
             completed: (0..jobs).map(|_| AtomicU64::new(0)).collect(),
+            busy_ns: (0..jobs).map(|_| AtomicU64::new(0)).collect(),
             panicked: AtomicU64::new(0),
         });
         let workers = (0..jobs)
@@ -303,6 +326,7 @@ impl TaskQueue {
     }
 
     fn worker(inner: &QueueInner, slot: usize) {
+        WORKER_SLOT.with(|s| s.set(Some(slot)));
         loop {
             let task = {
                 let mut state = inner.state.lock().expect("queue lock");
@@ -317,9 +341,11 @@ impl TaskQueue {
                     state = inner.cv.wait(state).expect("queue lock");
                 }
             };
+            let started = std::time::Instant::now();
             if catch_unwind(AssertUnwindSafe(task)).is_err() {
                 inner.panicked.fetch_add(1, Ordering::Relaxed);
             }
+            inner.busy_ns[slot].fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
             inner.completed[slot].fetch_add(1, Ordering::Relaxed);
             let mut state = inner.state.lock().expect("queue lock");
             state.active -= 1;
@@ -349,6 +375,8 @@ impl TaskQueue {
             return Err(QueueClosed(Box::new(task)));
         }
         state.tasks.push_back(Box::new(task));
+        let depth = state.tasks.len() + state.active;
+        state.high_water = state.high_water.max(depth);
         drop(state);
         self.inner.cv.notify_all();
         Ok(())
@@ -372,6 +400,24 @@ impl TaskQueue {
     pub fn utilization(&self) -> Vec<u64> {
         self.inner
             .completed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Largest queue depth (waiting + executing) observed at any
+    /// submit over the queue's lifetime.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.inner.state.lock().expect("queue lock").high_water
+    }
+
+    /// Wall-clock nanoseconds each worker slot has spent executing
+    /// tasks (as opposed to parked waiting for work).
+    #[must_use]
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.inner
+            .busy_ns
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
@@ -524,6 +570,71 @@ mod queue_tests {
         assert_eq!(q.utilization().iter().sum::<u64>(), 30);
         assert_eq!(q.utilization().len(), 3);
         q.drain();
+    }
+
+    #[test]
+    fn high_water_records_peak_depth_under_a_blocked_worker() {
+        let q = TaskQueue::new(1);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        // Block the single worker, then stack 5 tasks behind it: the
+        // peak depth at submit time is 1 in flight + 5 waiting.
+        q.submit(move || {
+            rx.recv().ok();
+        })
+        .unwrap();
+        for _ in 0..5 {
+            q.submit(|| {}).unwrap();
+        }
+        assert!(
+            q.high_water() >= 5,
+            "high water {} too low for 6 stacked tasks",
+            q.high_water()
+        );
+        tx.send(()).unwrap();
+        q.wait_idle();
+        // Draining does not reset the high-water mark.
+        assert!(q.high_water() >= 5);
+        q.drain();
+    }
+
+    #[test]
+    fn busy_ns_accrues_while_tasks_execute() {
+        let q = TaskQueue::new(2);
+        for _ in 0..4 {
+            q.submit(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            })
+            .unwrap();
+        }
+        q.wait_idle();
+        let busy = q.busy_ns();
+        assert_eq!(busy.len(), 2);
+        // 4 × 5ms across 2 workers: at least 10ms of busy time total.
+        assert!(
+            busy.iter().sum::<u64>() >= 10_000_000,
+            "busy {busy:?} too low"
+        );
+        q.drain();
+    }
+
+    #[test]
+    fn worker_slot_is_visible_inside_tasks_and_absent_outside() {
+        assert_eq!(current_worker_slot(), None);
+        let q = TaskQueue::new(3);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..12 {
+            let seen = Arc::clone(&seen);
+            q.submit(move || {
+                let slot = current_worker_slot().expect("inside a queue worker");
+                seen.lock().unwrap().push(slot);
+            })
+            .unwrap();
+        }
+        q.wait_idle();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 12);
+        assert!(seen.iter().all(|&s| s < 3));
+        assert_eq!(current_worker_slot(), None);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use pdbt_isa_arm::{step, Cpu as GuestCpu, FReg, Operand, Program, Reg as GReg, I
 use pdbt_isa_x86::{exec_block_traced_into, BlockExit, Cpu as HostCpu, Reg as HReg};
 use pdbt_obs::json::Json;
 use pdbt_obs::{
-    DispatchCounters, Histogram, PoolCounters, RuleCounters, RuleId, ServerSnapshot, ShardCounters,
+    DispatchCounters, Histogram, PhaseNs, PoolCounters, RequestSummary, RuleCounters, RuleId,
+    ServerSnapshot, ShardCounters, TelemetrySnapshot,
 };
 use pdbt_par::Pool;
 use std::collections::{HashMap, HashSet};
@@ -52,6 +53,13 @@ pub struct EngineConfig {
     /// Executions of a block before the chain it heads is considered
     /// hot and promoted to a superblock (`--trace-threshold`).
     pub trace_threshold: u32,
+    /// Record a request summary (translate/execute phase latencies)
+    /// into the shared state's telemetry plane at the end of each run.
+    /// On for standalone engines — the one-session-server view — and
+    /// turned off by `pdbt-serve`, which stamps the full request
+    /// lifecycle (queue wait, reply write) itself and must not record
+    /// each request twice.
+    pub record_telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +71,7 @@ impl Default for EngineConfig {
             chaining: true,
             traces: true,
             trace_threshold: 50,
+            record_telemetry: true,
         }
     }
 }
@@ -268,21 +277,7 @@ impl RunObs {
 }
 
 fn hist_json(h: &Histogram) -> Json {
-    Json::obj([
-        (
-            "bounds",
-            Json::arr(h.bounds().iter().map(|&b| Json::from(b))),
-        ),
-        (
-            "counts",
-            Json::arr(h.raw_counts().iter().map(|&c| Json::from(c))),
-        ),
-        ("count", Json::from(h.count())),
-        ("sum", Json::from(h.sum())),
-        ("min", Json::from(h.min())),
-        ("max", Json::from(h.max())),
-        ("mean", Json::from(h.mean())),
-    ])
+    h.to_json()
 }
 
 /// How a run ended. Anything other than [`Outcome::Completed`] means
@@ -378,6 +373,11 @@ pub struct Report {
     /// determinism comparisons strip this section (like
     /// `histograms.translate_ns`).
     pub server: ServerSnapshot,
+    /// Serving-plane telemetry snapshot (request latency histograms and
+    /// the flight-recorder tail) from the same shared state, taken at
+    /// the same point as `server`. Reported inside the `server` JSON
+    /// section, so it is stripped by the same determinism discipline.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl Report {
@@ -521,6 +521,41 @@ impl Report {
                     ("translate_calls", Json::from(self.server.translate_calls)),
                     ("sessions", Json::from(self.server.sessions)),
                     ("hit_rate", Json::from(self.server.hit_rate())),
+                    ("latency", self.telemetry.latency.to_json()),
+                    (
+                        "flight",
+                        Json::arr(self.telemetry.flight.iter().map(|s| s.to_json())),
+                    ),
+                    // A standalone engine sees exactly one partition:
+                    // the shared state it ran against. `pdbt serve`
+                    // exposes the full multi-image view through the
+                    // same shape in its STATS payload.
+                    (
+                        "partitions",
+                        Json::arr([Json::obj([
+                            (
+                                "partition",
+                                Json::str(format!("{:016x}", self.telemetry.partition)),
+                            ),
+                            ("sessions", Json::from(self.server.sessions)),
+                            ("probes", Json::from(self.server.probes)),
+                            ("inserted", Json::from(self.server.inserted)),
+                            ("hits", Json::from(self.server.hits)),
+                            ("hit_rate", Json::from(self.server.hit_rate())),
+                            (
+                                "latency",
+                                Json::obj([
+                                    (
+                                        "count",
+                                        Json::from(self.telemetry.latency.request_ns.count()),
+                                    ),
+                                    ("p50", Json::from(self.telemetry.latency.request_ns.p50())),
+                                    ("p95", Json::from(self.telemetry.latency.request_ns.p95())),
+                                    ("p99", Json::from(self.telemetry.latency.request_ns.p99())),
+                                ]),
+                            ),
+                        ])]),
+                    ),
                 ]),
             ),
             (
@@ -1174,6 +1209,8 @@ impl Engine {
     /// [`EngineError`] only on setup failures (mapping or seeding the
     /// environment), before any guest instruction runs.
     pub fn run(&mut self, prog: &Program, setup: &RunSetup) -> Result<Report, EngineError> {
+        let run_start_ns = pdbt_obs::now_ns();
+        let translate_ns_before = self.obs.translate_ns.sum();
         if self.cfg.jobs > 1 {
             self.prewarm(prog);
         }
@@ -1347,6 +1384,36 @@ impl Engine {
         // guard (`pdbt serve`) it reads the request's own counters, so
         // concurrent sessions never see each other's injections.
         self.resilience.injected = pdbt_faults::snapshot();
+        if self.cfg.record_telemetry {
+            // The one-session-server view: translate time is the run's
+            // delta on the translate histogram; everything else spent
+            // inside `run` counts as execute. Queue and reply phases
+            // exist only under `pdbt-serve`, which records the full
+            // lifecycle itself (and disables this path).
+            let translate = self
+                .obs
+                .translate_ns
+                .sum()
+                .saturating_sub(translate_ns_before);
+            let elapsed = pdbt_obs::now_ns().saturating_sub(run_start_ns);
+            let telemetry = self.shared.telemetry();
+            let summary = RequestSummary {
+                seq: telemetry.next_seq(),
+                id: 0,
+                partition: telemetry.partition(),
+                outcome: outcome.label().to_string(),
+                phases: PhaseNs {
+                    queue: 0,
+                    translate,
+                    execute: elapsed.saturating_sub(translate),
+                    reply: 0,
+                },
+                reply_bytes: 0,
+                injected: self.resilience.injected.iter().sum(),
+                fault_sites: String::new(),
+            };
+            telemetry.record(pdbt_par::current_worker_slot().unwrap_or(0), summary);
+        }
         Ok(Report {
             metrics: self.metrics.clone(),
             output: host.output,
@@ -1354,6 +1421,7 @@ impl Engine {
             outcome,
             resilience: self.resilience.clone(),
             server: self.shared.server().snapshot(),
+            telemetry: self.shared.telemetry().snapshot(),
         })
     }
 

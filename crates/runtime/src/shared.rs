@@ -23,7 +23,7 @@
 
 use crate::cache::ShardedCache;
 use pdbt_core::RuleSet;
-use pdbt_obs::ServerCounters;
+use pdbt_obs::{ServerCounters, Telemetry};
 
 /// The translation state shared by every session of one server (or
 /// owned exclusively by a standalone engine — `Engine::new` wraps one
@@ -41,6 +41,12 @@ pub struct SharedTranslationState {
     /// sessions. See `pdbt_obs::ServerCounters` for the determinism
     /// discipline (`hits` is derived, not raced).
     server: ServerCounters,
+    /// The serving-plane telemetry attached to this state: per-worker
+    /// latency histograms, the flight recorder, and the request
+    /// sequence counter. A standalone engine keeps one slot; the
+    /// server sizes this to its worker count and stamps the partition
+    /// fingerprint.
+    telemetry: Telemetry,
 }
 
 impl SharedTranslationState {
@@ -48,10 +54,25 @@ impl SharedTranslationState {
     /// count (rounded up to a power of two).
     #[must_use]
     pub fn new(rules: Option<RuleSet>, cache_shards: usize) -> SharedTranslationState {
+        Self::with_telemetry(rules, cache_shards, 1, 0)
+    }
+
+    /// [`SharedTranslationState::new`] with a sized telemetry plane:
+    /// `slots` per-worker latency histogram sets (the server passes its
+    /// worker count) and the guest-image `partition` fingerprint this
+    /// state serves.
+    #[must_use]
+    pub fn with_telemetry(
+        rules: Option<RuleSet>,
+        cache_shards: usize,
+        slots: usize,
+        partition: u64,
+    ) -> SharedTranslationState {
         SharedTranslationState {
             rules,
             cache: ShardedCache::new(cache_shards),
             server: ServerCounters::new(),
+            telemetry: Telemetry::with_partition(slots, partition),
         }
     }
 
@@ -71,5 +92,11 @@ impl SharedTranslationState {
     #[must_use]
     pub fn server(&self) -> &ServerCounters {
         &self.server
+    }
+
+    /// The serving-plane telemetry.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }

@@ -127,3 +127,18 @@ pub fn shutdown(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Json, Cli
     let frame = roundtrip(addr, op::SHUTDOWN, b"", timeout)?;
     expect_json(frame, op::PONG)
 }
+
+/// Fetches the server's live telemetry snapshot: a monotone
+/// `stats_seq`, uptime, sessions served/active/panicked, queue depth
+/// and pool accounting, the summed server counters, per-partition
+/// latency quantiles, the merged latency histograms, and the
+/// flight-recorder tail. Answered inline by the accept loop, so it
+/// works while every session worker is busy.
+///
+/// # Errors
+///
+/// See [`ClientError`].
+pub fn stats(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Json, ClientError> {
+    let frame = roundtrip(addr, op::STATS, b"", timeout)?;
+    expect_json(frame, op::PONG)
+}

@@ -36,8 +36,10 @@
 //! ```
 
 mod client;
+pub mod loadgen;
 pub mod proto;
 mod server;
 
-pub use client::{ping, shutdown, submit, ClientError};
+pub use client::{ping, shutdown, stats, submit, ClientError};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{ServeConfig, ServeSummary, Server};

@@ -1,0 +1,291 @@
+//! `pdbt loadgen` — a client-side load generator for a live daemon.
+//!
+//! Drives a zipfian request mix (a few hot guest images plus a long
+//! tail of cold ones) at a configurable concurrency, measures
+//! end-to-end latency client-side, polls `STATS` while the load runs
+//! (checking the snapshot sequence stays monotone), and distills the
+//! run into the numbers the serving-plane bench tracks: p50/p99
+//! latency, sessions per second, and the warm-hit ratio.
+//!
+//! Determinism discipline: the request→image assignment is drawn
+//! *up front* from a seeded `pdbt-rng` stream, so the offered traffic
+//! is a pure function of the seed and knobs regardless of how client
+//! threads interleave. Latencies are of course wall-clock.
+
+use crate::client::{self, ClientError};
+use pdbt_obs::json::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// The daemon to drive.
+    pub addr: SocketAddr,
+    /// Concurrent client sessions (threads).
+    pub sessions: usize,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Distinct hot guest images (the head of the zipfian mix).
+    pub hot: usize,
+    /// Distinct cold guest images (the long tail).
+    pub tail: usize,
+    /// Seed for the request→image assignment.
+    pub seed: u64,
+    /// `STATS` poll interval while the load runs.
+    pub poll_ms: u64,
+    /// Per-socket-operation timeout for every client call.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7411)),
+            sessions: 4,
+            requests: 64,
+            hot: 3,
+            tail: 13,
+            seed: 1,
+            poll_ms: 20,
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests answered with a RESULT frame.
+    pub ok: u64,
+    /// Requests that failed (errors, timeouts).
+    pub failed: u64,
+    /// Exact client-side end-to-end latency quantiles (ns), from the
+    /// sorted sample set — the oracle the server's interpolated
+    /// histogram quantiles approximate.
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    /// Completed requests per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Warm-hit ratio from the final STATS snapshot (`hits / probes`).
+    pub warm_hit_ratio: f64,
+    /// STATS polls made while the load ran.
+    pub stats_polls: u64,
+    /// The final STATS snapshot.
+    pub final_stats: Json,
+}
+
+impl LoadgenReport {
+    /// The `BENCH_serve.json`-shaped document.
+    #[must_use]
+    pub fn to_json(&self, cfg: &LoadgenConfig) -> Json {
+        Json::obj([
+            ("bench", Json::str("loadgen")),
+            ("requests", Json::from(cfg.requests)),
+            ("sessions", Json::from(cfg.sessions)),
+            ("hot_images", Json::from(cfg.hot)),
+            ("tail_images", Json::from(cfg.tail)),
+            ("seed", Json::from(cfg.seed)),
+            ("ok", Json::from(self.ok)),
+            ("failed", Json::from(self.failed)),
+            ("p50_ns", Json::from(self.p50_ns)),
+            ("p99_ns", Json::from(self.p99_ns)),
+            ("sessions_per_sec", Json::from(self.sessions_per_sec)),
+            ("warm_hit_ratio", Json::from(self.warm_hit_ratio)),
+            ("stats_polls", Json::from(self.stats_polls)),
+            ("final_stats", self.final_stats.clone()),
+        ])
+    }
+}
+
+/// A distinct synthetic guest image: every image computes a different
+/// constant, so each gets its own fingerprint (and partition) while
+/// staying a few-instruction run.
+fn image_program(index: usize) -> String {
+    let k = 10 + index as u32;
+    format!("mov r0, #{k}\nadd r0, r0, #{}\nsvc #1\nsvc #0\n", index % 7)
+}
+
+/// The zipfian request→image assignment: image weights follow 1/rank
+/// over `hot + tail` images (hot images are simply the head ranks),
+/// drawn per-request from one seeded stream.
+fn assignment(cfg: &LoadgenConfig) -> Vec<usize> {
+    let images = (cfg.hot + cfg.tail).max(1);
+    let weights: Vec<f64> = (0..images).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.requests)
+        .map(|_| {
+            let mut x = rng.gen::<f64>() * total;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return i;
+                }
+                x -= w;
+            }
+            images - 1
+        })
+        .collect()
+}
+
+/// Drives the daemon at `cfg.addr` and returns the measured report.
+///
+/// # Errors
+///
+/// A message when the daemon is unreachable, every request fails, or a
+/// STATS poll comes back non-monotone.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let plan = assignment(cfg);
+    let programs: Vec<String> = (0..(cfg.hot + cfg.tail).max(1))
+        .map(image_program)
+        .collect();
+    let next = AtomicUsize::new(0);
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let samples: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(cfg.requests));
+    let done = AtomicBool::new(false);
+    let polls = AtomicU64::new(0);
+    let poll_error: Mutex<Option<String>> = Mutex::new(None);
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..cfg.sessions.max(1) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&image) = plan.get(i) else { break };
+                let req = Json::obj([
+                    ("id", Json::from(i as u64)),
+                    ("program", Json::str(&programs[image])),
+                ]);
+                let t0 = Instant::now();
+                match client::submit(cfg.addr, &req, cfg.timeout) {
+                    Ok(_) => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        samples.lock().unwrap().push(t0.elapsed().as_nanos() as u64);
+                    }
+                    Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // The poller: watch STATS while the load runs, assert the
+        // snapshot sequence is strictly monotone as seen from this
+        // single poller.
+        s.spawn(|| {
+            let mut last_seq = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                match client::stats(cfg.addr, cfg.timeout) {
+                    Ok(snap) => {
+                        polls.fetch_add(1, Ordering::Relaxed);
+                        let seq = snap.get("stats_seq").and_then(Json::as_u64).unwrap_or(0);
+                        if seq <= last_seq {
+                            *poll_error.lock().unwrap() = Some(format!(
+                                "STATS sequence went backwards: {seq} after {last_seq}"
+                            ));
+                            break;
+                        }
+                        last_seq = seq;
+                    }
+                    Err(ClientError::Io(_)) => {} // daemon busy accepting; retry
+                    Err(e) => {
+                        *poll_error.lock().unwrap() = Some(format!("STATS poll failed: {e}"));
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(1)));
+            }
+        });
+        // Scope joins the workers; flip `done` once they all finish by
+        // watching the shared counter from this thread.
+        while next.load(Ordering::Relaxed) < plan.len() + cfg.sessions {
+            std::thread::sleep(Duration::from_millis(2));
+            if ok.load(Ordering::Relaxed) + failed.load(Ordering::Relaxed) >= plan.len() as u64 {
+                break;
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    let wall = started.elapsed();
+
+    if let Some(e) = poll_error.into_inner().unwrap() {
+        return Err(e);
+    }
+    let ok = ok.into_inner();
+    let failed = failed.into_inner();
+    if ok == 0 {
+        return Err(format!(
+            "no request succeeded ({failed} failed) — is the daemon up at {}?",
+            cfg.addr
+        ));
+    }
+    let mut samples = samples.into_inner().unwrap();
+    samples.sort_unstable();
+    let quantile = |p: f64| {
+        let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1]
+    };
+    let final_stats = client::stats(cfg.addr, cfg.timeout)
+        .map_err(|e| format!("final STATS fetch failed: {e}"))?;
+    let srv = final_stats.get("server");
+    let warm_hit_ratio = srv
+        .and_then(|s| s.get("hit_rate"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    Ok(LoadgenReport {
+        ok,
+        failed,
+        p50_ns: quantile(0.50),
+        p99_ns: quantile(0.99),
+        sessions_per_sec: ok as f64 / wall.as_secs_f64().max(1e-9),
+        warm_hit_ratio,
+        stats_polls: polls.into_inner(),
+        final_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_seeded_and_zipf_shaped() {
+        let cfg = LoadgenConfig {
+            requests: 2000,
+            hot: 2,
+            tail: 8,
+            seed: 7,
+            ..LoadgenConfig::default()
+        };
+        let a = assignment(&cfg);
+        let b = assignment(&cfg);
+        assert_eq!(a, b, "same seed, same traffic");
+        let mut counts = [0usize; 10];
+        for &i in &a {
+            counts[i] += 1;
+        }
+        // Rank 0 must dominate rank 9 by roughly its 10x weight ratio.
+        assert!(
+            counts[0] > counts[9] * 3,
+            "zipf head {} vs tail {}",
+            counts[0],
+            counts[9]
+        );
+        let other = assignment(&LoadgenConfig { seed: 8, ..cfg });
+        assert_ne!(a, other, "different seed, different traffic");
+    }
+
+    #[test]
+    fn images_are_distinct_programs() {
+        let progs: Vec<String> = (0..16).map(image_program).collect();
+        for (i, a) in progs.iter().enumerate() {
+            for b in progs.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

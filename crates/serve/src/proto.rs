@@ -20,7 +20,7 @@
 //! cannot provoke a multi-gigabyte allocation.
 //!
 //! Request opcodes come from the client (`SUBMIT`, `PING`,
-//! `SHUTDOWN`); response opcodes have the top bit set (`RESULT`,
+//! `SHUTDOWN`, `STATS`); response opcodes have the top bit set (`RESULT`,
 //! `ERROR`, `PONG`). One request frame per connection, answered by
 //! exactly one response frame.
 
@@ -48,6 +48,13 @@ pub mod op {
     pub const PING: u8 = 0x02;
     /// Client → server: stop accepting, drain in-flight sessions.
     pub const SHUTDOWN: u8 = 0x03;
+    /// Client → server: live telemetry snapshot (empty payload).
+    /// Answered inline by the accept loop — like `PING`, it works even
+    /// when every session worker is busy — with a `PONG` frame carrying
+    /// the point-in-time stats JSON (monotone `stats_seq`, uptime,
+    /// queue depth, per-partition latency quantiles, flight-recorder
+    /// tail).
+    pub const STATS: u8 = 0x04;
     /// Server → client: a completed run's report (JSON payload).
     pub const RESULT: u8 = 0x81;
     /// Server → client: request failed (JSON `{"error": …}` payload).

@@ -47,6 +47,7 @@
 use crate::proto::{self, op};
 use pdbt_core::RuleSet;
 use pdbt_obs::json::Json;
+use pdbt_obs::{LatencyHists, PhaseNs, RequestSummary};
 use pdbt_par::TaskQueue;
 use pdbt_runtime::{Engine, EngineConfig, RunSetup, SharedTranslationState};
 use pdbt_workloads::{build, Benchmark, Scale, Workload};
@@ -54,6 +55,8 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -74,6 +77,10 @@ pub struct ServeConfig {
     /// Deadline applied to requests that don't carry their own
     /// `deadline_ms`.
     pub default_deadline_ms: Option<u64>,
+    /// Where to dump the flight recorder (the final stats snapshot
+    /// plus the recent-request tail) when the server drains. `None`
+    /// disables the dump; the CLI defaults to `flight.json`.
+    pub flight_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +90,7 @@ impl Default for ServeConfig {
             jobs: 4,
             cache_shards: EngineConfig::default().cache_shards,
             default_deadline_ms: None,
+            flight_path: None,
         }
     }
 }
@@ -115,18 +123,44 @@ struct ServerCtx {
     cache_shards: usize,
     /// Fallback deadline for requests without `deadline_ms`.
     default_deadline_ms: Option<u64>,
+    /// Worker count, used to size each partition's telemetry slots.
+    jobs: usize,
+    /// Human-readable label per partition fingerprint (`mcf/tiny`,
+    /// `inline`), recorded on first sight for the STATS payload.
+    labels: Mutex<HashMap<u64, String>>,
+    /// When the server started serving (uptime reference).
+    started: Instant,
+    /// Monotone STATS snapshot sequence: every snapshot claims the
+    /// next number, so a poller can order snapshots and compute
+    /// deltas even when responses arrive out of order.
+    stats_seq: AtomicU64,
+    /// SUBMIT requests accepted over the server's lifetime.
+    served: AtomicU64,
+    /// Sessions currently executing on a worker.
+    active: AtomicU64,
 }
 
 impl ServerCtx {
-    /// The partition for a guest image, created on first sight.
-    fn state_for(&self, image: u64) -> Arc<SharedTranslationState> {
+    /// The partition for a guest image, created on first sight. Each
+    /// partition's telemetry plane gets one latency slot per worker
+    /// and is stamped with the image fingerprint.
+    fn state_for(&self, image: u64, label: &str) -> Arc<SharedTranslationState> {
         let mut map = self.states.lock().expect("state map poisoned");
-        Arc::clone(map.entry(image).or_insert_with(|| {
-            Arc::new(SharedTranslationState::new(
+        let state = Arc::clone(map.entry(image).or_insert_with(|| {
+            Arc::new(SharedTranslationState::with_telemetry(
                 self.rules.clone(),
                 self.cache_shards,
+                self.jobs,
+                image,
             ))
-        }))
+        }));
+        drop(map);
+        self.labels
+            .lock()
+            .expect("label map poisoned")
+            .entry(image)
+            .or_insert_with(|| label.to_string());
+        state
     }
 }
 
@@ -136,6 +170,7 @@ pub struct Server {
     listener: TcpListener,
     queue: TaskQueue,
     ctx: Arc<ServerCtx>,
+    flight_path: Option<PathBuf>,
 }
 
 impl Server {
@@ -147,16 +182,25 @@ impl Server {
     /// Forwarded bind errors.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let queue = TaskQueue::new(cfg.jobs);
+        let jobs = queue.jobs();
         Ok(Server {
             listener,
-            queue: TaskQueue::new(cfg.jobs),
+            queue,
             ctx: Arc::new(ServerCtx {
                 states: Mutex::new(HashMap::new()),
                 workloads: Mutex::new(HashMap::new()),
                 rules: cfg.rules,
                 cache_shards: cfg.cache_shards,
                 default_deadline_ms: cfg.default_deadline_ms,
+                jobs,
+                labels: Mutex::new(HashMap::new()),
+                started: Instant::now(),
+                stats_seq: AtomicU64::new(0),
+                served: AtomicU64::new(0),
+                active: AtomicU64::new(0),
             }),
+            flight_path: cfg.flight_path,
         })
     }
 
@@ -187,6 +231,7 @@ impl Server {
             listener,
             queue,
             ctx,
+            flight_path,
         } = self;
         let mut requests = 0u64;
         for conn in listener.incoming() {
@@ -209,6 +254,9 @@ impl Server {
                 op::PING => {
                     respond(&mut stream, op::PONG, &status(&ctx, &queue));
                 }
+                op::STATS => {
+                    respond(&mut stream, op::PONG, &stats(&ctx, &queue));
+                }
                 op::SHUTDOWN => {
                     let ack = Json::obj([
                         ("draining", Json::from(queue.outstanding())),
@@ -226,13 +274,14 @@ impl Server {
                             continue;
                         }
                     };
+                    // Accept-time stamps: the global request sequence
+                    // number and the clock the queue-wait phase is
+                    // measured against.
+                    let seq = ctx.served.fetch_add(1, Ordering::Relaxed) + 1;
+                    let accept_ns = pdbt_obs::now_ns();
                     let ctx = Arc::clone(&ctx);
                     let submit = queue.submit(move || {
-                        let id = req.get("id").and_then(Json::as_u64);
-                        match run_request(&ctx, &req) {
-                            Ok(resp) => respond(&mut stream, op::RESULT, &resp),
-                            Err(e) => respond_error(&mut stream, id, &e),
-                        }
+                        serve_request(&ctx, req, &mut stream, seq, accept_ns);
                     });
                     if let Err(pdbt_par::QueueClosed(task)) = submit {
                         // Unreachable while the queue is owned here (it
@@ -244,6 +293,17 @@ impl Server {
                 other => {
                     respond_error(&mut stream, None, &format!("unknown opcode {other:#04x}"));
                 }
+            }
+        }
+        // Final snapshot before draining destroys nothing but after it
+        // quiesces everything: dump the flight recorder so postmortems
+        // (including ones prompted by panicked sessions) don't require
+        // rerunning the traffic.
+        queue.wait_idle();
+        if let Some(path) = &flight_path {
+            let doc = stats(&ctx, &queue);
+            if let Err(e) = std::fs::write(path, doc.to_string() + "\n") {
+                eprintln!("pdbt-serve: flight dump to {} failed: {e}", path.display());
             }
         }
         let panicked = queue.drain();
@@ -285,6 +345,166 @@ fn status(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
             ]),
         ),
     ])
+}
+
+/// The live-telemetry snapshot behind the `STATS` frame. Built inline
+/// by the accept loop: everything it reads is either atomic, behind a
+/// short-lived lock, or merged from per-worker histograms in index
+/// order, so a poll never waits on a running session.
+fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
+    let stats_seq = ctx.stats_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    // Partitions sorted by fingerprint: deterministic payload order.
+    let mut states: Vec<(u64, Arc<SharedTranslationState>)> = ctx
+        .states
+        .lock()
+        .expect("state map poisoned")
+        .iter()
+        .map(|(&fp, s)| (fp, Arc::clone(s)))
+        .collect();
+    states.sort_by_key(|&(fp, _)| fp);
+    let labels = ctx.labels.lock().expect("label map poisoned").clone();
+
+    let (mut probes, mut inserted, mut hits) = (0u64, 0u64, 0u64);
+    let (mut translate_calls, mut sessions) = (0u64, 0u64);
+    let mut global = LatencyHists::default();
+    let mut flight: Vec<RequestSummary> = Vec::new();
+    let mut partitions = Vec::with_capacity(states.len());
+    for (fp, state) in &states {
+        let snap = state.server().snapshot();
+        let tele = state.telemetry().snapshot();
+        probes += snap.probes;
+        inserted += snap.inserted;
+        hits += snap.hits;
+        translate_calls += snap.translate_calls;
+        sessions += snap.sessions;
+        global.merge(&tele.latency);
+        flight.extend(tele.flight);
+        partitions.push(Json::obj([
+            ("partition", Json::str(format!("{fp:016x}"))),
+            (
+                "label",
+                Json::str(labels.get(fp).map(String::as_str).unwrap_or("?")),
+            ),
+            ("cached_blocks", Json::from(state.cache().len())),
+            ("sessions", Json::from(snap.sessions)),
+            ("probes", Json::from(snap.probes)),
+            ("inserted", Json::from(snap.inserted)),
+            ("hits", Json::from(snap.hits)),
+            ("hit_rate", Json::from(snap.hit_rate())),
+            (
+                "latency",
+                Json::obj([
+                    ("count", Json::from(tele.latency.request_ns.count())),
+                    ("p50", Json::from(tele.latency.request_ns.p50())),
+                    ("p95", Json::from(tele.latency.request_ns.p95())),
+                    ("p99", Json::from(tele.latency.request_ns.p99())),
+                ]),
+            ),
+        ]));
+    }
+    // The merged flight tail reads chronologically across partitions.
+    flight.sort_by_key(|s| s.seq);
+    let tail_from = flight
+        .len()
+        .saturating_sub(pdbt_obs::FlightRecorder::CAPACITY);
+    let hit_rate = if probes == 0 {
+        0.0
+    } else {
+        hits as f64 / probes as f64
+    };
+    Json::obj([
+        ("stats_seq", Json::from(stats_seq)),
+        ("version", Json::from(u64::from(proto::VERSION))),
+        (
+            "uptime_ns",
+            Json::from(ctx.started.elapsed().as_nanos() as u64),
+        ),
+        ("jobs", Json::from(ctx.jobs)),
+        ("outstanding", Json::from(queue.outstanding())),
+        (
+            "sessions",
+            Json::obj([
+                ("served", Json::from(ctx.served.load(Ordering::Relaxed))),
+                ("active", Json::from(ctx.active.load(Ordering::Relaxed))),
+                ("panicked", Json::from(queue.panicked())),
+            ]),
+        ),
+        (
+            "pool",
+            Json::obj([
+                ("high_water", Json::from(queue.high_water())),
+                (
+                    "completed",
+                    Json::arr(queue.utilization().into_iter().map(Json::from)),
+                ),
+                (
+                    "busy_ns",
+                    Json::arr(queue.busy_ns().into_iter().map(Json::from)),
+                ),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj([
+                ("probes", Json::from(probes)),
+                ("inserted", Json::from(inserted)),
+                ("hits", Json::from(hits)),
+                ("translate_calls", Json::from(translate_calls)),
+                ("sessions", Json::from(sessions)),
+                ("hit_rate", Json::from(hit_rate)),
+            ]),
+        ),
+        ("latency", global.to_json()),
+        ("partitions", Json::Arr(partitions)),
+        (
+            "flight",
+            Json::arr(flight[tail_from..].iter().map(RequestSummary::to_json)),
+        ),
+    ])
+}
+
+/// The worker-side request lifecycle: stamp dequeue, run the session
+/// under a request-scoped trace id, write the reply, then fold the
+/// phase latencies into the partition's telemetry plane at this
+/// worker's slot.
+fn serve_request(ctx: &ServerCtx, req: Json, stream: &mut TcpStream, seq: u64, accept_ns: u64) {
+    let dequeue_ns = pdbt_obs::now_ns();
+    ctx.active.fetch_add(1, Ordering::Relaxed);
+    // Tag every span this session opens (translate, exec, ...) with
+    // the request sequence, so multi-session Chrome traces separate
+    // into one track per request.
+    let _scope = pdbt_obs::scoped(seq);
+    let id = req.get("id").and_then(Json::as_u64);
+    match run_request(ctx, &req) {
+        Ok((resp, tele)) => {
+            let run_done_ns = pdbt_obs::now_ns();
+            let payload = resp.to_string();
+            let _ = proto::write_frame(stream, op::RESULT, payload.as_bytes());
+            let reply_done_ns = pdbt_obs::now_ns();
+            let summary = RequestSummary {
+                seq,
+                id: id.unwrap_or(0),
+                partition: tele.partition,
+                outcome: tele.outcome,
+                phases: PhaseNs {
+                    queue: dequeue_ns.saturating_sub(accept_ns),
+                    translate: tele.translate_ns,
+                    execute: run_done_ns
+                        .saturating_sub(dequeue_ns)
+                        .saturating_sub(tele.translate_ns),
+                    reply: reply_done_ns.saturating_sub(run_done_ns),
+                },
+                reply_bytes: payload.len() as u64,
+                injected: tele.injected,
+                fault_sites: tele.fault_sites,
+            };
+            tele.shared
+                .telemetry()
+                .record(pdbt_par::current_worker_slot().unwrap_or(0), summary);
+        }
+        Err(e) => respond_error(stream, id, &e),
+    }
+    ctx.active.fetch_sub(1, Ordering::Relaxed);
 }
 
 /// Writes a response frame; send failures are the client's loss, not
@@ -364,9 +584,26 @@ fn resolve_guest(ctx: &ServerCtx, req: &Json) -> Result<(Guest, RunSetup, String
     }
 }
 
+/// What the flight recorder needs to know about a finished session,
+/// handed from [`run_request`] back to [`serve_request`] (which adds
+/// the phase stamps only it can measure).
+struct RequestTelemetry {
+    /// The partition the session ran against (for recording into its
+    /// telemetry plane).
+    shared: Arc<SharedTranslationState>,
+    partition: u64,
+    outcome: String,
+    /// Time inside the translator, from the session's own histogram.
+    translate_ns: u64,
+    /// Total faults injected during the run.
+    injected: u64,
+    /// The raw `faults` spec armed for the run, empty when none.
+    fault_sites: String,
+}
+
 /// Runs one request on the calling (worker) thread and builds the
 /// RESULT payload.
-fn run_request(ctx: &ServerCtx, req: &Json) -> Result<Json, String> {
+fn run_request(ctx: &ServerCtx, req: &Json) -> Result<(Json, RequestTelemetry), String> {
     let id = req.get("id").and_then(Json::as_u64).unwrap_or(0);
     let (guest, mut setup, label) = resolve_guest(ctx, req)?;
     if let Some(mg) = req.get("max_guest").and_then(Json::as_u64) {
@@ -379,6 +616,7 @@ fn run_request(ctx: &ServerCtx, req: &Json) -> Result<Json, String> {
     if let Some(ms) = deadline_ms {
         setup.deadline = Some(Instant::now() + Duration::from_millis(ms));
     }
+    let fault_spec = req.get("faults").and_then(Json::as_str).unwrap_or("");
     let plan = match req.get("faults").and_then(Json::as_str) {
         Some(spec) => {
             Some(pdbt_faults::Plan::parse(spec).map_err(|e| format!("bad faults spec: {e}"))?)
@@ -386,30 +624,44 @@ fn run_request(ctx: &ServerCtx, req: &Json) -> Result<Json, String> {
         None => None,
     };
     // Sessions are single-threaded; concurrency comes from the queue.
+    // The server records the full request lifecycle itself (queue wait
+    // and reply write included), so the engine's own end-of-run
+    // telemetry recording is turned off — one summary per request.
     let mut cfg = EngineConfig {
         jobs: 1,
+        record_telemetry: false,
         ..EngineConfig::default()
     };
     cfg.translate.flag_delegation = !req
         .get("no_delegation")
         .and_then(Json::as_bool)
         .unwrap_or(false);
-    let shared = ctx.state_for(image_fingerprint(guest.program()));
+    let partition = image_fingerprint(guest.program());
+    let shared = ctx.state_for(partition, &label);
     // Request-scoped fault arming: armed with this request's plan, or
     // explicitly shielded from any process-global plan. Installed after
     // workload resolution so corpus builds are never degraded.
     let _guard = pdbt_faults::scoped(plan);
-    let mut engine = Engine::with_shared(shared, cfg);
+    let mut engine = Engine::with_shared(Arc::clone(&shared), cfg);
     let report = engine
         .run(guest.program(), &setup)
         .map_err(|e| e.to_string())?;
-    Ok(Json::obj([
+    let telemetry = RequestTelemetry {
+        shared,
+        partition,
+        outcome: report.outcome.label().to_string(),
+        translate_ns: report.obs.translate_ns.sum(),
+        injected: report.resilience.injected.iter().sum(),
+        fault_sites: fault_spec.to_string(),
+    };
+    let resp = Json::obj([
         ("id", Json::from(id)),
         ("workload", Json::str(label)),
         ("outcome", Json::str(report.outcome.label())),
         ("faults_enabled", Json::from(pdbt_faults::ENABLED)),
         ("report", report.to_json()),
-    ]))
+    ]);
+    Ok((resp, telemetry))
 }
 
 #[cfg(test)]

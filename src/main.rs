@@ -79,8 +79,9 @@ fn usage() -> ExitCode {
          pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
          pdbt bench  [--scale tiny|full] [BENCH]\n  \
-         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--deadline-ms N]\n  \
-         pdbt submit [PROG.s] [--addr HOST:PORT] [--workload BENCH --scale tiny|full] [--max-guest N] [--deadline-ms N] [--faults SPEC] [--no-delegation] [--timeout-s N] [--report-json FILE] [--ping] [--shutdown]"
+         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--deadline-ms N] [--flight-out FILE]\n  \
+         pdbt submit [PROG.s] [--addr HOST:PORT] [--workload BENCH --scale tiny|full] [--max-guest N] [--deadline-ms N] [--faults SPEC] [--no-delegation] [--timeout-s N] [--report-json FILE] [--ping] [--shutdown] [--stats]\n  \
+         pdbt loadgen [--addr HOST:PORT] [--sessions N] [--requests N] [--hot N] [--tail N] [--seed N] [--poll-ms N] [--timeout-s N] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -489,6 +490,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         cfg.jobs = jobs_of(args)?;
     }
     cfg.default_deadline_ms = parse_u64_flag(args, "deadline-ms")?;
+    cfg.flight_path = Some(args.value("flight-out").unwrap_or("flight.json").into());
     let server = pdbt_serve::Server::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
     // Scripts scrape this line for the real port when binding to :0.
@@ -518,6 +520,15 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     if args.has("shutdown") {
         let ack = pdbt_serve::shutdown(&addr, timeout).map_err(|e| e.to_string())?;
         println!("{ack}");
+        return Ok(());
+    }
+    if args.has("stats") {
+        let snap = pdbt_serve::stats(&addr, timeout).map_err(|e| e.to_string())?;
+        print_stats(&snap);
+        if let Some(path) = args.value("report-json") {
+            std::fs::write(path, format!("{snap}\n")).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
         return Ok(());
     }
 
@@ -568,6 +579,141 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Human-scale duration: picks ns/µs/ms/s by magnitude.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Renders a STATS snapshot as a terminal table.
+fn print_stats(snap: &Json) {
+    let u = |v: Option<&Json>| v.and_then(Json::as_u64).unwrap_or(0);
+    let f = |v: Option<&Json>| v.and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "pdbt-serve stats  seq {}  uptime {}  workers {}  outstanding {}",
+        u(snap.get("stats_seq")),
+        fmt_ns(u(snap.get("uptime_ns"))),
+        u(snap.get("jobs")),
+        u(snap.get("outstanding")),
+    );
+    let sess = snap.get("sessions");
+    let pool = snap.get("pool");
+    println!(
+        "sessions  served {}  active {}  panicked {}  queue high-water {}",
+        u(sess.and_then(|s| s.get("served"))),
+        u(sess.and_then(|s| s.get("active"))),
+        u(sess.and_then(|s| s.get("panicked"))),
+        u(pool.and_then(|p| p.get("high_water"))),
+    );
+    let srv = snap.get("server");
+    println!(
+        "cache     probes {}  inserted {}  hits {}  hit rate {:.1}%",
+        u(srv.and_then(|s| s.get("probes"))),
+        u(srv.and_then(|s| s.get("inserted"))),
+        u(srv.and_then(|s| s.get("hits"))),
+        100.0 * f(srv.and_then(|s| s.get("hit_rate"))),
+    );
+    let lat = snap.get("latency").and_then(|l| l.get("request_ns"));
+    println!(
+        "latency   count {}  p50 {}  p95 {}  p99 {}",
+        u(lat.and_then(|l| l.get("count"))),
+        fmt_ns(u(lat.and_then(|l| l.get("p50")))),
+        fmt_ns(u(lat.and_then(|l| l.get("p95")))),
+        fmt_ns(u(lat.and_then(|l| l.get("p99")))),
+    );
+    if let Some(parts) = snap.get("partitions").and_then(Json::as_arr) {
+        if !parts.is_empty() {
+            println!(
+                "\n{:<16}  {:>8}  {:>6}  {:>7}  {:>9}  {:>9}  {:>9}  label",
+                "partition", "sessions", "hits", "probes", "p50", "p95", "p99"
+            );
+            for p in parts {
+                let lat = p.get("latency");
+                println!(
+                    "{:<16}  {:>8}  {:>6}  {:>7}  {:>9}  {:>9}  {:>9}  {}",
+                    p.get("partition").and_then(Json::as_str).unwrap_or("?"),
+                    u(p.get("sessions")),
+                    u(p.get("hits")),
+                    u(p.get("probes")),
+                    fmt_ns(u(lat.and_then(|l| l.get("p50")))),
+                    fmt_ns(u(lat.and_then(|l| l.get("p95")))),
+                    fmt_ns(u(lat.and_then(|l| l.get("p99")))),
+                    p.get("label").and_then(Json::as_str).unwrap_or("?"),
+                );
+            }
+        }
+    }
+    if let Some(flight) = snap.get("flight").and_then(Json::as_arr) {
+        println!("\nflight tail ({} recent requests)", flight.len());
+        for e in flight {
+            let ph = e.get("phases");
+            println!(
+                "  #{:<5} {:<10} total {:>9}  queue {:>9}  translate {:>9}  reply {}B",
+                u(e.get("seq")),
+                e.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+                fmt_ns(u(ph.and_then(|p| p.get("total_ns")))),
+                fmt_ns(u(ph.and_then(|p| p.get("queue_ns")))),
+                fmt_ns(u(ph.and_then(|p| p.get("translate_ns")))),
+                u(e.get("reply_bytes")),
+            );
+        }
+    }
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let mut cfg = pdbt_serve::LoadgenConfig::default();
+    if let Some(addr) = args.value("addr") {
+        cfg.addr = addr
+            .parse()
+            .map_err(|e| format!("bad --addr {addr}: {e}"))?;
+    }
+    if let Some(n) = parse_u64_flag(args, "sessions")? {
+        cfg.sessions = n as usize;
+    }
+    if let Some(n) = parse_u64_flag(args, "requests")? {
+        cfg.requests = n as usize;
+    }
+    if let Some(n) = parse_u64_flag(args, "hot")? {
+        cfg.hot = n as usize;
+    }
+    if let Some(n) = parse_u64_flag(args, "tail")? {
+        cfg.tail = n as usize;
+    }
+    if let Some(n) = parse_u64_flag(args, "seed")? {
+        cfg.seed = n;
+    }
+    if let Some(n) = parse_u64_flag(args, "poll-ms")? {
+        cfg.poll_ms = n;
+    }
+    if let Some(n) = parse_u64_flag(args, "timeout-s")? {
+        cfg.timeout = std::time::Duration::from_secs(n);
+    }
+    eprintln!(
+        "loadgen: {} requests over {} sessions ({} hot + {} tail images, seed {}) -> {}",
+        cfg.requests, cfg.sessions, cfg.hot, cfg.tail, cfg.seed, cfg.addr
+    );
+    let report = pdbt_serve::loadgen::run(&cfg)?;
+    println!(
+        "ok {}  failed {}  p50 {}  p99 {}  {:.1} sessions/s  warm-hit {:.1}%  ({} STATS polls)",
+        report.ok,
+        report.failed,
+        fmt_ns(report.p50_ns),
+        fmt_ns(report.p99_ns),
+        report.sessions_per_sec,
+        100.0 * report.warm_hit_ratio,
+        report.stats_polls,
+    );
+    let out = args.value("out").unwrap_or("BENCH_serve.json");
+    std::fs::write(out, format!("{}\n", report.to_json(&cfg)))
+        .map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().map(String::as_str) else {
@@ -589,6 +735,14 @@ fn main() -> ExitCode {
             "max-guest",
             "deadline-ms",
             "timeout-s",
+            "flight-out",
+            "sessions",
+            "requests",
+            "hot",
+            "tail",
+            "seed",
+            "poll-ms",
+            "out",
         ],
     );
     let result = match cmd {
@@ -599,6 +753,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&args),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
+        "loadgen" => cmd_loadgen(&args),
         _ => return usage(),
     };
     match result {

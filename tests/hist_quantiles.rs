@@ -1,0 +1,125 @@
+//! Property lockdown of `Histogram::percentile` against a sorted-sample
+//! oracle: the interpolated bucket quantile must land in the same
+//! bucket as the exact quantile of the recorded samples, stay within
+//! one bucket width of it, be monotone in `p`, and respect the
+//! recorded extrema. These are the guarantees that make the serving
+//! plane's p50/p95/p99 trustworthy as SLO numbers.
+//!
+//! Hand-rolled seeded fuzz loops over the in-tree PRNG (`pdbt-rng`,
+//! aliased as `rand`) — the offline build has no proptest.
+
+use pdbt::obs::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fuzz iterations per distribution shape; FUZZ_CASES scales the file.
+fn cases() -> usize {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// The oracle: exact quantile by ceil-rank over the sorted samples.
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The histogram bucket index a value lands in (bounds are upper
+/// edges; the overflow bucket is `bounds.len()`).
+fn bucket_of(bounds: &[u64], v: u64) -> usize {
+    bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len())
+}
+
+/// Upper edge of a bucket, capped at the recorded max for the
+/// overflow bucket (matching what `percentile` can return).
+fn bucket_hi(bounds: &[u64], idx: usize, max: u64) -> u64 {
+    bounds.get(idx).copied().unwrap_or(max)
+}
+
+/// Draws one sample set for a shape, checks every quantile law.
+fn check_distribution(rng: &mut StdRng, draw: impl Fn(&mut StdRng) -> u64) {
+    let n = rng.gen_range(1..400usize);
+    let mut h = Histogram::request_ns();
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = draw(rng);
+        h.record(v);
+        samples.push(v);
+    }
+    samples.sort_unstable();
+    let (lo, hi) = (samples[0], samples[n - 1]);
+
+    let bounds = h.bounds();
+    let mut prev = 0u64;
+    for pct in [1, 5, 10, 25, 50, 75, 90, 95, 99, 100] {
+        let p = pct as f64 / 100.0;
+        let got = h.percentile(p);
+        let want = exact_quantile(&samples, p);
+
+        // Law 1: same bucket as the oracle (values clamp into the
+        // recorded [min, max], which only tightens the bucket).
+        let want_bucket = bucket_of(bounds, want.clamp(lo, hi));
+        let got_bucket = bucket_of(bounds, got);
+        assert_eq!(
+            got_bucket, want_bucket,
+            "p{pct}: got {got} (bucket {got_bucket}), oracle {want} (bucket {want_bucket}), n={n}"
+        );
+
+        // Law 2: within one bucket width of the oracle.
+        let blo = if want_bucket == 0 {
+            0
+        } else {
+            bounds[want_bucket - 1]
+        };
+        let bhi = bucket_hi(bounds, want_bucket, hi).max(blo);
+        let width = bhi - blo;
+        assert!(
+            got.abs_diff(want) <= width,
+            "p{pct}: |{got} - {want}| exceeds bucket width {width}"
+        );
+
+        // Law 3: monotone in p.
+        assert!(got >= prev, "p{pct}: {got} < previous quantile {prev}");
+        prev = got;
+
+        // Law 4: bounded by the recorded extrema.
+        assert!(
+            (lo..=hi).contains(&got),
+            "p{pct}: {got} outside [{lo},{hi}]"
+        );
+    }
+}
+
+#[test]
+fn quantiles_track_a_sorted_sample_oracle_across_distributions() {
+    let mut rng = StdRng::seed_from_u64(0x51_0b_a1);
+    for _ in 0..cases() {
+        // Uniform over the histogram's full dynamic range.
+        check_distribution(&mut rng, |r| r.gen_range(1..5_000_000_000u64));
+        // Clustered: most traffic in one decade, like a warm server.
+        check_distribution(&mut rng, |r| 200_000 + r.gen_range(0..800_000u64));
+        // Heavy tail: mostly fast, occasional 1000x outliers.
+        check_distribution(&mut rng, |r| {
+            if r.gen_bool(0.05) {
+                r.gen_range(100_000_000..4_000_000_000u64)
+            } else {
+                r.gen_range(10_000..1_000_000u64)
+            }
+        });
+        // Degenerate: every sample identical.
+        let v = 1 + rng.gen_range(0..3u64) * 77_777;
+        check_distribution(&mut rng, move |_| v);
+    }
+}
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Histogram::queue_wait_ns();
+    for p in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.percentile(p), 0);
+    }
+    assert_eq!(h.p50(), 0);
+    assert_eq!(h.p99(), 0);
+}

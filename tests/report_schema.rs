@@ -132,6 +132,33 @@ fn report_json_schema_matches_golden() {
         "server.translate_calls",
         "server.sessions",
         "server.hit_rate",
+        // The serving-plane telemetry: request-lifecycle latency
+        // histograms with interpolated quantiles, the per-partition
+        // SLO rollup, and the flight-recorder tail. A standalone run
+        // records its own single session, so all three sections carry
+        // real data here too.
+        "server.latency.request_ns.count",
+        "server.latency.request_ns.p50",
+        "server.latency.request_ns.p95",
+        "server.latency.request_ns.p99",
+        "server.latency.queue_ns.count",
+        "server.latency.reply_bytes.count",
+        "server.partitions[].partition",
+        "server.partitions[].sessions",
+        "server.partitions[].hit_rate",
+        "server.partitions[].latency.count",
+        "server.partitions[].latency.p50",
+        "server.partitions[].latency.p95",
+        "server.partitions[].latency.p99",
+        "server.flight[].seq",
+        "server.flight[].outcome",
+        "server.flight[].partition",
+        "server.flight[].phases.queue_ns",
+        "server.flight[].phases.translate_ns",
+        "server.flight[].phases.execute_ns",
+        "server.flight[].phases.reply_ns",
+        "server.flight[].phases.total_ns",
+        "server.flight[].reply_bytes",
     ] {
         assert!(
             paths.contains(required),

@@ -8,7 +8,7 @@
 use pdbt::obs::json::Json;
 use pdbt::runtime::{Engine, EngineConfig, Report};
 use pdbt::workloads::{build, Benchmark, Scale};
-use pdbt_serve::{ping, shutdown, submit, ServeConfig, ServeSummary, Server};
+use pdbt_serve::{ping, shutdown, stats, submit, ServeConfig, ServeSummary, Server};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -108,6 +108,107 @@ fn eight_concurrent_sessions_are_bit_identical_to_sequential_runs() {
     let summary = handle.join().unwrap();
     assert_eq!(summary.requests, 8);
     assert_eq!(summary.panicked, 0);
+}
+
+#[test]
+fn stats_polls_stay_monotone_and_sum_to_the_drain_summary() {
+    let flight_path = std::env::temp_dir().join(format!("pdbt_flight_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&flight_path);
+    let (addr, handle) = spawn_server(ServeConfig {
+        jobs: 4,
+        flight_path: Some(flight_path.clone()),
+        ..ServeConfig::default()
+    });
+
+    // STATS answers inline from the accept loop, so polls succeed even
+    // while every session worker is busy — and the snapshot sequence a
+    // single poller observes is strictly monotone.
+    let polled = std::thread::scope(|s| {
+        let submits: Vec<_> = (0..8u64)
+            .map(|i| s.spawn(move || submit(addr, &mcf_request(i), T).expect("submit")))
+            .collect();
+        let mut last_seq = 0u64;
+        let mut polls = 0u64;
+        loop {
+            let snap = stats(addr, T).expect("mid-flight STATS");
+            let seq = snap.get("stats_seq").and_then(Json::as_u64).expect("seq");
+            assert!(
+                seq > last_seq,
+                "stats_seq regressed: {seq} after {last_seq}"
+            );
+            last_seq = seq;
+            polls += 1;
+            if submits.iter().all(|h| h.is_finished()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for h in submits {
+            let resp = h.join().expect("client thread");
+            assert_eq!(
+                resp.get("outcome").and_then(Json::as_str),
+                Some("completed")
+            );
+        }
+        polls
+    });
+    assert!(polled >= 1, "no STATS poll overlapped the in-flight load");
+
+    // Quiescent now: the final snapshot's counters must sum exactly to
+    // what the 8 sessions did, across every view of the same traffic.
+    let snap = stats(addr, T).expect("final STATS");
+    let u = |path: &[&str]| {
+        let mut v = &snap;
+        for k in path {
+            v = v.get(k).unwrap_or_else(|| panic!("missing {path:?}"));
+        }
+        v.as_u64().unwrap_or_else(|| panic!("non-u64 {path:?}"))
+    };
+    assert_eq!(u(&["sessions", "served"]), 8);
+    assert_eq!(u(&["sessions", "active"]), 0);
+    assert_eq!(u(&["server", "sessions"]), 8);
+    assert_eq!(u(&["latency", "request_ns", "count"]), 8);
+    assert_eq!(u(&["latency", "reply_bytes", "count"]), 8);
+    let parts = snap
+        .get("partitions")
+        .and_then(Json::as_arr)
+        .expect("parts");
+    let part_sessions: u64 = parts
+        .iter()
+        .map(|p| p.get("sessions").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(part_sessions, 8, "partition sessions must sum to served");
+    for p in parts {
+        let lat = p.get("latency").expect("partition latency");
+        let q = |k: &str| lat.get(k).and_then(Json::as_u64).expect(k);
+        assert!(q("p50") <= q("p95") && q("p95") <= q("p99"));
+        // Without the obs feature `now_ns()` is a compiled-out zero, so
+        // real latencies only exist in default builds.
+        if cfg!(feature = "obs") {
+            assert!(q("p99") > 0, "quantiles must be nonzero after real runs");
+        }
+    }
+    let flight = snap.get("flight").and_then(Json::as_arr).expect("flight");
+    assert_eq!(flight.len(), 8, "every request lands in the flight tail");
+    let seqs: Vec<u64> = flight
+        .iter()
+        .map(|e| e.get("seq").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "flight sorted by seq");
+
+    shutdown(addr, T).expect("shutdown");
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.requests, 8);
+    assert_eq!(summary.panicked, 0);
+
+    // Drain dumped the final snapshot to the flight file.
+    let dumped = std::fs::read_to_string(&flight_path).expect("flight.json written on drain");
+    let doc = Json::parse(&dumped).expect("flight.json parses");
+    assert_eq!(
+        doc.get("flight").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(8)
+    );
+    let _ = std::fs::remove_file(&flight_path);
 }
 
 #[test]
