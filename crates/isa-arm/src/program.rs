@@ -89,6 +89,41 @@ impl Program {
         }
         out
     }
+
+    /// A stable 64-bit fingerprint of the image: seeded FNV-1a over the
+    /// base address and each instruction's binary encoding, finished
+    /// with a splitmix64 avalanche. Unlike `DefaultHasher` this is
+    /// pinned by the ISA's encoding layout, not by the standard
+    /// library's hasher-of-the-day — the value survives rebuilds and
+    /// toolchain upgrades, so it can key persisted translation
+    /// artifacts and partition guest images across daemon restarts.
+    /// Instructions outside the encodable envelope (oversized
+    /// immediates) hash their display form instead, which the assembler
+    /// round-trips just as losslessly.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        }
+        let mut h = fnv(FNV_OFFSET, &self.base.to_le_bytes());
+        for inst in &self.insts {
+            h = match crate::encode::encode(inst) {
+                Ok(word) => fnv(h, &word.to_le_bytes()),
+                Err(_) => fnv(h, inst.to_string().as_bytes()),
+            };
+        }
+        // splitmix64 finalizer: avalanches the FNV state so nearby
+        // images land far apart in partition space.
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
 }
 
 /// Statistics of one reference-interpreter run.
@@ -194,6 +229,32 @@ mod tests {
         let mut cpu = Cpu::new();
         run(&mut cpu, &p, 100).unwrap();
         assert_eq!(cpu.output, vec![7]);
+    }
+
+    #[test]
+    fn fingerprint_depends_on_base_and_every_instruction() {
+        let insts = || {
+            vec![
+                mov(Reg::R0, Operand::Imm(41)),
+                add(Reg::R0, Reg::R0, Operand::Imm(1)),
+                svc(1),
+                svc(0),
+            ]
+        };
+        let p = Program::new(0x1000, insts());
+        assert_eq!(p.fingerprint(), Program::new(0x1000, insts()).fingerprint());
+        assert_ne!(
+            p.fingerprint(),
+            Program::new(0x2000, insts()).fingerprint(),
+            "base must feed the fingerprint"
+        );
+        let mut tweaked = insts();
+        tweaked[0] = mov(Reg::R0, Operand::Imm(42));
+        assert_ne!(
+            p.fingerprint(),
+            Program::new(0x1000, tweaked).fingerprint(),
+            "one immediate flip must change the fingerprint"
+        );
     }
 
     #[test]

@@ -426,6 +426,95 @@ impl ServerSnapshot {
     }
 }
 
+/// Translation-artifact counters of one shared state: what a sealed
+/// `.pdba` artifact contributed at boot (fixed at load time) plus the
+/// live superblock-library hits. A cold state carries the all-zero
+/// default. Reported inside the `server` JSON section, so determinism
+/// comparisons strip it alongside the other server-lifetime counters.
+#[derive(Debug, Default)]
+pub struct ArtifactCounters {
+    /// Pre-translated blocks rehydrated into the shared cache at boot.
+    loaded_blocks: u64,
+    /// Superblock traces loaded into the trace library at boot.
+    loaded_traces: u64,
+    /// Rules carried by the artifact's embedded ruleset (0 when the
+    /// artifact had no RULE section or it was quarantined).
+    loaded_rules: u64,
+    /// Artifact sections whose checksum or parse failed and were
+    /// quarantined at load (the rest of the artifact still boots).
+    quarantined_sections: u64,
+    /// Trace formations served from the loaded library instead of a
+    /// fresh `translate_trace` call.
+    trace_hits: std::sync::atomic::AtomicU64,
+}
+
+impl ArtifactCounters {
+    /// Cold counters: no artifact was loaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters for a state booted from an artifact.
+    #[must_use]
+    pub fn loaded(
+        loaded_blocks: u64,
+        loaded_traces: u64,
+        loaded_rules: u64,
+        quarantined_sections: u64,
+    ) -> Self {
+        ArtifactCounters {
+            loaded_blocks,
+            loaded_traces,
+            loaded_rules,
+            quarantined_sections,
+            trace_hits: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Records a trace formation served from the loaded library.
+    #[inline]
+    pub fn record_trace_hit(&self) {
+        self.trace_hits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> ArtifactSnapshot {
+        ArtifactSnapshot {
+            loaded_blocks: self.loaded_blocks,
+            loaded_traces: self.loaded_traces,
+            loaded_rules: self.loaded_rules,
+            quarantined_sections: self.quarantined_sections,
+            trace_hits: self.trace_hits.load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ArtifactCounters`], embedded in run
+/// reports inside the `server` section as `artifact`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArtifactSnapshot {
+    /// Pre-translated blocks rehydrated at boot.
+    pub loaded_blocks: u64,
+    /// Superblock traces loaded at boot.
+    pub loaded_traces: u64,
+    /// Rules carried by the artifact's embedded ruleset.
+    pub loaded_rules: u64,
+    /// Sections quarantined at load.
+    pub quarantined_sections: u64,
+    /// Trace formations served from the loaded library.
+    pub trace_hits: u64,
+}
+
+impl ArtifactSnapshot {
+    /// Whether any artifact content reached this state.
+    #[must_use]
+    pub fn warm(&self) -> bool {
+        self.loaded_blocks > 0 || self.loaded_traces > 0 || self.loaded_rules > 0
+    }
+}
+
 impl fmt::Display for RuleCounters {
     /// Human-readable table, heaviest coverage first.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

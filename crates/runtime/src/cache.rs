@@ -154,6 +154,27 @@ impl ShardedCache {
         }
     }
 
+    /// A point-in-time copy of every cached translation, sorted by
+    /// guest address — the canonical order persisted translation
+    /// artifacts use, so sealing the same cache twice yields identical
+    /// bytes regardless of shard geometry or insertion schedule.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(Addr, Arc<TranslatedBlock>)> {
+        let mut all: Vec<(Addr, Arc<TranslatedBlock>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(pc, b)| (*pc, b.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable_by_key(|(pc, _)| *pc);
+        all
+    }
+
     /// Cached block count across all shards.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -19,8 +19,8 @@ use pdbt_isa_arm::{step, Cpu as GuestCpu, FReg, Operand, Program, Reg as GReg, I
 use pdbt_isa_x86::{exec_block_traced_into, BlockExit, Cpu as HostCpu, Reg as HReg};
 use pdbt_obs::json::Json;
 use pdbt_obs::{
-    DispatchCounters, Histogram, PhaseNs, PoolCounters, RequestSummary, RuleCounters, RuleId,
-    ServerSnapshot, ShardCounters, TelemetrySnapshot,
+    ArtifactSnapshot, DispatchCounters, Histogram, PhaseNs, PoolCounters, RequestSummary,
+    RuleCounters, RuleId, ServerSnapshot, ShardCounters, TelemetrySnapshot,
 };
 use pdbt_par::Pool;
 use std::collections::{HashMap, HashSet};
@@ -378,6 +378,11 @@ pub struct Report {
     /// the same point as `server`. Reported inside the `server` JSON
     /// section, so it is stripped by the same determinism discipline.
     pub telemetry: TelemetrySnapshot,
+    /// Translation-artifact counters of the shared state: what a
+    /// sealed artifact contributed at boot and how often the loaded
+    /// superblock library was hit. All-zero for a cold state. Reported
+    /// inside the `server` JSON section (stripped with it).
+    pub artifact: ArtifactSnapshot,
 }
 
 impl Report {
@@ -521,6 +526,20 @@ impl Report {
                     ("translate_calls", Json::from(self.server.translate_calls)),
                     ("sessions", Json::from(self.server.sessions)),
                     ("hit_rate", Json::from(self.server.hit_rate())),
+                    (
+                        "artifact",
+                        Json::obj([
+                            ("loaded_blocks", Json::from(self.artifact.loaded_blocks)),
+                            ("loaded_traces", Json::from(self.artifact.loaded_traces)),
+                            ("loaded_rules", Json::from(self.artifact.loaded_rules)),
+                            (
+                                "quarantined_sections",
+                                Json::from(self.artifact.quarantined_sections),
+                            ),
+                            ("trace_hits", Json::from(self.artifact.trace_hits)),
+                            ("warm", Json::from(self.artifact.warm())),
+                        ]),
+                    ),
                     ("latency", self.telemetry.latency.to_json()),
                     (
                         "flight",
@@ -1056,9 +1075,25 @@ impl Engine {
         if members.len() < 2 {
             return;
         }
-        let Ok(tb) = translate_trace(prog, &members, self.shared.rules(), &self.cfg.translate)
-        else {
-            return;
+        // The boot artifact's superblock library is consulted *after*
+        // member selection: on an exact member-list match the stored
+        // translation is reused (translation is deterministic, so it
+        // equals what `translate_trace` would produce and the stripped
+        // report stays bit-identical to a cold run); any other member
+        // choice simply misses and retranslates.
+        let tb = match self.shared.library_trace(&members) {
+            Some(t) => {
+                self.shared.artifact().record_trace_hit();
+                t
+            }
+            None => {
+                let Ok(tb) =
+                    translate_trace(prog, &members, self.shared.rules(), &self.cfg.translate)
+                else {
+                    return;
+                };
+                Arc::new(tb)
+            }
         };
         // Intern attribution ids only — no static `hit` and no miss
         // recording: the members' own translations already counted
@@ -1073,7 +1108,7 @@ impl Engine {
             .collect();
         self.dispatch
             .traces
-            .insert(head_pc, Arc::new(CachedBlock::new(Arc::new(tb), attr_ids)));
+            .insert(head_pc, Arc::new(CachedBlock::new(tb, attr_ids)));
         self.obs.dispatch.traces_formed += 1;
         // Links into the old head block must re-route through the
         // dispatcher to pick the trace up.
@@ -1422,7 +1457,25 @@ impl Engine {
             resilience: self.resilience.clone(),
             server: self.shared.server().snapshot(),
             telemetry: self.shared.telemetry().snapshot(),
+            artifact: self.shared.artifact().snapshot(),
         })
+    }
+
+    /// A copy of every superblock this session formed, sorted by head
+    /// address — the canonical order translation artifacts persist them
+    /// in. The member list of each trace is recoverable from its
+    /// `member_marks`, which is how an artifact loader keys the
+    /// library.
+    #[must_use]
+    pub fn export_traces(&self) -> Vec<TranslatedBlock> {
+        let mut traces: Vec<TranslatedBlock> = self
+            .dispatch
+            .traces
+            .values()
+            .map(|t| (*t.block).clone())
+            .collect();
+        traces.sort_unstable_by_key(|t| t.start);
+        traces
     }
 
     /// Interprets the guest block starting at `pc` directly against the

@@ -22,8 +22,12 @@
 //! fingerprint) or a session would execute another image's code.
 
 use crate::cache::ShardedCache;
+use crate::translate::TranslatedBlock;
 use pdbt_core::RuleSet;
-use pdbt_obs::{ServerCounters, Telemetry};
+use pdbt_isa::Addr;
+use pdbt_obs::{ArtifactCounters, ServerCounters, Telemetry};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The translation state shared by every session of one server (or
 /// owned exclusively by a standalone engine — `Engine::new` wraps one
@@ -47,6 +51,18 @@ pub struct SharedTranslationState {
     /// server sizes this to its worker count and stamps the partition
     /// fingerprint.
     telemetry: Telemetry,
+    /// The superblock library rehydrated from a translation artifact,
+    /// keyed by the full member list. Immutable after boot: a session
+    /// forming a trace with exactly these members reuses the stored
+    /// translation instead of calling `translate_trace` — translation
+    /// is deterministic, so the result is identical and the session's
+    /// stripped report stays bit-for-bit what a cold run produces.
+    /// Traces a session forms live never enter this map (member choice
+    /// follows session-local edge counters).
+    traces: HashMap<Vec<Addr>, Arc<TranslatedBlock>>,
+    /// What the artifact contributed at boot, plus live library hits.
+    /// All-zero for a cold state.
+    artifact: ArtifactCounters,
 }
 
 impl SharedTranslationState {
@@ -73,7 +89,42 @@ impl SharedTranslationState {
             cache: ShardedCache::new(cache_shards),
             server: ServerCounters::new(),
             telemetry: Telemetry::with_partition(slots, partition),
+            traces: HashMap::new(),
+            artifact: ArtifactCounters::new(),
         }
+    }
+
+    /// A state pre-warmed from a translation artifact: `blocks` are
+    /// installed directly into the shared cache and `traces` become the
+    /// superblock library, before any session attaches. Warm installs
+    /// deliberately skip the `inserted`/`translate_calls` server
+    /// counters — those count *live* translation work, so an
+    /// artifact-booted daemon's first request reports pure cache hits
+    /// and zero translate calls; the artifact's contribution is
+    /// reported separately through `counters`.
+    #[must_use]
+    pub fn warm(
+        rules: Option<RuleSet>,
+        cache_shards: usize,
+        slots: usize,
+        partition: u64,
+        blocks: Vec<TranslatedBlock>,
+        traces: Vec<TranslatedBlock>,
+        counters: ArtifactCounters,
+    ) -> SharedTranslationState {
+        let mut state = Self::with_telemetry(rules, cache_shards, slots, partition);
+        for block in blocks {
+            state.cache.insert(block.start, block);
+        }
+        state.traces = traces
+            .into_iter()
+            .map(|t| {
+                let members: Vec<Addr> = t.member_marks.iter().map(|m| m.start).collect();
+                (members, Arc::new(t))
+            })
+            .collect();
+        state.artifact = counters;
+        state
     }
 
     /// The shared rule set.
@@ -98,5 +149,24 @@ impl SharedTranslationState {
     #[must_use]
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The library translation for a superblock with exactly these
+    /// members, if the boot artifact carried one.
+    #[must_use]
+    pub fn library_trace(&self, members: &[Addr]) -> Option<Arc<TranslatedBlock>> {
+        self.traces.get(members).cloned()
+    }
+
+    /// Superblocks in the boot library.
+    #[must_use]
+    pub fn library_len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// The artifact counters.
+    #[must_use]
+    pub fn artifact(&self) -> &ArtifactCounters {
+        &self.artifact
     }
 }

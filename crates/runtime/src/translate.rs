@@ -146,7 +146,7 @@ pub enum BlockSuccs {
 /// member's anchor host instruction executed. Superblocks are
 /// straight-line (side exits only), so the retired members of one
 /// execution always form a prefix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemberMark {
     /// The member block's guest start address (trace invalidation keys
     /// off this).
@@ -168,7 +168,7 @@ pub struct MemberMark {
 }
 
 /// One translated basic block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TranslatedBlock {
     /// Guest start address.
     pub start: Addr,

@@ -52,7 +52,6 @@ use pdbt_par::TaskQueue;
 use pdbt_runtime::{Engine, EngineConfig, RunSetup, SharedTranslationState};
 use pdbt_workloads::{build, Benchmark, Scale, Workload};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -81,6 +80,14 @@ pub struct ServeConfig {
     /// plus the recent-request tail) when the server drains. `None`
     /// disables the dump; the CLI defaults to `flight.json`.
     pub flight_path: Option<PathBuf>,
+    /// A directory of sealed `.pdba` translation artifacts to warm-boot
+    /// from: every loadable artifact pre-creates its guest image's
+    /// partition with the artifact's code cache, trace library, and
+    /// (when present) ruleset, so the first request for that image
+    /// translates nothing. Artifacts that fail to load — wrong version,
+    /// damaged header, fingerprint mismatch — are counted and skipped;
+    /// the image boots cold on first sight instead. Never fatal.
+    pub artifact_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +98,7 @@ impl Default for ServeConfig {
             cache_shards: EngineConfig::default().cache_shards,
             default_deadline_ms: None,
             flight_path: None,
+            artifact_dir: None,
         }
     }
 }
@@ -138,6 +146,34 @@ struct ServerCtx {
     served: AtomicU64,
     /// Sessions currently executing on a worker.
     active: AtomicU64,
+    /// Artifact warm-boot tally, fixed at bind time.
+    artifacts: ArtifactBoot,
+}
+
+/// What the bind-time artifact scan produced. All-zero when the server
+/// boots cold (no `--artifact-dir`).
+#[derive(Debug, Default, Clone, Copy)]
+struct ArtifactBoot {
+    /// Artifacts that loaded and warmed a partition.
+    loaded: u64,
+    /// Artifacts rejected wholesale (unreadable, bad header/version,
+    /// fingerprint mismatch) — the image they were for boots cold.
+    rejected: u64,
+    /// Sections quarantined inside otherwise-loaded artifacts.
+    sections_quarantined: u64,
+}
+
+impl ArtifactBoot {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("loaded", Json::from(self.loaded)),
+            ("rejected", Json::from(self.rejected)),
+            (
+                "sections_quarantined",
+                Json::from(self.sections_quarantined),
+            ),
+        ])
+    }
 }
 
 impl ServerCtx {
@@ -184,21 +220,26 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let queue = TaskQueue::new(cfg.jobs);
         let jobs = queue.jobs();
+        let (states, labels, artifacts) = match &cfg.artifact_dir {
+            Some(dir) => load_artifacts(dir, cfg.rules.as_ref(), cfg.cache_shards, jobs),
+            None => (HashMap::new(), HashMap::new(), ArtifactBoot::default()),
+        };
         Ok(Server {
             listener,
             queue,
             ctx: Arc::new(ServerCtx {
-                states: Mutex::new(HashMap::new()),
+                states: Mutex::new(states),
                 workloads: Mutex::new(HashMap::new()),
                 rules: cfg.rules,
                 cache_shards: cfg.cache_shards,
                 default_deadline_ms: cfg.default_deadline_ms,
                 jobs,
-                labels: Mutex::new(HashMap::new()),
+                labels: Mutex::new(labels),
                 started: Instant::now(),
                 stats_seq: AtomicU64::new(0),
                 served: AtomicU64::new(0),
                 active: AtomicU64::new(0),
+                artifacts,
             }),
             flight_path: cfg.flight_path,
         })
@@ -315,7 +356,7 @@ impl Server {
 /// server-lifetime counters summed across guest-image partitions.
 fn status(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
     let (mut probes, mut inserted, mut hits) = (0u64, 0u64, 0u64);
-    let (mut translate_calls, mut sessions) = (0u64, 0u64);
+    let (mut translate_calls, mut sessions, mut trace_hits) = (0u64, 0u64, 0u64);
     let (mut cached_blocks, mut images) = (0usize, 0usize);
     for state in ctx.states.lock().expect("state map poisoned").values() {
         let snap = state.server().snapshot();
@@ -324,8 +365,13 @@ fn status(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
         hits += snap.hits;
         translate_calls += snap.translate_calls;
         sessions += snap.sessions;
+        trace_hits += state.artifact().snapshot().trace_hits;
         cached_blocks += state.cache().len();
         images += 1;
+    }
+    let mut artifacts = ctx.artifacts.to_json();
+    if let Json::Obj(pairs) = &mut artifacts {
+        pairs.insert("trace_hits".to_string(), Json::from(trace_hits));
     }
     Json::obj([
         ("version", Json::from(u64::from(proto::VERSION))),
@@ -334,6 +380,7 @@ fn status(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
         ("faults_enabled", Json::from(pdbt_faults::ENABLED)),
         ("images", Json::from(images)),
         ("cached_blocks", Json::from(cached_blocks)),
+        ("artifacts", artifacts),
         (
             "server",
             Json::obj([
@@ -365,18 +412,20 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
     let labels = ctx.labels.lock().expect("label map poisoned").clone();
 
     let (mut probes, mut inserted, mut hits) = (0u64, 0u64, 0u64);
-    let (mut translate_calls, mut sessions) = (0u64, 0u64);
+    let (mut translate_calls, mut sessions, mut trace_hits) = (0u64, 0u64, 0u64);
     let mut global = LatencyHists::default();
     let mut flight: Vec<RequestSummary> = Vec::new();
     let mut partitions = Vec::with_capacity(states.len());
     for (fp, state) in &states {
         let snap = state.server().snapshot();
         let tele = state.telemetry().snapshot();
+        let art = state.artifact().snapshot();
         probes += snap.probes;
         inserted += snap.inserted;
         hits += snap.hits;
         translate_calls += snap.translate_calls;
         sessions += snap.sessions;
+        trace_hits += art.trace_hits;
         global.merge(&tele.latency);
         flight.extend(tele.flight);
         partitions.push(Json::obj([
@@ -386,6 +435,9 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
                 Json::str(labels.get(fp).map(String::as_str).unwrap_or("?")),
             ),
             ("cached_blocks", Json::from(state.cache().len())),
+            ("warm", Json::from(art.warm())),
+            ("loaded_blocks", Json::from(art.loaded_blocks)),
+            ("trace_hits", Json::from(art.trace_hits)),
             ("sessions", Json::from(snap.sessions)),
             ("probes", Json::from(snap.probes)),
             ("inserted", Json::from(snap.inserted)),
@@ -454,6 +506,13 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
                 ("hit_rate", Json::from(hit_rate)),
             ]),
         ),
+        ("artifacts", {
+            let mut artifacts = ctx.artifacts.to_json();
+            if let Json::Obj(pairs) = &mut artifacts {
+                pairs.insert("trace_hits".to_string(), Json::from(trace_hits));
+            }
+            artifacts
+        }),
         ("latency", global.to_json()),
         ("partitions", Json::Arr(partitions)),
         (
@@ -537,16 +596,106 @@ impl Guest {
     }
 }
 
-/// Fingerprints a guest image (base address + instruction listing) to
-/// pick its translation-state partition. Process-local only — never
-/// persisted, so `DefaultHasher`'s stability caveat doesn't matter.
+/// Fingerprints a guest image (base address + encoded instruction
+/// words) to pick its translation-state partition. This value is now
+/// *persisted* — sealed into PDBA artifacts and matched against them at
+/// boot — so it must be stable across processes, platforms, and Rust
+/// releases; [`pdbt_isa_arm::Program::fingerprint`] (seeded FNV-1a with
+/// a splitmix64 finalizer) is, where the `DefaultHasher` previously
+/// used here explicitly is not.
 fn image_fingerprint(prog: &pdbt_isa_arm::Program) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    prog.base().hash(&mut h);
-    for inst in prog.insts() {
-        inst.to_string().hash(&mut h);
+    prog.fingerprint()
+}
+
+/// The bind-time artifact scan: every `*.pdba` file in `dir` (sorted by
+/// name for deterministic boot order) is opened in salvage mode and, on
+/// success, pre-creates its guest image's translation-state partition,
+/// keyed by the image fingerprint the artifact was sealed with.
+///
+/// Failure is never fatal and never aborts the scan: an unreadable or
+/// rejected artifact is counted and logged, and that image simply boots
+/// cold when its first request arrives. A duplicate fingerprint (two
+/// artifacts for the same image) keeps the first and counts the second
+/// as rejected. When an artifact carries no ruleset — or its RULE
+/// section was quarantined — the partition falls back to the server's
+/// own rules, exactly as a cold partition would.
+fn load_artifacts(
+    dir: &std::path::Path,
+    rules: Option<&RuleSet>,
+    cache_shards: usize,
+    slots: usize,
+) -> (
+    HashMap<u64, Arc<SharedTranslationState>>,
+    HashMap<u64, String>,
+    ArtifactBoot,
+) {
+    let mut states = HashMap::new();
+    let mut labels = HashMap::new();
+    let mut boot = ArtifactBoot::default();
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "pdba"))
+            .collect(),
+        Err(e) => {
+            eprintln!(
+                "pdbt-serve: artifact dir {} unreadable ({e}); booting cold",
+                dir.display()
+            );
+            return (states, labels, boot);
+        }
+    };
+    paths.sort();
+    for path in paths {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("pdbt-serve: artifact {} unreadable: {e}", path.display());
+                boot.rejected += 1;
+                continue;
+            }
+        };
+        let opened = match pdbt_artifact::open_salvage(&bytes) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("pdbt-serve: artifact {} rejected: {e}", path.display());
+                boot.rejected += 1;
+                continue;
+            }
+        };
+        let fingerprint = opened.artifact.fingerprint();
+        if states.contains_key(&fingerprint) {
+            eprintln!(
+                "pdbt-serve: artifact {} duplicates image {fingerprint:016x}; keeping the first",
+                path.display()
+            );
+            boot.rejected += 1;
+            continue;
+        }
+        for q in &opened.quarantined {
+            eprintln!(
+                "pdbt-serve: artifact {}: section {} quarantined: {}",
+                path.display(),
+                q.section,
+                q.reason
+            );
+        }
+        boot.sections_quarantined += opened.quarantined.len() as u64;
+        let label = if opened.artifact.label.is_empty() {
+            path.file_stem().map_or_else(
+                || "artifact".to_string(),
+                |s| s.to_string_lossy().into_owned(),
+            )
+        } else {
+            opened.artifact.label.clone()
+        };
+        let state = pdbt_artifact::warm_state(&opened, rules, cache_shards, slots);
+        states.insert(fingerprint, Arc::new(state));
+        labels.insert(fingerprint, label);
+        boot.loaded += 1;
     }
-    h.finish()
+    (states, labels, boot)
 }
 
 /// Resolves the request's guest program, base run setup, and label.
@@ -780,6 +929,60 @@ mod tests {
 
         client::shutdown(addr, t).expect("shutdown");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn artifact_dir_warm_boots_the_matching_partition() {
+        // Seal GUEST's translations into an artifact, boot a server
+        // from the directory, and check the very first request for
+        // that image translates nothing.
+        let insts = pdbt_isa_arm::parse_listing(GUEST).unwrap();
+        let prog = pdbt_isa_arm::Program::new(0x1000, insts);
+        let setup = RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000);
+        let artifact =
+            pdbt_artifact::compile(&prog, None, &setup, EngineConfig::default(), "inline-guest")
+                .expect("compile");
+        let dir =
+            std::env::temp_dir().join(format!("pdbt-serve-artifact-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("guest.pdba"), pdbt_artifact::seal(&artifact)).unwrap();
+        // A second, unloadable file must be counted, not fatal.
+        std::fs::write(dir.join("junk.pdba"), b"not an artifact").unwrap();
+
+        let (addr, handle) = spawn_server(ServeConfig {
+            artifact_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let t = Duration::from_secs(30);
+
+        let pong = client::ping(addr, t).expect("ping");
+        let arts = pong.get("artifacts").expect("artifacts section");
+        assert_eq!(arts.get("loaded").and_then(Json::as_u64), Some(1));
+        assert_eq!(arts.get("rejected").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            arts.get("sections_quarantined").and_then(Json::as_u64),
+            Some(0)
+        );
+        // The partition exists before any request arrives.
+        assert_eq!(pong.get("images").and_then(Json::as_u64), Some(1));
+
+        let req = Json::obj([("id", Json::from(1u64)), ("program", Json::str(GUEST))]);
+        let resp = client::submit(addr, &req, t).expect("submit");
+        assert_eq!(output_of(&resp), [42]);
+
+        // Zero live translation work: the artifact answered everything.
+        let pong = client::ping(addr, t).expect("ping");
+        let server = pong.get("server").expect("server section");
+        assert_eq!(
+            server.get("translate_calls").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(server.get("inserted").and_then(Json::as_u64), Some(0));
+        assert_eq!(server.get("sessions").and_then(Json::as_u64), Some(1));
+
+        client::shutdown(addr, t).expect("shutdown");
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! assert!(report.metrics.coverage() > 0.5);
 //! ```
 
+pub use pdbt_artifact as artifact;
 pub use pdbt_compiler as compiler;
 pub use pdbt_core as core;
 pub use pdbt_ir as ir;

@@ -79,7 +79,8 @@ fn usage() -> ExitCode {
          pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
          pdbt bench  [--scale tiny|full] [BENCH]\n  \
-         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--deadline-ms N] [--flight-out FILE]\n  \
+         pdbt compile WORKLOAD|PROG.s [--scale tiny|full] [--rules FILE | --baseline] [--no-param] [--jobs N] [--label NAME] -o FILE.pdba\n  \
+         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--deadline-ms N] [--flight-out FILE] [--artifact-dir DIR]\n  \
          pdbt submit [PROG.s] [--addr HOST:PORT] [--workload BENCH --scale tiny|full] [--max-guest N] [--deadline-ms N] [--faults SPEC] [--no-delegation] [--timeout-s N] [--report-json FILE] [--ping] [--shutdown] [--stats]\n  \
          pdbt loadgen [--addr HOST:PORT] [--sessions N] [--requests N] [--hot N] [--tail N] [--seed N] [--poll-ms N] [--timeout-s N] [--out FILE]"
     );
@@ -247,6 +248,101 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     };
     std::fs::write(out, save_rules(&rules)).map_err(|e| format!("{out}: {e}"))?;
     eprintln!("wrote {out}");
+    Ok(())
+}
+
+/// `pdbt compile`: run the translate pipeline over one guest image and
+/// seal everything a warm boot needs — ruleset, translated blocks,
+/// superblock traces, guest-image fingerprint — into a `.pdba`
+/// artifact for `pdbt serve --artifact-dir`.
+///
+/// The rules sealed in come from `--rules FILE` when given, from a
+/// fresh train-and-parameterize pass over the synthetic suite by
+/// default, or nowhere (`--baseline`, the pure QEMU-path engine).
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let out = args.value("out").ok_or("compile needs -o FILE.pdba")?;
+    let target = args
+        .positional
+        .first()
+        .ok_or("compile needs a WORKLOAD name or a PROG.s file")?;
+    configure_faults(args)?;
+    let jobs = jobs_of(args)?;
+
+    // Resolve the guest image exactly like `serve` will, so the sealed
+    // fingerprint matches the serving partition.
+    let (prog, setup, default_label) = match bench_of(target) {
+        Some(bench) => {
+            let scale = match args.value("scale") {
+                Some("full") => Scale::full(),
+                _ => Scale::tiny(),
+            };
+            let scale_name = if args.value("scale") == Some("full") {
+                "full"
+            } else {
+                "tiny"
+            };
+            eprintln!("building {target}/{scale_name}…");
+            let w = pdbt::workloads::build(bench, scale);
+            let setup = w.setup();
+            (
+                w.pair.guest.program.clone(),
+                setup,
+                format!("{target}/{scale_name}"),
+            )
+        }
+        None => {
+            let prog = load_program(target)?;
+            let setup = RunSetup::basic(DATA_BASE, 0x1000, 0x8_0000, 0x1000);
+            (prog, setup, "inline".to_string())
+        }
+    };
+    let label = args.value("label").unwrap_or(&default_label);
+
+    let rules = if let Some(p) = args.value("rules") {
+        Some(load_rules_file(p)?.0)
+    } else if args.has("baseline") {
+        None
+    } else {
+        eprintln!("training over the synthetic suite…");
+        let suite = pdbt::workloads::suite(Scale::tiny());
+        let mut learned = RuleSet::new();
+        for w in &suite {
+            let mut r = RuleSet::new();
+            pdbt::core::learning::learn_into(&mut r, &w.pair, &w.debug, LearnConfig::default());
+            learned.merge(r);
+        }
+        if args.has("no-param") {
+            Some(learned)
+        } else {
+            let (full, stats) = derive_jobs(
+                &learned,
+                DeriveConfig::full(),
+                CheckOptions::default(),
+                jobs,
+            );
+            eprintln!(
+                "parameterized to {} applicable rules ({} derived, {} rejected)",
+                stats.instantiated, stats.derived, stats.rejected
+            );
+            Some(full)
+        }
+    };
+
+    let cfg = EngineConfig {
+        jobs,
+        ..EngineConfig::default()
+    };
+    let artifact = pdbt::artifact::compile(&prog, rules.as_ref(), &setup, cfg, label)?;
+    let bytes = pdbt::artifact::seal(&artifact);
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "sealed {out}: image {:016x} ({label}), {} blocks, {} traces, {} rules, {} bytes",
+        artifact.fingerprint(),
+        artifact.blocks.len(),
+        artifact.traces.len(),
+        artifact.rules.as_ref().map_or(0, |r| r.len() + r.seq_len()),
+        bytes.len()
+    );
     Ok(())
 }
 
@@ -491,6 +587,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     cfg.default_deadline_ms = parse_u64_flag(args, "deadline-ms")?;
     cfg.flight_path = Some(args.value("flight-out").unwrap_or("flight.json").into());
+    cfg.artifact_dir = args.value("artifact-dir").map(Into::into);
     let server = pdbt_serve::Server::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
     // Scripts scrape this line for the real port when binding to :0.
@@ -743,10 +840,13 @@ fn main() -> ExitCode {
             "seed",
             "poll-ms",
             "out",
+            "label",
+            "artifact-dir",
         ],
     );
     let result = match cmd {
         "train" => cmd_train(&args),
+        "compile" => cmd_compile(&args),
         "run" => cmd_run(&args),
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),

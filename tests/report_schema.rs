@@ -159,6 +159,16 @@ fn report_json_schema_matches_golden() {
         "server.flight[].phases.reply_ns",
         "server.flight[].phases.total_ns",
         "server.flight[].reply_bytes",
+        // The artifact provenance counters: consumers tell a warm
+        // (artifact-rehydrated) session from a cold one, and count
+        // sections the salvage loader quarantined, without parsing
+        // server logs. Present-and-zero on a cold standalone run.
+        "server.artifact.warm",
+        "server.artifact.loaded_blocks",
+        "server.artifact.loaded_traces",
+        "server.artifact.loaded_rules",
+        "server.artifact.quarantined_sections",
+        "server.artifact.trace_hits",
     ] {
         assert!(
             paths.contains(required),

@@ -1,17 +1,25 @@
-//! Fuzzes the rule-store loaders against corrupted inputs: seeded
-//! truncations, bit flips and line splices of real `save_rules` output.
-//! Neither loader may ever panic — `load_rules` may reject, and
-//! `load_rules_salvage` must keep every healthy block while
-//! quarantining exactly the entries the mutation destroyed.
+//! Fuzzes the persistence loaders against corrupted inputs.
+//!
+//! Two stores, one discipline: the text rule store (`save_rules` /
+//! `load_rules_salvage`) and the binary PDBA translation artifact
+//! (`seal` / `open_salvage`) both face seeded truncations, bit flips
+//! and splices, and neither loader may ever panic. Salvage must keep
+//! every healthy entry while quarantining exactly what the mutation
+//! destroyed — and a damaged artifact must still *boot*, falling back
+//! to cold translation for the quarantined sections with bit-identical
+//! guest output.
 //!
 //! Hand-rolled seeded fuzz loops over the in-tree PRNG (`pdbt-rng`,
 //! aliased as `rand`) — the offline build has no proptest.
 
+use pdbt::artifact::{open_salvage, seal, section_table, warm_state};
 use pdbt::core::learning::{learn_into, LearnConfig};
 use pdbt::core::{load_rules, load_rules_salvage, save_rules, RuleSet};
+use pdbt::runtime::{Engine, EngineConfig, RunSetup};
 use pdbt::workloads::{suite, Scale};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
 
 /// Fuzz iterations per mutation class; FUZZ_CASES scales the file.
 fn cases() -> usize {
@@ -188,4 +196,213 @@ fn targeted_corruption_quarantines_exactly_the_mutated_entry() {
         let expect = load_rules(&without.join("\n")).expect("remainder is valid");
         assert_eq!(save_rules(&rules), save_rules(&expect));
     }
+}
+
+// ---------------------------------------------------------------------
+// PDBA artifact corruption matrix
+// ---------------------------------------------------------------------
+
+/// A hot two-block loop at `0x1000`: enough to fill every artifact
+/// section (blocks, two superblock traces, an embedded ruleset).
+fn fuzz_program() -> pdbt::arm::Program {
+    let insts = pdbt::arm::parse_listing(
+        "mov r0, #100\nmov r1, #0\nadd r1, r1, r0\nb .+4\n\
+         subs r0, r0, #1\nbne .-12\nmov r0, r1\nsvc #1\nsvc #0\n",
+    )
+    .expect("fixture assembles");
+    pdbt::arm::Program::new(0x1000, insts)
+}
+
+fn fuzz_setup() -> RunSetup {
+    RunSetup::basic(0x10_0000, 0x1000, 0x8_0000, 0x1000)
+}
+
+/// The shared fixture: a sealed artifact with every section populated,
+/// plus the reference-interpreter output of its guest program.
+fn sealed_fixture() -> &'static (Vec<u8>, Vec<u32>) {
+    static FIXTURE: OnceLock<(Vec<u8>, Vec<u32>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rules = RuleSet::new();
+        for w in &suite(Scale::tiny()) {
+            let mut r = RuleSet::new();
+            learn_into(&mut r, &w.pair, &w.debug, LearnConfig::default());
+            rules.merge(r);
+        }
+        let prog = fuzz_program();
+        let artifact = pdbt::artifact::compile(
+            &prog,
+            Some(&rules),
+            &fuzz_setup(),
+            EngineConfig::default(),
+            "fuzz-fixture",
+        )
+        .expect("fixture compiles");
+        assert!(!artifact.blocks.is_empty() && !artifact.traces.is_empty());
+        assert!(artifact.rules.is_some());
+
+        let mut cpu = pdbt::arm::Cpu::new();
+        cpu.mem.map(0x10_0000, 0x1000);
+        cpu.mem.map(0x8_0000, 0x1000);
+        cpu.write(pdbt::arm::Reg::Sp, 0x8_0000 + 0x1000);
+        pdbt::arm::run(&mut cpu, &prog, 1_000_000).expect("reference run");
+        (seal(&artifact), cpu.output)
+    })
+}
+
+/// Boots an engine from an opened artifact and checks the guest output
+/// is bit-identical to the reference interpreter, with the quarantine
+/// count surfaced in the report.
+fn boot_and_check(opened: &pdbt::artifact::Opened, golden: &[u32]) {
+    let expected_quarantined = opened.quarantined.len() as u64;
+    let shared = std::sync::Arc::new(warm_state(opened, None, 8, 1));
+    let mut engine = Engine::with_shared(shared, EngineConfig::default());
+    let report = engine
+        .run(&fuzz_program(), &fuzz_setup())
+        .expect("degraded boot still runs");
+    let out: Vec<u32> = report.output.clone();
+    assert_eq!(out, golden, "degraded artifact boot diverged from oracle");
+    assert_eq!(report.artifact.quarantined_sections, expected_quarantined);
+}
+
+/// `open_salvage` never panics on arbitrary prefixes; when a prefix
+/// still opens, the damage is confined to counted quarantines and the
+/// boot stays bit-identical.
+#[test]
+fn artifact_truncation_never_panics_and_boots_cold() {
+    let (bytes, golden) = sealed_fixture();
+    let mut rng = StdRng::seed_from_u64(0xA7_7E_01);
+    let mut opened_some = false;
+    for _ in 0..cases() {
+        let cut = rng.gen_range(0..bytes.len());
+        match open_salvage(&bytes[..cut]) {
+            Ok(opened) => {
+                opened_some = true;
+                boot_and_check(&opened, golden);
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+    // A cut inside the last (TRCE) payload keeps the header valid, so
+    // at least some prefixes must open in salvage mode.
+    let table = section_table(bytes).unwrap();
+    let trce_mid = (table[4].1.start + table[4].1.end) / 2;
+    let opened = open_salvage(&bytes[..trce_mid]).expect("mid-TRCE cut salvages");
+    assert_eq!(opened.quarantined.len(), 1);
+    assert_eq!(opened.quarantined[0].section, "TRCE");
+    boot_and_check(&opened, golden);
+    assert!(opened_some || cases() == 0);
+}
+
+/// One- and two-bit flips anywhere in the file: guaranteed CRC-visible,
+/// so every flip either rejects the artifact, quarantines a section, or
+/// lands in slack the loaders never trusted — and any successful open
+/// still boots bit-identically.
+#[test]
+fn artifact_bit_flips_never_panic_and_never_corrupt_a_boot() {
+    let (bytes, golden) = sealed_fixture();
+    let mut rng = StdRng::seed_from_u64(0xA7_7E_02);
+    for _ in 0..cases() {
+        let mut mutated = bytes.clone();
+        for _ in 0..rng.gen_range(1..3u8) {
+            let i = rng.gen_range(0..mutated.len());
+            mutated[i] ^= 1 << rng.gen_range(0..8u8);
+        }
+        if let Ok(opened) = open_salvage(&mutated) {
+            boot_and_check(&opened, golden);
+        }
+    }
+}
+
+/// Splices: whole chunks copied over other chunks, and section payloads
+/// swapped wholesale. Never a panic; successful opens still boot.
+#[test]
+fn artifact_splices_never_panic() {
+    let (bytes, golden) = sealed_fixture();
+    let mut rng = StdRng::seed_from_u64(0xA7_7E_03);
+    for _ in 0..cases() {
+        let mut mutated = bytes.clone();
+        let len = mutated.len();
+        let chunk = rng.gen_range(1..=32usize.min(len));
+        let src = rng.gen_range(0..=len - chunk);
+        let dst = rng.gen_range(0..=len - chunk);
+        let copied: Vec<u8> = mutated[src..src + chunk].to_vec();
+        mutated[dst..dst + chunk].copy_from_slice(&copied);
+        if let Ok(opened) = open_salvage(&mutated) {
+            boot_and_check(&opened, golden);
+        }
+    }
+}
+
+/// Targeted per-section damage: poisoning one payload byte of a
+/// non-boundary section quarantines exactly that section (the rest
+/// loads), the boot degrades cold for it, and the guest output stays
+/// bit-identical. Damage to the trust boundary (header, GIMG) rejects
+/// the whole artifact instead — cold fallback, never an abort.
+#[test]
+fn artifact_section_damage_quarantines_exactly_that_section() {
+    let (bytes, golden) = sealed_fixture();
+    let table = section_table(bytes).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xA7_7E_04);
+    let salvageable = ["META", "RULE", "BLKS", "TRCE"];
+    for _ in 0..cases() {
+        let (tag, range) = &table[rng.gen_range(0..table.len())];
+        if range.is_empty() {
+            continue;
+        }
+        let mut mutated = bytes.clone();
+        let i = rng.gen_range(range.start..range.end);
+        mutated[i] ^= 1 << rng.gen_range(0..8u8);
+        if salvageable.contains(&tag.as_str()) {
+            let opened = open_salvage(&mutated).expect("section damage must salvage");
+            assert_eq!(
+                opened.quarantined.len(),
+                1,
+                "exactly one section quarantined for damage in {tag}"
+            );
+            assert_eq!(&opened.quarantined[0].section, tag);
+            boot_and_check(&opened, golden);
+        } else {
+            // GIMG is the trust boundary: reject the whole artifact.
+            let err = open_salvage(&mutated).expect_err("image damage must reject");
+            let _ = err.to_string();
+        }
+    }
+    // Header damage (the declared fingerprint bytes sit before the
+    // payload area) is caught by the header CRC.
+    let mut mutated = bytes.clone();
+    let payload_start = table[0].1.start;
+    mutated[payload_start - 5] ^= 0x40;
+    assert!(open_salvage(&mutated).is_err(), "header damage must reject");
+}
+
+/// Swapping two whole section payloads (same artifact, valid CRCs
+/// recorded for the *other* section) quarantines both — content is
+/// bound to its declared section, not just to a checksum.
+#[test]
+fn artifact_section_swap_quarantines_both_sections() {
+    let (bytes, golden) = sealed_fixture();
+    let table = section_table(bytes).unwrap();
+    let (blks, trce) = (&table[3].1, &table[4].1);
+    // Splice TRCE's payload over the front of BLKS (and vice versa is
+    // covered by CRC): both sections now fail their checksums.
+    let mut mutated = bytes.clone();
+    let n = blks.len().min(trce.len());
+    assert!(n > 0, "fixture has both blocks and traces");
+    let trce_head: Vec<u8> = mutated[trce.start..trce.start + n].to_vec();
+    let blks_head: Vec<u8> = mutated[blks.start..blks.start + n].to_vec();
+    mutated[blks.start..blks.start + n].copy_from_slice(&trce_head);
+    mutated[trce.start..trce.start + n].copy_from_slice(&blks_head);
+    let opened = open_salvage(&mutated).expect("section swap must salvage");
+    let mut hit: Vec<&str> = opened
+        .quarantined
+        .iter()
+        .map(|q| q.section.as_str())
+        .collect();
+    hit.sort_unstable();
+    assert_eq!(hit, ["BLKS", "TRCE"]);
+    assert!(opened.artifact.blocks.is_empty());
+    assert!(opened.artifact.traces.is_empty());
+    boot_and_check(&opened, golden);
 }
