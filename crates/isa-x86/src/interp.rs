@@ -113,7 +113,7 @@ fn read_f(cpu: &Cpu, o: &Operand) -> Result<f32, ExecError> {
     }
 }
 
-fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
+pub(crate) fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
     let wide = u64::from(a) + u64::from(b) + u64::from(carry_in);
     let result = wide as u32;
     let mut f = Flags {
@@ -125,26 +125,28 @@ fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
     (result, f)
 }
 
-fn sub_with_borrow(a: u32, b: u32, borrow_in: bool) -> (u32, Flags) {
+pub(crate) fn sub_with_borrow(a: u32, b: u32, borrow_in: bool) -> (u32, Flags) {
     // x86: CF = borrow (set when a < b + borrow_in).
     let (r, f) = add_with_carry(a, !b, !borrow_in);
     (r, Flags { c: !f.c, ..f })
 }
 
-fn logic_flags(result: u32) -> Flags {
+pub(crate) fn logic_flags(result: u32) -> Flags {
     let mut f = Flags::default(); // CF = OF = 0
     f.set_nz(result);
     f
 }
 
-/// The result of stepping one instruction inside a block.
-enum Step {
+/// The result of stepping one instruction inside a block. Shared with
+/// the threaded-code compiler (`crate::threaded`), whose pre-compiled
+/// handlers return the same control decisions as the model's `step`.
+pub(crate) enum Step {
     Next,
     Rel(i32),
     Exit(BlockExit),
 }
 
-fn step(cpu: &mut Cpu, inst: &Inst) -> Result<Step, ExecError> {
+pub(crate) fn step(cpu: &mut Cpu, inst: &Inst) -> Result<Step, ExecError> {
     use Op::*;
     let ops = &inst.operands;
     match inst.op {
@@ -352,14 +354,14 @@ fn step(cpu: &mut Cpu, inst: &Inst) -> Result<Step, ExecError> {
 // barrel-shifter arithmetic without a dependency edge.
 #[derive(Clone, Copy)]
 #[allow(clippy::enum_variant_names)]
-enum ShiftOp {
+pub(crate) enum ShiftOp {
     Lsl,
     Lsr,
     Asr,
     Ror,
 }
 
-fn apply_shift(kind: ShiftOp, v: u32, amount: u8) -> (u32, bool) {
+pub(crate) fn apply_shift(kind: ShiftOp, v: u32, amount: u8) -> (u32, bool) {
     let a = u32::from(amount);
     match kind {
         ShiftOp::Lsl => (v << a, (v >> (32 - a)) & 1 != 0),

@@ -31,6 +31,7 @@ mod inst;
 mod interp;
 mod operand;
 mod reg;
+mod threaded;
 
 pub use encode::{decode, decode_block, encode, encode_block, DecodeError, EncodeError};
 pub use inst::{Inst, Op, Shape};
@@ -39,3 +40,4 @@ pub use interp::{
 };
 pub use operand::{CarrySense, Cc, Mem, Operand};
 pub use reg::{Reg, Xmm};
+pub use threaded::{compile_block, exec_threaded_into, ThreadedCode};

@@ -4,18 +4,58 @@
 //! Pages are allocated on demand inside explicitly mapped regions;
 //! accesses outside any mapped region fault, which is how the interpreters
 //! catch miscompiled or mistranslated address arithmetic.
+//!
+//! Translated DBT code hammers a tiny working set — the environment
+//! page holding the guest registers above all — so the hot paths keep
+//! two one-entry caches (last matched region, last touched page) that
+//! turn the common access into two compares and an array index. Both
+//! caches are pure memoization behind [`std::cell::Cell`]: they never
+//! change an access's result, only how it is found.
 
 use crate::{Addr, ExecError, Width};
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: u32 = 1 << PAGE_BITS;
 
+/// Page-number hasher: one multiply by a 64-bit odd constant
+/// (Fibonacci hashing). Page numbers are small dense integers, so
+/// SipHash's DoS resistance buys nothing here and its cost lands on
+/// every executed load/store of both machine models.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("page keys hash via write_u32");
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = u64::from(n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type Page = Box<[u8; PAGE_SIZE as usize]>;
+
 /// Little-endian byte-addressable memory with demand-paged storage.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Page number → index into `arena`. Pages are never deallocated,
+    /// so arena indices stay valid for the life of the memory.
+    pages: HashMap<u32, u32, BuildHasherDefault<PageHasher>>,
+    arena: Vec<Page>,
     regions: Vec<(Addr, Addr)>, // [start, end) mapped ranges
+    /// `(page number + 1, arena index)` of the last page touched;
+    /// `(0, _)` means empty. The `+1` keeps page 0 distinguishable.
+    last_page: Cell<(u32, u32)>,
+    /// Bounds of the last region that satisfied a mapping check.
+    last_region: Cell<(Addr, Addr)>,
 }
 
 impl Memory {
@@ -37,13 +77,25 @@ impl Memory {
 
     /// Whether `[addr, addr + len)` lies inside one mapped region.
     #[must_use]
+    #[inline]
     pub fn is_mapped(&self, addr: Addr, len: u32) -> bool {
         let Some(end) = addr.checked_add(len) else {
             return false;
         };
-        self.regions.iter().any(|&(s, e)| addr >= s && end <= e)
+        let (s, e) = self.last_region.get();
+        if addr >= s && end <= e {
+            return true;
+        }
+        for &(s, e) in &self.regions {
+            if addr >= s && end <= e {
+                self.last_region.set((s, e));
+                return true;
+            }
+        }
+        false
     }
 
+    #[inline]
     fn check(&self, addr: Addr, len: u32) -> Result<(), ExecError> {
         if self.is_mapped(addr, len) {
             Ok(())
@@ -52,19 +104,49 @@ impl Memory {
         }
     }
 
+    /// The page holding `addr`, if it has ever been written.
+    #[inline]
+    fn page(&self, pn: u32) -> Option<&Page> {
+        let (tag, idx) = self.last_page.get();
+        if tag == pn + 1 {
+            return Some(&self.arena[idx as usize]);
+        }
+        let idx = *self.pages.get(&pn)?;
+        self.last_page.set((pn + 1, idx));
+        Some(&self.arena[idx as usize])
+    }
+
+    /// The page holding `addr`, allocated (zeroed) on first write.
+    #[inline]
+    fn page_mut(&mut self, pn: u32) -> &mut Page {
+        let (tag, idx) = self.last_page.get();
+        if tag == pn + 1 {
+            return &mut self.arena[idx as usize];
+        }
+        let idx = match self.pages.get(&pn) {
+            Some(&i) => i,
+            None => {
+                let i = self.arena.len() as u32;
+                self.arena.push(Box::new([0u8; PAGE_SIZE as usize]));
+                self.pages.insert(pn, i);
+                i
+            }
+        };
+        self.last_page.set((pn + 1, idx));
+        &mut self.arena[idx as usize]
+    }
+
+    #[inline]
     fn byte(&self, addr: Addr) -> u8 {
-        match self.pages.get(&(addr >> PAGE_BITS)) {
+        match self.page(addr >> PAGE_BITS) {
             Some(p) => p[(addr & (PAGE_SIZE - 1)) as usize],
             None => 0,
         }
     }
 
+    #[inline]
     fn byte_mut(&mut self, addr: Addr) -> &mut u8 {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-        &mut page[(addr & (PAGE_SIZE - 1)) as usize]
+        &mut self.page_mut(addr >> PAGE_BITS)[(addr & (PAGE_SIZE - 1)) as usize]
     }
 
     /// Loads a value of the given width, zero-extended to 32 bits.
@@ -72,13 +154,31 @@ impl Memory {
     /// # Errors
     ///
     /// [`ExecError::MemoryFault`] if any byte of the access is unmapped.
+    #[inline]
     pub fn load(&self, addr: Addr, width: Width) -> Result<u32, ExecError> {
-        self.check(addr, width.bytes())?;
-        let mut v = 0u32;
-        for i in 0..width.bytes() {
-            v |= u32::from(self.byte(addr + i)) << (8 * i);
+        let len = width.bytes();
+        self.check(addr, len)?;
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off + len as usize <= PAGE_SIZE as usize {
+            // Whole access inside one page: a single page probe instead
+            // of one per byte. This is the hot path of both machine
+            // models — every executed load lands here except the rare
+            // page-straddling access.
+            let Some(p) = self.page(addr >> PAGE_BITS) else {
+                return Ok(0); // demand-paged: untouched pages read zero
+            };
+            let mut v = 0u32;
+            for (i, b) in p[off..off + len as usize].iter().enumerate() {
+                v |= u32::from(*b) << (8 * i);
+            }
+            Ok(v)
+        } else {
+            let mut v = 0u32;
+            for i in 0..len {
+                v |= u32::from(self.byte(addr + i)) << (8 * i);
+            }
+            Ok(v)
         }
-        Ok(v)
     }
 
     /// Stores the low `width` bits of `value`.
@@ -86,10 +186,20 @@ impl Memory {
     /// # Errors
     ///
     /// [`ExecError::MemoryFault`] if any byte of the access is unmapped.
+    #[inline]
     pub fn store(&mut self, addr: Addr, value: u32, width: Width) -> Result<(), ExecError> {
-        self.check(addr, width.bytes())?;
-        for i in 0..width.bytes() {
-            *self.byte_mut(addr + i) = (value >> (8 * i)) as u8;
+        let len = width.bytes();
+        self.check(addr, len)?;
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off + len as usize <= PAGE_SIZE as usize {
+            let page = self.page_mut(addr >> PAGE_BITS);
+            for (i, b) in page[off..off + len as usize].iter_mut().enumerate() {
+                *b = (value >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..len {
+                *self.byte_mut(addr + i) = (value >> (8 * i)) as u8;
+            }
         }
         Ok(())
     }
@@ -99,8 +209,22 @@ impl Memory {
     /// # Errors
     ///
     /// See [`Memory::load`].
+    #[inline]
     pub fn load32(&self, addr: Addr) -> Result<u32, ExecError> {
-        self.load(addr, Width::B32)
+        self.check(addr, 4)?;
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            Ok(match self.page(addr >> PAGE_BITS) {
+                Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                None => 0,
+            })
+        } else {
+            let mut v = 0u32;
+            for i in 0..4 {
+                v |= u32::from(self.byte(addr + i)) << (8 * i);
+            }
+            Ok(v)
+        }
     }
 
     /// Stores a 32-bit word.
@@ -108,8 +232,19 @@ impl Memory {
     /// # Errors
     ///
     /// See [`Memory::store`].
+    #[inline]
     pub fn store32(&mut self, addr: Addr, value: u32) -> Result<(), ExecError> {
-        self.store(addr, value, Width::B32)
+        self.check(addr, 4)?;
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            let page = self.page_mut(addr >> PAGE_BITS);
+            page[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for i in 0..4 {
+                *self.byte_mut(addr + i) = (value >> (8 * i)) as u8;
+            }
+        }
+        Ok(())
     }
 
     /// Writes a byte slice starting at `addr`.
@@ -181,6 +316,37 @@ mod tests {
         assert!(m.load(0x100f, Width::B8).is_ok());
     }
 
+    /// The one-entry region cache must not satisfy a range the cached
+    /// region only partially covers.
+    #[test]
+    fn region_cache_respects_bounds() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x10);
+        m.map(0x2000, 0x10);
+        // Prime the cache with the first region, then check accesses
+        // against the second and outside both.
+        assert!(m.load32(0x1000).is_ok());
+        assert!(m.load32(0x2008).is_ok());
+        assert!(m.load32(0x100c).is_ok());
+        assert!(m.load32(0x100d).is_err());
+        assert!(m.load32(0x1800).is_err());
+    }
+
+    /// The one-entry page cache must follow writes across pages.
+    #[test]
+    fn page_cache_tracks_distinct_pages() {
+        let mut m = Memory::new();
+        m.map(0, 0x4000);
+        m.store32(0x0010, 0x1111_1111).unwrap();
+        m.store32(0x1010, 0x2222_2222).unwrap();
+        m.store32(0x2010, 0x3333_3333).unwrap();
+        assert_eq!(m.load32(0x0010).unwrap(), 0x1111_1111);
+        assert_eq!(m.load32(0x1010).unwrap(), 0x2222_2222);
+        assert_eq!(m.load32(0x2010).unwrap(), 0x3333_3333);
+        // Page 3 was never written: reads as zero without allocating.
+        assert_eq!(m.load32(0x3010).unwrap(), 0);
+    }
+
     #[test]
     fn cross_page_access() {
         let mut m = Memory::new();
@@ -203,5 +369,17 @@ mod tests {
         let mut m = Memory::new();
         m.map(0x5000, 0x100);
         assert_eq!(m.load32(0x5000).unwrap(), 0);
+    }
+
+    /// Clones share no state: the caches memoize per-instance.
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Memory::new();
+        a.map(0x1000, 0x100);
+        a.store32(0x1000, 7).unwrap();
+        let mut b = a.clone();
+        b.store32(0x1000, 9).unwrap();
+        assert_eq!(a.load32(0x1000).unwrap(), 7);
+        assert_eq!(b.load32(0x1000).unwrap(), 9);
     }
 }

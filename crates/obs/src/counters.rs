@@ -305,6 +305,13 @@ pub struct DispatchCounters {
     /// Chain/jump-cache invalidation epochs (trace formation or a
     /// member block degrading).
     pub invalidations: u64,
+    /// Blocks compiled to threaded code by this session (first-execute
+    /// lazy compiles; deterministic — one per distinct block executed).
+    pub compiled_blocks: u64,
+    /// Wall-clock nanoseconds spent compiling threaded code. Timing,
+    /// so determinism comparisons strip it (like
+    /// `histograms.translate_ns`).
+    pub compile_ns: u64,
 }
 
 impl DispatchCounters {
@@ -321,6 +328,8 @@ impl DispatchCounters {
         self.traces_formed += other.traces_formed;
         self.trace_execs += other.trace_execs;
         self.invalidations += other.invalidations;
+        self.compiled_blocks += other.compiled_blocks;
+        self.compile_ns += other.compile_ns;
     }
 }
 
@@ -343,6 +352,7 @@ pub struct ServerCounters {
     inserted: std::sync::atomic::AtomicU64,
     translate_calls: std::sync::atomic::AtomicU64,
     sessions: std::sync::atomic::AtomicU64,
+    compiled: std::sync::atomic::AtomicU64,
 }
 
 impl ServerCounters {
@@ -380,6 +390,14 @@ impl ServerCounters {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Records a block compiled to threaded code (first execute of a
+    /// block by any session sharing this state).
+    #[inline]
+    pub fn record_compiled(&self) {
+        self.compiled
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     #[must_use]
     pub fn snapshot(&self) -> ServerSnapshot {
@@ -392,6 +410,7 @@ impl ServerCounters {
             hits: probes.saturating_sub(inserted),
             translate_calls: self.translate_calls.load(Relaxed),
             sessions: self.sessions.load(Relaxed),
+            compiled_blocks: self.compiled.load(Relaxed),
         }
     }
 }
@@ -412,6 +431,9 @@ pub struct ServerSnapshot {
     pub translate_calls: u64,
     /// Sessions that attached to the shared state.
     pub sessions: u64,
+    /// Blocks compiled to threaded code across all sessions (0 under
+    /// the model backend).
+    pub compiled_blocks: u64,
 }
 
 impl ServerSnapshot {

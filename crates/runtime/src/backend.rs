@@ -1,0 +1,241 @@
+//! Pluggable host-execution backends.
+//!
+//! The dispatcher (chaining, jump cache, superblocks) is
+//! backend-agnostic: it resolves a [`CachedBlock`] and hands it to a
+//! [`HostBackend`] to run. Two backends exist:
+//!
+//! * [`ModelBackend`] — the original path through the x86 model's
+//!   `exec_block_traced_into`, re-matching each `Inst` on every
+//!   execution. Kept as the oracle: slow, obviously correct.
+//! * [`ThreadedBackend`] — compiles each block *once* (lazily, on its
+//!   first execute) into direct-threaded code
+//!   ([`pdbt_isa_x86::compile_block`]) and runs that. Same
+//!   architectural effects, retire counts and errors, minus the
+//!   per-instruction decode/dispatch overhead.
+//!
+//! The lazy-compile rule is **counter-neutral**: compilation happens
+//! at first *execute*, never at adopt/prewarm/warm-boot time, and
+//! touches only the `compiled_blocks`/`compile_ns` counters (plus the
+//! server-lifetime `compiled` rollup). `compiled_blocks` is therefore
+//! deterministic — one per distinct block this session executed —
+//! regardless of worker count, shared-cache warmth, or artifact boot;
+//! `compile_ns` is wall-clock and is stripped by determinism
+//! comparisons exactly like `histograms.translate_ns`.
+
+use crate::cache::CachedBlock;
+use pdbt_isa::ExecError;
+use pdbt_isa_x86::{
+    compile_block, exec_block_traced_into, exec_threaded_into, BlockExit, Cpu as HostCpu, ExecStats,
+};
+use pdbt_obs::{DispatchCounters, ServerCounters};
+
+/// Which host backend a session executes blocks with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The interpreting x86 model (the oracle).
+    Model,
+    /// Pre-compiled direct-threaded code (the default).
+    #[default]
+    Threaded,
+}
+
+impl BackendKind {
+    /// Stable machine-readable name (the `dispatch.backend` report
+    /// field and the `--backend` flag value).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Model => "model",
+            BackendKind::Threaded => "threaded",
+        }
+    }
+
+    /// Parses a `--backend` flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "model" => Some(BackendKind::Model),
+            "threaded" => Some(BackendKind::Threaded),
+            _ => None,
+        }
+    }
+}
+
+/// Counter sinks a backend may touch while executing: the session's
+/// dispatch counters (lazy-compile accounting) and the shared state's
+/// server-lifetime rollup.
+pub struct BackendObs<'a> {
+    /// Session dispatch counters (`compiled_blocks`, `compile_ns`).
+    pub dispatch: &'a mut DispatchCounters,
+    /// Server-lifetime counters of the shared state.
+    pub server: &'a ServerCounters,
+}
+
+/// A host block executor. Implementations must be bit-identical to the
+/// model: same architectural effects, same per-instruction retire
+/// counts (`counts` is cleared and resized to the block length), same
+/// errors — the whole determinism lockdown runs under either backend.
+pub trait HostBackend: Send + Sync + std::fmt::Debug {
+    /// Stable backend name.
+    fn name(&self) -> &'static str;
+
+    /// Executes `cached` (a plain block or a superblock) on `cpu`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the model executor's errors: any interpreter fault,
+    /// `Timeout` past `budget`, `BadPc` on a wild relative jump.
+    fn execute(
+        &self,
+        cached: &CachedBlock,
+        cpu: &mut HostCpu,
+        budget: u64,
+        counts: &mut Vec<u32>,
+        obs: &mut BackendObs<'_>,
+    ) -> Result<(BlockExit, ExecStats), ExecError>;
+}
+
+/// The oracle: the model interpreter, unchanged.
+#[derive(Debug)]
+pub struct ModelBackend;
+
+impl HostBackend for ModelBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Model.name()
+    }
+
+    fn execute(
+        &self,
+        cached: &CachedBlock,
+        cpu: &mut HostCpu,
+        budget: u64,
+        counts: &mut Vec<u32>,
+        _obs: &mut BackendObs<'_>,
+    ) -> Result<(BlockExit, ExecStats), ExecError> {
+        exec_block_traced_into(cpu, &cached.block.code, budget, counts)
+    }
+}
+
+/// Direct-threaded execution with first-execute lazy compilation into
+/// the block's [`CachedBlock::compiled`] slot.
+#[derive(Debug)]
+pub struct ThreadedBackend;
+
+impl HostBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Threaded.name()
+    }
+
+    fn execute(
+        &self,
+        cached: &CachedBlock,
+        cpu: &mut HostCpu,
+        budget: u64,
+        counts: &mut Vec<u32>,
+        obs: &mut BackendObs<'_>,
+    ) -> Result<(BlockExit, ExecStats), ExecError> {
+        let code = match cached.compiled.get() {
+            Some(code) => code,
+            None => {
+                let t0 = pdbt_obs::now_ns();
+                let code = cached
+                    .compiled
+                    .get_or_init(|| compile_block(&cached.block.code));
+                obs.dispatch.compiled_blocks += 1;
+                obs.dispatch.compile_ns += pdbt_obs::now_ns().saturating_sub(t0);
+                obs.server.record_compiled();
+                code
+            }
+        };
+        exec_threaded_into(cpu, code, budget, counts)
+    }
+}
+
+static MODEL: ModelBackend = ModelBackend;
+static THREADED: ThreadedBackend = ThreadedBackend;
+
+/// The backend singleton for a [`BackendKind`] (backends are
+/// stateless; all per-block state lives in the cache slots).
+#[must_use]
+pub fn backend_for(kind: BackendKind) -> &'static dyn HostBackend {
+    match kind {
+        BackendKind::Model => &MODEL,
+        BackendKind::Threaded => &THREADED,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{BlockSuccs, TranslatedBlock};
+    use pdbt_isa_x86::builders::*;
+    use pdbt_isa_x86::{Operand, Reg};
+    use std::sync::Arc;
+
+    fn cached(code: Vec<pdbt_isa_x86::Inst>) -> CachedBlock {
+        CachedBlock::new(
+            Arc::new(TranslatedBlock {
+                start: 0x1000,
+                classes: Vec::new(),
+                guest_len: 1,
+                rule_covered: 0,
+                attributions: Vec::new(),
+                lookup_misses: Vec::new(),
+                deleg: None,
+                succ: BlockSuccs::None,
+                member_marks: Vec::new(),
+                code,
+            }),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn backends_agree_and_compile_counts_once() {
+        let block = cached(vec![
+            mov(Reg::Eax.into(), Operand::Imm(6)),
+            imul(Reg::Eax.into(), Operand::Imm(7)),
+            out(),
+            hlt(),
+        ]);
+        let server = ServerCounters::new();
+        let mut dispatch = DispatchCounters::new();
+        let mut counts_m = Vec::new();
+        let mut counts_t = Vec::new();
+        let mut cpu_m = HostCpu::new();
+        let mut cpu_t = HostCpu::new();
+        let mut obs = BackendObs {
+            dispatch: &mut dispatch,
+            server: &server,
+        };
+        let m = ModelBackend
+            .execute(&block, &mut cpu_m, 100, &mut counts_m, &mut obs)
+            .unwrap();
+        let t = ThreadedBackend
+            .execute(&block, &mut cpu_t, 100, &mut counts_t, &mut obs)
+            .unwrap();
+        assert_eq!(m, t);
+        assert_eq!(counts_m, counts_t);
+        assert_eq!(cpu_m.output, cpu_t.output);
+        assert_eq!(cpu_m.regs, cpu_t.regs);
+        // Second execute reuses the compiled slot: one compile total.
+        ThreadedBackend
+            .execute(&block, &mut cpu_t, 100, &mut counts_t, &mut obs)
+            .unwrap();
+        assert_eq!(obs.dispatch.compiled_blocks, 1);
+        assert_eq!(server.snapshot().compiled_blocks, 1);
+        // The model backend never compiles.
+        assert_eq!(ModelBackend.name(), "model");
+        assert_eq!(ThreadedBackend.name(), "threaded");
+    }
+
+    #[test]
+    fn kind_parses_and_names_round_trip() {
+        for kind in [BackendKind::Model, BackendKind::Threaded] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(backend_for(kind).name(), kind.name());
+        }
+        assert_eq!(BackendKind::parse("jit"), None);
+        assert_eq!(BackendKind::default(), BackendKind::Threaded);
+    }
+}

@@ -20,10 +20,11 @@
 
 use crate::translate::TranslatedBlock;
 use pdbt_isa::Addr;
+use pdbt_isa_x86::ThreadedCode;
 use pdbt_obs::RuleId;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU32;
-use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, Weak};
 
 /// One shard: a locked address → translation map.
 type Shard = RwLock<HashMap<Addr, Arc<TranslatedBlock>>>;
@@ -79,6 +80,12 @@ pub struct CachedBlock {
     pub taken_count: AtomicU32,
     /// Times the fall-through edge was followed.
     pub fall_count: AtomicU32,
+    /// Threaded code, compiled lazily on the block's *first execute*
+    /// (never at adopt/prewarm time, so the `compiled_blocks` counter
+    /// stays deterministic across worker counts and warm boots — see
+    /// the counter-neutral rule in DESIGN §16). Empty forever under
+    /// the model backend.
+    pub compiled: OnceLock<ThreadedCode>,
 }
 
 impl CachedBlock {
@@ -92,6 +99,7 @@ impl CachedBlock {
             hotness: AtomicU32::new(0),
             taken_count: AtomicU32::new(0),
             fall_count: AtomicU32::new(0),
+            compiled: OnceLock::new(),
         }
     }
 }

@@ -6,6 +6,7 @@
 //! attributed to their [`CodeClass`], which is the measurement behind
 //! Table II, Fig 13 and the instruction-count performance proxy.
 
+use crate::backend::{backend_for, BackendKind, BackendObs};
 use crate::cache::{CachedBlock, ShardedCache};
 use crate::shared::SharedTranslationState;
 use crate::translate::{
@@ -16,7 +17,7 @@ use pdbt_core::RuleSet;
 use pdbt_ir::env;
 use pdbt_isa::{Addr, Cond, Control, ExecError, Flag};
 use pdbt_isa_arm::{step, Cpu as GuestCpu, FReg, Operand, Program, Reg as GReg, INST_SIZE};
-use pdbt_isa_x86::{exec_block_traced_into, BlockExit, Cpu as HostCpu, Reg as HReg};
+use pdbt_isa_x86::{BlockExit, Cpu as HostCpu, Reg as HReg};
 use pdbt_obs::json::Json;
 use pdbt_obs::{
     ArtifactSnapshot, DispatchCounters, Histogram, PhaseNs, PoolCounters, RequestSummary,
@@ -60,6 +61,10 @@ pub struct EngineConfig {
     /// lifecycle (queue wait, reply write) itself and must not record
     /// each request twice.
     pub record_telemetry: bool,
+    /// Host block executor (`--backend {model,threaded}`). Both produce
+    /// bit-identical stripped reports; `threaded` runs pre-compiled
+    /// threaded code instead of re-interpreting each `Inst`.
+    pub backend: BackendKind,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +77,13 @@ impl Default for EngineConfig {
             traces: true,
             trace_threshold: 50,
             record_telemetry: true,
+            // `PDBT_BACKEND` overrides the default so CI can run the
+            // whole suite under the model oracle without plumbing a
+            // flag through every test.
+            backend: std::env::var("PDBT_BACKEND")
+                .ok()
+                .and_then(|s| BackendKind::parse(&s))
+                .unwrap_or_default(),
         }
     }
 }
@@ -383,6 +395,10 @@ pub struct Report {
     /// superblock library was hit. All-zero for a cold state. Reported
     /// inside the `server` JSON section (stripped with it).
     pub artifact: ArtifactSnapshot,
+    /// Name of the host backend that executed the run (`"model"` or
+    /// `"threaded"`; empty on a default-constructed report). Reported
+    /// as `dispatch.backend`.
+    pub backend: &'static str,
 }
 
 impl Report {
@@ -496,6 +512,14 @@ impl Report {
             (
                 "dispatch",
                 Json::obj([
+                    ("backend", Json::str(self.backend)),
+                    (
+                        "compiled_blocks",
+                        Json::from(self.obs.dispatch.compiled_blocks),
+                    ),
+                    // Wall-clock; determinism comparisons strip this
+                    // field (like `histograms.translate_ns`).
+                    ("compile_ns", Json::from(self.obs.dispatch.compile_ns)),
                     (
                         "jump_cache_hits",
                         Json::from(self.obs.dispatch.jump_cache_hits),
@@ -525,6 +549,7 @@ impl Report {
                     ("hits", Json::from(self.server.hits)),
                     ("translate_calls", Json::from(self.server.translate_calls)),
                     ("sessions", Json::from(self.server.sessions)),
+                    ("compiled_blocks", Json::from(self.server.compiled_blocks)),
                     ("hit_rate", Json::from(self.server.hit_rate())),
                     (
                         "artifact",
@@ -560,6 +585,7 @@ impl Report {
                             ("probes", Json::from(self.server.probes)),
                             ("inserted", Json::from(self.server.inserted)),
                             ("hits", Json::from(self.server.hits)),
+                            ("compiled_blocks", Json::from(self.server.compiled_blocks)),
                             ("hit_rate", Json::from(self.server.hit_rate())),
                             (
                                 "latency",
@@ -675,6 +701,33 @@ fn discover_block_starts(prog: &Program, max_block: usize) -> Vec<Addr> {
     seen.into_iter()
         .filter(|pc| prog.fetch(*pc).is_ok())
         .collect()
+}
+
+/// Host-instruction budget for a single block execution, derived from
+/// the remaining *guest* budget: a block is allowed a generous host
+/// ratio over the guest instructions it may still retire, plus slack —
+/// so a tight `max_guest` cannot be overshot by a runaway host block
+/// spinning toward a flat 1M-instruction ceiling (the old hardcoded
+/// budget, kept as the upper clamp so effectively unlimited guest
+/// budgets behave exactly as before). Deterministic: derived from
+/// counters only, never the clock.
+fn host_block_budget(max_guest: u64, retired: u64, guest_len: u32, code_len: usize) -> u64 {
+    /// Host instructions allowed per remaining guest instruction — far
+    /// above any legitimate translation's ratio (Table II measures
+    /// single digits), so only runaway blocks hit it.
+    const RATIO: u64 = 64;
+    /// Flat slack so a tiny remainder still runs one full normal block.
+    const SLACK: u64 = 256;
+    /// The historical flat per-block budget, now the upper clamp.
+    const CEILING: u64 = 1_000_000;
+    let remaining = max_guest
+        .saturating_sub(retired)
+        .max(u64::from(guest_len.max(1)));
+    remaining
+        .saturating_mul(RATIO)
+        .saturating_add(SLACK)
+        .max(code_len as u64 + 1)
+        .min(CEILING)
 }
 
 /// Direct-mapped jump cache size (power of two). At ~16 bytes a slot
@@ -1274,6 +1327,11 @@ impl Engine {
         // dispatch executes many blocks per dispatcher entry, so the
         // allocation is hoisted out of the hot loop entirely.
         let mut counts: Vec<u32> = Vec::new();
+        // The host executor, resolved once; the shared handle is
+        // cloned out so the backend's counter sinks don't alias the
+        // `&mut self` borrows inside the segment loop.
+        let backend = backend_for(self.cfg.backend);
+        let shared = Arc::clone(&self.shared);
         let outcome = loop {
             if self.metrics.guest_retired >= setup.max_guest {
                 break Outcome::Budget;
@@ -1317,7 +1375,17 @@ impl Engine {
                 let block = &cur.block;
                 let exec = {
                     let _exec_span = pdbt_obs::span("exec_block");
-                    exec_block_traced_into(&mut host, &block.code, 1_000_000, &mut counts)
+                    let budget = host_block_budget(
+                        setup.max_guest,
+                        self.metrics.guest_retired + seg_guest,
+                        block.guest_len,
+                        block.code.len(),
+                    );
+                    let mut obs = BackendObs {
+                        dispatch: &mut self.obs.dispatch,
+                        server: shared.server(),
+                    };
+                    backend.execute(&cur, &mut host, budget, &mut counts, &mut obs)
                 };
                 let (exit, stats) = match exec {
                     Ok(res) => res,
@@ -1458,6 +1526,7 @@ impl Engine {
             server: self.shared.server().snapshot(),
             telemetry: self.shared.telemetry().snapshot(),
             artifact: self.shared.artifact().snapshot(),
+            backend: self.cfg.backend.name(),
         })
     }
 
@@ -1729,6 +1798,87 @@ mod tests {
         );
         let json = report.to_json().to_string();
         assert!(json.contains("\"outcome\":\"budget\""), "{json}");
+    }
+
+    /// Satellite regression: the per-block host budget is derived from
+    /// the *remaining* guest budget, not a flat million. A host block
+    /// that spins forever must time out after the derived allowance —
+    /// under either backend — instead of burning 1M host instructions.
+    #[test]
+    fn host_block_budget_derives_from_remaining_guest_budget() {
+        use pdbt_isa_x86::builders as hx;
+        let prog = Program::new(0x1000, vec![g::svc(0)]);
+        let mut s = setup();
+        s.max_guest = 10;
+        // remaining 10 × ratio 64 + slack 256 = 896.
+        let expect = host_block_budget(s.max_guest, 0, 1, 1);
+        assert_eq!(expect, 896);
+        assert_eq!(
+            host_block_budget(50_000_000, 0, 1, 1),
+            1_000_000,
+            "default budgets still clamp at the old ceiling"
+        );
+        assert_eq!(
+            host_block_budget(10, 10, 4, 900),
+            901,
+            "exhausted budget still admits one pass over the block"
+        );
+        for backend in [BackendKind::Model, BackendKind::Threaded] {
+            let cfg = EngineConfig {
+                backend,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(None, cfg);
+            // A host block that never exits: `jmp .-0` re-executes
+            // itself forever without retiring guest work.
+            let spin = TranslatedBlock {
+                start: prog.base(),
+                code: vec![hx::jmp_rel(-1)],
+                classes: vec![CodeClass::QemuCore],
+                guest_len: 1,
+                rule_covered: 0,
+                attributions: Vec::new(),
+                lookup_misses: Vec::new(),
+                deleg: None,
+                succ: BlockSuccs::None,
+                member_marks: Vec::new(),
+            };
+            engine.adopt(prog.base(), Arc::new(spin));
+            let report = engine.run(&prog, &s).expect("partial report");
+            assert_eq!(
+                report.outcome,
+                Outcome::Exec(ExecError::Timeout { budget: expect }),
+                "backend {}",
+                backend.name()
+            );
+        }
+    }
+
+    /// Tentpole smoke: model and threaded backends agree on a full run
+    /// — same output, metrics, and compiled-block accounting rules.
+    #[test]
+    fn backends_produce_identical_runs() {
+        let prog = countdown_program();
+        let run = |backend: BackendKind| {
+            let cfg = EngineConfig {
+                backend,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(None, cfg);
+            engine.run(&prog, &setup()).expect("runs")
+        };
+        let model = run(BackendKind::Model);
+        let threaded = run(BackendKind::Threaded);
+        assert_eq!(model.output, threaded.output);
+        assert_eq!(model.metrics, threaded.metrics);
+        assert_eq!(model.outcome, threaded.outcome);
+        assert_eq!(model.backend, "model");
+        assert_eq!(threaded.backend, "threaded");
+        assert_eq!(model.obs.dispatch.compiled_blocks, 0);
+        assert_eq!(
+            threaded.obs.dispatch.compiled_blocks, threaded.metrics.blocks_translated,
+            "every distinct executed block compiled exactly once"
+        );
     }
 }
 

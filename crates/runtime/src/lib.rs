@@ -30,11 +30,15 @@
 //! assert_eq!(report.output, vec![42]);
 //! ```
 
+mod backend;
 mod cache;
 mod engine;
 mod shared;
 mod translate;
 
+pub use backend::{
+    backend_for, BackendKind, BackendObs, HostBackend, ModelBackend, ThreadedBackend,
+};
 pub use cache::{CachedBlock, ChainLinks, LinkSlot, ShardedCache};
 pub use engine::{
     Engine, EngineConfig, EngineError, Metrics, Outcome, Report, Resilience, RunObs, RunSetup,

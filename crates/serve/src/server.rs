@@ -49,7 +49,7 @@ use pdbt_core::RuleSet;
 use pdbt_obs::json::Json;
 use pdbt_obs::{LatencyHists, PhaseNs, RequestSummary};
 use pdbt_par::TaskQueue;
-use pdbt_runtime::{Engine, EngineConfig, RunSetup, SharedTranslationState};
+use pdbt_runtime::{BackendKind, Engine, EngineConfig, RunSetup, SharedTranslationState};
 use pdbt_workloads::{build, Benchmark, Scale, Workload};
 use std::collections::HashMap;
 use std::io;
@@ -88,6 +88,9 @@ pub struct ServeConfig {
     /// damaged header, fingerprint mismatch — are counted and skipped;
     /// the image boots cold on first sight instead. Never fatal.
     pub artifact_dir: Option<PathBuf>,
+    /// Host block executor every session runs with (`--backend`).
+    /// Defaults to the engine default (threaded, or `PDBT_BACKEND`).
+    pub backend: BackendKind,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +102,7 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             flight_path: None,
             artifact_dir: None,
+            backend: EngineConfig::default().backend,
         }
     }
 }
@@ -133,6 +137,8 @@ struct ServerCtx {
     default_deadline_ms: Option<u64>,
     /// Worker count, used to size each partition's telemetry slots.
     jobs: usize,
+    /// Host block executor for every session.
+    backend: BackendKind,
     /// Human-readable label per partition fingerprint (`mcf/tiny`,
     /// `inline`), recorded on first sight for the STATS payload.
     labels: Mutex<HashMap<u64, String>>,
@@ -234,6 +240,7 @@ impl Server {
                 cache_shards: cfg.cache_shards,
                 default_deadline_ms: cfg.default_deadline_ms,
                 jobs,
+                backend: cfg.backend,
                 labels: Mutex::new(labels),
                 started: Instant::now(),
                 stats_seq: AtomicU64::new(0),
@@ -413,6 +420,7 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
 
     let (mut probes, mut inserted, mut hits) = (0u64, 0u64, 0u64);
     let (mut translate_calls, mut sessions, mut trace_hits) = (0u64, 0u64, 0u64);
+    let mut compiled_blocks = 0u64;
     let mut global = LatencyHists::default();
     let mut flight: Vec<RequestSummary> = Vec::new();
     let mut partitions = Vec::with_capacity(states.len());
@@ -426,6 +434,7 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
         translate_calls += snap.translate_calls;
         sessions += snap.sessions;
         trace_hits += art.trace_hits;
+        compiled_blocks += snap.compiled_blocks;
         global.merge(&tele.latency);
         flight.extend(tele.flight);
         partitions.push(Json::obj([
@@ -442,6 +451,7 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
             ("probes", Json::from(snap.probes)),
             ("inserted", Json::from(snap.inserted)),
             ("hits", Json::from(snap.hits)),
+            ("compiled_blocks", Json::from(snap.compiled_blocks)),
             ("hit_rate", Json::from(snap.hit_rate())),
             (
                 "latency",
@@ -472,6 +482,7 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
             Json::from(ctx.started.elapsed().as_nanos() as u64),
         ),
         ("jobs", Json::from(ctx.jobs)),
+        ("backend", Json::str(ctx.backend.name())),
         ("outstanding", Json::from(queue.outstanding())),
         (
             "sessions",
@@ -503,6 +514,7 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
                 ("hits", Json::from(hits)),
                 ("translate_calls", Json::from(translate_calls)),
                 ("sessions", Json::from(sessions)),
+                ("compiled_blocks", Json::from(compiled_blocks)),
                 ("hit_rate", Json::from(hit_rate)),
             ]),
         ),
@@ -779,6 +791,7 @@ fn run_request(ctx: &ServerCtx, req: &Json) -> Result<(Json, RequestTelemetry), 
     let mut cfg = EngineConfig {
         jobs: 1,
         record_telemetry: false,
+        backend: ctx.backend,
         ..EngineConfig::default()
     };
     cfg.translate.flag_delegation = !req

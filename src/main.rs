@@ -5,10 +5,10 @@
 //! pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N]
 //!             [--faults SPEC] -o rules.txt
 //! pdbt run    prog.s [--rules rules.txt] [--no-delegation] [--stats] [--jobs N]
-//!             [--no-chain] [--no-trace] [--trace-threshold N]
+//!             [--no-chain] [--no-trace] [--trace-threshold N] [--backend model|threaded]
 //!             [--faults SPEC] [--report-json FILE] [--trace-out FILE]
 //! pdbt stats  prog.s [--rules rules.txt] [--no-delegation] [--jobs N]
-//!             [--no-chain] [--no-trace] [--trace-threshold N]
+//!             [--no-chain] [--no-trace] [--trace-threshold N] [--backend model|threaded]
 //!             [--faults SPEC] [--report-json FILE] [--trace-out FILE]
 //! pdbt trace  prog.s [--rules rules.txt] [--addr HEX]
 //! pdbt bench  [--scale tiny|full] [BENCH]
@@ -38,6 +38,12 @@
 //! are identical to `--jobs 1` (see `tests/determinism.rs`). `--jobs 0`
 //! uses the hardware parallelism.
 //!
+//! `--backend model|threaded` picks the host block executor (default
+//! `threaded`, overridable via the `PDBT_BACKEND` env var): `threaded`
+//! compiles each block once into direct-threaded code; `model` is the
+//! original re-interpreting oracle. Stripped reports are bit-identical
+//! between the two (see `tests/backend.rs`).
+//!
 //! `run --stats` prints the metrics table to stderr; `stats` prints the
 //! full observability report (metrics, per-rule attribution, timing
 //! histograms) to stdout. `--report-json` writes the machine-readable
@@ -63,7 +69,9 @@ use pdbt::core::learning::LearnConfig;
 use pdbt::core::{load_rules_salvage, save_rules, RuleSet};
 use pdbt::obs::json::Json;
 use pdbt::obs::trace::export_chrome_trace;
-use pdbt::runtime::{translate_block, CodeClass, Engine, EngineConfig, RunSetup, TranslateConfig};
+use pdbt::runtime::{
+    translate_block, BackendKind, CodeClass, Engine, EngineConfig, RunSetup, TranslateConfig,
+};
 use pdbt::runtime::{Outcome, Report, Resilience};
 use pdbt::workloads::{run_dbt, run_reference, train_excluding, Benchmark, Scale};
 use pdbt_symexec::CheckOptions;
@@ -75,12 +83,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          pdbt train  [--scale tiny|full] [--exclude BENCH] [--no-param] [--jobs N] [--faults SPEC] -o FILE\n  \
-         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
-         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt run    PROG.s [--rules FILE] [--no-delegation] [--stats] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--backend model|threaded] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
+         pdbt stats  PROG.s [--rules FILE] [--no-delegation] [--jobs N] [--no-chain] [--no-trace] [--trace-threshold N] [--backend model|threaded] [--faults SPEC] [--report-json FILE] [--trace-out FILE]\n  \
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
          pdbt bench  [--scale tiny|full] [BENCH]\n  \
-         pdbt compile WORKLOAD|PROG.s [--scale tiny|full] [--rules FILE | --baseline] [--no-param] [--jobs N] [--label NAME] -o FILE.pdba\n  \
-         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--deadline-ms N] [--flight-out FILE] [--artifact-dir DIR]\n  \
+         pdbt compile WORKLOAD|PROG.s [--scale tiny|full] [--rules FILE | --baseline] [--no-param] [--jobs N] [--backend model|threaded] [--label NAME] -o FILE.pdba\n  \
+         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--backend model|threaded] [--deadline-ms N] [--flight-out FILE] [--artifact-dir DIR]\n  \
          pdbt submit [PROG.s] [--addr HOST:PORT] [--workload BENCH --scale tiny|full] [--max-guest N] [--deadline-ms N] [--faults SPEC] [--no-delegation] [--timeout-s N] [--report-json FILE] [--ping] [--shutdown] [--stats]\n  \
          pdbt loadgen [--addr HOST:PORT] [--sessions N] [--requests N] [--hot N] [--tail N] [--seed N] [--poll-ms N] [--timeout-s N] [--out FILE]"
     );
@@ -144,6 +152,17 @@ fn jobs_of(args: &Args) -> Result<usize, String> {
         None => Ok(1),
         Some("0") => Ok(pdbt_par::Pool::auto().jobs()),
         Some(n) => n.parse::<usize>().map_err(|e| format!("bad --jobs: {e}")),
+    }
+}
+
+/// The `--backend model|threaded` host executor; `None` keeps the
+/// engine default (threaded, or the `PDBT_BACKEND` env override).
+fn backend_of(args: &Args) -> Result<Option<BackendKind>, String> {
+    match args.value("backend") {
+        None => Ok(None),
+        Some(s) => BackendKind::parse(s)
+            .map(Some)
+            .ok_or_else(|| format!("bad --backend: {s} (expected model or threaded)")),
     }
 }
 
@@ -328,10 +347,13 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
         }
     };
 
-    let cfg = EngineConfig {
+    let mut cfg = EngineConfig {
         jobs,
         ..EngineConfig::default()
     };
+    if let Some(b) = backend_of(args)? {
+        cfg.backend = b;
+    }
     let artifact = pdbt::artifact::compile(&prog, rules.as_ref(), &setup, cfg, label)?;
     let bytes = pdbt::artifact::seal(&artifact);
     std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
@@ -371,6 +393,9 @@ fn execute(args: &Args, verb: &str) -> Result<Report, String> {
         cfg.trace_threshold = n
             .parse::<u32>()
             .map_err(|e| format!("bad --trace-threshold: {e}"))?;
+    }
+    if let Some(b) = backend_of(args)? {
+        cfg.backend = b;
     }
     let mut engine = Engine::new(rules, cfg);
     engine.resilience_mut().quarantined_rules = quarantined_rules;
@@ -458,7 +483,11 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         report.obs.deleg_depth
     );
     let d = &report.obs.dispatch;
-    println!("\ndispatch");
+    println!("\ndispatch (backend: {})", report.backend);
+    println!(
+        "  threaded compile  {:>12} blocks, {} ns",
+        d.compiled_blocks, d.compile_ns
+    );
     println!(
         "  jump cache        {:>12} hits, {} misses",
         d.jump_cache_hits, d.jump_cache_misses
@@ -585,6 +614,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if args.has("jobs") {
         cfg.jobs = jobs_of(args)?;
     }
+    if let Some(b) = backend_of(args)? {
+        cfg.backend = b;
+    }
     cfg.default_deadline_ms = parse_u64_flag(args, "deadline-ms")?;
     cfg.flight_path = Some(args.value("flight-out").unwrap_or("flight.json").into());
     cfg.artifact_dir = args.value("artifact-dir").map(Into::into);
@@ -708,11 +740,12 @@ fn print_stats(snap: &Json) {
     );
     let srv = snap.get("server");
     println!(
-        "cache     probes {}  inserted {}  hits {}  hit rate {:.1}%",
+        "cache     probes {}  inserted {}  hits {}  hit rate {:.1}%  compiled {}",
         u(srv.and_then(|s| s.get("probes"))),
         u(srv.and_then(|s| s.get("inserted"))),
         u(srv.and_then(|s| s.get("hits"))),
         100.0 * f(srv.and_then(|s| s.get("hit_rate"))),
+        u(srv.and_then(|s| s.get("compiled_blocks"))),
     );
     let lat = snap.get("latency").and_then(|l| l.get("request_ns"));
     println!(
@@ -828,6 +861,7 @@ fn main() -> ExitCode {
             "report-json",
             "trace-out",
             "trace-threshold",
+            "backend",
             "workload",
             "max-guest",
             "deadline-ms",

@@ -67,6 +67,9 @@ fn comparable_json(report: &Report) -> String {
         if let Some(Json::Obj(hists)) = top.get_mut("histograms") {
             hists.remove("translate_ns");
         }
+        if let Some(Json::Obj(dispatch)) = top.get_mut("dispatch") {
+            dispatch.remove("compile_ns");
+        }
     }
     doc.to_string()
 }

@@ -194,6 +194,9 @@ fn strip_jobs_dependent(report: &Report) -> String {
             metrics.remove("blocks_translated");
             metrics.remove("host_generated");
         }
+        if let Some(Json::Obj(dispatch)) = top.get_mut("dispatch") {
+            dispatch.remove("compile_ns");
+        }
     }
     doc.to_string()
 }

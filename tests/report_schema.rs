@@ -115,6 +115,13 @@ fn report_json_schema_matches_golden() {
         // The dispatch hot-path counters: dashboards distinguish a run
         // where chaining/traces never engaged from one where the flags
         // were off by these being present-and-zero vs. absent.
+        // The host-backend identity and its compile counters: consumers
+        // tell a threaded-code run from a model-interpreter run (and
+        // how much one-off compile time it paid) without re-deriving it
+        // from flags.
+        "dispatch.backend",
+        "dispatch.compiled_blocks",
+        "dispatch.compile_ns",
         "dispatch.jump_cache_hits",
         "dispatch.jump_cache_misses",
         "dispatch.chain_followed",
@@ -132,6 +139,8 @@ fn report_json_schema_matches_golden() {
         "server.translate_calls",
         "server.sessions",
         "server.hit_rate",
+        "server.compiled_blocks",
+        "server.partitions[].compiled_blocks",
         // The serving-plane telemetry: request-lifecycle latency
         // histograms with interpolated quantiles, the per-partition
         // SLO rollup, and the flight-recorder tail. A standalone run
