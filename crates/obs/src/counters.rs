@@ -537,6 +537,109 @@ impl ArtifactSnapshot {
     }
 }
 
+/// Replication-plane counters of one serving daemon: what the fleet
+/// protocol (`ART_LIST`/`ART_PULL`/`ART_PUSH`) moved in and out, and
+/// what the drain write-back persisted. Server-global (not per
+/// partition) and updated concurrently by the accept loop and the
+/// replication tick, so everything is atomic. Surfaced as the `fleet`
+/// section of the PING/STATS payloads.
+#[derive(Debug, Default)]
+pub struct FleetCounters {
+    /// Artifacts fetched from peers (boot pull or refresh tick),
+    /// whether or not they were subsequently adopted.
+    pulled: std::sync::atomic::AtomicU64,
+    /// Artifacts served out to peers (answering their `ART_PULL`).
+    pushed: std::sync::atomic::AtomicU64,
+    /// Incoming artifacts that replaced (or created) a partition.
+    adopted: std::sync::atomic::AtomicU64,
+    /// Incoming artifacts refused: validation failure, fingerprint
+    /// mismatch, or a stale generation.
+    rejected: std::sync::atomic::AtomicU64,
+    /// Partitions re-sealed to the artifact dir on drain.
+    written_back: std::sync::atomic::AtomicU64,
+    /// Total artifact payload bytes moved (in + out + written back).
+    bytes: std::sync::atomic::AtomicU64,
+}
+
+impl FleetCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an artifact fetched from a peer.
+    #[inline]
+    pub fn record_pulled(&self) {
+        self.pulled
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records an artifact served out to a peer.
+    #[inline]
+    pub fn record_pushed(&self) {
+        self.pushed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records an incoming artifact adopted into a partition.
+    #[inline]
+    pub fn record_adopted(&self) {
+        self.adopted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records an incoming artifact refused.
+    #[inline]
+    pub fn record_rejected(&self) {
+        self.rejected
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records a partition written back to the artifact dir on drain.
+    #[inline]
+    pub fn record_written_back(&self) {
+        self.written_back
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records artifact payload bytes moved.
+    #[inline]
+    pub fn record_bytes(&self, n: u64) {
+        self.bytes
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        FleetSnapshot {
+            pulled: self.pulled.load(Relaxed),
+            pushed: self.pushed.load(Relaxed),
+            adopted: self.adopted.load(Relaxed),
+            rejected: self.rejected.load(Relaxed),
+            written_back: self.written_back.load(Relaxed),
+            bytes: self.bytes.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FleetCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Artifacts fetched from peers.
+    pub pulled: u64,
+    /// Artifacts served out to peers.
+    pub pushed: u64,
+    /// Incoming artifacts adopted into partitions.
+    pub adopted: u64,
+    /// Incoming artifacts refused.
+    pub rejected: u64,
+    /// Partitions written back on drain.
+    pub written_back: u64,
+    /// Artifact payload bytes moved.
+    pub bytes: u64,
+}
+
 impl fmt::Display for RuleCounters {
     /// Human-readable table, heaviest coverage first.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -24,8 +24,8 @@ pub mod telemetry;
 pub mod trace;
 
 pub use counters::{
-    ArtifactCounters, ArtifactSnapshot, DispatchCounters, PoolCounters, RuleCounters, RuleId,
-    RuleRow, ServerCounters, ServerSnapshot, ShardCounters,
+    ArtifactCounters, ArtifactSnapshot, DispatchCounters, FleetCounters, FleetSnapshot,
+    PoolCounters, RuleCounters, RuleId, RuleRow, ServerCounters, ServerSnapshot, ShardCounters,
 };
 pub use hist::Histogram;
 pub use telemetry::{

@@ -164,6 +164,14 @@ impl SharedTranslationState {
         self.traces.len()
     }
 
+    /// A clone of every library superblock, for re-sealing this state
+    /// into an artifact (drain write-back). Order is unspecified; the
+    /// canonical artifact writer sorts.
+    #[must_use]
+    pub fn library_traces(&self) -> Vec<TranslatedBlock> {
+        self.traces.values().map(|t| (**t).clone()).collect()
+    }
+
     /// The artifact counters.
     #[must_use]
     pub fn artifact(&self) -> &ArtifactCounters {

@@ -1,0 +1,197 @@
+//! The replication-plane client: the peer-facing side of the
+//! `ART_LIST` / `ART_PULL` / `ART_PUSH` frames. A daemon started with
+//! `--peer` uses these to pull artifacts at boot and on its refresh
+//! tick; `pdbt sync` uses them to mirror a daemon's artifacts to disk;
+//! tests use [`push_artifact`] to drive the wire trust boundary.
+//!
+//! Artifact transfers are the one multi-frame exchange in the
+//! protocol: a JSON header frame declares `bytes`, `chunks`, and a
+//! whole-artifact `crc32`, then exactly `chunks` raw
+//! [`op::ART_DATA`](crate::proto::op::ART_DATA) frames follow on the
+//! same connection. The receiver verifies the declared length and CRC
+//! before anything else looks at the bytes.
+
+use crate::client::ClientError;
+use crate::proto::{self, op};
+use pdbt_fleet::{chunk_count, ArtifactAd, CHUNK, MAX_ARTIFACT};
+use pdbt_obs::json::Json;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A sealed artifact fetched from a peer, CRC-verified but not yet
+/// validated against the trust boundary (see `pdbt_fleet::validate`).
+#[derive(Debug, Clone)]
+pub struct PulledArtifact {
+    /// The fingerprint the peer served it under.
+    pub fingerprint: u64,
+    /// The peer's generation for it.
+    pub generation: u64,
+    /// The peer's partition label.
+    pub label: String,
+    /// The sealed PDBA bytes.
+    pub bytes: Vec<u8>,
+}
+
+fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> Result<TcpStream, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    Ok(stream)
+}
+
+/// Reads a frame that must be a JSON `RESULT`; unwraps `ERROR` frames
+/// into [`ClientError::Remote`].
+fn read_result(stream: &mut TcpStream) -> Result<Json, ClientError> {
+    let frame = proto::read_frame(stream)?;
+    let text = frame
+        .payload_str()
+        .map_err(|_| ClientError::Protocol("response payload is not UTF-8".into()))?;
+    let json = Json::parse(text)
+        .map_err(|e| ClientError::Protocol(format!("response payload is not JSON: {e}")))?;
+    if frame.opcode == op::ERROR {
+        let msg = json
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error");
+        return Err(ClientError::Remote(msg.to_string()));
+    }
+    if frame.opcode != op::RESULT {
+        return Err(ClientError::Protocol(format!(
+            "unexpected response opcode {:#04x}",
+            frame.opcode
+        )));
+    }
+    Ok(json)
+}
+
+/// Asks a peer for its artifact advertisements: one entry per sealed
+/// partition with the fingerprint, version (generation + section
+/// CRCs), block/trace counts, and sealed size.
+///
+/// # Errors
+///
+/// See [`ClientError`].
+pub fn list_artifacts(
+    addr: impl ToSocketAddrs,
+    timeout: Duration,
+) -> Result<Vec<ArtifactAd>, ClientError> {
+    let mut stream = connect(addr, timeout)?;
+    proto::write_frame(&mut stream, op::ART_LIST, b"")?;
+    let json = read_result(&mut stream)?;
+    json.get("artifacts")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Protocol("ART_LIST reply lacks `artifacts`".into()))?
+        .iter()
+        .map(|ad| ArtifactAd::from_json(ad).map_err(ClientError::Protocol))
+        .collect()
+}
+
+/// Streams one sealed artifact down from a peer, reassembles the
+/// chunk frames, and verifies the declared length and CRC-32. The
+/// caller still owes the trust-boundary validation before adopting.
+///
+/// # Errors
+///
+/// See [`ClientError`]; a length or CRC mismatch is a
+/// [`ClientError::Protocol`].
+pub fn pull_artifact(
+    addr: impl ToSocketAddrs,
+    fingerprint: u64,
+    timeout: Duration,
+) -> Result<PulledArtifact, ClientError> {
+    let mut stream = connect(addr, timeout)?;
+    let req = Json::obj([("fingerprint", Json::str(format!("{fingerprint:016x}")))]);
+    proto::write_frame(&mut stream, op::ART_PULL, req.to_string().as_bytes())?;
+    let header = read_result(&mut stream)?;
+    let need = |field: &str| {
+        header
+            .get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("ART_PULL header lacks `{field}`")))
+    };
+    let generation = need("generation")?;
+    let total = need("bytes")?;
+    let chunks = need("chunks")?;
+    let crc = need("crc32")?;
+    let label = header
+        .get("label")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    if total > MAX_ARTIFACT {
+        return Err(ClientError::Protocol(format!(
+            "peer declares a {total}-byte artifact (cap {MAX_ARTIFACT})"
+        )));
+    }
+    if chunks != chunk_count(total as usize) as u64 {
+        return Err(ClientError::Protocol(format!(
+            "peer declares {chunks} chunks for {total} bytes"
+        )));
+    }
+    let mut bytes = Vec::with_capacity(total as usize);
+    for _ in 0..chunks {
+        let frame = proto::read_frame(&mut stream)?;
+        if frame.opcode != op::ART_DATA {
+            return Err(ClientError::Protocol(format!(
+                "expected ART_DATA continuation, got opcode {:#04x}",
+                frame.opcode
+            )));
+        }
+        if frame.payload.len() > CHUNK || bytes.len() + frame.payload.len() > total as usize {
+            return Err(ClientError::Protocol("oversized artifact chunk".into()));
+        }
+        bytes.extend_from_slice(&frame.payload);
+    }
+    if bytes.len() as u64 != total {
+        return Err(ClientError::Protocol(format!(
+            "artifact transfer is {} bytes, header declared {total}",
+            bytes.len()
+        )));
+    }
+    if u64::from(pdbt_artifact::bytes::crc32(&bytes)) != crc {
+        return Err(ClientError::Protocol(
+            "artifact transfer fails its declared CRC".into(),
+        ));
+    }
+    Ok(PulledArtifact {
+        fingerprint,
+        generation,
+        label,
+        bytes,
+    })
+}
+
+/// Offers a sealed artifact to a peer: header frame, then the chunk
+/// frames, then the peer's verdict (`{"adopted": …, "reason": …,
+/// "generation": …}`). The peer applies the trust boundary and the
+/// generation order; a refusal is a normal reply, not an error.
+///
+/// # Errors
+///
+/// See [`ClientError`].
+pub fn push_artifact(
+    addr: impl ToSocketAddrs,
+    fingerprint: u64,
+    generation: u64,
+    label: &str,
+    bytes: &[u8],
+    timeout: Duration,
+) -> Result<Json, ClientError> {
+    let mut stream = connect(addr, timeout)?;
+    let header = Json::obj([
+        ("fingerprint", Json::str(format!("{fingerprint:016x}"))),
+        ("generation", Json::from(generation)),
+        ("bytes", Json::from(bytes.len() as u64)),
+        ("chunks", Json::from(chunk_count(bytes.len()) as u64)),
+        (
+            "crc32",
+            Json::from(u64::from(pdbt_artifact::bytes::crc32(bytes))),
+        ),
+        ("label", Json::str(label)),
+    ]);
+    proto::write_frame(&mut stream, op::ART_PUSH, header.to_string().as_bytes())?;
+    for chunk in bytes.chunks(CHUNK) {
+        proto::write_frame(&mut stream, op::ART_DATA, chunk)?;
+    }
+    read_result(&mut stream)
+}

@@ -46,16 +46,21 @@
 
 use crate::proto::{self, op};
 use pdbt_core::RuleSet;
+use pdbt_fleet::{
+    artifact_file_name, chunk_count, dedupe_newest, parse_generation, seal_live, ArtifactAd,
+    ArtifactVersion, CHUNK, MAX_ARTIFACT,
+};
 use pdbt_obs::json::Json;
 use pdbt_obs::{LatencyHists, PhaseNs, RequestSummary};
 use pdbt_par::TaskQueue;
 use pdbt_runtime::{BackendKind, Engine, EngineConfig, RunSetup, SharedTranslationState};
 use pdbt_workloads::{build, Benchmark, Scale, Workload};
+use rand::prelude::*;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -91,6 +96,19 @@ pub struct ServeConfig {
     /// Host block executor every session runs with (`--backend`).
     /// Defaults to the engine default (threaded, or `PDBT_BACKEND`).
     pub backend: BackendKind,
+    /// Peer daemons to replicate artifacts from (`--peer`, repeatable).
+    /// With peers set, `bind` pulls every missing-or-newer artifact
+    /// before the server starts answering — a follower's first request
+    /// hits a warm partition — and [`Server::serve`] keeps pulling on
+    /// the refresh tick. Peer failures are logged and skipped, never
+    /// fatal: a follower that cannot reach its peers boots cold.
+    pub peers: Vec<String>,
+    /// Period of the replication refresh tick (`--replicate-interval`).
+    /// Each tick re-runs the pull pass against every peer after a
+    /// seeded jitter (0.5–1.5× the period, seeded from the listen
+    /// port) so a restarted fleet does not thundering-herd its
+    /// leaders. `None` (the default) replicates at boot only.
+    pub replicate_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +121,8 @@ impl Default for ServeConfig {
             flight_path: None,
             artifact_dir: None,
             backend: EngineConfig::default().backend,
+            peers: Vec::new(),
+            replicate_interval: None,
         }
     }
 }
@@ -152,41 +172,105 @@ struct ServerCtx {
     served: AtomicU64,
     /// Sessions currently executing on a worker.
     active: AtomicU64,
-    /// Artifact warm-boot tally, fixed at bind time.
+    /// Artifact warm-boot tally: seeded by the bind-time scan, and
+    /// bumped at runtime when a transferred artifact's sections turn
+    /// out quarantinable (the wire rejects it, but the damage is
+    /// counted where operators already look for it).
     artifacts: ArtifactBoot,
+    /// Replication-plane bookkeeping per partition: the guest program
+    /// (for re-sealing), the current sealed bytes and their version,
+    /// and what generation the artifact dir holds.
+    replicas: Mutex<HashMap<u64, ReplicaMeta>>,
+    /// Serializes replication-plane mutations (sealing, adoption,
+    /// write-back) between the accept loop and the refresh tick. The
+    /// inner `states`/`labels`/`replicas` locks stay short-lived;
+    /// this one scopes a whole decide-then-adopt sequence so two
+    /// concurrent transfers cannot interleave their version checks.
+    replication: Mutex<()>,
+    /// Replication-plane counters (pulled/pushed/adopted/rejected/
+    /// written_back/bytes), surfaced as the `fleet` PING/STATS section.
+    fleet: pdbt_obs::FleetCounters,
+    /// Response frames that failed to write back to their client.
+    /// Nonzero means clients are vanishing mid-reply (or worse, the
+    /// server is wedged writing) — the happy-path tests pin it to 0.
+    reply_errors: AtomicU64,
+    /// Peers to replicate from, in `--peer` order.
+    peers: Vec<String>,
+    /// Where adopted artifacts persist and drained partitions write
+    /// back to.
+    artifact_dir: Option<PathBuf>,
 }
 
-/// What the bind-time artifact scan produced. All-zero when the server
-/// boots cold (no `--artifact-dir`).
-#[derive(Debug, Default, Clone, Copy)]
+/// Per-connection socket timeout for peer replication calls.
+const FLEET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The artifact warm-boot tally. All-zero when the server boots cold
+/// (no `--artifact-dir`); `sections_quarantined` also moves at runtime
+/// when a wire transfer carries quarantinable damage.
+#[derive(Debug, Default)]
 struct ArtifactBoot {
     /// Artifacts that loaded and warmed a partition.
-    loaded: u64,
+    loaded: AtomicU64,
     /// Artifacts rejected wholesale (unreadable, bad header/version,
-    /// fingerprint mismatch) — the image they were for boots cold.
-    rejected: u64,
-    /// Sections quarantined inside otherwise-loaded artifacts.
-    sections_quarantined: u64,
+    /// fingerprint mismatch) or shadowed by a newer generation of the
+    /// same image — the image boots from the winner or cold.
+    rejected: AtomicU64,
+    /// Sections quarantined inside scanned or transferred artifacts.
+    sections_quarantined: AtomicU64,
 }
 
 impl ArtifactBoot {
-    fn to_json(self) -> Json {
+    fn to_json(&self) -> Json {
         Json::obj([
-            ("loaded", Json::from(self.loaded)),
-            ("rejected", Json::from(self.rejected)),
+            ("loaded", Json::from(self.loaded.load(Ordering::Relaxed))),
+            (
+                "rejected",
+                Json::from(self.rejected.load(Ordering::Relaxed)),
+            ),
             (
                 "sections_quarantined",
-                Json::from(self.sections_quarantined),
+                Json::from(self.sections_quarantined.load(Ordering::Relaxed)),
             ),
         ])
     }
 }
 
+/// What the replication plane knows about one partition beyond its
+/// live [`SharedTranslationState`]: enough to advertise it, serve it
+/// to a peer, and write it back to disk.
+#[derive(Debug)]
+struct ReplicaMeta {
+    /// The partition label (advertised and sealed into write-backs).
+    label: String,
+    /// The guest image — re-sealing needs the GIMG section.
+    program: pdbt_isa_arm::Program,
+    /// Version of `sealed`, or of the next seal's predecessor.
+    version: ArtifactVersion,
+    /// The current sealed bytes, lazily refreshed when the live cache
+    /// outgrows them (`None` until the partition is first sealed).
+    sealed: Option<Arc<Vec<u8>>>,
+    /// How many blocks `sealed` captured — the staleness check: the
+    /// shared cache only ever grows and blocks are immutable, so a
+    /// length match means the sealed bytes are current.
+    sealed_blocks: usize,
+    /// The generation the artifact dir holds for this image (`None` =
+    /// not on disk); drain write-back only writes when it has moved
+    /// past this.
+    disk_generation: Option<u64>,
+}
+
 impl ServerCtx {
     /// The partition for a guest image, created on first sight. Each
     /// partition's telemetry plane gets one latency slot per worker
-    /// and is stamped with the image fingerprint.
-    fn state_for(&self, image: u64, label: &str) -> Arc<SharedTranslationState> {
+    /// and is stamped with the image fingerprint. The guest program is
+    /// recorded alongside so the replication plane can re-seal the
+    /// partition later (drain write-back, peer pulls).
+    fn state_for(
+        &self,
+        image: u64,
+        label: &str,
+        program: &pdbt_isa_arm::Program,
+    ) -> Arc<SharedTranslationState> {
         let mut map = self.states.lock().expect("state map poisoned");
         let state = Arc::clone(map.entry(image).or_insert_with(|| {
             Arc::new(SharedTranslationState::with_telemetry(
@@ -202,6 +286,18 @@ impl ServerCtx {
             .expect("label map poisoned")
             .entry(image)
             .or_insert_with(|| label.to_string());
+        self.replicas
+            .lock()
+            .expect("replica map poisoned")
+            .entry(image)
+            .or_insert_with(|| ReplicaMeta {
+                label: label.to_string(),
+                program: program.clone(),
+                version: ArtifactVersion::default(),
+                sealed: None,
+                sealed_blocks: 0,
+                disk_generation: None,
+            });
         state
     }
 }
@@ -213,6 +309,7 @@ pub struct Server {
     queue: TaskQueue,
     ctx: Arc<ServerCtx>,
     flight_path: Option<PathBuf>,
+    replicate_interval: Option<Duration>,
 }
 
 impl Server {
@@ -226,29 +323,42 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let queue = TaskQueue::new(cfg.jobs);
         let jobs = queue.jobs();
-        let (states, labels, artifacts) = match &cfg.artifact_dir {
+        let scan = match &cfg.artifact_dir {
             Some(dir) => load_artifacts(dir, cfg.rules.as_ref(), cfg.cache_shards, jobs),
-            None => (HashMap::new(), HashMap::new(), ArtifactBoot::default()),
+            None => BootScan::default(),
         };
+        let ctx = Arc::new(ServerCtx {
+            states: Mutex::new(scan.states),
+            workloads: Mutex::new(HashMap::new()),
+            rules: cfg.rules,
+            cache_shards: cfg.cache_shards,
+            default_deadline_ms: cfg.default_deadline_ms,
+            jobs,
+            backend: cfg.backend,
+            labels: Mutex::new(scan.labels),
+            started: Instant::now(),
+            stats_seq: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            artifacts: scan.boot,
+            replicas: Mutex::new(scan.replicas),
+            replication: Mutex::new(()),
+            fleet: pdbt_obs::FleetCounters::new(),
+            reply_errors: AtomicU64::new(0),
+            peers: cfg.peers,
+            artifact_dir: cfg.artifact_dir,
+        });
+        // Boot pull: a follower is warm *before* `bind` returns, so
+        // its very first request already hits the replicated cache.
+        if !ctx.peers.is_empty() {
+            replicate_once(&ctx);
+        }
         Ok(Server {
             listener,
             queue,
-            ctx: Arc::new(ServerCtx {
-                states: Mutex::new(states),
-                workloads: Mutex::new(HashMap::new()),
-                rules: cfg.rules,
-                cache_shards: cfg.cache_shards,
-                default_deadline_ms: cfg.default_deadline_ms,
-                jobs,
-                backend: cfg.backend,
-                labels: Mutex::new(labels),
-                started: Instant::now(),
-                stats_seq: AtomicU64::new(0),
-                served: AtomicU64::new(0),
-                active: AtomicU64::new(0),
-                artifacts,
-            }),
+            ctx,
             flight_path: cfg.flight_path,
+            replicate_interval: cfg.replicate_interval,
         })
     }
 
@@ -280,7 +390,38 @@ impl Server {
             queue,
             ctx,
             flight_path,
+            replicate_interval,
         } = self;
+        // The refresh tick: re-run the pull pass against every peer on
+        // a jittered period. Seeded from the listen port so a fleet's
+        // ticks are deterministic per node but decorrelated across
+        // nodes.
+        let stop = Arc::new(AtomicBool::new(false));
+        let ticker = match replicate_interval {
+            Some(interval) if !ctx.peers.is_empty() => {
+                let ctx = Arc::clone(&ctx);
+                let stop = Arc::clone(&stop);
+                let seed = listener.local_addr().map_or(0, |a| u64::from(a.port()));
+                Some(std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    'tick: loop {
+                        let wait = interval.mul_f64(0.5 + rng.gen::<f64>());
+                        let deadline = Instant::now() + wait;
+                        while Instant::now() < deadline {
+                            if stop.load(Ordering::Relaxed) {
+                                break 'tick;
+                            }
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        replicate_once(&ctx);
+                    }
+                }))
+            }
+            _ => None,
+        };
         let mut requests = 0u64;
         for conn in listener.incoming() {
             let mut stream = match conn {
@@ -294,23 +435,35 @@ impl Server {
             let frame = match proto::read_frame(&mut stream) {
                 Ok(f) => f,
                 Err(e) => {
-                    respond_error(&mut stream, None, &format!("bad frame: {e}"));
+                    respond_error(&ctx, &mut stream, None, &format!("bad frame: {e}"));
                     continue;
                 }
             };
             match frame.opcode {
                 op::PING => {
-                    respond(&mut stream, op::PONG, &status(&ctx, &queue));
+                    respond(&ctx, &mut stream, op::PONG, &status(&ctx, &queue));
                 }
                 op::STATS => {
-                    respond(&mut stream, op::PONG, &stats(&ctx, &queue));
+                    respond(&ctx, &mut stream, op::PONG, &stats(&ctx, &queue));
+                }
+                op::ART_LIST => {
+                    let ads = advertise(&ctx);
+                    let doc =
+                        Json::obj([("artifacts", Json::arr(ads.iter().map(ArtifactAd::to_json)))]);
+                    respond(&ctx, &mut stream, op::RESULT, &doc);
+                }
+                op::ART_PULL => {
+                    serve_pull(&ctx, &frame, &mut stream);
+                }
+                op::ART_PUSH => {
+                    serve_push(&ctx, &frame, &mut stream);
                 }
                 op::SHUTDOWN => {
                     let ack = Json::obj([
                         ("draining", Json::from(queue.outstanding())),
                         ("ok", Json::from(true)),
                     ]);
-                    respond(&mut stream, op::PONG, &ack);
+                    respond(&ctx, &mut stream, op::PONG, &ack);
                     break;
                 }
                 op::SUBMIT => {
@@ -318,7 +471,12 @@ impl Server {
                     let req = match frame.payload_str().ok().and_then(|s| Json::parse(s).ok()) {
                         Some(j) => j,
                         None => {
-                            respond_error(&mut stream, None, "request payload is not valid JSON");
+                            respond_error(
+                                &ctx,
+                                &mut stream,
+                                None,
+                                "request payload is not valid JSON",
+                            );
                             continue;
                         }
                     };
@@ -339,9 +497,20 @@ impl Server {
                     }
                 }
                 other => {
-                    respond_error(&mut stream, None, &format!("unknown opcode {other:#04x}"));
+                    respond_error(
+                        &ctx,
+                        &mut stream,
+                        None,
+                        &format!("unknown opcode {other:#04x}"),
+                    );
                 }
             }
+        }
+        // Quiesce the replication tick before the final snapshot and
+        // write-back, so nothing mutates partitions underneath them.
+        stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = ticker {
+            let _ = handle.join();
         }
         // Final snapshot before draining destroys nothing but after it
         // quiesces everything: dump the flight recorder so postmortems
@@ -353,6 +522,12 @@ impl Server {
             if let Err(e) = std::fs::write(path, doc.to_string() + "\n") {
                 eprintln!("pdbt-serve: flight dump to {} failed: {e}", path.display());
             }
+        }
+        // Drain write-back: partitions whose live cache outgrew their
+        // on-disk artifact re-seal as the next generation, so warm
+        // state compounds across restarts instead of evaporating.
+        if let Some(dir) = ctx.artifact_dir.clone() {
+            write_back(&ctx, &dir);
         }
         let panicked = queue.drain();
         Ok(ServeSummary { requests, panicked })
@@ -388,6 +563,7 @@ fn status(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
         ("images", Json::from(images)),
         ("cached_blocks", Json::from(cached_blocks)),
         ("artifacts", artifacts),
+        ("fleet", fleet_json(ctx)),
         (
             "server",
             Json::obj([
@@ -396,6 +572,10 @@ fn status(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
                 ("hits", Json::from(hits)),
                 ("translate_calls", Json::from(translate_calls)),
                 ("sessions", Json::from(sessions)),
+                (
+                    "reply_errors",
+                    Json::from(ctx.reply_errors.load(Ordering::Relaxed)),
+                ),
             ]),
         ),
     ])
@@ -490,6 +670,10 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
                 ("served", Json::from(ctx.served.load(Ordering::Relaxed))),
                 ("active", Json::from(ctx.active.load(Ordering::Relaxed))),
                 ("panicked", Json::from(queue.panicked())),
+                (
+                    "reply_errors",
+                    Json::from(ctx.reply_errors.load(Ordering::Relaxed)),
+                ),
             ]),
         ),
         (
@@ -525,6 +709,7 @@ fn stats(ctx: &ServerCtx, queue: &TaskQueue) -> Json {
             }
             artifacts
         }),
+        ("fleet", fleet_json(ctx)),
         ("latency", global.to_json()),
         ("partitions", Json::Arr(partitions)),
         (
@@ -550,7 +735,9 @@ fn serve_request(ctx: &ServerCtx, req: Json, stream: &mut TcpStream, seq: u64, a
         Ok((resp, tele)) => {
             let run_done_ns = pdbt_obs::now_ns();
             let payload = resp.to_string();
-            let _ = proto::write_frame(stream, op::RESULT, payload.as_bytes());
+            if proto::write_frame(stream, op::RESULT, payload.as_bytes()).is_err() {
+                ctx.reply_errors.fetch_add(1, Ordering::Relaxed);
+            }
             let reply_done_ns = pdbt_obs::now_ns();
             let summary = RequestSummary {
                 seq,
@@ -573,23 +760,490 @@ fn serve_request(ctx: &ServerCtx, req: Json, stream: &mut TcpStream, seq: u64, a
                 .telemetry()
                 .record(pdbt_par::current_worker_slot().unwrap_or(0), summary);
         }
-        Err(e) => respond_error(stream, id, &e),
+        Err(e) => respond_error(ctx, stream, id, &e),
     }
     ctx.active.fetch_sub(1, Ordering::Relaxed);
 }
 
-/// Writes a response frame; send failures are the client's loss, not
-/// the server's problem (the session already ran).
-fn respond(stream: &mut TcpStream, opcode: u8, payload: &Json) {
-    let _ = proto::write_frame(stream, opcode, payload.to_string().as_bytes());
+/// Writes a response frame; a send failure is the client's loss, not
+/// the server's problem (the session already ran) — but it is counted
+/// (`reply_errors`), because a fleet where replies silently vanish
+/// looks healthy from every other counter.
+fn respond(ctx: &ServerCtx, stream: &mut TcpStream, opcode: u8, payload: &Json) {
+    if proto::write_frame(stream, opcode, payload.to_string().as_bytes()).is_err() {
+        ctx.reply_errors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-fn respond_error(stream: &mut TcpStream, id: Option<u64>, msg: &str) {
+fn respond_error(ctx: &ServerCtx, stream: &mut TcpStream, id: Option<u64>, msg: &str) {
     let mut pairs = vec![("error".to_string(), Json::str(msg))];
     if let Some(id) = id {
         pairs.push(("id".to_string(), Json::from(id)));
     }
-    respond(stream, op::ERROR, &Json::Obj(pairs.into_iter().collect()));
+    respond(
+        ctx,
+        stream,
+        op::ERROR,
+        &Json::Obj(pairs.into_iter().collect()),
+    );
+}
+
+/// The `fleet` PING/STATS section.
+fn fleet_json(ctx: &ServerCtx) -> Json {
+    let f = ctx.fleet.snapshot();
+    Json::obj([
+        ("pulled", Json::from(f.pulled)),
+        ("pushed", Json::from(f.pushed)),
+        ("adopted", Json::from(f.adopted)),
+        ("rejected", Json::from(f.rejected)),
+        ("written_back", Json::from(f.written_back)),
+        ("bytes", Json::from(f.bytes)),
+    ])
+}
+
+/// The current sealed bytes and version of one partition, re-sealing
+/// lazily when the live cache has outgrown the last seal. Every
+/// content change bumps the generation by one, so this node's
+/// advertised versions are monotone — the property the fleet's
+/// newest-wins convergence rests on. Returns `None` for a partition
+/// with nothing to advertise (empty cache, never sealed) or no
+/// recorded guest program.
+///
+/// Callers hold `ctx.replication`; the inner locks are taken in the
+/// house order (`states`, then `replicas`).
+fn seal_partition(ctx: &ServerCtx, fp: u64) -> Option<(Arc<Vec<u8>>, ArtifactVersion)> {
+    let state = {
+        let map = ctx.states.lock().expect("state map poisoned");
+        map.get(&fp).map(Arc::clone)
+    }?;
+    let live_blocks = state.cache().len();
+    let mut replicas = ctx.replicas.lock().expect("replica map poisoned");
+    let meta = replicas.get_mut(&fp)?;
+    if let Some(sealed) = &meta.sealed {
+        if meta.sealed_blocks == live_blocks {
+            return Some((Arc::clone(sealed), meta.version));
+        }
+    }
+    if live_blocks == 0 && meta.sealed.is_none() {
+        return None;
+    }
+    let generation = if meta.sealed.is_some() {
+        meta.version.generation + 1
+    } else {
+        // First seal: continue past whatever the disk holds (a
+        // quarantined boot artifact leaves `sealed` empty but the
+        // file's generation taken), else start at 0.
+        meta.disk_generation.map_or(0, |g| g + 1)
+    };
+    let bytes = seal_live(&meta.label, &meta.program, &state);
+    let version = ArtifactVersion::of_bytes(generation, &bytes)
+        .expect("a self-sealed artifact always parses");
+    let sealed = Arc::new(bytes);
+    meta.sealed = Some(Arc::clone(&sealed));
+    meta.sealed_blocks = live_blocks;
+    meta.version = version;
+    Some((sealed, version))
+}
+
+/// Builds the `ART_LIST` advertisement: one entry per sealable
+/// partition, in fingerprint order.
+fn advertise(ctx: &ServerCtx) -> Vec<ArtifactAd> {
+    let _plane = ctx.replication.lock().expect("replication lock poisoned");
+    let mut fps: Vec<u64> = {
+        let map = ctx.states.lock().expect("state map poisoned");
+        map.keys().copied().collect()
+    };
+    fps.sort_unstable();
+    let mut ads = Vec::new();
+    for fp in fps {
+        let Some((sealed, version)) = seal_partition(ctx, fp) else {
+            continue;
+        };
+        let (blocks, traces) = {
+            let map = ctx.states.lock().expect("state map poisoned");
+            map.get(&fp)
+                .map_or((0, 0), |s| (s.cache().len() as u64, s.library_len() as u64))
+        };
+        let label = {
+            let replicas = ctx.replicas.lock().expect("replica map poisoned");
+            replicas
+                .get(&fp)
+                .map_or_else(String::new, |m| m.label.clone())
+        };
+        ads.push(ArtifactAd {
+            fingerprint: fp,
+            version,
+            blocks,
+            traces,
+            bytes: sealed.len() as u64,
+            label,
+        });
+    }
+    ads
+}
+
+/// Serves an `ART_PULL`: header frame with the transfer envelope, then
+/// the chunk frames. An unknown or unsealable fingerprint is an
+/// `ERROR` frame, never a partial stream.
+fn serve_pull(ctx: &ServerCtx, frame: &proto::Frame, stream: &mut TcpStream) {
+    let fp = frame
+        .payload_str()
+        .ok()
+        .and_then(|s| Json::parse(s).ok())
+        .and_then(|j| {
+            j.get("fingerprint")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+        });
+    let Some(fp) = fp else {
+        respond_error(ctx, stream, None, "ART_PULL needs a hex `fingerprint`");
+        return;
+    };
+    let sealed = {
+        let _plane = ctx.replication.lock().expect("replication lock poisoned");
+        seal_partition(ctx, fp)
+    };
+    let Some((sealed, version)) = sealed else {
+        respond_error(
+            ctx,
+            stream,
+            None,
+            &format!("no artifact for fingerprint {fp:016x}"),
+        );
+        return;
+    };
+    let label = {
+        let replicas = ctx.replicas.lock().expect("replica map poisoned");
+        replicas
+            .get(&fp)
+            .map_or_else(String::new, |m| m.label.clone())
+    };
+    let header = Json::obj([
+        ("fingerprint", Json::str(format!("{fp:016x}"))),
+        ("generation", Json::from(version.generation)),
+        ("bytes", Json::from(sealed.len() as u64)),
+        ("chunks", Json::from(chunk_count(sealed.len()) as u64)),
+        (
+            "crc32",
+            Json::from(u64::from(pdbt_artifact::bytes::crc32(&sealed))),
+        ),
+        ("label", Json::str(label)),
+    ]);
+    respond(ctx, stream, op::RESULT, &header);
+    for chunk in sealed.chunks(CHUNK) {
+        if proto::write_frame(stream, op::ART_DATA, chunk).is_err() {
+            ctx.reply_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    ctx.fleet.record_pushed();
+    ctx.fleet.record_bytes(sealed.len() as u64);
+}
+
+/// Serves an `ART_PUSH`: reassembles the offered artifact from its
+/// chunk frames, verifies the transfer envelope (size cap, chunk
+/// count, CRC), then runs the adoption decision. Always answers with
+/// a verdict frame; never panics on hostile input.
+fn serve_push(ctx: &ServerCtx, frame: &proto::Frame, stream: &mut TcpStream) {
+    let Some(header) = frame.payload_str().ok().and_then(|s| Json::parse(s).ok()) else {
+        respond_error(ctx, stream, None, "ART_PUSH header is not valid JSON");
+        return;
+    };
+    let fp = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok());
+    let generation = header.get("generation").and_then(Json::as_u64);
+    let total = header.get("bytes").and_then(Json::as_u64);
+    let chunks = header.get("chunks").and_then(Json::as_u64);
+    let crc = header.get("crc32").and_then(Json::as_u64);
+    let (Some(fp), Some(generation), Some(total), Some(chunks), Some(crc)) =
+        (fp, generation, total, chunks, crc)
+    else {
+        respond_error(
+            ctx,
+            stream,
+            None,
+            "ART_PUSH header needs fingerprint/generation/bytes/chunks/crc32",
+        );
+        return;
+    };
+    if total > MAX_ARTIFACT || chunks != chunk_count(total as usize) as u64 {
+        ctx.fleet.record_rejected();
+        respond_error(
+            ctx,
+            stream,
+            None,
+            "ART_PUSH transfer envelope is implausible",
+        );
+        return;
+    }
+    let mut bytes = Vec::with_capacity(total as usize);
+    for _ in 0..chunks {
+        let data = match proto::read_frame(stream) {
+            Ok(f) if f.opcode == op::ART_DATA => f.payload,
+            Ok(f) => {
+                ctx.fleet.record_rejected();
+                respond_error(
+                    ctx,
+                    stream,
+                    None,
+                    &format!("expected ART_DATA continuation, got {:#04x}", f.opcode),
+                );
+                return;
+            }
+            Err(e) => {
+                ctx.fleet.record_rejected();
+                respond_error(ctx, stream, None, &format!("artifact stream died: {e}"));
+                return;
+            }
+        };
+        if data.len() > CHUNK || bytes.len() + data.len() > total as usize {
+            ctx.fleet.record_rejected();
+            respond_error(ctx, stream, None, "oversized artifact chunk");
+            return;
+        }
+        bytes.extend_from_slice(&data);
+    }
+    if bytes.len() as u64 != total || u64::from(pdbt_artifact::bytes::crc32(&bytes)) != crc {
+        ctx.fleet.record_rejected();
+        respond_error(ctx, stream, None, "artifact transfer fails its envelope");
+        return;
+    }
+    ctx.fleet.record_bytes(total);
+    let _plane = ctx.replication.lock().expect("replication lock poisoned");
+    let (adopted, reason, current) = adopt_artifact(ctx, &bytes, generation, fp);
+    let verdict = Json::obj([
+        ("fingerprint", Json::str(format!("{fp:016x}"))),
+        ("adopted", Json::from(adopted)),
+        ("reason", Json::str(reason)),
+        ("generation", Json::from(current)),
+    ]);
+    respond(ctx, stream, op::RESULT, &verdict);
+}
+
+/// The adoption decision for a CRC-verified transferred artifact: the
+/// wire trust boundary (opens cleanly, zero quarantined sections,
+/// content fingerprint matches the declared one), then the version
+/// order against the locally *materialized* version — the local side
+/// seals its live growth first, so the comparison is deterministic no
+/// matter when the offer arrives. On adoption the partition's shared
+/// state is rebuilt via `warm_state` semantics (no counter pollution:
+/// sessions on the new state report translate-free warm runs);
+/// in-flight sessions keep the old `Arc` and finish undisturbed.
+///
+/// Returns `(adopted, reason, local generation after the decision)`.
+/// Caller holds `ctx.replication`.
+fn adopt_artifact(
+    ctx: &ServerCtx,
+    bytes: &[u8],
+    generation: u64,
+    declared_fp: u64,
+) -> (bool, String, u64) {
+    let local_generation = |fp: u64| -> u64 {
+        let replicas = ctx.replicas.lock().expect("replica map poisoned");
+        replicas.get(&fp).map_or(0, |m| m.version.generation)
+    };
+    let opened = match pdbt_artifact::open_salvage(bytes) {
+        Ok(o) => o,
+        Err(e) => {
+            ctx.fleet.record_rejected();
+            return (
+                false,
+                format!("artifact rejected: {e}"),
+                local_generation(declared_fp),
+            );
+        }
+    };
+    if !opened.quarantined.is_empty() {
+        // Counted where disk-scan damage already shows up, and the
+        // artifact is refused wholesale: a partial copy never
+        // replaces a healthy partition — the peer can re-pull.
+        ctx.artifacts
+            .sections_quarantined
+            .fetch_add(opened.quarantined.len() as u64, Ordering::Relaxed);
+        ctx.fleet.record_rejected();
+        return (
+            false,
+            format!(
+                "{} section(s) quarantined in transfer",
+                opened.quarantined.len()
+            ),
+            local_generation(declared_fp),
+        );
+    }
+    let fp = opened.artifact.fingerprint();
+    if fp != declared_fp {
+        ctx.fleet.record_rejected();
+        return (
+            false,
+            format!("content fingerprint {fp:016x} does not match the declared {declared_fp:016x}"),
+            local_generation(declared_fp),
+        );
+    }
+    let incoming =
+        ArtifactVersion::of_bytes(generation, bytes).expect("an artifact that opened still parses");
+    // Materialize the local version before comparing: live growth is
+    // sealed (and its generation bumped) first, so an offer can never
+    // overwrite translations the incoming artifact lacks.
+    let local = seal_partition(ctx, fp).map(|(_, v)| v);
+    if let Some(held) = local {
+        if held >= incoming {
+            ctx.fleet.record_rejected();
+            return (
+                false,
+                format!(
+                    "stale: local generation {} is newer or equal",
+                    held.generation
+                ),
+                held.generation,
+            );
+        }
+    }
+    let state = pdbt_artifact::warm_state(&opened, ctx.rules.as_ref(), ctx.cache_shards, ctx.jobs);
+    let label = if opened.artifact.label.is_empty() {
+        format!("{fp:016x}")
+    } else {
+        opened.artifact.label.clone()
+    };
+    let sealed = Arc::new(bytes.to_vec());
+    // Persist the adopted bytes so a restart boots warm from disk; a
+    // write failure demotes this to memory-only adoption (the drain
+    // write-back will retry).
+    let prior_disk = {
+        let replicas = ctx.replicas.lock().expect("replica map poisoned");
+        replicas.get(&fp).and_then(|m| m.disk_generation)
+    };
+    let disk_generation = match &ctx.artifact_dir {
+        Some(dir) => {
+            let path = dir.join(artifact_file_name(fp, generation));
+            match std::fs::write(&path, sealed.as_slice()) {
+                Ok(()) => Some(generation),
+                Err(e) => {
+                    eprintln!(
+                        "pdbt-serve: persisting adopted artifact {} failed: {e}",
+                        path.display()
+                    );
+                    prior_disk
+                }
+            }
+        }
+        None => prior_disk,
+    };
+    let meta = ReplicaMeta {
+        label: label.clone(),
+        program: opened.artifact.program.clone(),
+        version: incoming,
+        sealed: Some(sealed),
+        sealed_blocks: opened.artifact.blocks.len(),
+        disk_generation,
+    };
+    ctx.states
+        .lock()
+        .expect("state map poisoned")
+        .insert(fp, Arc::new(state));
+    ctx.labels
+        .lock()
+        .expect("label map poisoned")
+        .insert(fp, label);
+    ctx.replicas
+        .lock()
+        .expect("replica map poisoned")
+        .insert(fp, meta);
+    ctx.fleet.record_adopted();
+    (true, "adopted".to_string(), generation)
+}
+
+/// One replication pass: ask every peer for its advertisements, pull
+/// whatever is missing here or newer than what this node holds, and
+/// run each pull through the adoption decision. Peer failures are
+/// logged and skipped — replication is opportunistic, never fatal.
+fn replicate_once(ctx: &ServerCtx) {
+    for peer in &ctx.peers {
+        let ads = match crate::fleet::list_artifacts(peer.as_str(), FLEET_TIMEOUT) {
+            Ok(ads) => ads,
+            Err(e) => {
+                eprintln!("pdbt-serve: peer {peer} unreachable: {e}");
+                continue;
+            }
+        };
+        for ad in ads {
+            let worth_pulling = {
+                let _plane = ctx.replication.lock().expect("replication lock poisoned");
+                seal_partition(ctx, ad.fingerprint).is_none_or(|(_, held)| held < ad.version)
+            };
+            if !worth_pulling {
+                continue;
+            }
+            let pulled =
+                match crate::fleet::pull_artifact(peer.as_str(), ad.fingerprint, FLEET_TIMEOUT) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        ctx.fleet.record_rejected();
+                        eprintln!(
+                            "pdbt-serve: pull of {:016x} from {peer} failed: {e}",
+                            ad.fingerprint
+                        );
+                        continue;
+                    }
+                };
+            ctx.fleet.record_pulled();
+            ctx.fleet.record_bytes(pulled.bytes.len() as u64);
+            let _plane = ctx.replication.lock().expect("replication lock poisoned");
+            let (adopted, reason, _) =
+                adopt_artifact(ctx, &pulled.bytes, pulled.generation, ad.fingerprint);
+            if !adopted {
+                eprintln!(
+                    "pdbt-serve: pulled artifact {:016x} from {peer} not adopted: {reason}",
+                    ad.fingerprint
+                );
+            }
+        }
+    }
+}
+
+/// Drain write-back: every partition whose current seal has moved past
+/// what the artifact dir holds is written out under its generation
+/// file name. Runs after the queue quiesced, so the seals are final.
+fn write_back(ctx: &ServerCtx, dir: &std::path::Path) {
+    let _plane = ctx.replication.lock().expect("replication lock poisoned");
+    let mut fps: Vec<u64> = {
+        let map = ctx.states.lock().expect("state map poisoned");
+        map.keys().copied().collect()
+    };
+    fps.sort_unstable();
+    for fp in fps {
+        let Some((sealed, version)) = seal_partition(ctx, fp) else {
+            continue;
+        };
+        let stale = {
+            let replicas = ctx.replicas.lock().expect("replica map poisoned");
+            replicas
+                .get(&fp)
+                .is_none_or(|m| m.disk_generation.is_none_or(|g| version.generation > g))
+        };
+        if !stale {
+            continue;
+        }
+        let path = dir.join(artifact_file_name(fp, version.generation));
+        match std::fs::write(&path, sealed.as_slice()) {
+            Ok(()) => {
+                ctx.fleet.record_written_back();
+                ctx.fleet.record_bytes(sealed.len() as u64);
+                if let Some(m) = ctx
+                    .replicas
+                    .lock()
+                    .expect("replica map poisoned")
+                    .get_mut(&fp)
+                {
+                    m.disk_generation = Some(version.generation);
+                }
+            }
+            Err(e) => {
+                eprintln!("pdbt-serve: write-back to {} failed: {e}", path.display());
+            }
+        }
+    }
 }
 
 /// The guest a request resolved to: a memoized benchmark corpus or an
@@ -619,31 +1273,35 @@ fn image_fingerprint(prog: &pdbt_isa_arm::Program) -> u64 {
     prog.fingerprint()
 }
 
+/// What the bind-time artifact scan produced.
+#[derive(Debug, Default)]
+struct BootScan {
+    states: HashMap<u64, Arc<SharedTranslationState>>,
+    labels: HashMap<u64, String>,
+    replicas: HashMap<u64, ReplicaMeta>,
+    boot: ArtifactBoot,
+}
+
 /// The bind-time artifact scan: every `*.pdba` file in `dir` (sorted by
-/// name for deterministic boot order) is opened in salvage mode and, on
-/// success, pre-creates its guest image's translation-state partition,
-/// keyed by the image fingerprint the artifact was sealed with.
+/// name for deterministic scan order) is opened in salvage mode; the
+/// survivors are deduplicated by guest-image fingerprint keeping the
+/// *newest* [`ArtifactVersion`] (file-name generation, section CRCs as
+/// the tie-break — never scan order), and each winner pre-creates its
+/// image's translation-state partition. Shadowed duplicates are
+/// counted as rejects, not silently dropped.
 ///
 /// Failure is never fatal and never aborts the scan: an unreadable or
 /// rejected artifact is counted and logged, and that image simply boots
-/// cold when its first request arrives. A duplicate fingerprint (two
-/// artifacts for the same image) keeps the first and counts the second
-/// as rejected. When an artifact carries no ruleset — or its RULE
-/// section was quarantined — the partition falls back to the server's
-/// own rules, exactly as a cold partition would.
+/// cold when its first request arrives. When an artifact carries no
+/// ruleset — or its RULE section was quarantined — the partition falls
+/// back to the server's own rules, exactly as a cold partition would.
 fn load_artifacts(
     dir: &std::path::Path,
     rules: Option<&RuleSet>,
     cache_shards: usize,
     slots: usize,
-) -> (
-    HashMap<u64, Arc<SharedTranslationState>>,
-    HashMap<u64, String>,
-    ArtifactBoot,
-) {
-    let mut states = HashMap::new();
-    let mut labels = HashMap::new();
-    let mut boot = ArtifactBoot::default();
+) -> BootScan {
+    let mut scan = BootScan::default();
     let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
         Ok(entries) => entries
             .filter_map(Result::ok)
@@ -655,16 +1313,17 @@ fn load_artifacts(
                 "pdbt-serve: artifact dir {} unreadable ({e}); booting cold",
                 dir.display()
             );
-            return (states, labels, boot);
+            return scan;
         }
     };
     paths.sort();
+    let mut candidates = Vec::new();
     for path in paths {
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("pdbt-serve: artifact {} unreadable: {e}", path.display());
-                boot.rejected += 1;
+                scan.boot.rejected.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
         };
@@ -672,19 +1331,31 @@ fn load_artifacts(
             Ok(o) => o,
             Err(e) => {
                 eprintln!("pdbt-serve: artifact {} rejected: {e}", path.display());
-                boot.rejected += 1;
+                scan.boot.rejected.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        let generation = parse_generation(&path);
+        let version = match ArtifactVersion::of_bytes(generation, &bytes) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("pdbt-serve: artifact {} rejected: {e}", path.display());
+                scan.boot.rejected.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
         };
         let fingerprint = opened.artifact.fingerprint();
-        if states.contains_key(&fingerprint) {
-            eprintln!(
-                "pdbt-serve: artifact {} duplicates image {fingerprint:016x}; keeping the first",
-                path.display()
-            );
-            boot.rejected += 1;
-            continue;
-        }
+        candidates.push((fingerprint, version, (path, bytes, opened)));
+    }
+    let (winners, shadowed) = dedupe_newest(candidates);
+    if shadowed > 0 {
+        eprintln!(
+            "pdbt-serve: {shadowed} duplicate artifact(s) shadowed by newer generations in {}",
+            dir.display()
+        );
+        scan.boot.rejected.fetch_add(shadowed, Ordering::Relaxed);
+    }
+    for (fingerprint, version, (path, bytes, opened)) in winners {
         for q in &opened.quarantined {
             eprintln!(
                 "pdbt-serve: artifact {}: section {} quarantined: {}",
@@ -693,7 +1364,9 @@ fn load_artifacts(
                 q.reason
             );
         }
-        boot.sections_quarantined += opened.quarantined.len() as u64;
+        scan.boot
+            .sections_quarantined
+            .fetch_add(opened.quarantined.len() as u64, Ordering::Relaxed);
         let label = if opened.artifact.label.is_empty() {
             path.file_stem().map_or_else(
                 || "artifact".to_string(),
@@ -703,11 +1376,25 @@ fn load_artifacts(
             opened.artifact.label.clone()
         };
         let state = pdbt_artifact::warm_state(&opened, rules, cache_shards, slots);
-        states.insert(fingerprint, Arc::new(state));
-        labels.insert(fingerprint, label);
-        boot.loaded += 1;
+        scan.replicas.insert(
+            fingerprint,
+            ReplicaMeta {
+                label: label.clone(),
+                program: opened.artifact.program.clone(),
+                version,
+                // A salvaged (partially quarantined) file is not worth
+                // advertising: leave `sealed` empty so the first peer
+                // interaction re-seals clean content from live state.
+                sealed: opened.quarantined.is_empty().then(|| Arc::new(bytes)),
+                sealed_blocks: opened.artifact.blocks.len(),
+                disk_generation: Some(version.generation),
+            },
+        );
+        scan.states.insert(fingerprint, Arc::new(state));
+        scan.labels.insert(fingerprint, label);
+        scan.boot.loaded.fetch_add(1, Ordering::Relaxed);
     }
-    (states, labels, boot)
+    scan
 }
 
 /// Resolves the request's guest program, base run setup, and label.
@@ -799,7 +1486,7 @@ fn run_request(ctx: &ServerCtx, req: &Json) -> Result<(Json, RequestTelemetry), 
         .and_then(Json::as_bool)
         .unwrap_or(false);
     let partition = image_fingerprint(guest.program());
-    let shared = ctx.state_for(partition, &label);
+    let shared = ctx.state_for(partition, &label, guest.program());
     // Request-scoped fault arming: armed with this request's plan, or
     // explicitly shielded from any process-global plan. Installed after
     // workload resolution so corpus builds are never degraded.

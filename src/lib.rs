@@ -32,6 +32,7 @@
 pub use pdbt_artifact as artifact;
 pub use pdbt_compiler as compiler;
 pub use pdbt_core as core;
+pub use pdbt_fleet as fleet;
 pub use pdbt_ir as ir;
 pub use pdbt_isa as isa;
 pub use pdbt_isa_arm as arm;

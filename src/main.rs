@@ -13,6 +13,8 @@
 //! pdbt trace  prog.s [--rules rules.txt] [--addr HEX]
 //! pdbt bench  [--scale tiny|full] [BENCH]
 //! pdbt serve  [--addr HOST:PORT] [--rules rules.txt] [--jobs N] [--deadline-ms N]
+//!             [--peer ADDR]... [--replicate-interval SECS]
+//! pdbt sync   PEER [--timeout-s N] -o DIR
 //! pdbt submit [prog.s] [--addr HOST:PORT] [--workload BENCH --scale tiny|full]
 //!             [--max-guest N] [--deadline-ms N] [--faults SPEC] [--no-delegation]
 //!             [--timeout-s N] [--report-json FILE] [--ping] [--shutdown]
@@ -21,7 +23,13 @@
 //! `serve` starts the multi-session translation daemon: every submitted
 //! run borrows one shared ruleset and warm code cache (see
 //! `pdbt_serve`), so repeated guests skip re-translation while each
-//! request still gets its own isolated metrics/report. `submit` sends
+//! request still gets its own isolated metrics/report. `--peer ADDR`
+//! (repeatable) joins the replication plane: the daemon pulls missing
+//! or newer sealed artifacts from each peer at boot and, with
+//! `--replicate-interval SECS`, on a jittered refresh tick; on drain
+//! it writes grown partitions back to `--artifact-dir` as the next
+//! generation. `sync` mirrors a running daemon's sealed artifacts
+//! into a directory usable as another daemon's `--artifact-dir`. `submit` sends
 //! one request — either a program file or a named synthetic `--workload`
 //! — prints the guest output, and exits non-zero unless the outcome is
 //! `completed`; `--ping` probes server status and `--shutdown` drains
@@ -88,7 +96,8 @@ fn usage() -> ExitCode {
          pdbt trace  PROG.s [--rules FILE] [--addr HEX]\n  \
          pdbt bench  [--scale tiny|full] [BENCH]\n  \
          pdbt compile WORKLOAD|PROG.s [--scale tiny|full] [--rules FILE | --baseline] [--no-param] [--jobs N] [--backend model|threaded] [--label NAME] -o FILE.pdba\n  \
-         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--backend model|threaded] [--deadline-ms N] [--flight-out FILE] [--artifact-dir DIR]\n  \
+         pdbt serve  [--addr HOST:PORT] [--rules FILE] [--jobs N] [--backend model|threaded] [--deadline-ms N] [--flight-out FILE] [--artifact-dir DIR] [--peer ADDR]... [--replicate-interval SECS]\n  \
+         pdbt sync   PEER [--timeout-s N] -o DIR\n  \
          pdbt submit [PROG.s] [--addr HOST:PORT] [--workload BENCH --scale tiny|full] [--max-guest N] [--deadline-ms N] [--faults SPEC] [--no-delegation] [--timeout-s N] [--report-json FILE] [--ping] [--shutdown] [--stats]\n  \
          pdbt loadgen [--addr HOST:PORT] [--sessions N] [--requests N] [--hot N] [--tail N] [--seed N] [--poll-ms N] [--timeout-s N] [--out FILE]"
     );
@@ -131,6 +140,15 @@ impl Args {
             .iter()
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Every value of a repeatable flag, in order (e.g. `--peer A --peer B`).
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
     }
 }
 
@@ -620,6 +638,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     cfg.default_deadline_ms = parse_u64_flag(args, "deadline-ms")?;
     cfg.flight_path = Some(args.value("flight-out").unwrap_or("flight.json").into());
     cfg.artifact_dir = args.value("artifact-dir").map(Into::into);
+    cfg.peers = args
+        .values("peer")
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    cfg.replicate_interval =
+        parse_u64_flag(args, "replicate-interval")?.map(std::time::Duration::from_secs);
     let server = pdbt_serve::Server::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
     // Scripts scrape this line for the real port when binding to :0.
@@ -635,6 +660,43 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if summary.panicked > 0 {
         return Err(format!("{} sessions panicked", summary.panicked));
     }
+    Ok(())
+}
+
+/// `pdbt sync PEER -o DIR`: mirror a running daemon's sealed artifacts
+/// into a directory. Each advertisement is pulled, validated against
+/// the wire trust boundary, and written as `{fingerprint}-g{N}.pdba`,
+/// so the directory is directly usable as another daemon's
+/// `--artifact-dir`.
+fn cmd_sync(args: &Args) -> Result<(), String> {
+    let peer = args.positional.first().ok_or("sync needs a PEER address")?;
+    let dir = std::path::PathBuf::from(args.value("out").ok_or("sync needs -o DIR")?);
+    let timeout = std::time::Duration::from_secs(parse_u64_flag(args, "timeout-s")?.unwrap_or(120));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let ads = pdbt_serve::list_artifacts(peer.as_str(), timeout).map_err(|e| e.to_string())?;
+    if ads.is_empty() {
+        eprintln!("{peer}: no sealed artifacts to sync");
+        return Ok(());
+    }
+    for ad in &ads {
+        let pulled = pdbt_serve::pull_artifact(peer.as_str(), ad.fingerprint, timeout)
+            .map_err(|e| format!("pull {:016x}: {e}", ad.fingerprint))?;
+        pdbt::fleet::validate(&pulled.bytes, ad.fingerprint)
+            .map_err(|e| format!("pull {:016x}: {e}", ad.fingerprint))?;
+        let name = pdbt::fleet::artifact_file_name(pulled.fingerprint, pulled.generation);
+        let path = dir.join(&name);
+        std::fs::write(&path, &pulled.bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!(
+            "synced {name}: {} ({} bytes)",
+            pulled.label,
+            pulled.bytes.len()
+        );
+    }
+    eprintln!(
+        "synced {} artifacts from {peer} into {}",
+        ads.len(),
+        dir.display()
+    );
     Ok(())
 }
 
@@ -876,6 +938,8 @@ fn main() -> ExitCode {
             "out",
             "label",
             "artifact-dir",
+            "peer",
+            "replicate-interval",
         ],
     );
     let result = match cmd {
@@ -886,6 +950,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "bench" => cmd_bench(&args),
         "serve" => cmd_serve(&args),
+        "sync" => cmd_sync(&args),
         "submit" => cmd_submit(&args),
         "loadgen" => cmd_loadgen(&args),
         _ => return usage(),

@@ -106,6 +106,9 @@ fn eight_concurrent_sessions_are_bit_identical_to_sequential_runs() {
     assert_eq!(field("inserted"), blocks);
     assert_eq!(field("probes"), 8 * blocks);
     assert_eq!(field("hits"), 7 * blocks);
+    // Every reply reached its client: a dropped write would have been
+    // counted, not silently discarded.
+    assert_eq!(field("reply_errors"), 0);
 
     shutdown(addr, T).expect("shutdown");
     let summary = handle.join().unwrap();
@@ -169,6 +172,7 @@ fn stats_polls_stay_monotone_and_sum_to_the_drain_summary() {
     };
     assert_eq!(u(&["sessions", "served"]), 8);
     assert_eq!(u(&["sessions", "active"]), 0);
+    assert_eq!(u(&["sessions", "reply_errors"]), 0);
     assert_eq!(u(&["server", "sessions"]), 8);
     assert_eq!(u(&["latency", "request_ns", "count"]), 8);
     assert_eq!(u(&["latency", "reply_bytes", "count"]), 8);

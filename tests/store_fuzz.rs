@@ -7,7 +7,9 @@
 //! every healthy entry while quarantining exactly what the mutation
 //! destroyed — and a damaged artifact must still *boot*, falling back
 //! to cold translation for the quarantined sections with bit-identical
-//! guest output.
+//! guest output. The same matrix is also delivered over the wire
+//! (`ART_PUSH` against a live daemon), where the trust boundary is
+//! stricter: any quarantine refuses the whole transfer.
 //!
 //! Hand-rolled seeded fuzz loops over the in-tree PRNG (`pdbt-rng`,
 //! aliased as `rand`) — the offline build has no proptest.
@@ -375,6 +377,153 @@ fn artifact_section_damage_quarantines_exactly_that_section() {
     let payload_start = table[0].1.start;
     mutated[payload_start - 5] ^= 0x40;
     assert!(open_salvage(&mutated).is_err(), "header damage must reject");
+}
+
+// ---------------------------------------------------------------------
+// The corruption matrix over the wire: ART_PUSH / ART_PULL against a
+// live daemon
+// ---------------------------------------------------------------------
+
+/// Every class of artifact damage, delivered over `ART_PUSH` to a live
+/// daemon: the receiver must never panic, must refuse every damaged
+/// offer (counted in `fleet.rejected`, with quarantined sections also
+/// landing in `artifacts.sections_quarantined`), and after the pristine
+/// artifact is finally adopted, a `SUBMIT` of the same guest must run
+/// translate-free with the golden output. The pull path is closed the
+/// same way: a pulled artifact is bit-identical to the pristine seal,
+/// and client-side `pdbt::fleet::validate` refuses any post-pull
+/// mutation.
+#[test]
+fn wire_delivered_corruption_is_rejected_and_serving_stays_golden() {
+    use pdbt::obs::json::Json;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_secs(120);
+    let (bytes, golden) = sealed_fixture();
+    let table = section_table(bytes).unwrap();
+    let fp = fuzz_program().fingerprint();
+    let mut rng = StdRng::seed_from_u64(0xA7_7E_05);
+
+    let server =
+        pdbt_serve::Server::bind("127.0.0.1:0", pdbt_serve::ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // Generations strictly increase across offers so a refusal is
+    // always the trust boundary's verdict, never staleness.
+    let mut generation = 0u64;
+    let mut push = |mutated: &[u8], declared: u64| -> Json {
+        generation += 1;
+        pdbt_serve::push_artifact(addr, declared, generation, "fuzz", mutated, T).expect("push")
+    };
+
+    let salvageable = ["META", "RULE", "BLKS", "TRCE"];
+    let (mut rejected, mut quarantined) = (0u64, 0u64);
+
+    // One poisoned payload byte per section: salvageable sections
+    // quarantine (refused wholesale on the wire), GIMG damage rejects
+    // the open outright.
+    for (tag, range) in &table {
+        if range.is_empty() {
+            continue;
+        }
+        let mut mutated = bytes.clone();
+        let i = rng.gen_range(range.start..range.end);
+        mutated[i] ^= 1 << rng.gen_range(0..8u8);
+        let verdict = push(&mutated, fp);
+        assert_eq!(
+            verdict.get("adopted"),
+            Some(&Json::from(false)),
+            "damaged {tag} was adopted: {verdict}"
+        );
+        rejected += 1;
+        if salvageable.contains(&tag.as_str()) {
+            quarantined += 1;
+        }
+    }
+
+    // A truncated transfer: opens in salvage mode with one quarantined
+    // section — still refused on the wire.
+    let trce_mid = (table[4].1.start + table[4].1.end) / 2;
+    let verdict = push(&bytes[..trce_mid], fp);
+    assert_eq!(verdict.get("adopted"), Some(&Json::from(false)));
+    rejected += 1;
+    quarantined += 1;
+
+    // A pristine artifact under a lying fingerprint: refused.
+    let verdict = push(bytes, fp ^ 1);
+    assert_eq!(verdict.get("adopted"), Some(&Json::from(false)));
+    rejected += 1;
+
+    // Nothing was adopted; every refusal was counted where the disk
+    // scan counts the same damage.
+    let pong = pdbt_serve::ping(addr, T).expect("ping");
+    assert_eq!(pong.get("images").and_then(Json::as_u64), Some(0));
+    let fleet = pong.get("fleet").expect("fleet section");
+    assert_eq!(fleet.get("rejected").and_then(Json::as_u64), Some(rejected));
+    assert_eq!(fleet.get("adopted").and_then(Json::as_u64), Some(0));
+    let arts = pong.get("artifacts").expect("artifacts section");
+    assert_eq!(
+        arts.get("sections_quarantined").and_then(Json::as_u64),
+        Some(quarantined)
+    );
+
+    // The pristine artifact is adopted, and the daemon then serves the
+    // fixture guest translate-free with the golden output.
+    let verdict = push(bytes, fp);
+    assert_eq!(verdict.get("adopted"), Some(&Json::from(true)), "{verdict}");
+    let req = Json::obj([
+        ("id", Json::from(1u64)),
+        (
+            "program",
+            Json::str(
+                "mov r0, #100\nmov r1, #0\nadd r1, r1, r0\nb .+4\n\
+                 subs r0, r0, #1\nbne .-12\nmov r0, r1\nsvc #1\nsvc #0\n",
+            ),
+        ),
+    ]);
+    let resp = pdbt_serve::submit(addr, &req, T).expect("submit");
+    assert_eq!(
+        resp.get("outcome").and_then(Json::as_str),
+        Some("completed")
+    );
+    let out: Vec<u64> = resp
+        .get("report")
+        .and_then(|r| r.get("output"))
+        .and_then(Json::as_arr)
+        .expect("output")
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    let want: Vec<u64> = golden.iter().map(|&v| u64::from(v)).collect();
+    assert_eq!(out, want, "wire-adopted artifact corrupted the guest");
+    let pong = pdbt_serve::ping(addr, T).expect("ping");
+    let srv = pong.get("server").expect("server section");
+    assert_eq!(srv.get("translate_calls").and_then(Json::as_u64), Some(0));
+
+    // The pull path: the transfer is bit-identical to the pristine
+    // seal, and any post-pull mutation fails client-side validation.
+    let pulled = pdbt_serve::pull_artifact(addr, fp, T).expect("pull");
+    assert_eq!(&pulled.bytes, bytes, "pulled artifact is not bit-identical");
+    pdbt::fleet::validate(&pulled.bytes, fp).expect("pristine pull validates");
+    for _ in 0..8 {
+        let mut mutated = pulled.bytes.clone();
+        let i = rng.gen_range(0..mutated.len());
+        mutated[i] ^= 1 << rng.gen_range(0..8u8);
+        if mutated == pulled.bytes {
+            continue;
+        }
+        assert!(
+            pdbt::fleet::validate(&mutated, fp).is_err()
+                || open_salvage(&mutated)
+                    .map(|o| seal(&o.artifact) == *bytes)
+                    .unwrap_or(false),
+            "a post-pull mutation slipped past client-side validation"
+        );
+    }
+
+    pdbt_serve::shutdown(addr, T).expect("shutdown");
+    assert_eq!(handle.join().unwrap().panicked, 0);
 }
 
 /// Swapping two whole section payloads (same artifact, valid CRCs
